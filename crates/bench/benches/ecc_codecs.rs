@@ -1,0 +1,48 @@
+//! Microbenchmarks for the ECC codecs: encode/decode throughput per scheme,
+//! including the corrupted-decode paths the simulator exercises on faults.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use noc_ecc::{Crc, Dected, EccScheme, EccSuite, FlitCodec, Secded};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    let data = 0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210u128;
+    let crc = Crc::flit();
+    let secded = Secded::flit();
+    let dected = Dected::flit();
+    g.bench_function("crc16", |b| b.iter(|| crc.encode(black_box(data))));
+    g.bench_function("secded", |b| b.iter(|| secded.encode(black_box(data))));
+    g.bench_function("dected", |b| b.iter(|| dected.encode(black_box(data))));
+    g.finish();
+}
+
+fn bench_decode_clean(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_clean");
+    let data = 0xDEAD_BEEF_CAFE_BABEu128;
+    let suite = EccSuite::new();
+    for scheme in [EccScheme::Crc, EccScheme::Secded, EccScheme::Dected] {
+        let cw = suite.encode(scheme, data);
+        g.bench_function(scheme.to_string(), |b| {
+            b.iter(|| suite.decode(scheme, black_box(&cw)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode_corrupted(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_corrupted");
+    let data = 0x1111_2222_3333_4444_5555_6666_7777_8888u128;
+    let secded = Secded::flit();
+    let dected = Dected::flit();
+    let mut cw1 = secded.encode(data);
+    cw1.flip_bit(50);
+    g.bench_function("secded_1bit", |b| b.iter(|| secded.decode(black_box(&cw1))));
+    let mut cw2 = dected.encode(data);
+    cw2.flip_bit(50);
+    cw2.flip_bit(120);
+    g.bench_function("dected_2bit_chien", |b| b.iter(|| dected.decode(black_box(&cw2))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode_clean, bench_decode_corrupted);
+criterion_main!(benches);

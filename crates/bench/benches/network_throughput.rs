@@ -1,0 +1,30 @@
+//! Macrobenchmark: end-to-end simulated-workload throughput per design
+//! (wall-clock per complete small PARSEC-like run).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use intellinoc::{run_experiment, Design, ExperimentConfig};
+use noc_traffic::ParsecBenchmark;
+
+fn bench_designs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_run_blackscholes_20ppn");
+    g.sample_size(10);
+    for design in [Design::Secded, Design::Cp, Design::IntelliNoc] {
+        g.bench_function(design.label(), |b| {
+            b.iter_batched(
+                || {
+                    ExperimentConfig::new(
+                        design,
+                        ParsecBenchmark::Blackscholes.workload(20),
+                    )
+                    .with_seed(3)
+                },
+                run_experiment,
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_designs);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Microbenchmark: Q-learning agent decision throughput (lookup + TD update)
+//! and the discretizer, i.e. the per-time-step RL overhead the paper sizes
+//! at ~5 cycles of hardware latency.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use noc_rl::{Discretizer, QAgent, QLearningConfig, StateKey, FEATURE_COUNT};
+
+fn bench_agent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rl");
+    g.bench_function("discretize_16_features", |b| {
+        let d = Discretizer::paper_default();
+        let mut f = vec![0.3; FEATURE_COUNT];
+        f[FEATURE_COUNT - 1] = 71.0;
+        b.iter(|| d.key(black_box(&f)))
+    });
+    g.bench_function("agent_step", |b| {
+        let mut agent = QAgent::new(QLearningConfig::default(), 9);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            agent.step(StateKey(i), black_box(-5.5))
+        })
+    });
+    g.bench_function("agent_step_at_capacity", |b| {
+        let mut agent = QAgent::new(QLearningConfig::default(), 10);
+        // Fill the 350-entry table so steps exercise LRU bookkeeping.
+        for s in 0..400u64 {
+            agent.step(StateKey(s), -5.0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(17) % 1024;
+            agent.step(StateKey(i), black_box(-6.0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_agent);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Microbenchmark: simulation-cycle throughput of an idle vs loaded mesh
+//! (the per-cycle cost of the router pipeline + delivery phases).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_sim::{Network, SimConfig};
+use noc_traffic::WorkloadSpec;
+
+fn bench_cycles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step_cycle");
+    g.bench_function("idle_mesh", |b| {
+        let mut cfg = SimConfig::default();
+        cfg.varius.base_rate = 0.0;
+        cfg.varius.min_rate = 0.0;
+        let mut net = Network::new(cfg, WorkloadSpec::uniform(0.0, 0), 1);
+        b.iter(|| net.step_cycle());
+    });
+    g.bench_function("loaded_mesh_30pct", |b| {
+        let mut cfg = SimConfig::default();
+        cfg.varius.base_rate = 0.0;
+        cfg.varius.min_rate = 0.0;
+        let mut net = Network::new(cfg, WorkloadSpec::uniform(0.075, u64::MAX / 1024), 1);
+        // Warm the network to steady occupancy.
+        net.run_cycles(2_000);
+        b.iter(|| net.step_cycle());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

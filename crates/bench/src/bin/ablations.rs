@@ -1,0 +1,70 @@
+//! Ablation studies for the design decisions called out in DESIGN.md §6:
+//!
+//! * D2 — BST bypass-while-gated vs plain power gating,
+//! * D3 — adaptive ECC vs always-SECDED / always-DECTED,
+//! * D5 — log-space (Eq. 1) vs linear reward.
+//!
+//! (D1, MFAC channel depth, is swept as part of this binary too; D4,
+//! RL vs heuristic, is the CPD column of the main figures.)
+
+use intellinoc::{run_experiment, Design, ExperimentConfig, RewardKind};
+use noc_ecc::EccScheme;
+use noc_sim::SimConfig;
+use noc_traffic::ParsecBenchmark;
+
+fn run(tag: &str, tweak: Option<fn(&mut SimConfig)>, reward: RewardKind) {
+    let bench = ParsecBenchmark::Canneal;
+    let mut cfg = ExperimentConfig::new(Design::IntelliNoc, bench.workload(150)).with_seed(5);
+    cfg.tweak = tweak;
+    cfg.reward = reward;
+    let o = run_experiment(cfg);
+    let r = &o.report;
+    println!(
+        "{:<26} exec={:>7} lat={:>7.1} power={:>7.1}mW eff={:>8.4} retx={:>6} mttf={:>9.2e}",
+        tag,
+        r.exec_cycles,
+        r.avg_latency(),
+        r.power.total_mw(),
+        r.energy_efficiency() * 1e6,
+        r.stats.retransmitted_flits,
+        r.mttf_hours.unwrap_or(f64::NAN),
+    );
+}
+
+fn main() {
+    println!("=== Ablations (IntelliNoC on canneal; see DESIGN.md Section 6) ===");
+    run("full IntelliNoC", None, RewardKind::LogSpace);
+    println!("\n-- D1: MFAC channel depth --");
+    run("channel depth 4", Some(|c| c.channel_capacity = 4), RewardKind::LogSpace);
+    run("channel depth 2", Some(|c| c.channel_capacity = 2), RewardKind::LogSpace);
+    println!("\n-- D2: disable bypass-while-gated (plain power gating) --");
+    run(
+        "no bypass",
+        Some(|c| {
+            c.bypass_enabled = false;
+            c.bypass_during_wake = false;
+        }),
+        RewardKind::LogSpace,
+    );
+    println!("\n-- D3: static ECC instead of adaptive (policy still gates) --");
+    run(
+        "always SECDED",
+        Some(|c| c.default_scheme = EccScheme::Secded),
+        RewardKind::LogSpace,
+    );
+    run(
+        "always DECTED",
+        Some(|c| c.default_scheme = EccScheme::Dected),
+        RewardKind::LogSpace,
+    );
+    run(
+        "always TECQED (t=3)",
+        Some(|c| c.default_scheme = EccScheme::Tecqed),
+        RewardKind::LogSpace,
+    );
+    println!("\n-- D5: linear-space reward instead of Eq. 1 --");
+    run("linear reward", None, RewardKind::Linear);
+    println!("\nNote: D3 rows fix the *initial* scheme; the RL policy may still");
+    println!("change it. The comparison isolates the starting configuration and");
+    println!("short-run adaptation; D4 (RL vs heuristic) is CPD in Figs. 9-16.");
+}

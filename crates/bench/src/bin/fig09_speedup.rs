@@ -1,0 +1,14 @@
+//! Fig. 9 — speed-up of full application execution time, normalized to the
+//! SECDED baseline (higher is better).
+
+use intellinoc_bench::{load_or_run_campaign, Campaign, CAMPAIGN_CACHE};
+
+fn main() {
+    let results = load_or_run_campaign(&Campaign::default(), CAMPAIGN_CACHE);
+    results.print_figure(
+        "Fig. 9: speed-up of execution time vs SECDED baseline",
+        "higher is better",
+        |m| m.speedup,
+    );
+    println!("\npaper averages: EB 1.06, CP 0.97, CPD 1.08, IntelliNoC 1.16");
+}

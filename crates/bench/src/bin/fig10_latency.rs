@@ -1,0 +1,14 @@
+//! Fig. 10 — average end-to-end packet latency, normalized to the SECDED
+//! baseline (lower is better).
+
+use intellinoc_bench::{load_or_run_campaign, Campaign, CAMPAIGN_CACHE};
+
+fn main() {
+    let results = load_or_run_campaign(&Campaign::default(), CAMPAIGN_CACHE);
+    results.print_figure(
+        "Fig. 10: average end-to-end latency vs SECDED baseline",
+        "lower is better",
+        |m| m.latency,
+    );
+    println!("\npaper averages: EB 0.83, IntelliNoC 0.68");
+}

@@ -1,0 +1,14 @@
+//! Fig. 12 — overall dynamic power consumption, normalized to the SECDED
+//! baseline (lower is better).
+
+use intellinoc_bench::{load_or_run_campaign, Campaign, CAMPAIGN_CACHE};
+
+fn main() {
+    let results = load_or_run_campaign(&Campaign::default(), CAMPAIGN_CACHE);
+    results.print_figure(
+        "Fig. 12: dynamic power vs SECDED baseline",
+        "lower is better",
+        |m| m.dynamic_power,
+    );
+    println!("\npaper: IntelliNoC outperforms all other techniques");
+}

@@ -1,0 +1,14 @@
+//! Fig. 13 — energy-efficiency per Eq. 8, normalized to the SECDED baseline
+//! (higher is better).
+
+use intellinoc_bench::{load_or_run_campaign, Campaign, CAMPAIGN_CACHE};
+
+fn main() {
+    let results = load_or_run_campaign(&Campaign::default(), CAMPAIGN_CACHE);
+    results.print_figure(
+        "Fig. 13: energy-efficiency (Eq. 8) vs SECDED baseline",
+        "higher is better",
+        |m| m.energy_efficiency,
+    );
+    println!("\npaper averages: CPD 1.36, IntelliNoC 1.67");
+}

@@ -1,0 +1,41 @@
+//! Fig. 14 — IntelliNoC operation-mode breakdown per benchmark (fraction of
+//! router-steps spent in each of the five modes).
+
+use intellinoc::Design;
+use intellinoc_bench::{load_or_run_campaign, Campaign, CAMPAIGN_CACHE};
+
+fn main() {
+    let results = load_or_run_campaign(&Campaign::default(), CAMPAIGN_CACHE);
+    println!("\n=== Fig. 14: IntelliNoC operation-mode breakdown ===");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "workload", "mode0", "mode1", "mode2", "mode3", "mode4"
+    );
+    let mut avg = [0.0f64; 5];
+    let mut n = 0.0;
+    for (bench, outcomes) in &results.raw {
+        let Some(o) = outcomes.iter().find(|o| o.design == Design::IntelliNoc) else {
+            continue;
+        };
+        let fr = o.mode_fractions();
+        println!(
+            "{:<10} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            bench.label(),
+            fr[0],
+            fr[1],
+            fr[2],
+            fr[3],
+            fr[4]
+        );
+        for (a, f) in avg.iter_mut().zip(&fr) {
+            *a += f;
+        }
+        n += 1.0;
+    }
+    print!("{:<10}", "average");
+    for a in avg {
+        print!(" {:>8.3}", a / n);
+    }
+    println!();
+    println!("\npaper averages: mode0 ~0.20, mode1 ~0.55, modes 2-4 ~0.25 together");
+}

@@ -1,0 +1,29 @@
+//! Fig. 15 — number of re-transmitted flits, normalized to the SECDED
+//! baseline (lower is better). Also prints the absolute counts, since at
+//! this reproduction's calibrated error rates the baseline's absolute count
+//! is small (see EXPERIMENTS.md).
+
+use intellinoc_bench::{load_or_run_campaign, Campaign, CAMPAIGN_CACHE};
+
+fn main() {
+    let results = load_or_run_campaign(&Campaign::default(), CAMPAIGN_CACHE);
+    results.print_figure(
+        "Fig. 15: re-transmitted flits vs SECDED baseline",
+        "lower is better",
+        |m| m.retransmissions,
+    );
+    println!("\nabsolute re-transmitted flits:");
+    print!("{:<10}", "workload");
+    for d in intellinoc::Design::ALL {
+        print!("{:>12}", d.label());
+    }
+    println!();
+    for (bench, outcomes) in &results.raw {
+        print!("{:<10}", bench.label());
+        for o in outcomes {
+            print!("{:>12}", o.report.stats.retransmitted_flits);
+        }
+        println!();
+    }
+    println!("\npaper: baseline highest; IntelliNoC lowest at ~0.55x baseline");
+}

@@ -1,0 +1,14 @@
+//! Fig. 16 — mean-time-to-failure, normalized to the SECDED baseline
+//! (higher is better).
+
+use intellinoc_bench::{load_or_run_campaign, Campaign, CAMPAIGN_CACHE};
+
+fn main() {
+    let results = load_or_run_campaign(&Campaign::default(), CAMPAIGN_CACHE);
+    results.print_figure(
+        "Fig. 16: MTTF vs SECDED baseline",
+        "higher is better",
+        |m| m.mttf,
+    );
+    println!("\npaper average: IntelliNoC 1.77x baseline");
+}

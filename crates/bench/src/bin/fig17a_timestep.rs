@@ -1,0 +1,54 @@
+//! Fig. 17a — impact of the RL control time step on IntelliNoC's
+//! system-level metrics, normalized to the SECDED baseline.
+//!
+//! Paper: both very short (200-cycle) and very long (10k-cycle) time steps
+//! are sub-optimal; mid-range steps perform best.
+
+use intellinoc::Design;
+use intellinoc_bench::Campaign;
+use noc_traffic::ParsecBenchmark;
+
+const BENCHES: [ParsecBenchmark; 4] = [
+    ParsecBenchmark::Canneal,
+    ParsecBenchmark::Fluidanimate,
+    ParsecBenchmark::Swaptions,
+    ParsecBenchmark::X264,
+];
+
+fn main() {
+    println!("=== Fig. 17a: impact of RL time step (IntelliNoC vs baseline) ===");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "time_step", "exec_time", "e2e_latency", "energy"
+    );
+    // Baseline metrics are independent of the time step.
+    let base_campaign = Campaign::default();
+    let baselines: Vec<_> = BENCHES
+        .iter()
+        .map(|&b| base_campaign.run_one(Design::Secded, b, None))
+        .collect();
+    for step in [200u64, 500, 1_000, 10_000] {
+        let campaign = Campaign { time_step: step, ..Campaign::default() };
+        let pretrained = campaign.pretrain();
+        let mut exec = 0.0;
+        let mut lat = 0.0;
+        let mut energy = 0.0;
+        for (i, &bench) in BENCHES.iter().enumerate() {
+            let o = campaign.run_one(Design::IntelliNoc, bench, Some(&pretrained));
+            let b = &baselines[i].report;
+            let r = &o.report;
+            exec += (r.exec_cycles as f64 / b.exec_cycles as f64).ln();
+            lat += (r.avg_latency() / b.avg_latency()).ln();
+            energy += (r.power.total_energy_pj() / b.power.total_energy_pj()).ln();
+        }
+        let n = BENCHES.len() as f64;
+        println!(
+            "{:>10} {:>12.3} {:>12.3} {:>12.3}",
+            step,
+            (exec / n).exp(),
+            (lat / n).exp(),
+            (energy / n).exp()
+        );
+    }
+    println!("\npaper: 0.2k and 10k cycle steps are sub-optimal; ~1k is best");
+}

@@ -1,0 +1,40 @@
+//! Fig. 18b — impact of the exploration probability ε on IntelliNoC's
+//! energy–delay product and re-transmission rate (blackscholes). Paper
+//! optimum: ε = 0.05.
+
+use intellinoc::{
+    intellinoc_rl_config, pretrain_intellinoc, run_experiment, Design, ExperimentConfig,
+    RewardKind,
+};
+use noc_traffic::ParsecBenchmark;
+
+fn main() {
+    println!("=== Fig. 18b: impact of exploration probability epsilon (blackscholes) ===");
+    println!("{:>8} {:>14} {:>16}", "epsilon", "EDP(norm)", "retx_rate(norm)");
+    let baseline = run_experiment(
+        ExperimentConfig::new(Design::Secded, ParsecBenchmark::Blackscholes.workload(200))
+            .with_seed(7),
+    );
+    let base_edp = baseline.report.edp();
+    let base_retx =
+        (baseline.report.stats.retransmitted_flits.max(1)) as f64;
+    for epsilon in [0.0f64, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {
+        let rl = noc_rl::QLearningConfig { epsilon, ..intellinoc_rl_config() };
+        let tables = pretrain_intellinoc(rl, RewardKind::LogSpace, 200, 1_000, 7, 12);
+        let mut cfg = ExperimentConfig::new(
+            Design::IntelliNoc,
+            ParsecBenchmark::Blackscholes.workload(200),
+        )
+        .with_seed(7);
+        cfg.rl = rl;
+        cfg.pretrained = Some(tables);
+        let o = run_experiment(cfg);
+        println!(
+            "{:>8.2} {:>14.3} {:>16.3}",
+            epsilon,
+            o.report.edp() / base_edp,
+            o.report.stats.retransmitted_flits as f64 / base_retx
+        );
+    }
+    println!("\npaper: both extremes (epsilon=0 and epsilon=1) are sub-optimal; 0.05 is best");
+}

@@ -1,0 +1,43 @@
+//! Load sweep: classic NoC latency-vs-offered-load curves for all five
+//! designs on uniform random traffic (not a paper figure, but the standard
+//! way to see where each design saturates and why the paper's benchmarks
+//! separate them).
+
+use intellinoc::{run_experiment, Design, ExperimentConfig};
+use noc_traffic::WorkloadSpec;
+
+fn main() {
+    let rates = [0.005, 0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.12];
+    println!("average end-to-end latency (cycles) vs offered load (packets/node/cycle)");
+    print!("{:>8}", "rate");
+    for d in Design::ALL {
+        print!("{:>12}", d.label());
+    }
+    println!();
+    for rate in rates {
+        print!("{rate:>8.3}");
+        for design in Design::ALL {
+            let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, 60))
+                .with_seed(42);
+            let o = run_experiment(cfg);
+            print!("{:>12.1}", o.report.avg_latency());
+        }
+        println!();
+    }
+    println!("\np99 latency (cycles):");
+    print!("{:>8}", "rate");
+    for d in Design::ALL {
+        print!("{:>12}", d.label());
+    }
+    println!();
+    for rate in rates {
+        print!("{rate:>8.3}");
+        for design in Design::ALL {
+            let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, 60))
+                .with_seed(42);
+            let o = run_experiment(cfg);
+            print!("{:>12.0}", o.report.stats.latency_percentile(0.99));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,60 @@
+//! Calibration probe: raw (un-normalized) metrics for every design on a few
+//! benchmarks, for checking that the result *shape* matches the paper before
+//! running the full figure campaign.
+
+use intellinoc::Design;
+use intellinoc_bench::Campaign;
+use noc_traffic::ParsecBenchmark;
+
+fn main() {
+    let campaign = Campaign::default();
+    let pretrained = campaign.pretrain();
+    for bench in [
+        ParsecBenchmark::Swaptions,
+        ParsecBenchmark::Canneal,
+        ParsecBenchmark::Fluidanimate,
+        ParsecBenchmark::X264,
+    ] {
+        println!("\n### {bench} ###");
+        println!(
+            "{:<11} {:>9} {:>8} {:>9} {:>9} {:>10} {:>7} {:>8} {:>8} {:>9} {:>7}",
+            "design",
+            "exec_cyc",
+            "lat",
+            "stat_mW",
+            "dyn_mW",
+            "eff(1/uJ)",
+            "retx",
+            "mttf_h",
+            "temp",
+            "gated%",
+            "corrupt"
+        );
+        for design in Design::ALL {
+            let o = campaign.run_one(design, bench, Some(&pretrained));
+            let r = &o.report;
+            println!(
+                "{:<11} {:>9} {:>8.1} {:>9.1} {:>9.1} {:>10.3} {:>7} {:>8.2e} {:>8.1} {:>9.1} {:>7}",
+                design.label(),
+                r.exec_cycles,
+                r.avg_latency(),
+                r.power.static_mw,
+                r.power.dynamic_mw,
+                r.energy_efficiency() * 1e6,
+                r.stats.retransmitted_flits,
+                r.mttf_hours.unwrap_or(f64::NAN),
+                r.mean_temp_c,
+                100.0 * r.stats.gated_router_cycles as f64
+                    / (64.0 * r.stats.cycles.max(1) as f64),
+                r.stats.corrupted_packets,
+            );
+            if design == Design::IntelliNoc {
+                let fr = o.mode_fractions();
+                println!(
+                    "            modes: relax {:.2} crc {:.2} secded {:.2} dected {:.2} relaxedtx {:.2}  qtab {:.0}",
+                    fr[0], fr[1], fr[2], fr[3], fr[4], o.mean_qtable_entries
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! # intellinoc-bench
+//!
+//! Figure/table regeneration harness for the IntelliNoC reproduction.
+//!
+//! Each evaluation figure of the paper has a binary (`fig09_speedup`,
+//! `fig10_latency`, …) built on the campaign utilities here: run every
+//! design on every PARSEC benchmark, normalize to the SECDED baseline, and
+//! print the same rows/series the paper reports. `all_figures` runs the lot.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csv;
+
+pub use csv::{design_order, write_campaign_csv, write_raw_csv, METRIC_COLUMNS};
+
+use intellinoc::{
+    compare, pretrain_intellinoc, run_experiment, ComparisonRow, Design, ExperimentConfig,
+    ExperimentOutcome, NormalizedMetrics, RewardKind,
+};
+use noc_rl::{QLearningConfig, QTable};
+use noc_traffic::ParsecBenchmark;
+
+/// Default packets-per-node budget for figure campaigns. Keeps full-campaign
+/// wall-clock tractable while exercising thousands of packets per run.
+pub const CAMPAIGN_PACKETS_PER_NODE: u64 = 300;
+
+/// Default packets-per-node budget for RL pre-training on blackscholes.
+pub const PRETRAIN_PACKETS_PER_NODE: u64 = 200;
+
+/// Pre-training episodes (full blackscholes executions).
+pub const PRETRAIN_EPISODES: u32 = 24;
+
+/// Campaign-wide parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign {
+    /// Packets per node per run.
+    pub packets_per_node: u64,
+    /// Control time step (cycles).
+    pub time_step: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// RL hyperparameters.
+    pub rl: QLearningConfig,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign {
+            packets_per_node: CAMPAIGN_PACKETS_PER_NODE,
+            time_step: intellinoc::DEFAULT_TIME_STEP,
+            seed: 2019,
+            rl: intellinoc::intellinoc_rl_config(),
+        }
+    }
+}
+
+impl Campaign {
+    /// Pre-trains the IntelliNoC policy on blackscholes (paper §6.3).
+    pub fn pretrain(&self) -> Vec<QTable> {
+        pretrain_intellinoc(
+            self.rl,
+            RewardKind::LogSpace,
+            PRETRAIN_PACKETS_PER_NODE,
+            self.time_step,
+            self.seed,
+            PRETRAIN_EPISODES,
+        )
+    }
+
+    /// Runs one design on one benchmark.
+    pub fn run_one(
+        &self,
+        design: Design,
+        bench: ParsecBenchmark,
+        pretrained: Option<&[QTable]>,
+    ) -> ExperimentOutcome {
+        let mut cfg = ExperimentConfig::new(design, bench.workload(self.packets_per_node))
+            .with_seed(self.seed)
+            .with_time_step(self.time_step);
+        cfg.rl = self.rl;
+        if design.uses_rl() {
+            cfg.pretrained = pretrained.map(<[QTable]>::to_vec);
+        }
+        run_experiment(cfg)
+    }
+
+    /// Runs all five designs on one benchmark and returns the raw outcomes.
+    pub fn run_benchmark(
+        &self,
+        bench: ParsecBenchmark,
+        pretrained: Option<&[QTable]>,
+    ) -> Vec<ExperimentOutcome> {
+        Design::ALL
+            .iter()
+            .map(|&design| self.run_one(design, bench, pretrained))
+            .collect()
+    }
+
+    /// Runs the full paper campaign: all designs × the 10-benchmark test
+    /// set, with IntelliNoC pre-trained on blackscholes.
+    pub fn run_full(&self) -> CampaignResults {
+        let pretrained = self.pretrain();
+        let mut rows = Vec::new();
+        let mut raw = Vec::new();
+        for bench in ParsecBenchmark::TEST_SET {
+            let outcomes = self.run_benchmark(bench, Some(&pretrained));
+            rows.push(compare(&outcomes));
+            raw.push((bench, outcomes));
+        }
+        CampaignResults { rows, raw }
+    }
+}
+
+/// Results of a full campaign.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct CampaignResults {
+    /// Normalized comparison per benchmark.
+    pub rows: Vec<ComparisonRow>,
+    /// Raw outcomes per benchmark.
+    pub raw: Vec<(ParsecBenchmark, Vec<ExperimentOutcome>)>,
+}
+
+/// Default cache location for the full campaign results.
+pub const CAMPAIGN_CACHE: &str = "target/intellinoc-campaign.json";
+
+/// Loads cached campaign results from `path`, or runs the full campaign and
+/// caches it. Figure binaries share one campaign this way; delete the file
+/// (or set `INTELLINOC_FRESH=1`) to force a re-run.
+pub fn load_or_run_campaign(campaign: &Campaign, path: &str) -> CampaignResults {
+    let fresh = std::env::var_os("INTELLINOC_FRESH").is_some();
+    if !fresh {
+        if let Ok(bytes) = std::fs::read(path) {
+            if let Ok(results) = serde_json::from_slice::<CampaignResults>(&bytes) {
+                eprintln!("[campaign] loaded cached results from {path}");
+                return results;
+            }
+        }
+    }
+    eprintln!("[campaign] running full campaign (5 designs x 10 benchmarks)...");
+    let results = campaign.run_full();
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match serde_json::to_vec(&results) {
+        Ok(bytes) => {
+            if let Err(e) = std::fs::write(path, bytes) {
+                eprintln!("[campaign] could not cache results: {e}");
+            }
+        }
+        Err(e) => eprintln!("[campaign] could not serialize results: {e}"),
+    }
+    results
+}
+
+impl CampaignResults {
+    /// Prints a figure table: one row per benchmark, one column per design,
+    /// using `metric` to extract the plotted value, plus the average row.
+    pub fn print_figure<F>(&self, title: &str, better: &str, metric: F)
+    where
+        F: Fn(&NormalizedMetrics) -> f64 + Copy,
+    {
+        println!("\n=== {title} ({better}) ===");
+        print!("{:<10}", "workload");
+        for d in Design::ALL {
+            print!("{:>12}", d.label());
+        }
+        println!();
+        for row in &self.rows {
+            print!("{:<10}", row.workload);
+            for (_, m) in &row.designs {
+                print!("{:>12.3}", metric(m));
+            }
+            println!();
+        }
+        print!("{:<10}", "average");
+        for d in Design::ALL {
+            print!("{:>12.3}", intellinoc::geomean(&self.rows, d, metric));
+        }
+        println!();
+    }
+
+    /// Geometric-mean value of a metric for one design across benchmarks.
+    pub fn average<F>(&self, design: Design, metric: F) -> f64
+    where
+        F: Fn(&NormalizedMetrics) -> f64 + Copy,
+    {
+        intellinoc::geomean(&self.rows, design, metric)
+    }
+}
+
+/// Formats a number with thousands separators for table output.
+pub fn fmt_u64(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_u64_groups_digits() {
+        assert_eq!(fmt_u64(0), "0");
+        assert_eq!(fmt_u64(999), "999");
+        assert_eq!(fmt_u64(1_000), "1,000");
+        assert_eq!(fmt_u64(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn tiny_campaign_runs_one_benchmark() {
+        let campaign = Campaign { packets_per_node: 4, ..Campaign::default() };
+        let outcomes = campaign.run_benchmark(ParsecBenchmark::Swaptions, None);
+        assert_eq!(outcomes.len(), 5);
+        let row = compare(&outcomes);
+        assert_eq!(row.designs.len(), 5);
+    }
+}

@@ -1,0 +1,257 @@
+//! Subcommand implementations for the `intellinoc` CLI.
+
+use crate::args::Args;
+use intellinoc::{
+    compare as compare_outcomes, intellinoc_rl_config, pretrain_intellinoc, run_experiment,
+    Design, ExperimentConfig, ExperimentOutcome, RewardKind,
+};
+use noc_power::AreaModel;
+use noc_sim::Network;
+use noc_traffic::{
+    capture_trace, read_trace, write_trace, ParsecBenchmark, TraceReplay, WorkloadSpec,
+};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Result type of every subcommand.
+pub type CmdResult = Result<(), String>;
+
+/// Parses a design name as accepted on the command line.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown design.
+pub fn parse_design(s: &str) -> Result<Design, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "secded" | "baseline" => Ok(Design::Secded),
+        "eb" => Ok(Design::Eb),
+        "cp" => Ok(Design::Cp),
+        "cpd" => Ok(Design::Cpd),
+        "intellinoc" => Ok(Design::IntelliNoc),
+        other => Err(format!("unknown design: {other} (try `intellinoc list`)")),
+    }
+}
+
+/// Parses a benchmark by full name or figure label.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown benchmark.
+pub fn parse_benchmark(s: &str) -> Result<ParsecBenchmark, String> {
+    ParsecBenchmark::TEST_SET
+        .into_iter()
+        .chain([ParsecBenchmark::Blackscholes])
+        .find(|b| b.name() == s || b.label() == s)
+        .ok_or_else(|| format!("unknown benchmark: {s} (try `intellinoc list`)"))
+}
+
+fn workload_from(args: &Args, ppn: u64) -> Result<WorkloadSpec, String> {
+    if let Some(b) = args.get("benchmark") {
+        Ok(parse_benchmark(b)?.workload(ppn))
+    } else if let Some(r) = args.get("rate") {
+        let rate: f64 = r.parse().map_err(|_| format!("invalid --rate: {r}"))?;
+        Ok(WorkloadSpec::uniform(rate, ppn))
+    } else {
+        Err("need --benchmark <name> or --rate <packets/node/cycle>".into())
+    }
+}
+
+fn print_outcome(o: &ExperimentOutcome, json: bool) -> CmdResult {
+    if json {
+        let s = serde_json::to_string_pretty(o).map_err(|e| e.to_string())?;
+        println!("{s}");
+        return Ok(());
+    }
+    let r = &o.report;
+    println!("design            : {}", o.design.label());
+    println!("workload          : {}", o.workload);
+    println!("execution time    : {} cycles", r.exec_cycles);
+    println!(
+        "packets           : {} delivered / {} injected",
+        r.stats.packets_delivered, r.stats.packets_injected
+    );
+    println!(
+        "latency           : avg {:.1}  p50 {:.0}  p99 {:.0}  max {} cycles",
+        r.avg_latency(),
+        r.stats.latency_percentile(0.50),
+        r.stats.latency_percentile(0.99),
+        r.stats.latency_max
+    );
+    println!(
+        "power             : {:.1} mW static + {:.1} mW dynamic",
+        r.power.static_mw, r.power.dynamic_mw
+    );
+    println!("energy-efficiency : {:.4} 1/uJ (Eq. 8)", r.energy_efficiency() * 1e6);
+    println!(
+        "reliability       : {} retx flits, {} corrected bits, {} corrupted pkts",
+        r.stats.retransmitted_flits, r.stats.corrected_bits, r.stats.corrupted_packets
+    );
+    println!(
+        "thermals          : mean {:.1} C, max {:.1} C",
+        r.mean_temp_c, r.max_temp_c
+    );
+    match r.mttf_hours {
+        Some(h) => println!("MTTF              : {h:.3e} hours"),
+        None => println!("MTTF              : n/a (no aging accumulated)"),
+    }
+    if o.design.uses_rl() {
+        let fr = o.mode_fractions();
+        println!(
+            "operation modes   : relax {:.2} crc {:.2} secded {:.2} dected {:.2} relaxed-tx {:.2}",
+            fr[0], fr[1], fr[2], fr[3], fr[4]
+        );
+        println!("Q-table entries   : {:.1} per router (cap 350)", o.mean_qtable_entries);
+    }
+    Ok(())
+}
+
+/// `intellinoc run`.
+pub fn run(args: &Args) -> CmdResult {
+    let design = parse_design(args.get("design").ok_or("need --design")?)?;
+    let ppn = args.get_or("ppn", 150u64)?;
+    let workload = workload_from(args, ppn)?;
+    let mut cfg = ExperimentConfig::new(design, workload)
+        .with_seed(args.get_or("seed", 1u64)?)
+        .with_time_step(args.get_or("time-step", 1_000u64)?);
+    if let Some(r) = args.get("error-rate") {
+        cfg.error_rate_override =
+            Some(r.parse().map_err(|_| format!("invalid --error-rate: {r}"))?);
+    }
+    let outcome = run_experiment(cfg);
+    print_outcome(&outcome, args.has_flag("json"))
+}
+
+/// `intellinoc compare`.
+pub fn compare(args: &Args) -> CmdResult {
+    let ppn = args.get_or("ppn", 150u64)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let episodes = args.get_or("pretrain-episodes", 12u32)?;
+    let workload = workload_from(args, ppn)?;
+    eprintln!("pre-training IntelliNoC ({episodes} episodes on blackscholes)...");
+    let tables =
+        pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 150, 1_000, seed, episodes);
+    let outcomes: Vec<_> = Design::ALL
+        .iter()
+        .map(|&design| {
+            let mut cfg = ExperimentConfig::new(design, workload.clone()).with_seed(seed);
+            if design.uses_rl() {
+                cfg.pretrained = Some(tables.clone());
+            }
+            run_experiment(cfg)
+        })
+        .collect();
+    let row = compare_outcomes(&outcomes);
+    println!(
+        "{:<11} {:>9} {:>9} {:>10} {:>10} {:>10} {:>8}",
+        "design", "speedup", "latency", "static_pw", "dynamic_pw", "energy_eff", "mttf"
+    );
+    for (design, m) in &row.designs {
+        println!(
+            "{:<11} {:>9.3} {:>9.3} {:>10.3} {:>10.3} {:>10.3} {:>8.3}",
+            design.label(),
+            m.speedup,
+            m.latency,
+            m.static_power,
+            m.dynamic_power,
+            m.energy_efficiency,
+            m.mttf
+        );
+    }
+    Ok(())
+}
+
+/// `intellinoc sweep`.
+pub fn sweep(args: &Args) -> CmdResult {
+    let design = parse_design(args.get("design").ok_or("need --design")?)?;
+    let rates: Vec<f64> = args
+        .get("rates")
+        .ok_or("need --rates r1,r2,...")?
+        .split(',')
+        .map(|r| r.trim().parse().map_err(|_| format!("invalid rate: {r}")))
+        .collect::<Result<_, _>>()?;
+    let ppn = args.get_or("ppn", 100u64)?;
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>8} {:>10}",
+        "rate", "exec_cyc", "avg_lat", "p99_lat", "deliv%", "power_mW"
+    );
+    for rate in rates {
+        let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, ppn))
+            .with_seed(args.get_or("seed", 1u64)?);
+        let o = run_experiment(cfg);
+        let r = &o.report;
+        println!(
+            "{:>8.4} {:>10} {:>8.1} {:>8.0} {:>8.1} {:>10.1}",
+            rate,
+            r.exec_cycles,
+            r.avg_latency(),
+            r.stats.latency_percentile(0.99),
+            100.0 * r.stats.delivery_ratio(),
+            r.power.total_mw()
+        );
+    }
+    Ok(())
+}
+
+/// `intellinoc trace capture|replay`.
+pub fn trace(args: &Args) -> CmdResult {
+    match args.positional.first().map(String::as_str) {
+        Some("capture") => {
+            let path = args.positional.get(1).ok_or("need an output path")?;
+            let ppn = args.get_or("ppn", 50u64)?;
+            let workload = workload_from(args, ppn)?;
+            let records =
+                capture_trace(workload, 8, 8, args.get_or("seed", 1u64)?, 10_000_000);
+            let f = File::create(path).map_err(|e| e.to_string())?;
+            write_trace(BufWriter::new(f), &records).map_err(|e| e.to_string())?;
+            println!("captured {} records to {path}", records.len());
+            Ok(())
+        }
+        Some("replay") => {
+            let path = args.positional.get(1).ok_or("need an input path")?;
+            let design = parse_design(args.get("design").ok_or("need --design")?)?;
+            let f = File::open(path).map_err(|e| e.to_string())?;
+            let records = read_trace(BufReader::new(f)).map_err(|e| e.to_string())?;
+            let replay = TraceReplay::new(path, &records, 64, 12);
+            let mut cfg = design.sim_config();
+            cfg.seed = args.get_or("seed", 1u64)?;
+            let mut net = Network::with_workload(cfg, Box::new(replay));
+            let done = net.run_cycles(10_000_000);
+            let r = net.report();
+            println!(
+                "replayed {} packets on {}: exec={} cycles, avg latency {:.1}, {}",
+                r.stats.packets_delivered,
+                design.label(),
+                r.exec_cycles,
+                r.avg_latency(),
+                if done { "complete" } else { "INCOMPLETE" }
+            );
+            Ok(())
+        }
+        _ => Err("usage: intellinoc trace <capture|replay> <path> [options]".into()),
+    }
+}
+
+/// `intellinoc area`.
+pub fn area() -> CmdResult {
+    let model = AreaModel::default();
+    println!("{:<12} {:>12} {:>10}", "design", "area um^2", "vs base");
+    let base = model.router_area(&Design::Secded.area_spec()).total();
+    for d in Design::ALL {
+        let total = model.router_area(&d.area_spec()).total();
+        println!("{:<12} {:>12.1} {:>9.1}%", d.label(), total, 100.0 * (total / base - 1.0));
+    }
+    Ok(())
+}
+
+/// `intellinoc list`.
+pub fn list() -> CmdResult {
+    println!("designs:");
+    for d in Design::ALL {
+        println!("  {}", d.label().to_ascii_lowercase());
+    }
+    println!("benchmarks (PARSEC test set + training):");
+    for b in ParsecBenchmark::TEST_SET.into_iter().chain([ParsecBenchmark::Blackscholes]) {
+        println!("  {} ({})", b.name(), b.label());
+    }
+    Ok(())
+}

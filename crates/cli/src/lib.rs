@@ -1,0 +1,10 @@
+//! Library surface of the `intellinoc` CLI (see `main.rs` for the binary).
+//!
+//! Exposed as a library so the argument parsing and command plumbing are
+//! unit- and integration-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,58 @@
+//! `intellinoc` — command-line front end for the IntelliNoC reproduction.
+//!
+//! ```text
+//! intellinoc run      --design intellinoc --benchmark canneal [--ppn 150]
+//! intellinoc compare  --benchmark canneal [--ppn 150] [--pretrain-episodes 12]
+//! intellinoc sweep    --design secded --rates 0.01,0.02,0.04 [--ppn 100]
+//! intellinoc trace capture <out.jsonl> --benchmark dedup [--ppn 50]
+//! intellinoc trace replay <in.jsonl> --design cp
+//! intellinoc area
+//! intellinoc list
+//! ```
+
+use intellinoc_cli::args::Args;
+use intellinoc_cli::commands;
+
+fn main() {
+    let args = Args::from_env();
+    let code = match args.command.as_deref() {
+        Some("run") => commands::run(&args),
+        Some("compare") => commands::compare(&args),
+        Some("sweep") => commands::sweep(&args),
+        Some("trace") => commands::trace(&args),
+        Some("area") => commands::area(),
+        Some("list") => commands::list(),
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            Err("bad usage".into())
+        }
+        None => {
+            usage();
+            Ok(())
+        }
+    };
+    if let Err(e) = code {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!("IntelliNoC reproduction CLI (ISCA'19, Wang et al.)");
+    eprintln!();
+    eprintln!("USAGE: intellinoc <command> [options]");
+    eprintln!();
+    eprintln!("COMMANDS:");
+    eprintln!("  run      simulate one design on one workload");
+    eprintln!("           --design <secded|eb|cp|cpd|intellinoc>");
+    eprintln!("           --benchmark <name> | --rate <packets/node/cycle>");
+    eprintln!("           [--ppn N] [--seed S] [--error-rate R] [--time-step T] [--json]");
+    eprintln!("  compare  all five designs on one workload, normalized table");
+    eprintln!("           --benchmark <name> [--ppn N] [--pretrain-episodes E]");
+    eprintln!("  sweep    latency-vs-load curve for one design");
+    eprintln!("           --design <d> --rates r1,r2,... [--ppn N]");
+    eprintln!("  trace    capture <out> --benchmark <name> | replay <in> --design <d>");
+    eprintln!("  area     Table 2 per-router area comparison");
+    eprintln!("  list     known designs and benchmarks");
+}

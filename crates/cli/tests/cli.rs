@@ -1,0 +1,79 @@
+//! Integration tests for the CLI plumbing.
+
+use intellinoc::Design;
+use intellinoc_cli::args::Args;
+use intellinoc_cli::commands::{parse_benchmark, parse_design};
+use noc_traffic::ParsecBenchmark;
+
+#[test]
+fn design_names_roundtrip() {
+    for d in Design::ALL {
+        assert_eq!(parse_design(&d.label().to_ascii_lowercase()).unwrap(), d);
+    }
+    assert_eq!(parse_design("baseline").unwrap(), Design::Secded);
+    assert!(parse_design("tpu").is_err());
+}
+
+#[test]
+fn benchmark_names_and_labels_roundtrip() {
+    for b in ParsecBenchmark::TEST_SET {
+        assert_eq!(parse_benchmark(b.name()).unwrap(), b);
+        assert_eq!(parse_benchmark(b.label()).unwrap(), b);
+    }
+    assert_eq!(parse_benchmark("blackscholes").unwrap(), ParsecBenchmark::Blackscholes);
+    assert!(parse_benchmark("spec2006").is_err());
+}
+
+#[test]
+fn run_command_executes_end_to_end() {
+    let args = Args::parse(
+        "run --design eb --rate 0.02 --ppn 5 --seed 3 --json"
+            .split_whitespace()
+            .map(str::to_owned),
+    );
+    assert!(intellinoc_cli::commands::run(&args).is_ok());
+}
+
+#[test]
+fn run_command_rejects_missing_workload() {
+    let args = Args::parse("run --design eb".split_whitespace().map(str::to_owned));
+    let err = intellinoc_cli::commands::run(&args).unwrap_err();
+    assert!(err.contains("--benchmark"), "{err}");
+}
+
+#[test]
+fn sweep_command_executes() {
+    let args = Args::parse(
+        "sweep --design secded --rates 0.01,0.02 --ppn 5"
+            .split_whitespace()
+            .map(str::to_owned),
+    );
+    assert!(intellinoc_cli::commands::sweep(&args).is_ok());
+}
+
+#[test]
+fn area_and_list_always_succeed() {
+    assert!(intellinoc_cli::commands::area().is_ok());
+    assert!(intellinoc_cli::commands::list().is_ok());
+}
+
+#[test]
+fn trace_capture_then_replay() {
+    let dir = std::env::temp_dir().join("intellinoc-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.jsonl");
+    let path_s = path.to_str().unwrap().to_owned();
+    let cap = Args::parse(
+        format!("trace capture {path_s} --rate 0.05 --ppn 3 --seed 4")
+            .split_whitespace()
+            .map(str::to_owned),
+    );
+    assert!(intellinoc_cli::commands::trace(&cap).is_ok());
+    let rep = Args::parse(
+        format!("trace replay {path_s} --design cp")
+            .split_whitespace()
+            .map(str::to_owned),
+    );
+    assert!(intellinoc_cli::commands::trace(&rep).is_ok());
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,341 @@
+//! Run-time control policies for the compared designs.
+//!
+//! * [`ControlPolicy::Static`] — fixed directives (SECDED baseline, EB, CP).
+//! * [`ControlPolicy::CpdHeuristic`] — CPD's reactive rule (paper §6.3): at
+//!   each time step, pick the ECC scheme matching the most common error
+//!   multiplicity observed in the previous step.
+//! * [`ControlPolicy::Rl`] — IntelliNoC's per-router Q-learning agents
+//!   selecting one of the five operation modes.
+
+use crate::modes::OperationMode;
+use noc_ecc::EccScheme;
+use noc_rl::{holistic_reward, linear_reward, Discretizer, QAgent, QLearningConfig, QTable};
+use noc_sim::{RouterDirective, RouterObservation};
+use serde::{Deserialize, Serialize};
+
+/// Reward shaping variant (ablation D5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewardKind {
+    /// The paper's Eq. 1: `−log L − log P − log A`.
+    LogSpace,
+    /// Linear weighted sum (used by the reward ablation).
+    Linear,
+}
+
+/// Latency (cycles) charged for a control step in which no packet completed
+/// anywhere while traffic was outstanding — a stalled network.
+const STALL_LATENCY: f64 = 4_000.0;
+
+/// The paper's RL configuration for IntelliNoC: α = 0.1, γ = 0.9, ε = 0.05,
+/// 5 actions, 350-entry tables, mode 1 as the default action for unseen
+/// states, and Q-init near the converged value of the log-space reward
+/// (r ≈ −6 per step at γ = 0.9 ⇒ Q\* ≈ −60).
+pub fn intellinoc_rl_config() -> QLearningConfig {
+    QLearningConfig { q_init: -60.0, default_action: 1, ..QLearningConfig::default() }
+}
+
+/// The per-router RL controller bank for an IntelliNoC network.
+#[derive(Debug)]
+pub struct RlControl {
+    agents: Vec<QAgent>,
+    discretizer: Discretizer,
+    reward_kind: RewardKind,
+    /// Router-steps spent in each operation mode (Fig. 14).
+    mode_histogram: [u64; 5],
+    last_modes: Vec<OperationMode>,
+}
+
+impl RlControl {
+    /// Creates one agent per router.
+    pub fn new(routers: usize, cfg: QLearningConfig, seed: u64, reward_kind: RewardKind) -> Self {
+        RlControl {
+            agents: (0..routers)
+                .map(|r| QAgent::new(cfg, seed.wrapping_add(r as u64)))
+                .collect(),
+            discretizer: Discretizer::paper_default(),
+            reward_kind,
+            mode_histogram: [0; 5],
+            last_modes: vec![OperationMode::BasicCrc; routers],
+        }
+    }
+
+    /// Loads pre-trained Q-tables (paper §6.3: pre-training on
+    /// blackscholes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables.len()` differs from the number of agents.
+    pub fn load_tables(&mut self, tables: Vec<QTable>) {
+        assert_eq!(tables.len(), self.agents.len(), "one table per agent");
+        for (agent, table) in self.agents.iter_mut().zip(tables) {
+            agent.load_table(table);
+        }
+    }
+
+    /// Clones out the current Q-tables.
+    pub fn tables(&self) -> Vec<QTable> {
+        self.agents.iter().map(|a| a.table_clone()).collect()
+    }
+
+    /// Applies `f` to every agent's live Q-table (used by the Q-table
+    /// soft-error experiments).
+    pub fn for_each_table(&mut self, mut f: impl FnMut(&mut QTable)) {
+        for agent in &mut self.agents {
+            f(agent.table_mut());
+        }
+    }
+
+    /// Mean number of Q-table entries across routers (paper §7.4 reports
+    /// < 300 visited states).
+    pub fn mean_table_entries(&self) -> f64 {
+        self.agents.iter().map(|a| a.table().len() as f64).sum::<f64>()
+            / self.agents.len().max(1) as f64
+    }
+
+    /// Router-steps spent per operation mode so far.
+    pub fn mode_histogram(&self) -> [u64; 5] {
+        self.mode_histogram
+    }
+
+    /// The reward for one router's observation.
+    #[cfg(test)]
+    fn reward(&self, obs: &RouterObservation) -> f64 {
+        let latency = obs.avg_latency.max(1.0);
+        let power = obs.avg_power_mw.max(1.0);
+        let aging = obs.aging_factor.max(1.0);
+        match self.reward_kind {
+            RewardKind::LogSpace => holistic_reward(latency, power, aging),
+            RewardKind::Linear => linear_reward(latency, power, aging),
+        }
+    }
+
+    /// One control step: learn from the last step's rewards, pick modes.
+    ///
+    /// The per-router latency term is the sender-side average latency of the
+    /// router's own completed packets. A router whose packets did not
+    /// complete this step cannot observe `0` latency (that would reward
+    /// congestion precisely when it is worst); it falls back to the
+    /// network-wide step average, and if *nothing* completed network-wide
+    /// the step is treated as a stall with a large latency penalty.
+    pub fn decide(&mut self, observations: &[RouterObservation]) -> Vec<RouterDirective> {
+        debug_assert_eq!(observations.len(), self.agents.len());
+        let total_pkts: u64 = observations.iter().map(|o| o.ejected_packets).sum();
+        let net_latency = if total_pkts > 0 {
+            observations
+                .iter()
+                .map(|o| o.avg_latency * o.ejected_packets as f64)
+                .sum::<f64>()
+                / total_pkts as f64
+        } else {
+            STALL_LATENCY
+        };
+        observations
+            .iter()
+            .zip(self.agents.iter_mut())
+            .enumerate()
+            .map(|(r, (obs, agent))| {
+                let latency = if obs.ejected_packets > 0 {
+                    obs.avg_latency.max(1.0)
+                } else {
+                    net_latency.max(1.0)
+                };
+                let power = obs.avg_power_mw.max(1.0);
+                let aging = obs.aging_factor.max(1.0);
+                let reward = match self.reward_kind {
+                    RewardKind::LogSpace => holistic_reward(latency, power, aging),
+                    RewardKind::Linear => linear_reward(latency, power, aging),
+                };
+                let key = self.discretizer.key(&obs.features);
+                let action = agent.step(key, reward);
+                let mode = OperationMode::from_action(action);
+                self.mode_histogram[action] += 1;
+                self.last_modes[r] = mode;
+                mode.directive()
+            })
+            .collect()
+    }
+
+    /// The mode each router is currently running.
+    pub fn last_modes(&self) -> &[OperationMode] {
+        &self.last_modes
+    }
+
+    /// Sets the exploration probability on every agent (Fig. 18b sweep).
+    pub fn set_epsilon(&mut self, epsilon: f64) {
+        for a in &mut self.agents {
+            a.set_epsilon(epsilon);
+        }
+    }
+
+    /// Enables/disables learning on every agent.
+    pub fn set_learning(&mut self, on: bool) {
+        for a in &mut self.agents {
+            a.set_learning(on);
+        }
+    }
+
+    /// Clears pending episode state on every agent (workload boundary).
+    pub fn reset_episode(&mut self) {
+        for a in &mut self.agents {
+            a.reset_episode();
+        }
+    }
+}
+
+/// Consecutive error-free steps before CPD drops to CRC-only protection.
+const CPD_CLEAN_STREAK: u32 = 3;
+
+/// CPD's heuristic: per router, choose the ECC scheme matching the most
+/// common error multiplicity seen in the previous time step (paper §6.3).
+/// `clean_streaks` adds hysteresis: only a sustained error-free spell drops
+/// protection to CRC-only (otherwise one quiet step would strip ECC from a
+/// hot router).
+pub fn cpd_decide(
+    observations: &[RouterObservation],
+    clean_streaks: &mut [u32],
+) -> Vec<RouterDirective> {
+    debug_assert_eq!(observations.len(), clean_streaks.len());
+    observations
+        .iter()
+        .zip(clean_streaks.iter_mut())
+        .map(|(obs, streak)| {
+            let h = obs.error_hist;
+            let scheme = if h[1] == 0 && h[2] == 0 && h[3] == 0 {
+                *streak = streak.saturating_add(1);
+                if *streak >= CPD_CLEAN_STREAK {
+                    EccScheme::None // e2e CRC only
+                } else {
+                    EccScheme::Secded
+                }
+            } else {
+                *streak = 0;
+                if h[1] >= h[2] && h[1] >= h[3] {
+                    EccScheme::Secded
+                } else {
+                    EccScheme::Dected
+                }
+            };
+            RouterDirective { gate: None, scheme, relaxed: false }
+        })
+        .collect()
+}
+
+/// A design's run-time control policy.
+#[derive(Debug)]
+pub enum ControlPolicy {
+    /// No run-time adaptation.
+    Static,
+    /// CPD's previous-step error-histogram heuristic (per-router clean-step
+    /// streaks for hysteresis).
+    CpdHeuristic(Vec<u32>),
+    /// IntelliNoC's per-router Q-learning.
+    Rl(Box<RlControl>),
+}
+
+impl ControlPolicy {
+    /// One control step; `None` means "leave directives unchanged".
+    pub fn decide(&mut self, observations: &[RouterObservation]) -> Option<Vec<RouterDirective>> {
+        match self {
+            ControlPolicy::Static => None,
+            ControlPolicy::CpdHeuristic(streaks) => {
+                if streaks.len() != observations.len() {
+                    streaks.resize(observations.len(), 0);
+                }
+                Some(cpd_decide(observations, streaks))
+            }
+            ControlPolicy::Rl(rl) => Some(rl.decide(observations)),
+        }
+    }
+
+    /// RL decision-energy events per step (0 for non-RL policies).
+    pub fn decisions_per_step(&self, routers: usize) -> u64 {
+        match self {
+            ControlPolicy::Rl(_) => routers as u64,
+            ControlPolicy::Static | ControlPolicy::CpdHeuristic(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(router: usize, hist: [u64; 4]) -> RouterObservation {
+        RouterObservation {
+            router,
+            features: [0.1; 16],
+            avg_latency: 20.0,
+            ejected_packets: 5,
+            avg_power_mw: 40.0,
+            aging_factor: 1.01,
+            temperature_c: 60.0,
+            error_hist: hist,
+            retransmissions: 0,
+            gated_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn cpd_chooses_by_error_multiplicity() {
+        let o = [
+            obs(0, [100, 0, 0, 0]),
+            obs(1, [90, 9, 1, 0]),
+            obs(2, [80, 3, 9, 1]),
+            obs(3, [80, 0, 0, 5]),
+        ];
+        let mut streaks = vec![CPD_CLEAN_STREAK; 4]; // past the hysteresis
+        let d = cpd_decide(&o, &mut streaks);
+        assert_eq!(d[0].scheme, EccScheme::None);
+        assert_eq!(d[1].scheme, EccScheme::Secded);
+        assert_eq!(d[2].scheme, EccScheme::Dected);
+        assert_eq!(d[3].scheme, EccScheme::Dected);
+        assert!(d.iter().all(|x| x.gate.is_none() && !x.relaxed));
+    }
+
+    #[test]
+    fn rl_control_produces_valid_directives_and_counts_modes() {
+        let mut rl = RlControl::new(4, QLearningConfig::default(), 1, RewardKind::LogSpace);
+        let observations: Vec<_> = (0..4).map(|r| obs(r, [10, 0, 0, 0])).collect();
+        let d1 = rl.decide(&observations);
+        assert_eq!(d1.len(), 4);
+        let _ = rl.decide(&observations);
+        assert_eq!(rl.mode_histogram().iter().sum::<u64>(), 8);
+        assert_eq!(rl.last_modes().len(), 4);
+    }
+
+    #[test]
+    fn rl_reward_uses_log_space() {
+        let rl = RlControl::new(1, QLearningConfig::default(), 1, RewardKind::LogSpace);
+        let o = obs(0, [0; 4]);
+        let r = rl.reward(&o);
+        let expect = -(20.0f64.ln() + 40.0f64.ln() + 1.01f64.ln());
+        assert!((r - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pretrained_tables_roundtrip() {
+        let mut rl = RlControl::new(2, QLearningConfig::default(), 3, RewardKind::LogSpace);
+        let observations: Vec<_> = (0..2).map(|r| obs(r, [0; 4])).collect();
+        for _ in 0..5 {
+            rl.decide(&observations);
+        }
+        let tables = rl.tables();
+        let mut fresh = RlControl::new(2, QLearningConfig::default(), 9, RewardKind::LogSpace);
+        fresh.load_tables(tables);
+        assert!(fresh.mean_table_entries() >= 1.0);
+    }
+
+    #[test]
+    fn static_policy_is_none() {
+        let mut p = ControlPolicy::Static;
+        assert!(p.decide(&[]).is_none());
+        assert_eq!(p.decisions_per_step(64), 0);
+        let rl = ControlPolicy::Rl(Box::new(RlControl::new(
+            64,
+            QLearningConfig::default(),
+            1,
+            RewardKind::LogSpace,
+        )));
+        assert_eq!(rl.decisions_per_step(64), 64);
+    }
+}

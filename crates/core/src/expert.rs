@@ -1,0 +1,123 @@
+//! A hand-written expert policy for the operation modes.
+//!
+//! The paper's motivation (§1) claims that "manually designing the rules and
+//! strategies for making proactive decisions in NoCs requires substantial
+//! engineering efforts ... which often result in sub-optimal solutions".
+//! This module *is* that manual baseline: a carefully chosen threshold rule
+//! over the same observations the RL agents see. The `ablations` binary
+//! compares it against the learned policy (ablation D4b).
+
+use crate::modes::OperationMode;
+use noc_sim::{RouterDirective, RouterObservation};
+use serde::{Deserialize, Serialize};
+
+/// Threshold rule parameters.
+///
+/// Passive configuration bag; fields are public by design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpertThresholds {
+    /// Total link utilization (flits/cycle summed over ports) below which an
+    /// idle router is proactively gated (mode 0).
+    pub gate_util: f64,
+    /// Temperature (°C) below which basic CRC suffices (mode 1).
+    pub crc_temp_c: f64,
+    /// Temperature below which SECDED suffices (mode 2).
+    pub secded_temp_c: f64,
+    /// Temperature below which DECTED suffices (mode 3); hotter routers
+    /// relax their link timing (mode 4).
+    pub dected_temp_c: f64,
+}
+
+impl Default for ExpertThresholds {
+    fn default() -> Self {
+        ExpertThresholds {
+            gate_util: 0.02,
+            crc_temp_c: 66.0,
+            secded_temp_c: 74.0,
+            dected_temp_c: 84.0,
+        }
+    }
+}
+
+impl ExpertThresholds {
+    /// The mode this rule picks for one observation.
+    pub fn mode_for(&self, obs: &RouterObservation) -> OperationMode {
+        let util: f64 = obs.features[..5].iter().sum::<f64>()
+            + obs.features[10..15].iter().sum::<f64>();
+        if util < self.gate_util {
+            OperationMode::StressRelax
+        } else if obs.temperature_c < self.crc_temp_c {
+            OperationMode::BasicCrc
+        } else if obs.temperature_c < self.secded_temp_c {
+            OperationMode::Secded
+        } else if obs.temperature_c < self.dected_temp_c {
+            OperationMode::Dected
+        } else {
+            OperationMode::Relaxed
+        }
+    }
+}
+
+/// One control step of the expert rule; also counts modes like the RL
+/// controller does (for Fig. 14-style breakdowns).
+pub fn expert_decide(
+    thresholds: &ExpertThresholds,
+    observations: &[RouterObservation],
+    histogram: &mut [u64; 5],
+) -> Vec<RouterDirective> {
+    observations
+        .iter()
+        .map(|obs| {
+            let mode = thresholds.mode_for(obs);
+            histogram[mode.action()] += 1;
+            mode.directive()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(util: f64, temp: f64) -> RouterObservation {
+        let mut features = [0.0; 16];
+        features[0] = util;
+        features[15] = temp;
+        RouterObservation {
+            router: 0,
+            features,
+            avg_latency: 20.0,
+            ejected_packets: 1,
+            avg_power_mw: 10.0,
+            aging_factor: 1.1,
+            temperature_c: temp,
+            error_hist: [0; 4],
+            retransmissions: 0,
+            gated_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn thresholds_partition_the_space() {
+        let t = ExpertThresholds::default();
+        assert_eq!(t.mode_for(&obs(0.0, 60.0)), OperationMode::StressRelax);
+        assert_eq!(t.mode_for(&obs(0.3, 60.0)), OperationMode::BasicCrc);
+        assert_eq!(t.mode_for(&obs(0.3, 70.0)), OperationMode::Secded);
+        assert_eq!(t.mode_for(&obs(0.3, 80.0)), OperationMode::Dected);
+        assert_eq!(t.mode_for(&obs(0.3, 95.0)), OperationMode::Relaxed);
+    }
+
+    #[test]
+    fn decide_counts_modes() {
+        let t = ExpertThresholds::default();
+        let mut hist = [0u64; 5];
+        let observations = vec![obs(0.0, 60.0), obs(0.5, 60.0), obs(0.5, 90.0)];
+        let d = expert_decide(&t, &observations, &mut hist);
+        assert_eq!(d.len(), 3);
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[1], 1);
+        assert_eq!(hist[4], 1);
+        assert_eq!(d[0].gate, Some(true));
+        assert!(d[2].relaxed);
+    }
+}

@@ -1,0 +1,61 @@
+//! # intellinoc
+//!
+//! Reproduction of **IntelliNoC: A Holistic Design Framework for
+//! Energy-Efficient and Reliable On-Chip Communication for Manycores**
+//! (Ke Wang, Ahmed Louri, Avinash Karanth, Razvan Bunescu — ISCA 2019).
+//!
+//! IntelliNoC combines three architectural techniques with a learned control
+//! policy on an 8×8 mesh NoC:
+//!
+//! 1. **MFACs** — multi-function adaptive channel buffers (repeaters, link
+//!    storage, re-transmission buffers, relaxed-timing buffers),
+//! 2. **adaptive ECC** — per-router CRC / SECDED / DECTED with ACK/NACK
+//!    re-transmission,
+//! 3. **stress-relaxing bypass** — proactive power gating with BST-guided
+//!    channel-to-channel forwarding,
+//!
+//! all coordinated by per-router tabular **Q-learning agents** choosing one
+//! of five [`OperationMode`]s per 1000-cycle time step, with the holistic
+//! reward `r = −log(latency) − log(power) − log(aging)`.
+//!
+//! This crate is the *policy* layer: operation modes, the RL/heuristic
+//! controllers, the five comparison [`Design`]s (SECDED baseline, EB, CP,
+//! CPD, IntelliNoC), and the experiment façade. The cycle-accurate
+//! *mechanisms* live in [`noc_sim`] and the other substrate crates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use intellinoc::{run_experiment, Design, ExperimentConfig};
+//! use noc_traffic::ParsecBenchmark;
+//!
+//! let workload = ParsecBenchmark::Canneal.workload(10);
+//! let outcome = run_experiment(ExperimentConfig::new(Design::IntelliNoc, workload));
+//! assert!(outcome.report.stats.packets_delivered > 0);
+//! println!("avg latency: {:.1} cycles", outcome.report.avg_latency());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod designs;
+mod experiment;
+mod expert;
+mod metrics;
+mod modes;
+mod sweeps;
+
+pub use controller::{cpd_decide, intellinoc_rl_config, ControlPolicy, RewardKind, RlControl};
+pub use designs::Design;
+pub use experiment::{
+    pretrain_intellinoc, run_experiment, run_experiment_keeping_policy, ExperimentConfig,
+    ExperimentOutcome, DEFAULT_TIME_STEP,
+};
+pub use expert::{expert_decide, ExpertThresholds};
+pub use metrics::{compare, geomean, normalize, ComparisonRow, NormalizedMetrics};
+pub use modes::OperationMode;
+pub use sweeps::{
+    epsilon_sweep, error_rate_sweep, gamma_sweep, mesh_scaling, time_step_sweep, HyperPoint,
+    ScalePoint, SweepPoint,
+};

@@ -1,0 +1,161 @@
+//! Normalized metrics and comparison tables, matching the paper's figure
+//! conventions (everything normalized to the SECDED baseline).
+
+use crate::designs::Design;
+use crate::experiment::ExperimentOutcome;
+use serde::{Deserialize, Serialize};
+
+/// One design's metrics normalized to the SECDED baseline, as plotted in
+/// Figs. 9–16.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NormalizedMetrics {
+    /// Fig. 9: speed-up of full execution time (higher is better).
+    pub speedup: f64,
+    /// Fig. 10: average end-to-end latency (lower is better).
+    pub latency: f64,
+    /// Fig. 11: static power (lower is better).
+    pub static_power: f64,
+    /// Fig. 12: dynamic power (lower is better).
+    pub dynamic_power: f64,
+    /// Fig. 13: energy-efficiency per Eq. 8 (higher is better).
+    pub energy_efficiency: f64,
+    /// Fig. 15: re-transmitted flits (lower is better).
+    pub retransmissions: f64,
+    /// Fig. 16: MTTF (higher is better).
+    pub mttf: f64,
+    /// Fig. 18 metric: energy–delay product (lower is better).
+    pub edp: f64,
+}
+
+/// Normalizes `x` against the `baseline` outcome.
+///
+/// # Examples
+///
+/// ```
+/// use intellinoc::{normalize, run_experiment, Design, ExperimentConfig};
+/// use noc_traffic::WorkloadSpec;
+///
+/// let base = run_experiment(ExperimentConfig::new(
+///     Design::Secded, WorkloadSpec::uniform(0.02, 4)));
+/// let m = normalize(&base, &base);
+/// assert!((m.speedup - 1.0).abs() < 1e-12);
+/// ```
+pub fn normalize(baseline: &ExperimentOutcome, x: &ExperimentOutcome) -> NormalizedMetrics {
+    let b = &baseline.report;
+    let r = &x.report;
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { f64::NAN };
+    // Retransmission counts can legitimately be zero; normalize against a
+    // 1-flit floor so the ratio stays finite.
+    let retx_base = b.stats.retransmitted_flits.max(1) as f64;
+    NormalizedMetrics {
+        speedup: ratio(b.exec_cycles as f64, r.exec_cycles as f64),
+        latency: ratio(r.avg_latency(), b.avg_latency()),
+        static_power: ratio(r.power.static_mw, b.power.static_mw),
+        dynamic_power: ratio(r.power.dynamic_mw, b.power.dynamic_mw),
+        energy_efficiency: ratio(r.energy_efficiency(), b.energy_efficiency()),
+        retransmissions: r.stats.retransmitted_flits as f64 / retx_base,
+        mttf: match (r.mttf_hours, b.mttf_hours) {
+            (Some(x), Some(y)) if y > 0.0 => x / y,
+            // A design that kept every router gated for the whole (tiny)
+            // run never ages; report a neutral ratio rather than NaN so
+            // aggregate tables and JSON stay well-formed.
+            _ => 1.0,
+        },
+        edp: ratio(r.edp(), b.edp()),
+    }
+}
+
+/// A full per-workload comparison row: every design normalized to baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Workload name.
+    pub workload: String,
+    /// (design, metrics) pairs in [`Design::ALL`] order.
+    pub designs: Vec<(Design, NormalizedMetrics)>,
+}
+
+/// Builds a comparison row from one outcome per design (must include the
+/// SECDED baseline).
+///
+/// # Panics
+///
+/// Panics if `outcomes` lacks a [`Design::Secded`] entry.
+pub fn compare(outcomes: &[ExperimentOutcome]) -> ComparisonRow {
+    let baseline = outcomes
+        .iter()
+        .find(|o| o.design == Design::Secded)
+        .expect("comparison requires the SECDED baseline");
+    ComparisonRow {
+        workload: baseline.workload.clone(),
+        designs: outcomes.iter().map(|o| (o.design, normalize(baseline, o))).collect(),
+    }
+}
+
+/// Geometric mean across rows of a per-design metric (the paper reports
+/// "average" bars; geometric mean is the right aggregate for ratios).
+pub fn geomean<F>(rows: &[ComparisonRow], design: Design, f: F) -> f64
+where
+    F: Fn(&NormalizedMetrics) -> f64,
+{
+    let vals: Vec<f64> = rows
+        .iter()
+        .flat_map(|row| {
+            row.designs
+                .iter()
+                .filter(|(d, _)| *d == design)
+                .map(|(_, m)| f(m))
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if vals.is_empty() {
+        return f64::NAN;
+    }
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_experiment, ExperimentConfig};
+    use noc_traffic::WorkloadSpec;
+
+    fn outcomes() -> Vec<ExperimentOutcome> {
+        [Design::Secded, Design::Eb]
+            .iter()
+            .map(|&d| {
+                run_experiment(
+                    ExperimentConfig::new(d, WorkloadSpec::uniform(0.02, 6)).with_seed(5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_normalizes_to_one() {
+        let o = outcomes();
+        let row = compare(&o);
+        let (d, m) = row.designs[0];
+        assert_eq!(d, Design::Secded);
+        assert!((m.speedup - 1.0).abs() < 1e-12);
+        assert!((m.latency - 1.0).abs() < 1e-12);
+        assert!((m.energy_efficiency - 1.0).abs() < 1e-9);
+        assert!((m.mttf - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_of_identity_is_one() {
+        let o = outcomes();
+        let rows = vec![compare(&o), compare(&o)];
+        let g = geomean(&rows, Design::Secded, |m| m.latency);
+        assert!((g - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the SECDED baseline")]
+    fn compare_without_baseline_panics() {
+        let o = outcomes();
+        let only_eb: Vec<_> = o.into_iter().filter(|x| x.design == Design::Eb).collect();
+        let _ = compare(&only_eb);
+    }
+}

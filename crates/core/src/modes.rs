@@ -1,0 +1,153 @@
+//! The five proactive operation modes (paper §4).
+//!
+//! Each IntelliNoC router independently selects one mode per time step.
+//! A mode is a bundled configuration of power gating, MFAC function, ECC
+//! strength, and link timing; [`OperationMode::directive`] lowers a mode to
+//! the simulator's [`RouterDirective`].
+
+use noc_ecc::EccScheme;
+use noc_sim::RouterDirective;
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's five proactive operation modes.
+///
+/// # Examples
+///
+/// ```
+/// use intellinoc::OperationMode;
+/// use noc_ecc::EccScheme;
+///
+/// let mode = OperationMode::from_action(3);
+/// assert_eq!(mode, OperationMode::Dected);
+/// assert_eq!(mode.directive().scheme, EccScheme::Dected);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OperationMode {
+    /// Mode 0 — stress-relaxing: power-gate the router, bypass via MFACs.
+    StressRelax,
+    /// Mode 1 — basic error detection: per-hop ECC off, end-to-end CRC only,
+    /// MFACs as storage buffers.
+    BasicCrc,
+    /// Mode 2 — per-hop SECDED; MFACs as re-transmission buffers.
+    Secded,
+    /// Mode 3 — per-hop DECTED; MFACs as re-transmission buffers.
+    Dected,
+    /// Mode 4 — relaxed transmission: doubled link traversal time, timing
+    /// errors suppressed.
+    Relaxed,
+}
+
+impl OperationMode {
+    /// All modes, indexable by RL action number (0–4).
+    pub const ALL: [OperationMode; 5] = [
+        OperationMode::StressRelax,
+        OperationMode::BasicCrc,
+        OperationMode::Secded,
+        OperationMode::Dected,
+        OperationMode::Relaxed,
+    ];
+
+    /// Mode from an RL action index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action >= 5`.
+    pub fn from_action(action: usize) -> OperationMode {
+        Self::ALL[action]
+    }
+
+    /// The RL action index of this mode.
+    pub fn action(self) -> usize {
+        match self {
+            OperationMode::StressRelax => 0,
+            OperationMode::BasicCrc => 1,
+            OperationMode::Secded => 2,
+            OperationMode::Dected => 3,
+            OperationMode::Relaxed => 4,
+        }
+    }
+
+    /// Lowers the mode to a per-router simulator directive.
+    ///
+    /// * Mode 0 proactively gates the router (traffic bypasses via MFACs).
+    /// * Modes 1–4 select the ECC/timing configuration and leave power
+    ///   gating to the underlying reactive controller (paper §3.3:
+    ///   "power-gating is deployed at low traffic load" independent of the
+    ///   ECC mode; mode 0 *additionally* forces proactive stress relief).
+    pub fn directive(self) -> RouterDirective {
+        match self {
+            OperationMode::StressRelax => RouterDirective {
+                gate: Some(true),
+                scheme: EccScheme::None,
+                relaxed: false,
+            },
+            OperationMode::BasicCrc => RouterDirective {
+                gate: None,
+                scheme: EccScheme::None,
+                relaxed: false,
+            },
+            OperationMode::Secded => RouterDirective {
+                gate: None,
+                scheme: EccScheme::Secded,
+                relaxed: false,
+            },
+            OperationMode::Dected => RouterDirective {
+                gate: None,
+                scheme: EccScheme::Dected,
+                relaxed: false,
+            },
+            OperationMode::Relaxed => RouterDirective {
+                gate: None,
+                scheme: EccScheme::Secded,
+                relaxed: true,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for OperationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OperationMode::StressRelax => "mode0-stress-relax",
+            OperationMode::BasicCrc => "mode1-basic-crc",
+            OperationMode::Secded => "mode2-secded",
+            OperationMode::Dected => "mode3-dected",
+            OperationMode::Relaxed => "mode4-relaxed",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_roundtrip() {
+        for (i, m) in OperationMode::ALL.iter().enumerate() {
+            assert_eq!(m.action(), i);
+            assert_eq!(OperationMode::from_action(i), *m);
+        }
+    }
+
+    #[test]
+    fn only_mode0_forces_gating() {
+        for m in OperationMode::ALL {
+            let d = m.directive();
+            if m == OperationMode::StressRelax {
+                assert_eq!(d.gate, Some(true));
+            } else {
+                assert_eq!(d.gate, None, "{m} must leave gating reactive");
+            }
+        }
+    }
+
+    #[test]
+    fn ecc_strengths_match_paper() {
+        assert_eq!(OperationMode::BasicCrc.directive().scheme, EccScheme::None);
+        assert_eq!(OperationMode::Secded.directive().scheme, EccScheme::Secded);
+        assert_eq!(OperationMode::Dected.directive().scheme, EccScheme::Dected);
+        assert!(OperationMode::Relaxed.directive().relaxed);
+        assert!(!OperationMode::Dected.directive().relaxed);
+    }
+}

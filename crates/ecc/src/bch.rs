@@ -1,0 +1,404 @@
+//! DECTED (double-error correction, triple-error detection) via a shortened
+//! binary BCH code over GF(2⁸) plus an overall parity bit.
+//!
+//! IntelliNoC operation mode 3 activates the full adaptive-ECC hardware to run
+//! per-hop DECTED when flits are likely to contain multi-bit errors
+//! (paper §3.2, §4). The code used here is the (255, 239) t=2 BCH code
+//! shortened to protect a 128-bit flit: 16 BCH check bits + 1 overall parity
+//! bit, i.e. a 145-bit codeword.
+//!
+//! * Generator polynomial `g(x) = m₁(x)·m₃(x)` where `m₁`/`m₃` are the
+//!   minimal polynomials of α and α³ over GF(2) (computed at construction).
+//! * Decoding computes syndromes `S₁ = r(α)` and `S₃ = r(α³)`, solves the
+//!   degree-≤2 error-locator polynomial directly, and locates errors with a
+//!   Chien search over the shortened positions.
+//! * The overall parity bit disambiguates 2 errors (even parity) from 1 or 3
+//!   errors (odd parity), which is what upgrades DEC into DECTED.
+
+use crate::codec::{Codeword, DecodeStatus, FlitCodec};
+use crate::gf256::Gf256;
+
+/// Number of BCH check bits (degree of the generator polynomial).
+const BCH_CHECK_BITS: usize = 16;
+/// Bit index of the overall parity bit in the codeword.
+const PARITY_IDX: usize = 144;
+/// Total codeword length: 128 data + 16 BCH check + 1 parity.
+const CW_LEN: usize = 145;
+/// Number of positions participating in the BCH code (data + BCH check).
+const BCH_LEN: usize = 144;
+
+/// The DECTED flit codec.
+///
+/// # Examples
+///
+/// ```
+/// use noc_ecc::{Dected, FlitCodec, DecodeStatus};
+///
+/// let codec = Dected::flit();
+/// let mut cw = codec.encode(0x1234_5678_9ABC_DEF0);
+/// cw.flip_bit(10);
+/// cw.flip_bit(99);
+/// let (data, status) = codec.decode(&cw);
+/// assert_eq!(status, DecodeStatus::Corrected(2));
+/// assert_eq!(data, 0x1234_5678_9ABC_DEF0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dected {
+    gf: Gf256,
+    /// Low 16 coefficient bits of g(x) (the x¹⁶ term is implicit).
+    gen_low: u16,
+    /// `pow1[i] = α^i` for codeword position `i`.
+    pow1: Vec<u8>,
+    /// `pow3[i] = α^(3i)` for codeword position `i`.
+    pow3: Vec<u8>,
+}
+
+impl Default for Dected {
+    fn default() -> Self {
+        Self::flit()
+    }
+}
+
+impl Dected {
+    /// Creates the 128-bit-flit DECTED codec.
+    pub fn flit() -> Self {
+        let gf = Gf256::new();
+        let g = generator_poly(&gf);
+        debug_assert_eq!(g >> BCH_CHECK_BITS, 1, "g(x) must have degree 16");
+        let gen_low = (g & 0xFFFF) as u16;
+        let pow1 = (0..BCH_LEN).map(|i| gf.alpha_pow(i)).collect();
+        let pow3 = (0..BCH_LEN).map(|i| gf.alpha_pow(3 * i)).collect();
+        Dected { gf, gen_low, pow1, pow3 }
+    }
+
+    /// Computes the 16 BCH check bits for `data` via LFSR division by g(x).
+    fn bch_remainder(&self, data: u128) -> u16 {
+        let mut reg = 0u16;
+        for i in (0..128).rev() {
+            let bit = ((data >> i) & 1) as u16;
+            let fb = (reg >> 15) ^ bit;
+            reg <<= 1;
+            if fb & 1 == 1 {
+                reg ^= self.gen_low;
+            }
+        }
+        reg
+    }
+
+    /// Computes syndromes (S1, S3) over the BCH positions of `cw`.
+    fn syndromes(&self, cw: &Codeword) -> (u8, u8) {
+        let mut s1 = 0u8;
+        let mut s3 = 0u8;
+        for i in cw.iter_ones() {
+            if i < BCH_LEN {
+                s1 ^= self.pow1[i];
+                s3 ^= self.pow3[i];
+            }
+        }
+        (s1, s3)
+    }
+
+    /// Chien search for the roots of σ(x) = 1 + σ₁x + σ₂x² over the
+    /// shortened positions; returns error positions (at most 2).
+    fn chien(&self, sigma1: u8, sigma2: u8) -> Vec<usize> {
+        let gf = &self.gf;
+        let mut roots = Vec::with_capacity(2);
+        for i in 0..BCH_LEN {
+            // x = α^{-i}
+            let x = gf.alpha_pow(255 - (i % 255));
+            let v = 1 ^ gf.mul(sigma1, x) ^ gf.mul(sigma2, gf.square(x));
+            if v == 0 {
+                roots.push(i);
+                if roots.len() == 2 {
+                    break;
+                }
+            }
+        }
+        roots
+    }
+
+    fn extract(cw: &Codeword) -> u128 {
+        let mut data = 0u128;
+        for i in 0..128 {
+            if cw.bit(BCH_CHECK_BITS + i) {
+                data |= 1 << i;
+            }
+        }
+        data
+    }
+}
+
+impl FlitCodec for Dected {
+    fn data_bits(&self) -> usize {
+        128
+    }
+
+    fn check_bits(&self) -> usize {
+        BCH_CHECK_BITS + 1
+    }
+
+    fn encode(&self, data: u128) -> Codeword {
+        let mut cw = Codeword::zeroed(CW_LEN);
+        let rem = self.bch_remainder(data);
+        for i in 0..BCH_CHECK_BITS {
+            if (rem >> i) & 1 == 1 {
+                cw.set_bit(i, true);
+            }
+        }
+        for i in 0..128 {
+            if (data >> i) & 1 == 1 {
+                cw.set_bit(BCH_CHECK_BITS + i, true);
+            }
+        }
+        // Even overall parity across all 145 bits.
+        if cw.count_ones() % 2 == 1 {
+            cw.set_bit(PARITY_IDX, true);
+        }
+        cw
+    }
+
+    fn decode(&self, cw: &Codeword) -> (u128, DecodeStatus) {
+        debug_assert_eq!(cw.len(), CW_LEN);
+        let gf = &self.gf;
+        let (s1, s3) = self.syndromes(cw);
+        let parity_even = cw.count_ones() % 2 == 0;
+
+        if s1 == 0 && s3 == 0 {
+            return if parity_even {
+                (Self::extract(cw), DecodeStatus::Clean)
+            } else {
+                // Only the parity bit itself is flipped.
+                (Self::extract(cw), DecodeStatus::Corrected(1))
+            };
+        }
+
+        if !parity_even {
+            // Odd number of errors: try the single-error hypothesis.
+            if s1 != 0 && s3 == gf.cube(s1) {
+                let pos = gf.log_of(s1);
+                if pos < BCH_LEN {
+                    let mut fixed = *cw;
+                    fixed.flip_bit(pos);
+                    return (Self::extract(&fixed), DecodeStatus::Corrected(1));
+                }
+            }
+            // Inconsistent with one error: at least three errors.
+            return (Self::extract(cw), DecodeStatus::Detected);
+        }
+
+        // Even parity with nonzero syndrome: two-error hypotheses.
+        if s1 == 0 {
+            // Two errors can never produce S1 == 0 (X1 == X2 is impossible),
+            // so this is a ≥4-error pattern.
+            return (Self::extract(cw), DecodeStatus::Detected);
+        }
+        if s3 == gf.cube(s1) {
+            // Syndrome consistent with a single data error, but parity is
+            // even: the companion error must be the parity bit itself.
+            let pos = gf.log_of(s1);
+            if pos < BCH_LEN {
+                let mut fixed = *cw;
+                fixed.flip_bit(pos);
+                fixed.flip_bit(PARITY_IDX);
+                return (Self::extract(&fixed), DecodeStatus::Corrected(2));
+            }
+            return (Self::extract(cw), DecodeStatus::Detected);
+        }
+        // σ(x) = 1 + S1·x + σ2·x² with σ2 = (S1³ + S3)/S1.
+        let sigma2 = gf.div(gf.cube(s1) ^ s3, s1);
+        let roots = self.chien(s1, sigma2);
+        if roots.len() == 2 {
+            let mut fixed = *cw;
+            fixed.flip_bit(roots[0]);
+            fixed.flip_bit(roots[1]);
+            // Verify: corrected word must have zero syndrome.
+            let (v1, v3) = self.syndromes(&fixed);
+            if v1 == 0 && v3 == 0 {
+                return (Self::extract(&fixed), DecodeStatus::Corrected(2));
+            }
+        }
+        (Self::extract(cw), DecodeStatus::Detected)
+    }
+}
+
+/// Computes g(x) = m₁(x)·m₃(x) over GF(2) as a bitmask (bit k = coeff of xᵏ).
+fn generator_poly(gf: &Gf256) -> u32 {
+    let m1 = minimal_poly(gf, 1);
+    let m3 = minimal_poly(gf, 3);
+    clmul(m1, m3)
+}
+
+/// Minimal polynomial of α^e over GF(2), returned as a coefficient bitmask.
+fn minimal_poly(gf: &Gf256, e: usize) -> u32 {
+    // Conjugacy class {α^(e·2^i)}.
+    let mut class = Vec::new();
+    let mut x = e % 255;
+    loop {
+        class.push(gf.alpha_pow(x));
+        x = (x * 2) % 255;
+        if x == e % 255 {
+            break;
+        }
+    }
+    // Product of (y + root) with coefficients in GF(256).
+    let mut coeffs: Vec<u8> = vec![1]; // constant polynomial 1
+    for &root in &class {
+        let mut next = vec![0u8; coeffs.len() + 1];
+        for (k, &c) in coeffs.iter().enumerate() {
+            next[k + 1] ^= c; // y * c
+            next[k] ^= gf.mul(c, root); // root * c
+        }
+        coeffs = next;
+    }
+    let mut mask = 0u32;
+    for (k, &c) in coeffs.iter().enumerate() {
+        assert!(c <= 1, "minimal polynomial must have binary coefficients");
+        if c == 1 {
+            mask |= 1 << k;
+        }
+    }
+    mask
+}
+
+/// Carry-less multiplication of two GF(2) polynomials.
+fn clmul(a: u32, b: u32) -> u32 {
+    let mut acc = 0u64;
+    for k in 0..32 {
+        if (b >> k) & 1 == 1 {
+            acc ^= (a as u64) << k;
+        }
+    }
+    acc as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_has_degree_16_and_known_roots() {
+        let gf = Gf256::new();
+        let g = generator_poly(&gf);
+        assert_eq!(32 - g.leading_zeros() - 1, 16);
+        // g(α^j) must be 0 for j = 1..=4 (BCH bound for t=2).
+        for j in 1..=4usize {
+            let mut v = 0u8;
+            for k in 0..=16 {
+                if (g >> k) & 1 == 1 {
+                    v ^= gf.alpha_pow(j * k);
+                }
+            }
+            assert_eq!(v, 0, "g(alpha^{j}) != 0");
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let c = Dected::flit();
+        for data in [0u128, 1, u128::MAX, 0xDEAD_BEEF_CAFE_BABE, 0x8000 << 112] {
+            let cw = c.encode(data);
+            assert_eq!(c.decode(&cw), (data, DecodeStatus::Clean), "data {data:#x}");
+        }
+    }
+
+    #[test]
+    fn all_single_bit_errors_corrected() {
+        let c = Dected::flit();
+        let data = 0x0011_2233_4455_6677_8899_AABB_CCDD_EEFFu128;
+        let cw = c.encode(data);
+        for i in 0..cw.len() {
+            let mut bad = cw;
+            bad.flip_bit(i);
+            let (out, status) = c.decode(&bad);
+            assert_eq!(status, DecodeStatus::Corrected(1), "bit {i}");
+            assert_eq!(out, data, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn sampled_double_bit_errors_corrected() {
+        let c = Dected::flit();
+        let data = 0xF0F0_F0F0_0F0F_0F0F_1234_5678_9ABC_DEF0u128;
+        let cw = c.encode(data);
+        // Full pairwise sweep of a strided sample plus boundary positions.
+        let mut positions: Vec<usize> = (0..CW_LEN).step_by(7).collect();
+        positions.extend([0, 1, 15, 16, 17, 143, 144]);
+        for &i in &positions {
+            for &j in &positions {
+                if i >= j {
+                    continue;
+                }
+                let mut bad = cw;
+                bad.flip_bit(i);
+                bad.flip_bit(j);
+                let (out, status) = c.decode(&bad);
+                assert_eq!(status, DecodeStatus::Corrected(2), "bits {i},{j}");
+                assert_eq!(out, data, "bits {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_triple_bit_errors_detected() {
+        let c = Dected::flit();
+        let data = 0xAAAA_5555_AAAA_5555_0000_FFFF_0000_FFFFu128;
+        let cw = c.encode(data);
+        let mut detected = 0usize;
+        let mut total = 0usize;
+        for a in (0..CW_LEN).step_by(11) {
+            for b in ((a + 1)..CW_LEN).step_by(13) {
+                for d in ((b + 1)..CW_LEN).step_by(17) {
+                    let mut bad = cw;
+                    bad.flip_bit(a);
+                    bad.flip_bit(b);
+                    bad.flip_bit(d);
+                    let (_, status) = c.decode(&bad);
+                    total += 1;
+                    if status == DecodeStatus::Detected {
+                        detected += 1;
+                    }
+                    // Triple errors must never be "corrected" into wrong data
+                    // silently claiming success with <=2 corrections AND
+                    // returning the original data would be fine; returning
+                    // different data with Corrected status is the
+                    // miscorrection case that DECTED's parity bit prevents.
+                    if let DecodeStatus::Corrected(_) = status {
+                        panic!("triple error at ({a},{b},{d}) was miscorrected");
+                    }
+                }
+            }
+        }
+        assert_eq!(detected, total, "all sampled triple errors must be detected");
+    }
+
+    #[test]
+    fn parity_bit_error_corrected() {
+        let c = Dected::flit();
+        let data = 7u128;
+        let mut cw = c.encode(data);
+        cw.flip_bit(PARITY_IDX);
+        let (out, status) = c.decode(&cw);
+        assert_eq!(status, DecodeStatus::Corrected(1));
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn data_plus_parity_double_error_corrected() {
+        let c = Dected::flit();
+        let data = 0x77u128;
+        let mut cw = c.encode(data);
+        cw.flip_bit(50);
+        cw.flip_bit(PARITY_IDX);
+        let (out, status) = c.decode(&cw);
+        assert_eq!(status, DecodeStatus::Corrected(2));
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn geometry() {
+        let c = Dected::flit();
+        assert_eq!(c.data_bits(), 128);
+        assert_eq!(c.check_bits(), 17);
+        assert_eq!(c.codeword_bits(), 145);
+    }
+}

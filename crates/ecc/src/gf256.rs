@@ -1,0 +1,188 @@
+//! Arithmetic over GF(2⁸), the field underlying the DECTED BCH code.
+//!
+//! The field is constructed from the primitive polynomial
+//! x⁸ + x⁴ + x³ + x² + 1 (`0x11D`), the same polynomial used by Reed–Solomon
+//! codecs. Multiplication and inversion go through log/antilog tables built
+//! once at construction.
+
+/// The primitive polynomial x⁸+x⁴+x³+x²+1 with the x⁸ term implicit.
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// GF(2⁸) arithmetic context with precomputed log/antilog tables.
+///
+/// # Examples
+///
+/// ```
+/// use noc_ecc::gf256::Gf256;
+///
+/// let gf = Gf256::new();
+/// let a = 0x53;
+/// let b = 0xCA;
+/// let p = gf.mul(a, b);
+/// assert_eq!(gf.mul(p, gf.inv(b)), a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gf256 {
+    exp: [u8; 512],
+    log: [u16; 256],
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gf256 {
+    /// Builds the log/antilog tables for the field.
+    pub fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x = 1u16;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        // Duplicate so that exp[i] is valid for i in 0..510 without a modulo.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { exp, log }
+    }
+
+    /// α raised to the power `e` (reduced mod 255).
+    pub fn alpha_pow(&self, e: usize) -> u8 {
+        self.exp[e % 255]
+    }
+
+    /// Field addition (= XOR).
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] + self.log[b as usize]) as usize]
+        }
+    }
+
+    /// Field division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is zero.
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(256)");
+        if a == 0 {
+            0
+        } else {
+            let d = 255 + self.log[a as usize] as usize - self.log[b as usize] as usize;
+            self.exp[d % 255]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero.
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "zero has no inverse in GF(256)");
+        self.exp[(255 - self.log[a as usize] as usize) % 255]
+    }
+
+    /// `a` squared.
+    pub fn square(&self, a: u8) -> u8 {
+        self.mul(a, a)
+    }
+
+    /// `a` cubed.
+    pub fn cube(&self, a: u8) -> u8 {
+        self.mul(self.mul(a, a), a)
+    }
+
+    /// Discrete logarithm base α.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero.
+    pub fn log_of(&self, a: u8) -> usize {
+        assert!(a != 0, "zero has no logarithm in GF(256)");
+        self.log[a as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicative_group_order() {
+        let gf = Gf256::new();
+        // α^255 == 1
+        assert_eq!(gf.alpha_pow(255), 1);
+        assert_eq!(gf.alpha_pow(0), 1);
+        assert_eq!(gf.alpha_pow(1), 2);
+    }
+
+    #[test]
+    fn mul_matches_carryless_reference() {
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            for _ in 0..8 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= (PRIMITIVE_POLY & 0xFF) as u8;
+                }
+                b >>= 1;
+            }
+            p
+        }
+        let gf = Gf256::new();
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 3, 0x53, 0x80, 0xCA, 0xFF] {
+                assert_eq!(gf.mul(a, b), slow_mul(a, b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let gf = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn division_is_mul_by_inverse() {
+        let gf = Gf256::new();
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                assert_eq!(gf.div(a, b), gf.mul(a, gf.inv(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_square_is_linear() {
+        // In characteristic 2, (a+b)^2 = a^2 + b^2.
+        let gf = Gf256::new();
+        for a in 0..=255u8 {
+            for b in [1u8, 7, 0x42, 0xFE] {
+                assert_eq!(gf.square(a ^ b), gf.square(a) ^ gf.square(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Extended Hamming SECDED codes (single-error correction, double-error
+//! detection).
+//!
+//! SECDED is the workhorse per-hop ECC of the paper's baseline and of
+//! IntelliNoC operation mode 2. For a 128-bit flit this is a (137, 128)
+//! extended Hamming code: 8 Hamming parity bits plus one overall parity bit.
+//!
+//! The codeword layout follows the classic positional construction: codeword
+//! positions are numbered `1..=n`; positions that are powers of two hold
+//! parity bits; all other positions hold data bits in order; position 0 (the
+//! first bit of the [`Codeword`]) holds the overall parity.
+
+use crate::codec::{Codeword, DecodeStatus, FlitCodec};
+
+/// A SECDED codec for a configurable number of data bits (up to 128).
+///
+/// # Examples
+///
+/// ```
+/// use noc_ecc::{Secded, FlitCodec, DecodeStatus};
+///
+/// let codec = Secded::flit();
+/// assert_eq!(codec.check_bits(), 9); // 8 Hamming + 1 overall parity
+/// let mut cw = codec.encode(0xFEED);
+/// cw.flip_bit(31);
+/// cw.flip_bit(90);
+/// assert_eq!(codec.decode(&cw).1, DecodeStatus::Detected); // double error
+/// ```
+#[derive(Debug, Clone)]
+pub struct Secded {
+    data_bits: usize,
+    /// Number of Hamming parity bits (excluding the overall parity bit).
+    hamming_bits: usize,
+    /// `data_pos[i]` is the 1-based Hamming position of data bit `i`.
+    data_pos: Vec<usize>,
+    /// `pos_data[p]` is `Some(i)` when Hamming position `p` holds data bit `i`
+    /// (kept for decoder symmetry and debugging).
+    #[allow(dead_code)]
+    pos_data: Vec<Option<usize>>,
+}
+
+impl Secded {
+    /// Creates a SECDED codec for `data_bits` bits of data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is zero or exceeds 128.
+    pub fn new(data_bits: usize) -> Self {
+        assert!(data_bits > 0 && data_bits <= 128, "data_bits out of range: {data_bits}");
+        let mut r = 2usize;
+        while (1usize << r) < data_bits + r + 1 {
+            r += 1;
+        }
+        let n = data_bits + r; // Hamming codeword length (positions 1..=n)
+        let mut data_pos = Vec::with_capacity(data_bits);
+        let mut pos_data = vec![None; n + 1];
+        let mut d = 0;
+        for p in 1..=n {
+            if !p.is_power_of_two() {
+                pos_data[p] = Some(d);
+                data_pos.push(p);
+                d += 1;
+            }
+        }
+        debug_assert_eq!(d, data_bits);
+        Secded { data_bits, hamming_bits: r, data_pos, pos_data }
+    }
+
+    /// The standard flit codec: (137, 128) extended Hamming.
+    pub fn flit() -> Self {
+        Self::new(128)
+    }
+
+    /// Hamming codeword length in positions (excluding the overall parity).
+    fn n(&self) -> usize {
+        self.data_bits + self.hamming_bits
+    }
+
+    /// Bit index in the [`Codeword`] for Hamming position `p` (1-based).
+    /// Index 0 is reserved for the overall parity bit.
+    fn idx(p: usize) -> usize {
+        p
+    }
+}
+
+impl FlitCodec for Secded {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> usize {
+        self.hamming_bits + 1
+    }
+
+    fn encode(&self, data: u128) -> Codeword {
+        if self.data_bits < 128 {
+            assert!(data >> self.data_bits == 0, "data does not fit in {} bits", self.data_bits);
+        }
+        let n = self.n();
+        let mut cw = Codeword::zeroed(n + 1);
+        // Place data bits.
+        for (i, &p) in self.data_pos.iter().enumerate() {
+            if (data >> i) & 1 == 1 {
+                cw.set_bit(Self::idx(p), true);
+            }
+        }
+        // Hamming parity bits: parity bit at position 2^k covers all positions
+        // whose k-th bit is set.
+        for k in 0..self.hamming_bits {
+            let pb = 1usize << k;
+            let mut parity = false;
+            for p in 1..=n {
+                if p & pb != 0 && p != pb && cw.bit(Self::idx(p)) {
+                    parity = !parity;
+                }
+            }
+            cw.set_bit(Self::idx(pb), parity);
+        }
+        // Overall parity over everything (positions 1..=n), stored at index 0.
+        let total = cw.count_ones() % 2 == 1;
+        cw.set_bit(0, total);
+        cw
+    }
+
+    fn decode(&self, cw: &Codeword) -> (u128, DecodeStatus) {
+        let n = self.n();
+        debug_assert_eq!(cw.len(), n + 1);
+        let mut syndrome = 0usize;
+        let mut ones = 0u32;
+        for i in cw.iter_ones() {
+            ones += 1;
+            if i >= 1 {
+                syndrome ^= i; // position == index for positions 1..=n
+            }
+        }
+        let parity_ok = ones % 2 == 0;
+
+        let extract = |cw: &Codeword| -> u128 {
+            let mut data = 0u128;
+            for (i, &p) in self.data_pos.iter().enumerate() {
+                if cw.bit(Self::idx(p)) {
+                    data |= 1 << i;
+                }
+            }
+            data
+        };
+
+        match (syndrome, parity_ok) {
+            (0, true) => (extract(cw), DecodeStatus::Clean),
+            (0, false) => {
+                // The overall parity bit itself flipped; data is intact.
+                (extract(cw), DecodeStatus::Corrected(1))
+            }
+            (s, false) => {
+                // Odd number of errors with nonzero syndrome: assume single
+                // error at position s and correct it.
+                if s > n {
+                    // Syndrome points outside the codeword: multi-bit error.
+                    return (extract(cw), DecodeStatus::Detected);
+                }
+                let mut fixed = *cw;
+                fixed.flip_bit(Self::idx(s));
+                (extract(&fixed), DecodeStatus::Corrected(1))
+            }
+            (_, true) => {
+                // Nonzero syndrome but even parity: double error, detected.
+                (extract(cw), DecodeStatus::Detected)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_codec_geometry() {
+        let c = Secded::flit();
+        assert_eq!(c.data_bits(), 128);
+        assert_eq!(c.check_bits(), 9);
+        assert_eq!(c.codeword_bits(), 137);
+    }
+
+    #[test]
+    fn clean_roundtrip_various_data() {
+        let c = Secded::flit();
+        for data in [0u128, 1, u128::MAX, 0xDEAD_BEEF, 0xAAAA_AAAA_AAAA_AAAA_5555_5555_5555_5555]
+        {
+            let cw = c.encode(data);
+            let (out, status) = c.decode(&cw);
+            assert_eq!(out, data);
+            assert_eq!(status, DecodeStatus::Clean);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_corrected() {
+        let c = Secded::flit();
+        let data = 0x0123_4567_89AB_CDEF_1122_3344_5566_7788u128;
+        let cw = c.encode(data);
+        for i in 0..cw.len() {
+            let mut bad = cw;
+            bad.flip_bit(i);
+            let (out, status) = c.decode(&bad);
+            assert_eq!(status, DecodeStatus::Corrected(1), "bit {i}");
+            assert_eq!(out, data, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_detected() {
+        let c = Secded::new(32); // smaller code so the full pairwise sweep is fast
+        let data = 0xCAFE_BABEu128;
+        let cw = c.encode(data);
+        for i in 0..cw.len() {
+            for j in (i + 1)..cw.len() {
+                let mut bad = cw;
+                bad.flip_bit(i);
+                bad.flip_bit(j);
+                let (_, status) = c.decode(&bad);
+                assert_eq!(status, DecodeStatus::Detected, "bits {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_codes_work() {
+        for bits in [1usize, 4, 8, 11, 26, 57, 64, 120] {
+            let c = Secded::new(bits);
+            let data = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
+            let cw = c.encode(data);
+            assert_eq!(c.decode(&cw), (data, DecodeStatus::Clean), "bits {bits}");
+            for i in 0..cw.len() {
+                let mut bad = cw;
+                bad.flip_bit(i);
+                let (out, status) = c.decode(&bad);
+                assert_eq!(status, DecodeStatus::Corrected(1), "bits {bits} flip {i}");
+                assert_eq!(out, data, "bits {bits} flip {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_data_bits_rejected() {
+        let _ = Secded::new(0);
+    }
+}

@@ -1,0 +1,243 @@
+//! # noc-ecc
+//!
+//! Error-control coding substrate for the IntelliNoC reproduction
+//! (Wang et al., ISCA 2019).
+//!
+//! The paper's adaptive error-correction hardware (§3.2) switches each router
+//! among three coding levels, all implemented here as real codecs operating
+//! on flit bits:
+//!
+//! * [`Crc`] — end-to-end cyclic redundancy check (detection only),
+//! * [`Secded`] — per-hop extended Hamming code (corrects 1, detects 2),
+//! * [`Dected`] — per-hop shortened BCH t=2 code + parity (corrects 2,
+//!   detects 3).
+//!
+//! [`EccSuite`] bundles the three and dispatches on [`EccScheme`], which is
+//! the value the per-router control policy manipulates at run time.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_ecc::{EccScheme, EccSuite, DecodeStatus};
+//!
+//! let suite = EccSuite::new();
+//! let mut cw = suite.encode(EccScheme::Dected, 0xFACE);
+//! cw.flip_bit(3);
+//! cw.flip_bit(140);
+//! let (data, status) = suite.decode(EccScheme::Dected, &cw);
+//! assert_eq!(data, 0xFACE);
+//! assert_eq!(status, DecodeStatus::Corrected(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bch;
+mod bch_generic;
+mod codec;
+mod crc;
+pub mod gf256;
+mod hamming;
+
+pub use bch::Dected;
+pub use bch_generic::BchCodec;
+pub use codec::{Codeword, DecodeStatus, FlitCodec, IterOnes, MAX_CODEWORD_BITS};
+pub use crc::{Crc, CrcSpec, CRC16_CCITT, CRC32_MPEG2, CRC8_ATM};
+pub use hamming::Secded;
+
+use serde::{Deserialize, Serialize};
+
+/// The error-control scheme a router (or network interface) applies to flits.
+///
+/// This is the quantity reconfigured by IntelliNoC's adaptive-ECC hardware:
+/// fully power-gated (CRC only), partially active (SECDED), or fully active
+/// (DECTED). `None` disables protection entirely (used by some baselines'
+/// internal hops when CRC is end-to-end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EccScheme {
+    /// No coding on this hop.
+    None,
+    /// End-to-end CRC-16 (detection only).
+    Crc,
+    /// Per-hop SECDED (corrects 1-bit, detects 2-bit errors).
+    Secded,
+    /// Per-hop DECTED (corrects 2-bit, detects 3-bit errors).
+    Dected,
+    /// Per-hop TECQED: triple-error-correcting BCH (t = 3) — one rung above
+    /// the paper's ladder, provided for design-space exploration.
+    Tecqed,
+}
+
+impl EccScheme {
+    /// All schemes in increasing order of strength.
+    pub const ALL: [EccScheme; 5] = [
+        EccScheme::None,
+        EccScheme::Crc,
+        EccScheme::Secded,
+        EccScheme::Dected,
+        EccScheme::Tecqed,
+    ];
+
+    /// Number of check bits appended to a 128-bit flit under this scheme.
+    pub fn check_bits(self) -> usize {
+        match self {
+            EccScheme::None => 0,
+            EccScheme::Crc => 16,
+            EccScheme::Secded => 9,
+            EccScheme::Dected => 17,
+            EccScheme::Tecqed => 24,
+        }
+    }
+
+    /// Codeword length for a 128-bit flit under this scheme.
+    pub fn codeword_bits(self) -> usize {
+        128 + self.check_bits()
+    }
+
+    /// Maximum number of bit errors this scheme corrects per codeword.
+    pub fn corrects(self) -> u8 {
+        match self {
+            EccScheme::None | EccScheme::Crc => 0,
+            EccScheme::Secded => 1,
+            EccScheme::Dected => 2,
+            EccScheme::Tecqed => 3,
+        }
+    }
+
+    /// Whether decoding happens at every hop (as opposed to end-to-end).
+    pub fn is_per_hop(self) -> bool {
+        matches!(self, EccScheme::Secded | EccScheme::Dected | EccScheme::Tecqed)
+    }
+}
+
+impl std::fmt::Display for EccScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EccScheme::None => "none",
+            EccScheme::Crc => "crc",
+            EccScheme::Secded => "secded",
+            EccScheme::Dected => "dected",
+            EccScheme::Tecqed => "tecqed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A bundle of the three flit codecs, constructed once and shared.
+///
+/// Construction of [`Dected`] builds GF(2⁸) tables and the generator
+/// polynomial, so callers should create one `EccSuite` per simulation rather
+/// than per flit.
+#[derive(Debug, Clone)]
+pub struct EccSuite {
+    crc: Crc,
+    secded: Secded,
+    dected: Dected,
+    tecqed: BchCodec,
+}
+
+impl Default for EccSuite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EccSuite {
+    /// Builds all three codecs.
+    pub fn new() -> Self {
+        EccSuite {
+            crc: Crc::flit(),
+            secded: Secded::flit(),
+            dected: Dected::flit(),
+            tecqed: BchCodec::new(128, 3),
+        }
+    }
+
+    /// Encodes `data` under `scheme`.
+    ///
+    /// For [`EccScheme::None`] the codeword is the bare 128 data bits.
+    pub fn encode(&self, scheme: EccScheme, data: u128) -> Codeword {
+        match scheme {
+            EccScheme::None => Codeword::from_data(data, 128),
+            EccScheme::Crc => self.crc.encode(data),
+            EccScheme::Secded => self.secded.encode(data),
+            EccScheme::Dected => self.dected.encode(data),
+            EccScheme::Tecqed => self.tecqed.encode(data),
+        }
+    }
+
+    /// Decodes a codeword previously produced under `scheme`.
+    pub fn decode(&self, scheme: EccScheme, cw: &Codeword) -> (u128, DecodeStatus) {
+        match scheme {
+            EccScheme::None => (cw.low128(), DecodeStatus::Clean),
+            EccScheme::Crc => self.crc.decode(cw),
+            EccScheme::Secded => self.secded.decode(cw),
+            EccScheme::Dected => self.dected.decode(cw),
+            EccScheme::Tecqed => self.tecqed.decode(cw),
+        }
+    }
+
+    /// Access to the CRC codec.
+    pub fn crc(&self) -> &Crc {
+        &self.crc
+    }
+
+    /// Access to the SECDED codec.
+    pub fn secded(&self) -> &Secded {
+        &self.secded
+    }
+
+    /// Access to the DECTED codec.
+    pub fn dected(&self) -> &Dected {
+        &self.dected
+    }
+
+    /// Access to the TECQED codec.
+    pub fn tecqed(&self) -> &BchCodec {
+        &self.tecqed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_geometry_is_consistent_with_codecs() {
+        let suite = EccSuite::new();
+        for scheme in EccScheme::ALL {
+            let cw = suite.encode(scheme, 0x1234);
+            assert_eq!(cw.len(), scheme.codeword_bits(), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn dispatch_roundtrips() {
+        let suite = EccSuite::new();
+        let data = 0xFEED_FACE_DEAD_BEEFu128;
+        for scheme in EccScheme::ALL {
+            let cw = suite.encode(scheme, data);
+            let (out, status) = suite.decode(scheme, &cw);
+            assert_eq!(out, data, "{scheme}");
+            assert_eq!(status, DecodeStatus::Clean, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn correction_strengths() {
+        assert_eq!(EccScheme::None.corrects(), 0);
+        assert_eq!(EccScheme::Crc.corrects(), 0);
+        assert_eq!(EccScheme::Secded.corrects(), 1);
+        assert_eq!(EccScheme::Dected.corrects(), 2);
+        assert_eq!(EccScheme::Tecqed.corrects(), 3);
+        assert!(!EccScheme::Crc.is_per_hop());
+        assert!(EccScheme::Dected.is_per_hop());
+        assert!(EccScheme::Tecqed.is_per_hop());
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = EccScheme::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, ["none", "crc", "secded", "dected", "tecqed"]);
+    }
+}

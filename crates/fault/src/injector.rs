@@ -1,0 +1,190 @@
+//! Run-time transient-fault injection.
+//!
+//! The simulator asks the injector, per link traversal, how many bits of the
+//! encoded codeword flip. For the overwhelmingly common zero-flip case this
+//! costs one RNG draw; the rare faulty case samples exact positions so the
+//! real codecs in `noc-ecc` see realistic corruption patterns.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples bit-flip events for link traversals.
+///
+/// # Examples
+///
+/// ```
+/// use noc_fault::FaultInjector;
+///
+/// let mut inj = FaultInjector::new(42);
+/// // At a forced 10% per-bit rate nearly every 145-bit flit is hit.
+/// inj.set_rate_override(Some(0.1));
+/// let flips = inj.sample_flip_count(145, 1e-9);
+/// assert!(flips > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: SmallRng,
+    rate_override: Option<f64>,
+    injected_bits: u64,
+    faulty_flits: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            rng: SmallRng::seed_from_u64(seed),
+            rate_override: None,
+            injected_bits: 0,
+            faulty_flits: 0,
+        }
+    }
+
+    /// Forces a fixed per-bit error rate regardless of the model-provided
+    /// rate (used by the Fig. 17b error-rate sweep). `None` restores normal
+    /// operation.
+    pub fn set_rate_override(&mut self, rate: Option<f64>) {
+        self.rate_override = rate;
+    }
+
+    /// Current override, if any.
+    pub fn rate_override(&self) -> Option<f64> {
+        self.rate_override
+    }
+
+    /// Samples the number of bit flips for one `n_bits` codeword traversal
+    /// at per-bit rate `re` (overridden if an override is set).
+    pub fn sample_flip_count(&mut self, n_bits: usize, re: f64) -> u32 {
+        let re = self.rate_override.unwrap_or(re).clamp(0.0, 1.0);
+        if re <= 0.0 {
+            return 0;
+        }
+        // Fast path: probability of zero flips.
+        let p0 = (1.0 - re).powi(n_bits as i32);
+        if self.rng.gen::<f64>() < p0 {
+            return 0;
+        }
+        // Rare path: at least one flip. Sample the full binomial by
+        // per-bit Bernoulli draws, rejecting the all-zero outcome.
+        loop {
+            let mut k = 0u32;
+            for _ in 0..n_bits {
+                if self.rng.gen::<f64>() < re {
+                    k += 1;
+                }
+            }
+            if k > 0 {
+                self.injected_bits += k as u64;
+                self.faulty_flits += 1;
+                return k;
+            }
+        }
+    }
+
+    /// Chooses `k` distinct bit positions in `[0, n_bits)` to flip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n_bits`.
+    pub fn choose_positions(&mut self, n_bits: usize, k: u32) -> Vec<usize> {
+        assert!((k as usize) <= n_bits, "cannot flip {k} of {n_bits} bits");
+        let mut chosen = Vec::with_capacity(k as usize);
+        while chosen.len() < k as usize {
+            let p = self.rng.gen_range(0..n_bits);
+            if !chosen.contains(&p) {
+                chosen.push(p);
+            }
+        }
+        chosen
+    }
+
+    /// Total bits flipped so far.
+    pub fn injected_bits(&self) -> u64 {
+        self.injected_bits
+    }
+
+    /// Total flits that suffered at least one flip.
+    pub fn faulty_flits(&self) -> u64 {
+        self.faulty_flits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_flips() {
+        let mut inj = FaultInjector::new(1);
+        for _ in 0..1000 {
+            assert_eq!(inj.sample_flip_count(145, 0.0), 0);
+        }
+        assert_eq!(inj.injected_bits(), 0);
+    }
+
+    #[test]
+    fn high_rate_flips_often() {
+        let mut inj = FaultInjector::new(2);
+        let mut total = 0u32;
+        for _ in 0..100 {
+            total += inj.sample_flip_count(145, 0.05);
+        }
+        // Expectation is 145*0.05*100 = 725.
+        assert!(total > 400 && total < 1100, "total {total}");
+    }
+
+    #[test]
+    fn flip_rate_statistics_match_re() {
+        let mut inj = FaultInjector::new(3);
+        let re = 1e-3;
+        let n = 145;
+        let trials = 20_000;
+        let mut faulty = 0;
+        for _ in 0..trials {
+            if inj.sample_flip_count(n, re) > 0 {
+                faulty += 1;
+            }
+        }
+        let expect = (1.0 - (1.0 - re).powi(n as i32)) * trials as f64;
+        let got = faulty as f64;
+        assert!((got - expect).abs() < expect * 0.25, "got {got} expect {expect}");
+    }
+
+    #[test]
+    fn positions_are_distinct_and_in_range() {
+        let mut inj = FaultInjector::new(4);
+        for k in 1..=5u32 {
+            let pos = inj.choose_positions(145, k);
+            assert_eq!(pos.len(), k as usize);
+            let mut sorted = pos.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k as usize);
+            assert!(pos.iter().all(|&p| p < 145));
+        }
+    }
+
+    #[test]
+    fn override_beats_model_rate() {
+        let mut inj = FaultInjector::new(5);
+        inj.set_rate_override(Some(0.5));
+        let mut any = 0;
+        for _ in 0..50 {
+            if inj.sample_flip_count(145, 0.0) > 0 {
+                any += 1;
+            }
+        }
+        assert_eq!(any, 50);
+        inj.set_rate_override(None);
+        assert_eq!(inj.sample_flip_count(145, 0.0), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = FaultInjector::new(7);
+        let mut b = FaultInjector::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.sample_flip_count(145, 0.01), b.sample_flip_count(145, 0.01));
+        }
+    }
+}

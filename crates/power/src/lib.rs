@@ -1,0 +1,43 @@
+//! # noc-power
+//!
+//! ORION-style power, energy, and area models for the IntelliNoC
+//! reproduction (Wang et al., ISCA 2019).
+//!
+//! Three models, consumed by the simulator and the figure harness:
+//!
+//! * [`EnergyModel`] + [`ActivityCounters`] — per-event dynamic energy,
+//! * [`LeakageModel`] — temperature-dependent static power with power-gating,
+//! * [`AreaModel`] — per-component silicon area (Table 2),
+//!
+//! plus [`EnergyLedger`]/[`PowerReport`] for run-level accounting
+//! (energy-efficiency per Eq. 8, EDP for Fig. 18).
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_power::{ActivityCounters, EnergyModel, EnergyLedger};
+//!
+//! let model = EnergyModel::default();
+//! let mut counters = ActivityCounters::new();
+//! counters.buffer_writes = 100;
+//! counters.link_flits = 100;
+//!
+//! let mut ledger = EnergyLedger::new();
+//! ledger.add_dynamic_pj(model.dynamic_pj(&counters));
+//! ledger.add_static_epoch(50.0, 1_000);
+//! let report = ledger.report(1_000);
+//! assert!(report.total_mw() > 50.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod budget;
+mod energy;
+mod leakage;
+
+pub use area::{AreaBreakdown, AreaModel, RouterAreaSpec};
+pub use budget::{EnergyLedger, PowerReport, CLOCK_PERIOD_NS};
+pub use energy::{ActivityCounters, EnergyModel};
+pub use leakage::{LeakageModel, RouterLeakageSpec};

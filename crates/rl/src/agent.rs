@@ -1,0 +1,266 @@
+//! The per-router Q-learning agent (paper §5, Fig. 8).
+//!
+//! Each router runs one agent. At every time step the agent:
+//!
+//! 1. looks up the current (discretized) state in its Q-table,
+//! 2. selects an action ε-greedily,
+//! 3. after the action has affected the NoC for one time step, receives the
+//!    reward and the successor state and applies the temporal-difference
+//!    rule (Eq. 2): `Q(s,a) ← (1−α)Q(s,a) + α[r + γ·maxₐ′ Q(s′,a′)]`.
+
+use crate::qtable::QTable;
+use crate::state::StateKey;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Q-learning hyperparameters.
+///
+/// Passive configuration bag; fields are public by design. Defaults are the
+/// paper's tuned values (§6.3): α = 0.1, γ = 0.9, ε = 0.05.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QLearningConfig {
+    /// Learning rate α.
+    pub alpha: f32,
+    /// Discount rate γ.
+    pub gamma: f32,
+    /// Exploration probability ε.
+    pub epsilon: f64,
+    /// Number of actions.
+    pub actions: usize,
+    /// Q-table capacity (states).
+    pub capacity: usize,
+    /// Initial Q-value for newly visited states (see
+    /// [`QTable::with_init`]).
+    pub q_init: f32,
+    /// Action taken in states the table has never seen (the paper
+    /// initializes all routers to operation mode 1).
+    pub default_action: usize,
+}
+
+impl Default for QLearningConfig {
+    fn default() -> Self {
+        QLearningConfig {
+            alpha: 0.1,
+            gamma: 0.9,
+            epsilon: 0.05,
+            actions: 5,
+            capacity: crate::qtable::PAPER_QTABLE_CAPACITY,
+            q_init: 0.0,
+            default_action: 0,
+        }
+    }
+}
+
+/// A tabular Q-learning agent.
+///
+/// # Examples
+///
+/// ```
+/// use noc_rl::{QAgent, QLearningConfig, StateKey};
+///
+/// let mut agent = QAgent::new(QLearningConfig::default(), 1);
+/// let a0 = agent.step(StateKey(0), 0.0);   // first decision, nothing to learn yet
+/// let _a1 = agent.step(StateKey(1), -2.5); // learn from the reward, decide again
+/// assert!(a0 < 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QAgent {
+    cfg: QLearningConfig,
+    table: QTable,
+    rng: SmallRng,
+    previous: Option<(StateKey, usize)>,
+    learning: bool,
+    decisions: u64,
+    explorations: u64,
+}
+
+impl QAgent {
+    /// Creates an agent with a deterministic RNG seed.
+    pub fn new(cfg: QLearningConfig, seed: u64) -> Self {
+        assert!(cfg.default_action < cfg.actions, "default action out of range");
+        QAgent {
+            table: QTable::with_init(cfg.actions, cfg.capacity, cfg.q_init),
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+            previous: None,
+            learning: true,
+            decisions: 0,
+            explorations: 0,
+        }
+    }
+
+    /// The agent's configuration.
+    pub fn config(&self) -> &QLearningConfig {
+        &self.cfg
+    }
+
+    /// Read access to the Q-table.
+    pub fn table(&self) -> &QTable {
+        &self.table
+    }
+
+    /// Mutable access to the Q-table (fault-injection experiments).
+    pub fn table_mut(&mut self) -> &mut QTable {
+        &mut self.table
+    }
+
+    /// Enables or disables learning (TD updates). Exploration continues to
+    /// follow ε either way.
+    pub fn set_learning(&mut self, on: bool) {
+        self.learning = on;
+    }
+
+    /// Replaces the exploration probability (for the Fig. 18b sweep, and to
+    /// run greedy evaluations with ε = 0).
+    pub fn set_epsilon(&mut self, epsilon: f64) {
+        self.cfg.epsilon = epsilon;
+    }
+
+    /// Number of decisions taken so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Number of those decisions that were exploratory (random).
+    pub fn explorations(&self) -> u64 {
+        self.explorations
+    }
+
+    /// One time step: learn from `reward` observed for the previous action
+    /// (if any), then choose the action for `state`.
+    ///
+    /// The reward argument is ignored on the very first call, when there is
+    /// no previous `(s, a)` to credit (paper: modes start initialized and
+    /// the first reward sample is discarded).
+    pub fn step(&mut self, state: StateKey, reward: f64) -> usize {
+        if let Some((s, a)) = self.previous {
+            if self.learning {
+                let target = reward as f32 + self.cfg.gamma * self.table.max_q(state);
+                self.table.nudge(s, a, target, self.cfg.alpha);
+            }
+        }
+        let action = if self.rng.gen::<f64>() < self.cfg.epsilon {
+            self.explorations += 1;
+            self.rng.gen_range(0..self.cfg.actions)
+        } else if self.table.contains(state) {
+            self.table.touch(state);
+            self.table.best_action(state).0
+        } else {
+            self.cfg.default_action
+        };
+        self.decisions += 1;
+        self.previous = Some((state, action));
+        action
+    }
+
+    /// Forgets the pending `(s, a)` pair (used at workload boundaries so one
+    /// benchmark's last step does not learn from the next one's first).
+    pub fn reset_episode(&mut self) {
+        self.previous = None;
+    }
+
+    /// Adopts a pre-trained Q-table (paper §6.3: policies are pre-trained on
+    /// `blackscholes`, then deployed on the test benchmarks).
+    pub fn load_table(&mut self, table: QTable) {
+        self.table = table;
+    }
+
+    /// Clones the Q-table out (for pre-training then distributing).
+    pub fn table_clone(&self) -> QTable {
+        self.table.clone()
+    }
+}
+
+/// Paper Eq. 1: the holistic reward `r = −log(L) − log(P) − log(A)`.
+///
+/// All three quantities are clamped to ≥ 1 so the logs are non-negative and
+/// the reward never explodes (the paper constructs its metrics to satisfy
+/// this by definition).
+pub fn holistic_reward(latency: f64, power: f64, aging: f64) -> f64 {
+    -(latency.max(1.0).ln()) - (power.max(1.0).ln()) - (aging.max(1.0).ln())
+}
+
+/// Linear-space variant of the reward used by the D5 reward ablation:
+/// `r = −(L/100 + P/100 + A)` (scaled so magnitudes are comparable).
+pub fn linear_reward(latency: f64, power: f64, aging: f64) -> f64 {
+    -(latency.max(1.0) / 100.0 + power.max(1.0) / 100.0 + aging.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_does_not_learn() {
+        let mut a = QAgent::new(QLearningConfig::default(), 1);
+        a.step(StateKey(0), -1000.0);
+        assert!(a.table().is_empty());
+    }
+
+    #[test]
+    fn second_step_learns_previous_pair() {
+        let cfg = QLearningConfig { epsilon: 0.0, ..QLearningConfig::default() };
+        let mut a = QAgent::new(cfg, 2);
+        let act = a.step(StateKey(0), 0.0);
+        a.step(StateKey(1), -3.0);
+        // First visit of (s0, act) adopts the full TD target: r + gamma*0.
+        let q = a.table().q(StateKey(0), act);
+        assert!((q - (-3.0)).abs() < 1e-6, "q = {q}");
+        assert_eq!(a.table().visits(StateKey(0), act), 1);
+    }
+
+    #[test]
+    fn greedy_prefers_learned_best() {
+        let cfg =
+            QLearningConfig { epsilon: 0.0, alpha: 1.0, gamma: 0.0, ..QLearningConfig::default() };
+        let mut a = QAgent::new(cfg, 3);
+        // Force exploration of all actions in state 0 by direct table edits.
+        let mut t = QTable::new(5, 350);
+        t.nudge(StateKey(0), 3, 5.0, 1.0);
+        a.load_table(t);
+        assert_eq!(a.step(StateKey(0), 0.0), 3);
+    }
+
+    #[test]
+    fn epsilon_one_is_uniform_random() {
+        let cfg = QLearningConfig { epsilon: 1.0, ..QLearningConfig::default() };
+        let mut a = QAgent::new(cfg, 4);
+        let mut seen = [false; 5];
+        for i in 0..200 {
+            seen[a.step(StateKey(i % 3), 0.0)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(a.explorations(), a.decisions());
+    }
+
+    #[test]
+    fn learning_can_be_frozen() {
+        let mut a = QAgent::new(QLearningConfig::default(), 5);
+        a.set_learning(false);
+        a.step(StateKey(0), 0.0);
+        a.step(StateKey(1), -100.0);
+        a.step(StateKey(2), -100.0);
+        assert!(a.table().is_empty());
+    }
+
+    #[test]
+    fn reward_is_negative_log_sum() {
+        let r = holistic_reward(std::f64::consts::E, std::f64::consts::E, 1.0);
+        assert!((r + 2.0).abs() < 1e-12);
+        // Clamping: values below 1 contribute 0.
+        assert_eq!(holistic_reward(0.5, 0.5, 0.5), 0.0);
+        // Better (smaller) metrics give larger reward.
+        assert!(holistic_reward(2.0, 2.0, 1.1) > holistic_reward(4.0, 2.0, 1.1));
+    }
+
+    #[test]
+    fn reset_episode_prevents_cross_boundary_update() {
+        let cfg = QLearningConfig { epsilon: 0.0, ..QLearningConfig::default() };
+        let mut a = QAgent::new(cfg, 6);
+        a.step(StateKey(0), 0.0);
+        a.reset_episode();
+        a.step(StateKey(1), -50.0);
+        assert!(a.table().is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! # noc-rl
+//!
+//! Tabular Q-learning substrate for the IntelliNoC reproduction
+//! (Wang et al., ISCA 2019, §5):
+//!
+//! * [`Discretizer`]/[`StateKey`] — the paper's 16-feature state vector,
+//!   evenly discretized into 5 bins per feature,
+//! * [`QTable`] — capacity-bounded (350-entry) state–action table with LRU
+//!   eviction, matching the paper's hardware budget,
+//! * [`QAgent`] — ε-greedy agent applying the temporal-difference rule
+//!   (Eq. 2),
+//! * [`holistic_reward`] — the paper's Eq. 1 reward
+//!   `−log(L) − log(P) − log(A)`,
+//! * [`ChainMdp`] — a reference MDP for convergence testing.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_rl::{Discretizer, QAgent, QLearningConfig, holistic_reward, FEATURE_COUNT};
+//!
+//! let disc = Discretizer::paper_default();
+//! let mut agent = QAgent::new(QLearningConfig::default(), 42);
+//!
+//! let mut features = vec![0.2; FEATURE_COUNT];
+//! features[FEATURE_COUNT - 1] = 68.0; // temperature
+//! let action = agent.step(disc.key(&features), holistic_reward(24.0, 55.0, 1.02));
+//! assert!(action < 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod mdp;
+mod qtable;
+mod state;
+
+pub use agent::{holistic_reward, linear_reward, QAgent, QLearningConfig};
+pub use mdp::ChainMdp;
+pub use qtable::{QTable, PAPER_QTABLE_CAPACITY};
+pub use state::{Discretizer, StateKey, BINS, FEATURE_COUNT};

@@ -1,0 +1,315 @@
+//! Inter-router channels with on-link storage (MFAC / iDEAL / elastic
+//! buffers) and relaxed-timing support.
+//!
+//! A channel is a FIFO of in-flight flits. Entry stamps each flit with the
+//! cycle at which it reaches the downstream end (`ready_at`): one cycle for
+//! normal links, two under relaxed timing (operation mode 4). A plain wire
+//! (`channel_capacity = 0` designs) still pipelines one in-flight flit.
+//!
+//! When a per-hop decode detects an uncorrectable error, the flit is *not*
+//! dropped: the copy held in the re-transmission buffer (MFAC upper link or
+//! the upstream router buffer) is resent, modeled by pushing the head flit's
+//! `ready_at` out by the re-transmission round-trip latency.
+
+use crate::flit::{Cycle, Flit};
+use std::collections::VecDeque;
+
+/// One directed inter-router channel.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    queue: VecDeque<(Flit, Cycle)>,
+    capacity: usize,
+    /// Relaxed-timing mode (set by the upstream router's directive).
+    pub relaxed: bool,
+}
+
+impl Channel {
+    /// Creates a channel with `channel_capacity` storage stages (a value of
+    /// 0 becomes a single wire latch).
+    pub fn new(channel_capacity: usize) -> Self {
+        Channel { queue: VecDeque::new(), capacity: channel_capacity.max(1), relaxed: false }
+    }
+
+    /// Flits currently on the channel.
+    pub fn occupancy(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Storage capacity in flits.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether a new flit can enter this cycle.
+    pub fn has_space(&self) -> bool {
+        self.queue.len() < self.capacity
+    }
+
+    /// Link traversal latency under the current timing mode.
+    pub fn latency(&self) -> u64 {
+        if self.relaxed {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Pushes a flit onto the channel at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is full (callers must check
+    /// [`Channel::has_space`]).
+    pub fn push(&mut self, flit: Flit, now: Cycle) {
+        self.push_delayed(flit, now, 0);
+    }
+
+    /// Pushes a flit with `extra` additional cycles of traversal latency
+    /// (the bypass switch path adds a mux/latch stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is full.
+    pub fn push_delayed(&mut self, flit: Flit, now: Cycle, extra: u64) {
+        assert!(self.has_space(), "channel overflow");
+        self.queue.push_back((flit, now + self.latency() + extra));
+    }
+
+    /// The head flit, if it has reached the downstream end by `now`.
+    pub fn peek_ready(&self, now: Cycle) -> Option<&Flit> {
+        match self.queue.front() {
+            Some((flit, ready)) if *ready <= now => Some(flit),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the ready head flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is absent or not ready (callers must check
+    /// [`Channel::peek_ready`]).
+    pub fn pop_ready(&mut self, now: Cycle) -> Flit {
+        match self.queue.front() {
+            Some((_, ready)) if *ready <= now => self.queue.pop_front().expect("head exists").0,
+            _ => panic!("no ready flit to pop"),
+        }
+    }
+
+    /// Delays the head flit by `delay` cycles (per-hop re-transmission after
+    /// a NACK: the stored copy re-traverses the link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is empty.
+    pub fn delay_head(&mut self, now: Cycle, delay: u64) {
+        let head = self.queue.front_mut().expect("cannot delay empty channel");
+        head.1 = now + delay;
+        head.0.retx += 1;
+    }
+
+    /// Finds the first flit (front to back) that has arrived by `now`, is
+    /// not preceded by a flit of the same packet (per-packet order must be
+    /// preserved), and satisfies `deliverable`. Returns its index.
+    ///
+    /// This is the paper's dynamic buffer allocation via the unified BST
+    /// (§3.1.2): blocked packets do not head-of-line-block other packets
+    /// stored on the channel.
+    pub fn scan_deliverable<F>(&self, now: Cycle, mut deliverable: F) -> Option<usize>
+    where
+        F: FnMut(&Flit) -> bool,
+    {
+        let mut seen: Vec<u64> = Vec::new();
+        for (i, (flit, ready)) in self.queue.iter().enumerate() {
+            if seen.contains(&flit.packet_id) {
+                continue; // an earlier flit of this packet is still queued
+            }
+            seen.push(flit.packet_id);
+            if *ready <= now && deliverable(flit) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Flit at `index` (used with [`Channel::scan_deliverable`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn get(&self, index: usize) -> &Flit {
+        &self.queue[index].0
+    }
+
+    /// Removes and returns the flit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn remove_at(&mut self, index: usize) -> Flit {
+        self.queue.remove(index).expect("index in range").0
+    }
+
+    /// Delays the flit at `index` by `delay` cycles (per-hop NACK
+    /// re-transmission).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn delay_at(&mut self, index: usize, now: Cycle, delay: u64) {
+        let entry = &mut self.queue[index];
+        entry.1 = now + delay;
+        entry.0.retx += 1;
+        // The re-transmitted copy comes from the clean re-transmission
+        // buffer, so accumulated codeword corruption is gone.
+        entry.0.hop_flips = 0;
+    }
+
+    /// Number of flits stored past their arrival time (waiting for the
+    /// downstream router), i.e. flits occupying storage stages.
+    pub fn stored(&self, now: Cycle) -> usize {
+        self.queue.iter().filter(|(_, ready)| *ready <= now).count()
+    }
+
+    /// Drains every flit (used only by tests and teardown accounting).
+    pub fn drain_all(&mut self) -> Vec<Flit> {
+        self.queue.drain(..).map(|(f, _)| f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::make_packet;
+
+    fn flit(id: u64) -> Flit {
+        let mut f = make_packet(id, id * 4, 0, 1, 0)[0];
+        f.id = id;
+        f
+    }
+
+    #[test]
+    fn wire_latch_pipelines_one_flit() {
+        let mut ch = Channel::new(0);
+        assert_eq!(ch.capacity(), 1);
+        assert!(ch.has_space());
+        ch.push(flit(1), 10);
+        assert!(!ch.has_space());
+        assert!(ch.peek_ready(10).is_none(), "one-cycle latency");
+        assert!(ch.peek_ready(11).is_some());
+        let f = ch.pop_ready(11);
+        assert_eq!(f.packet_id, 1);
+        assert!(ch.has_space());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut ch = Channel::new(4);
+        for i in 0..4 {
+            ch.push(flit(i), i);
+        }
+        for i in 0..4 {
+            assert_eq!(ch.pop_ready(100).packet_id, i);
+        }
+    }
+
+    #[test]
+    fn relaxed_mode_doubles_latency() {
+        let mut ch = Channel::new(2);
+        ch.relaxed = true;
+        ch.push(flit(1), 0);
+        assert!(ch.peek_ready(1).is_none());
+        assert!(ch.peek_ready(2).is_some());
+    }
+
+    #[test]
+    fn delay_head_models_retransmission() {
+        let mut ch = Channel::new(2);
+        ch.push(flit(1), 0);
+        assert!(ch.peek_ready(1).is_some());
+        ch.delay_head(1, 4);
+        assert!(ch.peek_ready(4).is_none());
+        let f = ch.pop_ready(5);
+        assert_eq!(f.retx, 1);
+    }
+
+    #[test]
+    fn stored_counts_arrived_flits() {
+        let mut ch = Channel::new(8);
+        ch.push(flit(1), 0);
+        ch.push(flit(2), 0);
+        ch.push(flit(3), 5);
+        assert_eq!(ch.stored(1), 2);
+        assert_eq!(ch.stored(6), 3);
+        assert_eq!(ch.stored(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel overflow")]
+    fn overflow_panics() {
+        let mut ch = Channel::new(1);
+        ch.push(flit(1), 0);
+        ch.push(flit(2), 0);
+    }
+
+    #[test]
+    fn scan_skips_blocked_packets_but_preserves_per_packet_order() {
+        let mut ch = Channel::new(8);
+        // Packet 1: head then body. Packet 2: head. All ready.
+        let p1 = make_packet(1, 0, 0, 1, 0);
+        let p2 = make_packet(2, 10, 0, 1, 0);
+        ch.push(p1[0], 0); // idx 0: P1 head
+        ch.push(p1[1], 0); // idx 1: P1 body
+        ch.push(p2[0], 0); // idx 2: P2 head
+        // Predicate rejects P1 entirely: the scan must NOT return P1's body
+        // (same-packet order) but may return P2's head.
+        let idx = ch.scan_deliverable(10, |f| f.packet_id != 1);
+        assert_eq!(idx, Some(2));
+        // Predicate accepts everything: the front wins.
+        let idx = ch.scan_deliverable(10, |_| true);
+        assert_eq!(idx, Some(0));
+    }
+
+    #[test]
+    fn scan_respects_ready_times() {
+        let mut ch = Channel::new(4);
+        ch.push(flit(1), 100); // ready at 101
+        assert_eq!(ch.scan_deliverable(100, |_| true), None);
+        assert_eq!(ch.scan_deliverable(101, |_| true), Some(0));
+    }
+
+    #[test]
+    fn remove_at_preserves_remaining_order() {
+        let mut ch = Channel::new(4);
+        for i in 0..3 {
+            ch.push(flit(i), 0);
+        }
+        let f = ch.remove_at(1);
+        assert_eq!(f.packet_id, 1);
+        assert_eq!(ch.get(0).packet_id, 0);
+        assert_eq!(ch.get(1).packet_id, 2);
+        assert_eq!(ch.occupancy(), 2);
+    }
+
+    #[test]
+    fn delay_at_clears_codeword_corruption() {
+        let mut ch = Channel::new(2);
+        let mut f = flit(1);
+        f.hop_flips = 3;
+        ch.push(f, 0);
+        ch.delay_at(0, 1, 4);
+        assert_eq!(ch.get(0).hop_flips, 0, "retransmitted copy is clean");
+        assert_eq!(ch.get(0).retx, 1);
+    }
+
+    #[test]
+    fn relaxed_toggle_affects_only_new_pushes() {
+        let mut ch = Channel::new(4);
+        ch.push(flit(1), 0); // normal: ready at 1
+        ch.relaxed = true;
+        ch.push(flit(2), 0); // relaxed: ready at 2
+        assert!(ch.scan_deliverable(1, |f| f.packet_id == 2).is_none());
+        assert!(ch.scan_deliverable(2, |f| f.packet_id == 2).is_some());
+        assert!(ch.peek_ready(1).is_some(), "first flit unaffected");
+    }
+}

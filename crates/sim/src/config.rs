@@ -1,0 +1,236 @@
+//! Simulation configuration.
+
+use noc_ecc::EccScheme;
+use noc_fault::{AgingModel, ThermalModel, VariusModel};
+use noc_power::{EnergyModel, LeakageModel};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of one network simulation.
+///
+/// Passive configuration bag; fields are public by design. Defaults follow
+/// the paper's Table 1 (8×8 mesh, 4 VCs, 4-stage routers, 2 GHz / 1.0 V).
+///
+/// # Examples
+///
+/// ```
+/// use noc_sim::SimConfig;
+///
+/// let mut cfg = SimConfig::default();
+/// cfg.channel_capacity = 8; // iDEAL/MFAC channel buffers
+/// cfg.bypass_enabled = true;
+/// cfg.validate();
+/// assert_eq!(cfg.nodes(), 64);
+/// assert_eq!(cfg.channel_stages_per_router(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Mesh width.
+    pub width: usize,
+    /// Mesh height.
+    pub height: usize,
+    /// Virtual channels per input port.
+    pub vcs: usize,
+    /// Buffer depth (flits) per VC.
+    pub vc_depth: usize,
+    /// Channel-buffer capacity per inter-router channel (flits stored on the
+    /// link itself: MFAC/iDEAL/elastic stages). `0` means a plain wire, which
+    /// still pipelines a single in-flight flit.
+    pub channel_capacity: usize,
+    /// Router pipeline depth in cycles (head flit: RC→VA→SA→ST = 4;
+    /// EB removes VA = 3). Body flits follow at one per cycle.
+    pub pipeline_latency: u32,
+    /// Cycles to wake a power-gated router.
+    pub wakeup_latency: u32,
+    /// Enables cycle-granular reactive power gating (CP/CPD designs): a
+    /// router gates after `idle_gate_threshold` idle cycles.
+    pub reactive_gating: bool,
+    /// Consecutive idle cycles before a reactive gate.
+    pub idle_gate_threshold: u32,
+    /// Channel occupancy at which a reactively gated router triggers
+    /// wake-up.
+    pub wake_occupancy: usize,
+    /// Channel occupancy at which a *proactively* (directive-)gated router
+    /// wakes. IntelliNoC rides out more pressure than CP because the MFACs
+    /// provide storage (paper §3.3).
+    pub forced_wake_occupancy: usize,
+    /// Consecutive idle cycles before a proactive gate directive engages
+    /// (the PG controller never gates a busy router; mode 0 is advisory).
+    pub forced_idle_threshold: u32,
+    /// Whether flits can bypass a gated router (channel-to-channel
+    /// forwarding via the BST-guided bypass switch).
+    pub bypass_enabled: bool,
+    /// Whether the bypass keeps forwarding while the router is waking up.
+    /// True for IntelliNoC (MFAC storage rides out the wake); false for the
+    /// simple single-latch bypass of CP/CPD, whose flits stall during the
+    /// wake-up (the latency penalty the paper attributes to power gating).
+    pub bypass_during_wake: bool,
+    /// Whether re-transmission copies are held in MFAC channel stages
+    /// (IntelliNoC) rather than in router buffers (baseline SECDED).
+    pub mfac_retx: bool,
+    /// Attach an end-to-end CRC at the network interface (IntelliNoC/CPD
+    /// operation-mode designs).
+    pub e2e_crc: bool,
+    /// Router has a unified buffer state table on an always-on supply
+    /// (IntelliNoC; required for bypass-while-gated routing state).
+    pub has_bst: bool,
+    /// Router carries an RL Q-table (IntelliNoC).
+    pub has_qtable: bool,
+    /// Initial / static per-hop ECC scheme.
+    pub default_scheme: EccScheme,
+    /// Cycles from a NACK to the re-transmitted flit being back on the link.
+    pub retx_latency: u32,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Hard cap on simulated cycles (safety net for drains).
+    pub max_cycles: u64,
+    /// Thermal/aging/power accounting epoch in cycles.
+    pub epoch_cycles: u64,
+    /// RNG seed for fault injection.
+    pub seed: u64,
+    /// Thermal model.
+    pub thermal: ThermalModel,
+    /// Transient-error model.
+    pub varius: VariusModel,
+    /// Aging model.
+    pub aging: AgingModel,
+    /// Dynamic energy model.
+    pub energy: EnergyModel,
+    /// Leakage model.
+    pub leakage: LeakageModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            width: 8,
+            height: 8,
+            vcs: 4,
+            vc_depth: 4,
+            channel_capacity: 0,
+            pipeline_latency: 4,
+            wakeup_latency: 8,
+            reactive_gating: false,
+            idle_gate_threshold: 8,
+            wake_occupancy: 2,
+            forced_wake_occupancy: 6,
+            forced_idle_threshold: 2,
+            bypass_enabled: false,
+            bypass_during_wake: false,
+            mfac_retx: false,
+            e2e_crc: false,
+            has_bst: false,
+            has_qtable: false,
+            default_scheme: EccScheme::Secded,
+            retx_latency: 4,
+            vdd: 1.0,
+            max_cycles: 2_000_000,
+            epoch_cycles: 250,
+            seed: 1,
+            thermal: ThermalModel::default(),
+            varius: VariusModel::default(),
+            aging: AgingModel::default(),
+            energy: EnergyModel::default(),
+            leakage: LeakageModel::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Number of nodes in the mesh.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Total router-buffer flit slots per router (all ports and VCs).
+    pub fn buffer_slots_per_router(&self) -> u32 {
+        (crate::topology::PORTS * self.vcs * self.vc_depth) as u32
+    }
+
+    /// Channel stages attached to one router's four output channels.
+    pub fn channel_stages_per_router(&self) -> u32 {
+        (crate::topology::DIRS * self.channel_capacity) as u32
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an impossible configuration (zero mesh, zero VCs, …).
+    pub fn validate(&self) {
+        assert!(self.width >= 2 && self.height >= 2, "mesh must be at least 2x2");
+        assert!(self.vcs >= 1, "need at least one VC");
+        assert!(self.vc_depth >= 1, "VC depth must be nonzero");
+        assert!(self.pipeline_latency >= 1, "pipeline must be at least 1 cycle");
+        assert!(self.retx_latency >= 1, "retransmission latency must be nonzero");
+        assert!(self.epoch_cycles >= 1, "epoch must be nonzero");
+    }
+}
+
+/// A per-router control directive, applied at time-step boundaries by the
+/// control policy (the IntelliNoC operation modes map onto this).
+///
+/// # Examples
+///
+/// ```
+/// use noc_ecc::EccScheme;
+/// use noc_sim::RouterDirective;
+///
+/// // Mode-2-like directive: per-hop SECDED, gating left to the reactive
+/// // controller, normal link timing.
+/// let d = RouterDirective { gate: None, scheme: EccScheme::Secded, relaxed: false };
+/// assert_eq!(d, RouterDirective::fixed(EccScheme::Secded));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterDirective {
+    /// Force the router gated (`Some(true)`), force it awake
+    /// (`Some(false)`), or leave gating to the reactive mechanism (`None`).
+    pub gate: Option<bool>,
+    /// Per-hop ECC scheme for this router's outgoing links.
+    pub scheme: EccScheme,
+    /// Relaxed-timing transmission on this router's outgoing links
+    /// (doubles link traversal latency, squares the bit-error rate).
+    pub relaxed: bool,
+}
+
+impl RouterDirective {
+    /// The static directive used by non-adaptive designs.
+    pub fn fixed(scheme: EccScheme) -> Self {
+        RouterDirective { gate: None, scheme, relaxed: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = SimConfig::default();
+        assert_eq!((c.width, c.height), (8, 8));
+        assert_eq!(c.vcs, 4);
+        assert_eq!(c.pipeline_latency, 4);
+        assert_eq!(c.vdd, 1.0);
+        c.validate();
+    }
+
+    #[test]
+    fn derived_counts() {
+        let c = SimConfig { vcs: 4, vc_depth: 2, channel_capacity: 8, ..SimConfig::default() };
+        assert_eq!(c.buffer_slots_per_router(), 40);
+        assert_eq!(c.channel_stages_per_router(), 32);
+        assert_eq!(c.nodes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn tiny_mesh_rejected() {
+        SimConfig { width: 1, ..SimConfig::default() }.validate();
+    }
+
+    #[test]
+    fn fixed_directive() {
+        let d = RouterDirective::fixed(EccScheme::Secded);
+        assert_eq!(d.gate, None);
+        assert!(!d.relaxed);
+    }
+}

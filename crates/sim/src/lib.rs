@@ -1,0 +1,45 @@
+//! # noc-sim
+//!
+//! Cycle-accurate 2D-mesh NoC simulator substrate for the IntelliNoC
+//! reproduction (Wang et al., ISCA 2019) — the Booksim2 substitute.
+//!
+//! The simulator provides the *mechanisms* of the paper's architecture —
+//! VC wormhole routers, on-link channel buffers (MFAC storage), power
+//! gating with a BST-guided bypass switch, per-hop/end-to-end ECC with
+//! ACK/NACK re-transmission, fault injection, thermal and aging feedback —
+//! while the *policies* (the five operation modes, the RL controller, and
+//! the comparison designs) live in the `intellinoc` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_sim::{Network, SimConfig};
+//! use noc_traffic::WorkloadSpec;
+//!
+//! let mut cfg = SimConfig::default();
+//! cfg.max_cycles = 100_000;
+//! let mut net = Network::new(cfg, WorkloadSpec::uniform(0.01, 5), 42);
+//! let report = net.run_to_completion(1_000, |_obs, _cycle| None);
+//! assert_eq!(report.stats.packets_delivered, 64 * 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod config;
+mod flit;
+mod latency;
+mod network;
+mod router;
+mod stats;
+pub mod topology;
+
+pub use channel::Channel;
+pub use config::{RouterDirective, SimConfig};
+pub use flit::{make_packet, Cycle, Flit, FlitKind, FLITS_PER_PACKET, NO_VC};
+pub use latency::LatencyHistogram;
+pub use network::Network;
+pub use router::{GateState, InputPort, InputVc, Router, StepStats};
+pub use stats::{NetworkStats, RouterObservation, RunReport};
+pub use topology::{Mesh, Port, DIRS, PORTS};

@@ -1,0 +1,204 @@
+//! 2D-mesh topology: ports, coordinates, and XY dimension-order routing.
+
+use serde::{Deserialize, Serialize};
+
+/// Router port indices. The four direction ports connect to mesh neighbors;
+/// `LOCAL` connects to the node's network interface (core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Port {
+    /// +X (east) neighbor.
+    XPlus = 0,
+    /// −X (west) neighbor.
+    XMinus = 1,
+    /// +Y (north) neighbor.
+    YPlus = 2,
+    /// −Y (south) neighbor.
+    YMinus = 3,
+    /// Local core / network interface.
+    Local = 4,
+}
+
+/// Number of ports per router.
+pub const PORTS: usize = 5;
+/// Number of direction (non-local) ports per router.
+pub const DIRS: usize = 4;
+
+impl Port {
+    /// All ports in index order.
+    pub const ALL: [Port; PORTS] =
+        [Port::XPlus, Port::XMinus, Port::YPlus, Port::YMinus, Port::Local];
+
+    /// The four direction ports.
+    pub const DIRECTIONS: [Port; DIRS] = [Port::XPlus, Port::XMinus, Port::YPlus, Port::YMinus];
+
+    /// Port from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= PORTS`.
+    pub fn from_index(i: usize) -> Port {
+        Port::ALL[i]
+    }
+
+    /// Index of this port.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The opposite direction port (the input port a flit arrives on after
+    /// leaving through `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Port::Local`].
+    pub fn opposite(self) -> Port {
+        match self {
+            Port::XPlus => Port::XMinus,
+            Port::XMinus => Port::XPlus,
+            Port::YPlus => Port::YMinus,
+            Port::YMinus => Port::YPlus,
+            Port::Local => panic!("local port has no opposite"),
+        }
+    }
+}
+
+/// Mesh geometry helper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    /// Width in tiles.
+    pub width: usize,
+    /// Height in tiles.
+    pub height: usize,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
+        Mesh { width, height }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// (x, y) of node `n`.
+    pub fn coords(&self, n: usize) -> (usize, usize) {
+        (n % self.width, n / self.width)
+    }
+
+    /// Node index of (x, y).
+    pub fn node(&self, x: usize, y: usize) -> usize {
+        y * self.width + x
+    }
+
+    /// Neighbor of `n` in direction `dir`, if it exists.
+    pub fn neighbor(&self, n: usize, dir: Port) -> Option<usize> {
+        let (x, y) = self.coords(n);
+        match dir {
+            Port::XPlus if x + 1 < self.width => Some(self.node(x + 1, y)),
+            Port::XMinus if x > 0 => Some(self.node(x - 1, y)),
+            Port::YPlus if y + 1 < self.height => Some(self.node(x, y + 1)),
+            Port::YMinus if y > 0 => Some(self.node(x, y - 1)),
+            _ => None,
+        }
+    }
+
+    /// XY dimension-order route: the output port a flit at `here` destined
+    /// for `dest` must take (X first, then Y; `Local` when arrived).
+    pub fn xy_route(&self, here: usize, dest: usize) -> Port {
+        let (x, y) = self.coords(here);
+        let (dx, dy) = self.coords(dest);
+        if dx > x {
+            Port::XPlus
+        } else if dx < x {
+            Port::XMinus
+        } else if dy > y {
+            Port::YPlus
+        } else if dy < y {
+            Port::YMinus
+        } else {
+            Port::Local
+        }
+    }
+
+    /// Manhattan hop distance between two nodes.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh::new(8, 8);
+        for n in 0..64 {
+            let (x, y) = m.coords(n);
+            assert_eq!(m.node(x, y), n);
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let m = Mesh::new(8, 8);
+        assert_eq!(m.neighbor(0, Port::XMinus), None);
+        assert_eq!(m.neighbor(0, Port::YMinus), None);
+        assert_eq!(m.neighbor(0, Port::XPlus), Some(1));
+        assert_eq!(m.neighbor(0, Port::YPlus), Some(8));
+        assert_eq!(m.neighbor(63, Port::XPlus), None);
+        assert_eq!(m.neighbor(63, Port::YPlus), None);
+    }
+
+    #[test]
+    fn xy_route_goes_x_first() {
+        let m = Mesh::new(8, 8);
+        // From (0,0) to (3,2): X first.
+        assert_eq!(m.xy_route(0, m.node(3, 2)), Port::XPlus);
+        // From (3,0) to (3,2): then Y.
+        assert_eq!(m.xy_route(m.node(3, 0), m.node(3, 2)), Port::YPlus);
+        // Arrived.
+        assert_eq!(m.xy_route(5, 5), Port::Local);
+    }
+
+    #[test]
+    fn xy_route_always_reaches_destination() {
+        let m = Mesh::new(8, 8);
+        for src in 0..64 {
+            for dest in 0..64 {
+                let mut here = src;
+                let mut steps = 0;
+                while here != dest {
+                    let p = m.xy_route(here, dest);
+                    assert_ne!(p, Port::Local);
+                    here = m.neighbor(here, p).expect("route fell off mesh");
+                    steps += 1;
+                    assert!(steps <= 14, "route too long {src}->{dest}");
+                }
+                assert_eq!(steps, m.hops(src, dest), "minimal route {src}->{dest}");
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for p in Port::DIRECTIONS {
+            assert_eq!(p.opposite().opposite(), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no opposite")]
+    fn local_has_no_opposite() {
+        let _ = Port::Local.opposite();
+    }
+}

@@ -1,0 +1,373 @@
+//! Workload specification and the on-line traffic generator.
+//!
+//! A [`WorkloadSpec`] fully describes one benchmark's network load: spatial
+//! pattern, temporal process, memory-controller hotspot overlay, phase
+//! structure, total packet budget, and the *dependency window* that makes
+//! execution time sensitive to network latency (the Netrace property: a core
+//! stalls once too many of its requests are outstanding, so slow deliveries
+//! slow the application down).
+//!
+//! [`TrafficGen`] is the run-time instance the simulator polls each cycle.
+
+use crate::pattern::{default_mc_nodes, SpatialPattern};
+use crate::process::{InjectionProcess, ProcessState};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A packet source the simulator polls once per node per cycle.
+///
+/// Implemented by the statistical [`TrafficGen`] and by
+/// [`crate::TraceReplay`] (offline Netrace-style traces), so a simulation
+/// can be driven by either interchangeably.
+pub trait Workload: std::fmt::Debug {
+    /// Polls node `node` at `cycle`; returns the destination of a packet to
+    /// inject now, if any. `outstanding` is the node's in-flight packet
+    /// count (the dependency window).
+    fn poll(&mut self, cycle: u64, node: usize, outstanding: usize) -> Option<usize>;
+
+    /// Whether the source will never produce another packet.
+    fn is_exhausted(&self) -> bool;
+
+    /// Total packets this workload will inject over its lifetime.
+    fn total_packets(&self) -> u64;
+
+    /// Packets injected so far.
+    fn generated(&self) -> u64;
+
+    /// Human-readable workload name.
+    fn name(&self) -> &str;
+}
+
+/// A phase of execution with a rate multiplier (applications alternate
+/// compute-heavy and communication-heavy phases).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase length in cycles.
+    pub cycles: u64,
+    /// Injection-rate multiplier during this phase.
+    pub rate_factor: f64,
+}
+
+/// Complete description of one workload.
+///
+/// Passive configuration bag; fields are public by design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Human-readable name (benchmark name for PARSEC workloads).
+    pub name: String,
+    /// Base spatial pattern for non-hotspot packets.
+    pub pattern: SpatialPattern,
+    /// Temporal injection process.
+    pub process: InjectionProcess,
+    /// Fraction of packets directed at a memory-controller node.
+    pub hotspot_fraction: f64,
+    /// Memory-controller node indices (empty ⇒ derived from mesh shape).
+    pub mc_nodes: Vec<usize>,
+    /// Phase sequence, cycled until the packet budget is exhausted
+    /// (empty ⇒ a single constant phase).
+    pub phases: Vec<Phase>,
+    /// Total packets each node injects over the run (execution budget).
+    pub packets_per_node: u64,
+    /// Maximum outstanding (injected but undelivered) packets per node;
+    /// the dependency throttle that couples latency to execution time.
+    pub window: usize,
+}
+
+impl WorkloadSpec {
+    /// A plain uniform-random Bernoulli workload, useful for unit tests and
+    /// synthetic sweeps.
+    pub fn uniform(rate: f64, packets_per_node: u64) -> Self {
+        WorkloadSpec {
+            name: format!("uniform-{rate}"),
+            pattern: SpatialPattern::Uniform,
+            process: InjectionProcess::Bernoulli { rate },
+            hotspot_fraction: 0.0,
+            mc_nodes: Vec::new(),
+            phases: Vec::new(),
+            packets_per_node,
+            window: 16,
+        }
+    }
+
+    /// Returns a copy with all injection rates scaled by `factor`.
+    pub fn scaled_rate(&self, factor: f64) -> Self {
+        WorkloadSpec {
+            name: format!("{}-x{:.1}", self.name, factor),
+            process: self.process.scaled(factor),
+            ..self.clone()
+        }
+    }
+
+    /// Long-run average offered load in packets/node/cycle (before any
+    /// window throttling).
+    pub fn mean_rate(&self) -> f64 {
+        let base = self.process.mean_rate();
+        if self.phases.is_empty() {
+            return base;
+        }
+        let total: f64 = self.phases.iter().map(|p| p.cycles as f64).sum();
+        let weighted: f64 =
+            self.phases.iter().map(|p| p.cycles as f64 * p.rate_factor).sum();
+        base * weighted / total
+    }
+}
+
+/// On-line traffic generator: one per simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use noc_traffic::{TrafficGen, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::uniform(0.1, 10);
+/// let mut gen = TrafficGen::new(spec, 8, 8, 42);
+/// // Poll node 0 for one cycle with no outstanding packets.
+/// let _maybe_dest = gen.poll(0, 0, 0);
+/// assert_eq!(gen.total_packets(), 64 * 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficGen {
+    spec: WorkloadSpec,
+    width: usize,
+    height: usize,
+    mc_nodes: Vec<usize>,
+    rng: SmallRng,
+    states: Vec<ProcessState>,
+    remaining: Vec<u64>,
+    generated: u64,
+    phase_total: u64,
+}
+
+impl TrafficGen {
+    /// Creates a generator for a `width × height` mesh with a deterministic
+    /// seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh is smaller than 2 nodes.
+    pub fn new(spec: WorkloadSpec, width: usize, height: usize, seed: u64) -> Self {
+        let n = width * height;
+        assert!(n >= 2, "mesh too small");
+        let mc_nodes = if spec.mc_nodes.is_empty() {
+            default_mc_nodes(width, height)
+        } else {
+            spec.mc_nodes.clone()
+        };
+        let remaining = vec![spec.packets_per_node; n];
+        let phase_total = spec.phases.iter().map(|p| p.cycles).sum();
+        TrafficGen {
+            spec,
+            width,
+            height,
+            mc_nodes,
+            rng: SmallRng::seed_from_u64(seed),
+            states: vec![ProcessState::default(); n],
+            remaining,
+            generated: 0,
+            phase_total,
+        }
+    }
+
+    /// The workload specification.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Rate multiplier active at `cycle` given the phase schedule.
+    fn rate_factor(&self, cycle: u64) -> f64 {
+        if self.spec.phases.is_empty() || self.phase_total == 0 {
+            return 1.0;
+        }
+        let mut t = cycle % self.phase_total;
+        for p in &self.spec.phases {
+            if t < p.cycles {
+                return p.rate_factor;
+            }
+            t -= p.cycles;
+        }
+        1.0
+    }
+
+    /// Polls node `node` at `cycle`: returns the destination of a new packet
+    /// if one should be injected this cycle.
+    ///
+    /// `outstanding` is the node's count of injected-but-undelivered packets;
+    /// injection is suppressed while it is at or beyond the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn poll(&mut self, cycle: u64, node: usize, outstanding: usize) -> Option<usize> {
+        if self.remaining[node] == 0 || outstanding >= self.spec.window {
+            return None;
+        }
+        let factor = self.rate_factor(cycle);
+        if !self.states[node].step(&self.spec.process, factor, &mut self.rng) {
+            return None;
+        }
+        self.remaining[node] -= 1;
+        self.generated += 1;
+        let dest = if self.spec.hotspot_fraction > 0.0
+            && self.rng.gen::<f64>() < self.spec.hotspot_fraction
+        {
+            let pick = self.mc_nodes[self.rng.gen_range(0..self.mc_nodes.len())];
+            if pick == node {
+                self.spec.pattern.dest(node, self.width, self.height, &mut self.rng)
+            } else {
+                pick
+            }
+        } else {
+            self.spec.pattern.dest(node, self.width, self.height, &mut self.rng)
+        };
+        Some(dest)
+    }
+
+    /// Total packets this workload will inject across all nodes.
+    pub fn total_packets(&self) -> u64 {
+        self.spec.packets_per_node * self.remaining.len() as u64
+    }
+
+    /// Packets generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Whether every node has exhausted its budget.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining.iter().all(|&r| r == 0)
+    }
+}
+
+impl Workload for TrafficGen {
+    fn poll(&mut self, cycle: u64, node: usize, outstanding: usize) -> Option<usize> {
+        TrafficGen::poll(self, cycle, node, outstanding)
+    }
+
+    fn is_exhausted(&self) -> bool {
+        TrafficGen::is_exhausted(self)
+    }
+
+    fn total_packets(&self) -> u64 {
+        TrafficGen::total_packets(self)
+    }
+
+    fn generated(&self) -> u64 {
+        TrafficGen::generated(self)
+    }
+
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_respected() {
+        let mut g = TrafficGen::new(WorkloadSpec::uniform(0.5, 5), 4, 4, 1);
+        let mut injected = vec![0u64; 16];
+        for cycle in 0..10_000 {
+            for node in 0..16 {
+                if g.poll(cycle, node, 0).is_some() {
+                    injected[node] += 1;
+                }
+            }
+        }
+        assert!(g.is_exhausted());
+        assert!(injected.iter().all(|&c| c == 5));
+        assert_eq!(g.generated(), 80);
+    }
+
+    #[test]
+    fn window_throttles_injection() {
+        let mut g = TrafficGen::new(WorkloadSpec::uniform(1.0, 100), 4, 4, 2);
+        // Outstanding at the window: no injection ever.
+        for cycle in 0..100 {
+            assert!(g.poll(cycle, 0, 16).is_none());
+        }
+        // Below the window: injects immediately at rate 1.0.
+        assert!(g.poll(100, 0, 0).is_some());
+    }
+
+    #[test]
+    fn hotspot_fraction_targets_mcs() {
+        let spec = WorkloadSpec {
+            hotspot_fraction: 1.0,
+            ..WorkloadSpec::uniform(1.0, 1000)
+        };
+        let mut g = TrafficGen::new(spec, 8, 8, 3);
+        let mcs = default_mc_nodes(8, 8);
+        let mut hits = 0;
+        let mut total = 0;
+        for cycle in 0..900 {
+            if let Some(d) = g.poll(cycle, 9, 0) {
+                total += 1;
+                if mcs.contains(&d) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert_eq!(hits, total);
+    }
+
+    #[test]
+    fn phases_modulate_rate() {
+        let spec = WorkloadSpec {
+            phases: vec![
+                Phase { cycles: 1000, rate_factor: 0.0 },
+                Phase { cycles: 1000, rate_factor: 1.0 },
+            ],
+            ..WorkloadSpec::uniform(0.5, 1_000_000)
+        };
+        let mut g = TrafficGen::new(spec, 4, 4, 4);
+        let mut first = 0;
+        let mut second = 0;
+        for cycle in 0..2000 {
+            for node in 0..16 {
+                if g.poll(cycle, node, 0).is_some() {
+                    if cycle < 1000 {
+                        first += 1;
+                    } else {
+                        second += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(first, 0);
+        assert!(second > 1000);
+    }
+
+    #[test]
+    fn mean_rate_accounts_for_phases() {
+        let spec = WorkloadSpec {
+            phases: vec![
+                Phase { cycles: 100, rate_factor: 2.0 },
+                Phase { cycles: 300, rate_factor: 0.0 },
+            ],
+            ..WorkloadSpec::uniform(0.1, 10)
+        };
+        assert!((spec.mean_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut g = TrafficGen::new(WorkloadSpec::uniform(0.3, 10), 4, 4, seed);
+            let mut log = Vec::new();
+            for cycle in 0..500 {
+                for node in 0..16 {
+                    if let Some(d) = g.poll(cycle, node, 0) {
+                        log.push((cycle, node, d));
+                    }
+                }
+            }
+            log
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

@@ -1,0 +1,37 @@
+//! Fault sweep: drive the SECDED baseline and IntelliNoC across forced
+//! transient-error rates and watch detection/correction/retransmission
+//! behavior change (the mechanism behind the paper's Fig. 17b).
+//!
+//! Run with: `cargo run --release -p intellinoc --example fault_sweep`
+
+use intellinoc::{run_experiment, Design, ExperimentConfig};
+use noc_traffic::WorkloadSpec;
+
+fn main() {
+    println!(
+        "{:>10} {:<11} {:>9} {:>9} {:>10} {:>9} {:>9} {:>9}",
+        "bit_rate", "design", "exec_cyc", "latency", "faulty_trv", "corrected", "retx", "corrupt"
+    );
+    for rate in [1e-7, 1e-6, 1e-5, 1e-4] {
+        for design in [Design::Secded, Design::IntelliNoc] {
+            let mut cfg =
+                ExperimentConfig::new(design, WorkloadSpec::uniform(0.02, 60)).with_seed(13);
+            cfg.error_rate_override = Some(rate);
+            let out = run_experiment(cfg);
+            let r = &out.report;
+            println!(
+                "{:>10.0e} {:<11} {:>9} {:>9.1} {:>10} {:>9} {:>9} {:>9}",
+                rate,
+                design.label(),
+                r.exec_cycles,
+                r.avg_latency(),
+                r.stats.faulty_traversals,
+                r.stats.corrected_bits,
+                r.stats.retransmitted_flits,
+                r.stats.corrupted_packets,
+            );
+        }
+    }
+    println!("\nHigher error rates shift work from 'corrected' to 'retx';");
+    println!("silent corruption stays at zero wherever a decoder is active.");
+}

@@ -1,0 +1,62 @@
+//! PARSEC campaign: run every design on a subset of the PARSEC test set and
+//! print the normalized comparison (a miniature of the paper's Figs. 9–16).
+//!
+//! Run with: `cargo run --release -p intellinoc --example parsec_campaign`
+//! (append benchmark labels, e.g. `-- can flu x264s`, to choose workloads).
+
+use intellinoc::{compare, pretrain_intellinoc, run_experiment, Design, ExperimentConfig};
+use intellinoc::{intellinoc_rl_config, RewardKind};
+use noc_traffic::ParsecBenchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<ParsecBenchmark> = if args.is_empty() {
+        vec![ParsecBenchmark::Swaptions, ParsecBenchmark::Canneal, ParsecBenchmark::Fluidanimate]
+    } else {
+        ParsecBenchmark::TEST_SET
+            .into_iter()
+            .filter(|b| args.iter().any(|a| a == b.label() || a == b.name()))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no benchmark matched; known labels:");
+        for b in ParsecBenchmark::TEST_SET {
+            eprintln!("  {} ({})", b.label(), b.name());
+        }
+        std::process::exit(1);
+    }
+
+    println!("Pre-training IntelliNoC on blackscholes (paper Section 6.3)...");
+    let tables = pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 150, 1_000, 9, 10);
+
+    for bench in selected {
+        println!("\n--- {bench} ---");
+        let outcomes: Vec<_> = Design::ALL
+            .iter()
+            .map(|&design| {
+                let mut cfg = ExperimentConfig::new(design, bench.workload(200)).with_seed(9);
+                if design.uses_rl() {
+                    cfg.pretrained = Some(tables.clone());
+                }
+                run_experiment(cfg)
+            })
+            .collect();
+        let row = compare(&outcomes);
+        println!(
+            "{:<11} {:>9} {:>9} {:>10} {:>10} {:>8} {:>8}",
+            "design", "speedup", "latency", "static_pw", "energy_eff", "retx", "mttf"
+        );
+        for (design, m) in &row.designs {
+            println!(
+                "{:<11} {:>9.3} {:>9.3} {:>10.3} {:>10.3} {:>8.3} {:>8.3}",
+                design.label(),
+                m.speedup,
+                m.latency,
+                m.static_power,
+                m.energy_efficiency,
+                m.retransmissions,
+                m.mttf
+            );
+        }
+    }
+}

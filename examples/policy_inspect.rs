@@ -1,0 +1,65 @@
+//! Policy inspection: pre-train IntelliNoC's agents and dump what the
+//! per-router Q-tables actually learned — how many states each router
+//! visited and which operation mode is greedy in each.
+//!
+//! Run with: `cargo run --release -p intellinoc --example policy_inspect`
+
+use intellinoc::{intellinoc_rl_config, pretrain_intellinoc, OperationMode, RewardKind};
+
+fn main() {
+    println!("pre-training on the blackscholes curriculum...");
+    let tables =
+        pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 150, 1_000, 42, 16);
+
+    let mut greedy_mode_counts = [0u64; 5];
+    let mut total_states = 0usize;
+    let mut min_states = usize::MAX;
+    let mut max_states = 0usize;
+    for table in &tables {
+        total_states += table.len();
+        min_states = min_states.min(table.len());
+        max_states = max_states.max(table.len());
+        for state in table.states() {
+            let (action, _) = table.best_action(state);
+            greedy_mode_counts[action] += 1;
+        }
+    }
+
+    println!("\nQ-table occupancy across the 64 routers:");
+    println!("  total visited states : {total_states}");
+    println!("  per router           : min {min_states}, max {max_states}, mean {:.1}",
+        total_states as f64 / tables.len() as f64);
+    println!("  hardware cap         : 350 entries (paper Section 7.4 reports <300 visited)");
+
+    let total: u64 = greedy_mode_counts.iter().sum();
+    println!("\ngreedy operation mode per visited state:");
+    for (i, &c) in greedy_mode_counts.iter().enumerate() {
+        let mode = OperationMode::from_action(i);
+        let pct = 100.0 * c as f64 / total.max(1) as f64;
+        let bar: String = std::iter::repeat('#').take((pct / 2.0) as usize).collect();
+        println!("  {mode:<22} {c:>5} states ({pct:>5.1}%) {bar}");
+    }
+
+    // Show one concrete router's table in detail.
+    let (ri, richest) = tables
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, t)| t.len())
+        .expect("64 tables");
+    println!("\nrouter {ri} (richest table, {} states):", richest.len());
+    println!("  {:<18} {:>10} {:>8} {:>22}", "state key", "greedy", "Q", "visits per action");
+    let mut states: Vec<_> = richest.states().collect();
+    states.sort();
+    for state in states.into_iter().take(12) {
+        let (a, q) = richest.best_action(state);
+        let visits: Vec<String> =
+            (0..5).map(|act| richest.visits(state, act).to_string()).collect();
+        println!(
+            "  {:<#18x} {:>10} {:>8.2} {:>22}",
+            state.0,
+            OperationMode::from_action(a).action(),
+            q,
+            visits.join("/")
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: simulate IntelliNoC vs. the SECDED baseline on one PARSEC
+//! workload and print the headline metrics.
+//!
+//! Run with: `cargo run --release -p intellinoc --example quickstart`
+
+use intellinoc::{compare, run_experiment, Design, ExperimentConfig};
+use noc_traffic::ParsecBenchmark;
+
+fn main() {
+    let bench = ParsecBenchmark::Canneal;
+    println!("Simulating `{bench}` on an 8x8 mesh (this takes a few seconds)...\n");
+
+    let outcomes: Vec<_> = [Design::Secded, Design::IntelliNoc]
+        .into_iter()
+        .map(|design| {
+            let cfg = ExperimentConfig::new(design, bench.workload(150)).with_seed(7);
+            let outcome = run_experiment(cfg);
+            let r = &outcome.report;
+            println!("{:<11}", design.label());
+            println!("  execution time : {} cycles", r.exec_cycles);
+            println!("  avg latency    : {:.1} cycles", r.avg_latency());
+            println!(
+                "  power          : {:.1} mW static + {:.1} mW dynamic",
+                r.power.static_mw, r.power.dynamic_mw
+            );
+            println!("  retransmissions: {} flits", r.stats.retransmitted_flits);
+            if let Some(mttf) = r.mttf_hours {
+                println!("  MTTF           : {mttf:.2e} hours");
+            }
+            println!();
+            outcome
+        })
+        .collect();
+
+    let row = compare(&outcomes);
+    let (_, m) = row.designs.iter().find(|(d, _)| *d == Design::IntelliNoc).expect("ran");
+    println!("IntelliNoC vs SECDED baseline (normalized):");
+    println!("  speed-up          : {:.2}x", m.speedup);
+    println!("  latency           : {:.2}x (lower is better)", m.latency);
+    println!("  static power      : {:.2}x (lower is better)", m.static_power);
+    println!("  energy-efficiency : {:.2}x (higher is better)", m.energy_efficiency);
+    println!("  MTTF              : {:.2}x (higher is better)", m.mttf);
+}

@@ -1,0 +1,137 @@
+//! Integration tests: every design runs every kind of workload to
+//! completion with sane, internally consistent metrics.
+
+use intellinoc::{compare, run_experiment, Design, ExperimentConfig};
+use noc_traffic::{ParsecBenchmark, WorkloadSpec};
+
+fn run(design: Design, spec: WorkloadSpec, seed: u64) -> intellinoc::ExperimentOutcome {
+    run_experiment(ExperimentConfig::new(design, spec).with_seed(seed))
+}
+
+#[test]
+fn all_designs_deliver_all_packets_on_parsec() {
+    for design in Design::ALL {
+        for bench in [ParsecBenchmark::Swaptions, ParsecBenchmark::Dedup] {
+            let o = run(design, bench.workload(15), 3);
+            assert_eq!(
+                o.report.stats.packets_delivered, 64 * 15,
+                "{design} on {bench} lost packets"
+            );
+            assert_eq!(
+                o.report.stats.packets_delivered, o.report.stats.packets_injected,
+                "{design} on {bench} accounting mismatch"
+            );
+        }
+    }
+}
+
+#[test]
+fn exec_time_and_latency_are_consistent() {
+    for design in Design::ALL {
+        let o = run(design, ParsecBenchmark::Fluidanimate.workload(20), 4);
+        let r = &o.report;
+        assert!(r.exec_cycles > 0, "{design}");
+        assert!(r.exec_cycles <= r.stats.cycles, "{design}");
+        assert!(r.avg_latency() >= 8.0, "{design} latency {}", r.avg_latency());
+        assert!(r.stats.latency_max as f64 >= r.avg_latency(), "{design}");
+    }
+}
+
+#[test]
+fn power_breakdown_is_positive_and_static_dominates_at_idle() {
+    let o = run(Design::Secded, WorkloadSpec::uniform(0.001, 10), 5);
+    let p = &o.report.power;
+    assert!(p.static_mw > 0.0 && p.dynamic_mw > 0.0);
+    // At near-idle load, leakage dominates (the paper's premise for
+    // power gating).
+    assert!(p.static_mw > p.dynamic_mw, "static {} dynamic {}", p.static_mw, p.dynamic_mw);
+}
+
+#[test]
+fn gating_designs_actually_gate_at_low_load() {
+    for design in [Design::Cp, Design::Cpd] {
+        let o = run(design, WorkloadSpec::uniform(0.002, 10), 6);
+        assert!(
+            o.report.stats.gated_router_cycles > 0,
+            "{design} never gated at idle"
+        );
+    }
+    let o = run(Design::Secded, WorkloadSpec::uniform(0.002, 10), 6);
+    assert_eq!(o.report.stats.gated_router_cycles, 0, "baseline must never gate");
+}
+
+#[test]
+fn gating_saves_static_power_vs_baseline() {
+    let base = run(Design::Secded, ParsecBenchmark::Swaptions.workload(40), 7);
+    let cp = run(Design::Cp, ParsecBenchmark::Swaptions.workload(40), 7);
+    assert!(
+        cp.report.power.static_mw < base.report.power.static_mw * 0.8,
+        "CP static {} vs baseline {}",
+        cp.report.power.static_mw,
+        base.report.power.static_mw
+    );
+}
+
+#[test]
+fn eb_has_lower_latency_than_baseline_at_low_load() {
+    // Paper Fig. 10: EB removes the VA stage and saves a pipeline cycle.
+    let base = run(Design::Secded, ParsecBenchmark::Swaptions.workload(30), 8);
+    let eb = run(Design::Eb, ParsecBenchmark::Swaptions.workload(30), 8);
+    assert!(
+        eb.report.avg_latency() < base.report.avg_latency(),
+        "EB {} vs baseline {}",
+        eb.report.avg_latency(),
+        base.report.avg_latency()
+    );
+}
+
+#[test]
+fn e2e_crc_designs_never_deliver_corrupted_packets() {
+    for design in [Design::Cpd, Design::IntelliNoc] {
+        let mut cfg =
+            ExperimentConfig::new(design, WorkloadSpec::uniform(0.02, 20)).with_seed(9);
+        cfg.error_rate_override = Some(5e-5);
+        let o = run_experiment(cfg);
+        assert_eq!(o.report.stats.corrupted_packets, 0, "{design}");
+        assert_eq!(o.report.stats.packets_delivered, 64 * 20, "{design}");
+    }
+}
+
+#[test]
+fn mttf_reported_for_all_designs() {
+    for design in Design::ALL {
+        let o = run(design, ParsecBenchmark::Vips.workload(15), 10);
+        let mttf = o.report.mttf_hours.expect("active network must age");
+        assert!(mttf.is_finite() && mttf > 0.0, "{design}");
+    }
+}
+
+#[test]
+fn comparison_row_is_finite_for_full_design_set() {
+    let outcomes: Vec<_> = Design::ALL
+        .iter()
+        .map(|&d| run(d, ParsecBenchmark::Freqmine.workload(15), 11))
+        .collect();
+    let row = compare(&outcomes);
+    for (design, m) in &row.designs {
+        for (name, v) in [
+            ("speedup", m.speedup),
+            ("latency", m.latency),
+            ("static", m.static_power),
+            ("dynamic", m.dynamic_power),
+            ("eff", m.energy_efficiency),
+            ("mttf", m.mttf),
+            ("edp", m.edp),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{design} {name} = {v}");
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_reruns() {
+    let a = run(Design::IntelliNoc, ParsecBenchmark::Bodytrack.workload(10), 12);
+    let b = run(Design::IntelliNoc, ParsecBenchmark::Bodytrack.workload(10), 12);
+    assert_eq!(a.report.stats, b.report.stats);
+    assert_eq!(a.mode_histogram, b.mode_histogram);
+}

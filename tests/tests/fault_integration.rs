@@ -1,0 +1,133 @@
+//! Integration tests for the fault path: real codecs + injection + the
+//! simulator's re-transmission machinery.
+
+use intellinoc::{run_experiment, Design, ExperimentConfig};
+use noc_sim::{Network, RouterDirective, SimConfig};
+use noc_traffic::WorkloadSpec;
+
+fn faulty_config(rate: f64) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.varius.base_rate = rate;
+    cfg.varius.min_rate = rate;
+    cfg.varius.max_rate = rate;
+    cfg
+}
+
+#[test]
+fn secded_corrects_most_and_retransmits_rest() {
+    let cfg = faulty_config(5e-5);
+    let mut net = Network::new(cfg, WorkloadSpec::uniform(0.02, 25), 21);
+    assert!(net.run_cycles(2_000_000));
+    let s = net.stats();
+    assert_eq!(s.packets_delivered, 64 * 25);
+    assert!(s.faulty_traversals > 50, "want fault activity, got {}", s.faulty_traversals);
+    assert!(s.corrected_bits > 0, "SECDED must correct single-bit errors");
+    // Single-bit errors dominate, so corrections outnumber re-transmissions.
+    assert!(
+        s.corrected_bits > s.hop_retx_events,
+        "corrected {} vs retx {}",
+        s.corrected_bits,
+        s.hop_retx_events
+    );
+    assert_eq!(s.corrupted_packets, 0, "SECDED+detection should not pass corruption");
+}
+
+#[test]
+fn dected_retransmits_less_than_secded_at_high_error_rate() {
+    let run = |scheme| {
+        let mut cfg = faulty_config(2e-4);
+        cfg.default_scheme = scheme;
+        let mut net = Network::new(cfg, WorkloadSpec::uniform(0.02, 25), 22);
+        assert!(net.run_cycles(2_000_000));
+        net.stats().clone()
+    };
+    let secded = run(noc_ecc::EccScheme::Secded);
+    let dected = run(noc_ecc::EccScheme::Dected);
+    assert!(secded.hop_retx_events > 0);
+    assert!(
+        dected.hop_retx_events < secded.hop_retx_events,
+        "DECTED {} vs SECDED {}",
+        dected.hop_retx_events,
+        secded.hop_retx_events
+    );
+}
+
+#[test]
+fn relaxed_timing_suppresses_errors() {
+    let run = |relaxed| {
+        let cfg = faulty_config(1e-4);
+        let mut net = Network::new(cfg, WorkloadSpec::uniform(0.02, 25), 23);
+        let d = RouterDirective {
+            gate: None,
+            scheme: noc_ecc::EccScheme::Secded,
+            relaxed,
+        };
+        net.apply_directives(&vec![d; 64]);
+        assert!(net.run_cycles(2_000_000));
+        net.stats().clone()
+    };
+    let normal = run(false);
+    let relaxed = run(true);
+    assert!(normal.faulty_traversals > 20);
+    assert!(
+        (relaxed.faulty_traversals as f64) < normal.faulty_traversals as f64 * 0.2,
+        "relaxed {} vs normal {}",
+        relaxed.faulty_traversals,
+        normal.faulty_traversals
+    );
+    // ... at the price of higher latency.
+    assert!(relaxed.avg_latency() > normal.avg_latency());
+}
+
+#[test]
+fn error_rate_scales_fault_activity_monotonically() {
+    let mut last = 0u64;
+    for rate in [1e-6, 1e-5, 1e-4] {
+        let mut cfg = ExperimentConfig::new(
+            Design::Secded,
+            WorkloadSpec::uniform(0.02, 15),
+        )
+        .with_seed(24);
+        cfg.error_rate_override = Some(rate);
+        let o = run_experiment(cfg);
+        assert!(
+            o.report.stats.faulty_traversals >= last,
+            "rate {rate}: {} < {last}",
+            o.report.stats.faulty_traversals
+        );
+        last = o.report.stats.faulty_traversals;
+    }
+    assert!(last > 100, "highest rate must show substantial activity");
+}
+
+#[test]
+fn unprotected_network_passes_corruption_protected_does_not() {
+    let run = |scheme, e2e| {
+        let mut cfg = faulty_config(2e-4);
+        cfg.default_scheme = scheme;
+        cfg.e2e_crc = e2e;
+        let mut net = Network::new(cfg, WorkloadSpec::uniform(0.02, 20), 25);
+        assert!(net.run_cycles(2_000_000));
+        net.stats().clone()
+    };
+    let naked = run(noc_ecc::EccScheme::None, false);
+    assert!(naked.corrupted_packets > 0, "no protection must leak corruption");
+    let crc = run(noc_ecc::EccScheme::None, true);
+    assert_eq!(crc.corrupted_packets, 0, "e2e CRC must catch corruption");
+    assert!(crc.e2e_retx_packets > 0, "CRC catches by re-transmitting");
+}
+
+#[test]
+fn hotter_network_sees_more_errors() {
+    // End-to-end thermal coupling: raise ambient, watch fault activity grow.
+    let run = |ambient| {
+        let mut cfg = SimConfig::default();
+        cfg.thermal.ambient_c = ambient;
+        let mut net = Network::new(cfg, WorkloadSpec::uniform(0.03, 25), 26);
+        assert!(net.run_cycles(2_000_000));
+        net.stats().faulty_traversals
+    };
+    let cool = run(50.0);
+    let hot = run(80.0);
+    assert!(hot > cool * 3, "hot {hot} vs cool {cool}");
+}
