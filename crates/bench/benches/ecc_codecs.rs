@@ -22,9 +22,7 @@ fn bench_decode_clean(c: &mut Criterion) {
     let suite = EccSuite::new();
     for scheme in [EccScheme::Crc, EccScheme::Secded, EccScheme::Dected] {
         let cw = suite.encode(scheme, data);
-        g.bench_function(scheme.to_string(), |b| {
-            b.iter(|| suite.decode(scheme, black_box(&cw)))
-        });
+        g.bench_function(scheme.to_string(), |b| b.iter(|| suite.decode(scheme, black_box(&cw))));
     }
     g.finish();
 }

@@ -12,11 +12,8 @@ fn bench_designs(c: &mut Criterion) {
         g.bench_function(design.label(), |b| {
             b.iter_batched(
                 || {
-                    ExperimentConfig::new(
-                        design,
-                        ParsecBenchmark::Blackscholes.workload(20),
-                    )
-                    .with_seed(3)
+                    ExperimentConfig::new(design, ParsecBenchmark::Blackscholes.workload(20))
+                        .with_seed(3)
                 },
                 run_experiment,
                 BatchSize::LargeInput,

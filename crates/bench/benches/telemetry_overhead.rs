@@ -1,0 +1,70 @@
+//! Microbenchmark for the telemetry zero-overhead-when-disabled contract:
+//! the same `step_cycle` hot loop with no telemetry installed, with a
+//! tracer+profiler installed, and with a tracer whose filter rejects
+//! everything (branch taken, nothing recorded).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use noc_sim::{Network, SimConfig, TraceFilter, Tracer};
+use noc_telemetry::Profiler;
+use noc_traffic::WorkloadSpec;
+
+const CYCLES: u64 = 20_000;
+
+fn make_network() -> Network {
+    let cfg = SimConfig { seed: 7, ..SimConfig::default() };
+    Network::new(cfg, WorkloadSpec::uniform(0.03, 200), 7)
+}
+
+fn bench_step_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step_cycle_20k");
+    g.sample_size(10);
+
+    g.bench_function("telemetry_disabled", |b| {
+        b.iter_batched(
+            make_network,
+            |mut net| {
+                net.run_cycles(CYCLES);
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("trace_and_profile_enabled", |b| {
+        b.iter_batched(
+            || {
+                let mut net = make_network();
+                net.install_tracer(Tracer::new(1 << 20, TraceFilter::default()));
+                net.install_profiler(Profiler::new());
+                net
+            },
+            |mut net| {
+                net.run_cycles(CYCLES);
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("trace_enabled_filter_rejects_all", |b| {
+        b.iter_batched(
+            || {
+                let mut net = make_network();
+                // Router 64 does not exist on an 8x8 mesh: every event is
+                // filtered out, isolating the cost of the enabled branch.
+                net.install_tracer(Tracer::new(1 << 20, TraceFilter::parse("router=64").unwrap()));
+                net
+            },
+            |mut net| {
+                net.run_cycles(CYCLES);
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_step_cycle);
+criterion_main!(benches);

@@ -47,16 +47,8 @@ fn main() {
         RewardKind::LogSpace,
     );
     println!("\n-- D3: static ECC instead of adaptive (policy still gates) --");
-    run(
-        "always SECDED",
-        Some(|c| c.default_scheme = EccScheme::Secded),
-        RewardKind::LogSpace,
-    );
-    run(
-        "always DECTED",
-        Some(|c| c.default_scheme = EccScheme::Dected),
-        RewardKind::LogSpace,
-    );
+    run("always SECDED", Some(|c| c.default_scheme = EccScheme::Secded), RewardKind::LogSpace);
+    run("always DECTED", Some(|c| c.default_scheme = EccScheme::Dected), RewardKind::LogSpace);
     run(
         "always TECQED (t=3)",
         Some(|c| c.default_scheme = EccScheme::Tecqed),

@@ -49,11 +49,7 @@ fn main() {
         "{:<14} {:<8} {:>9} {:>9} {:>10} {:>10} {:>7}",
         "benchmark", "policy", "exec_cyc", "latency", "power_mW", "eff(1/uJ)", "retx"
     );
-    for bench in [
-        ParsecBenchmark::Swaptions,
-        ParsecBenchmark::Canneal,
-        ParsecBenchmark::X264,
-    ] {
+    for bench in [ParsecBenchmark::Swaptions, ParsecBenchmark::Canneal, ParsecBenchmark::X264] {
         for (name, policy) in [
             (
                 "RL",

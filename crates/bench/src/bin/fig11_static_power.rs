@@ -5,10 +5,8 @@ use intellinoc_bench::{load_or_run_campaign, Campaign, CAMPAIGN_CACHE};
 
 fn main() {
     let results = load_or_run_campaign(&Campaign::default(), CAMPAIGN_CACHE);
-    results.print_figure(
-        "Fig. 11: static power vs SECDED baseline",
-        "lower is better",
-        |m| m.static_power,
-    );
+    results.print_figure("Fig. 11: static power vs SECDED baseline", "lower is better", |m| {
+        m.static_power
+    });
     println!("\npaper averages: EB 0.86, CP 0.80, CPD 0.77, IntelliNoC lowest");
 }

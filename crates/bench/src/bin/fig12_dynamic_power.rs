@@ -5,10 +5,8 @@ use intellinoc_bench::{load_or_run_campaign, Campaign, CAMPAIGN_CACHE};
 
 fn main() {
     let results = load_or_run_campaign(&Campaign::default(), CAMPAIGN_CACHE);
-    results.print_figure(
-        "Fig. 12: dynamic power vs SECDED baseline",
-        "lower is better",
-        |m| m.dynamic_power,
-    );
+    results.print_figure("Fig. 12: dynamic power vs SECDED baseline", "lower is better", |m| {
+        m.dynamic_power
+    });
     println!("\npaper: IntelliNoC outperforms all other techniques");
 }

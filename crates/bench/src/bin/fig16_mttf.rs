@@ -5,10 +5,6 @@ use intellinoc_bench::{load_or_run_campaign, Campaign, CAMPAIGN_CACHE};
 
 fn main() {
     let results = load_or_run_campaign(&Campaign::default(), CAMPAIGN_CACHE);
-    results.print_figure(
-        "Fig. 16: MTTF vs SECDED baseline",
-        "higher is better",
-        |m| m.mttf,
-    );
+    results.print_figure("Fig. 16: MTTF vs SECDED baseline", "higher is better", |m| m.mttf);
     println!("\npaper average: IntelliNoC 1.77x baseline");
 }

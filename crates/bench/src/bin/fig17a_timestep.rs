@@ -17,16 +17,11 @@ const BENCHES: [ParsecBenchmark; 4] = [
 
 fn main() {
     println!("=== Fig. 17a: impact of RL time step (IntelliNoC vs baseline) ===");
-    println!(
-        "{:>10} {:>12} {:>12} {:>12}",
-        "time_step", "exec_time", "e2e_latency", "energy"
-    );
+    println!("{:>10} {:>12} {:>12} {:>12}", "time_step", "exec_time", "e2e_latency", "energy");
     // Baseline metrics are independent of the time step.
     let base_campaign = Campaign::default();
-    let baselines: Vec<_> = BENCHES
-        .iter()
-        .map(|&b| base_campaign.run_one(Design::Secded, b, None))
-        .collect();
+    let baselines: Vec<_> =
+        BENCHES.iter().map(|&b| base_campaign.run_one(Design::Secded, b, None)).collect();
     for step in [200u64, 500, 1_000, 10_000] {
         let campaign = Campaign { time_step: step, ..Campaign::default() };
         let pretrained = campaign.pretrain();

@@ -10,11 +10,8 @@ use intellinoc::{run_experiment, Design, ExperimentConfig};
 use intellinoc_bench::Campaign;
 use noc_traffic::ParsecBenchmark;
 
-const BENCHES: [ParsecBenchmark; 3] = [
-    ParsecBenchmark::Canneal,
-    ParsecBenchmark::Fluidanimate,
-    ParsecBenchmark::Swaptions,
-];
+const BENCHES: [ParsecBenchmark; 3] =
+    [ParsecBenchmark::Canneal, ParsecBenchmark::Fluidanimate, ParsecBenchmark::Swaptions];
 
 fn main() {
     println!("=== Fig. 17b: impact of forced bit-error rate (IntelliNoC vs baseline) ===");
@@ -46,8 +43,7 @@ fn main() {
             let o = run(Design::IntelliNoc);
             exec += (o.report.exec_cycles as f64 / b.report.exec_cycles as f64).ln();
             lat += (o.report.avg_latency() / b.report.avg_latency()).ln();
-            energy +=
-                (o.report.power.total_energy_pj() / b.report.power.total_energy_pj()).ln();
+            energy += (o.report.power.total_energy_pj() / b.report.power.total_energy_pj()).ln();
             retx += o.report.stats.retransmitted_flits;
         }
         let n = BENCHES.len() as f64;

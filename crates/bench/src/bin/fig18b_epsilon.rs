@@ -3,8 +3,7 @@
 //! optimum: ε = 0.05.
 
 use intellinoc::{
-    intellinoc_rl_config, pretrain_intellinoc, run_experiment, Design, ExperimentConfig,
-    RewardKind,
+    intellinoc_rl_config, pretrain_intellinoc, run_experiment, Design, ExperimentConfig, RewardKind,
 };
 use noc_traffic::ParsecBenchmark;
 
@@ -16,16 +15,13 @@ fn main() {
             .with_seed(7),
     );
     let base_edp = baseline.report.edp();
-    let base_retx =
-        (baseline.report.stats.retransmitted_flits.max(1)) as f64;
+    let base_retx = (baseline.report.stats.retransmitted_flits.max(1)) as f64;
     for epsilon in [0.0f64, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0] {
         let rl = noc_rl::QLearningConfig { epsilon, ..intellinoc_rl_config() };
         let tables = pretrain_intellinoc(rl, RewardKind::LogSpace, 200, 1_000, 7, 12);
-        let mut cfg = ExperimentConfig::new(
-            Design::IntelliNoc,
-            ParsecBenchmark::Blackscholes.workload(200),
-        )
-        .with_seed(7);
+        let mut cfg =
+            ExperimentConfig::new(Design::IntelliNoc, ParsecBenchmark::Blackscholes.workload(200))
+                .with_seed(7);
         cfg.rl = rl;
         cfg.pretrained = Some(tables);
         let o = run_experiment(cfg);

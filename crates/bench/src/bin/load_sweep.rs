@@ -17,8 +17,7 @@ fn main() {
     for rate in rates {
         print!("{rate:>8.3}");
         for design in Design::ALL {
-            let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, 60))
-                .with_seed(42);
+            let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, 60)).with_seed(42);
             let o = run_experiment(cfg);
             print!("{:>12.1}", o.report.avg_latency());
         }
@@ -33,8 +32,7 @@ fn main() {
     for rate in rates {
         print!("{rate:>8.3}");
         for design in Design::ALL {
-            let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, 60))
-                .with_seed(42);
+            let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, 60)).with_seed(42);
             let o = run_experiment(cfg);
             print!("{:>12.0}", o.report.stats.latency_percentile(0.99));
         }

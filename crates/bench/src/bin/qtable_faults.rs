@@ -18,7 +18,8 @@ fn main() {
         "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "hit_rate", "exec_cyc", "latency", "power_mW", "retx", "mode_swaps"
     );
-    let tables = pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 150, 1_000, 31, 12);
+    let tables =
+        pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 150, 1_000, 31, 12);
     for flip_prob in [0.0f64, 0.1, 0.5, 2.0, 8.0] {
         let mut cfg = Design::IntelliNoc.sim_config();
         cfg.seed = 31;

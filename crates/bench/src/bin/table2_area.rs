@@ -10,10 +10,11 @@ fn main() {
         "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "component", "Baseline", "EB", "CP", "CPD", "IntelliNoC"
     );
-    let breakdowns: Vec<_> = [Design::Secded, Design::Eb, Design::Cp, Design::Cpd, Design::IntelliNoc]
-        .iter()
-        .map(|d| model.router_area(&d.area_spec()))
-        .collect();
+    let breakdowns: Vec<_> =
+        [Design::Secded, Design::Eb, Design::Cp, Design::Cpd, Design::IntelliNoc]
+            .iter()
+            .map(|d| model.router_area(&d.area_spec()))
+            .collect();
     let row = |name: &str, f: &dyn Fn(&noc_power::AreaBreakdown) -> f64| {
         print!("{name:<16}");
         for b in &breakdowns {

@@ -91,10 +91,7 @@ impl Campaign {
         bench: ParsecBenchmark,
         pretrained: Option<&[QTable]>,
     ) -> Vec<ExperimentOutcome> {
-        Design::ALL
-            .iter()
-            .map(|&design| self.run_one(design, bench, pretrained))
-            .collect()
+        Design::ALL.iter().map(|&design| self.run_one(design, bench, pretrained)).collect()
     }
 
     /// Runs the full paper campaign: all designs × the 10-benchmark test
@@ -194,7 +191,7 @@ pub fn fmt_u64(v: u64) -> String {
     let s = v.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

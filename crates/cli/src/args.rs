@@ -63,9 +63,7 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.options.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("invalid value for --{name}: {v}")),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v}")),
         }
     }
 

@@ -3,10 +3,11 @@
 use crate::args::Args;
 use intellinoc::{
     compare as compare_outcomes, intellinoc_rl_config, pretrain_intellinoc, run_experiment,
-    Design, ExperimentConfig, ExperimentOutcome, RewardKind,
+    run_experiment_instrumented, Design, ExperimentConfig, ExperimentOutcome, RewardKind,
+    TelemetryArtifacts, TelemetryOptions,
 };
 use noc_power::AreaModel;
-use noc_sim::Network;
+use noc_sim::{EventKind, Network, TraceFilter};
 use noc_traffic::{
     capture_trace, read_trace, write_trace, ParsecBenchmark, TraceReplay, WorkloadSpec,
 };
@@ -86,10 +87,7 @@ fn print_outcome(o: &ExperimentOutcome, json: bool) -> CmdResult {
         "reliability       : {} retx flits, {} corrected bits, {} corrupted pkts",
         r.stats.retransmitted_flits, r.stats.corrected_bits, r.stats.corrupted_packets
     );
-    println!(
-        "thermals          : mean {:.1} C, max {:.1} C",
-        r.mean_temp_c, r.max_temp_c
-    );
+    println!("thermals          : mean {:.1} C, max {:.1} C", r.mean_temp_c, r.max_temp_c);
     match r.mttf_hours {
         Some(h) => println!("MTTF              : {h:.3e} hours"),
         None => println!("MTTF              : n/a (no aging accumulated)"),
@@ -101,6 +99,68 @@ fn print_outcome(o: &ExperimentOutcome, json: bool) -> CmdResult {
             fr[0], fr[1], fr[2], fr[3], fr[4]
         );
         println!("Q-table entries   : {:.1} per router (cap 350)", o.mean_qtable_entries);
+    }
+    Ok(())
+}
+
+/// Builds the run's telemetry switches from the command line.
+///
+/// Tracing turns on with `--trace`, `--trace-out`, or `--trace-filter`;
+/// the timeline with `--timeline-out`; profiling with `--profile`.
+pub fn telemetry_from(args: &Args) -> Result<TelemetryOptions, String> {
+    let trace_filter = match args.get("trace-filter") {
+        Some(spec) => TraceFilter::parse(spec)?,
+        None => TraceFilter::default(),
+    };
+    Ok(TelemetryOptions {
+        trace: args.has_flag("trace")
+            || args.get("trace-out").is_some()
+            || args.get("trace-filter").is_some(),
+        trace_filter,
+        trace_capacity: args.get_or("trace-capacity", 0usize)?,
+        timeline: args.get("timeline-out").is_some(),
+        profile: args.has_flag("profile"),
+    })
+}
+
+/// Writes the collected telemetry artifacts to the configured sinks.
+fn emit_telemetry(args: &Args, artifacts: &TelemetryArtifacts) -> CmdResult {
+    if let Some(tracer) = &artifacts.tracer {
+        let body = match args.get("trace-out") {
+            Some(path) if path.ends_with(".csv") => Some((path, tracer.to_csv())),
+            Some(path) => Some((path, tracer.to_jsonl())),
+            None => None,
+        };
+        if let Some((path, body)) = body {
+            std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "trace: {} events written to {path} ({} recorded, {} evicted)",
+                tracer.len(),
+                tracer.recorded(),
+                tracer.evicted()
+            );
+        } else {
+            eprintln!(
+                "trace: {} events retained ({} recorded, {} evicted); by kind:",
+                tracer.len(),
+                tracer.recorded(),
+                tracer.evicted()
+            );
+            for kind in EventKind::ALL {
+                let n = tracer.count_of(kind);
+                if n > 0 {
+                    eprintln!("  {:<16} {n}", kind.name());
+                }
+            }
+        }
+    }
+    if let (Some(path), Some(timeline)) = (args.get("timeline-out"), &artifacts.timeline) {
+        let body = serde_json::to_string_pretty(timeline).map_err(|e| e.to_string())?;
+        std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("timeline: {} samples written to {path}", timeline.len());
+    }
+    if let Some(profiler) = &artifacts.profiler {
+        print!("{}", profiler.table());
     }
     Ok(())
 }
@@ -117,8 +177,14 @@ pub fn run(args: &Args) -> CmdResult {
         cfg.error_rate_override =
             Some(r.parse().map_err(|_| format!("invalid --error-rate: {r}"))?);
     }
-    let outcome = run_experiment(cfg);
-    print_outcome(&outcome, args.has_flag("json"))
+    cfg.telemetry = telemetry_from(args)?;
+    if !cfg.telemetry.any() {
+        let outcome = run_experiment(cfg);
+        return print_outcome(&outcome, args.has_flag("json"));
+    }
+    let (outcome, _, artifacts) = run_experiment_instrumented(cfg);
+    print_outcome(&outcome, args.has_flag("json"))?;
+    emit_telemetry(args, &artifacts)
 }
 
 /// `intellinoc compare`.
@@ -128,8 +194,14 @@ pub fn compare(args: &Args) -> CmdResult {
     let episodes = args.get_or("pretrain-episodes", 12u32)?;
     let workload = workload_from(args, ppn)?;
     eprintln!("pre-training IntelliNoC ({episodes} episodes on blackscholes)...");
-    let tables =
-        pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 150, 1_000, seed, episodes);
+    let tables = pretrain_intellinoc(
+        intellinoc_rl_config(),
+        RewardKind::LogSpace,
+        150,
+        1_000,
+        seed,
+        episodes,
+    );
     let outcomes: Vec<_> = Design::ALL
         .iter()
         .map(|&design| {
@@ -199,8 +271,7 @@ pub fn trace(args: &Args) -> CmdResult {
             let path = args.positional.get(1).ok_or("need an output path")?;
             let ppn = args.get_or("ppn", 50u64)?;
             let workload = workload_from(args, ppn)?;
-            let records =
-                capture_trace(workload, 8, 8, args.get_or("seed", 1u64)?, 10_000_000);
+            let records = capture_trace(workload, 8, 8, args.get_or("seed", 1u64)?, 10_000_000);
             let f = File::create(path).map_err(|e| e.to_string())?;
             write_trace(BufWriter::new(f), &records).map_err(|e| e.to_string())?;
             println!("captured {} records to {path}", records.len());

@@ -48,6 +48,8 @@ fn usage() {
     eprintln!("           --design <secded|eb|cp|cpd|intellinoc>");
     eprintln!("           --benchmark <name> | --rate <packets/node/cycle>");
     eprintln!("           [--ppn N] [--seed S] [--error-rate R] [--time-step T] [--json]");
+    eprintln!("           [--trace] [--trace-out F.jsonl|F.csv] [--trace-filter router=N,kind=K]");
+    eprintln!("           [--trace-capacity N] [--timeline-out F.json] [--profile]");
     eprintln!("  compare  all five designs on one workload, normalized table");
     eprintln!("           --benchmark <name> [--ppn N] [--pretrain-episodes E]");
     eprintln!("  sweep    latency-vs-load curve for one design");

@@ -27,9 +27,7 @@ fn benchmark_names_and_labels_roundtrip() {
 #[test]
 fn run_command_executes_end_to_end() {
     let args = Args::parse(
-        "run --design eb --rate 0.02 --ppn 5 --seed 3 --json"
-            .split_whitespace()
-            .map(str::to_owned),
+        "run --design eb --rate 0.02 --ppn 5 --seed 3 --json".split_whitespace().map(str::to_owned),
     );
     assert!(intellinoc_cli::commands::run(&args).is_ok());
 }
@@ -44,9 +42,7 @@ fn run_command_rejects_missing_workload() {
 #[test]
 fn sweep_command_executes() {
     let args = Args::parse(
-        "sweep --design secded --rates 0.01,0.02 --ppn 5"
-            .split_whitespace()
-            .map(str::to_owned),
+        "sweep --design secded --rates 0.01,0.02 --ppn 5".split_whitespace().map(str::to_owned),
     );
     assert!(intellinoc_cli::commands::sweep(&args).is_ok());
 }
@@ -70,9 +66,7 @@ fn trace_capture_then_replay() {
     );
     assert!(intellinoc_cli::commands::trace(&cap).is_ok());
     let rep = Args::parse(
-        format!("trace replay {path_s} --design cp")
-            .split_whitespace()
-            .map(str::to_owned),
+        format!("trace replay {path_s} --design cp").split_whitespace().map(str::to_owned),
     );
     assert!(intellinoc_cli::commands::trace(&rep).is_ok());
     let _ = std::fs::remove_file(path);

@@ -10,7 +10,7 @@
 use crate::modes::OperationMode;
 use noc_ecc::EccScheme;
 use noc_rl::{holistic_reward, linear_reward, Discretizer, QAgent, QLearningConfig, QTable};
-use noc_sim::{RouterDirective, RouterObservation};
+use noc_sim::{Event, RouterDirective, RouterObservation, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Reward shaping variant (ablation D5).
@@ -49,9 +49,7 @@ impl RlControl {
     /// Creates one agent per router.
     pub fn new(routers: usize, cfg: QLearningConfig, seed: u64, reward_kind: RewardKind) -> Self {
         RlControl {
-            agents: (0..routers)
-                .map(|r| QAgent::new(cfg, seed.wrapping_add(r as u64)))
-                .collect(),
+            agents: (0..routers).map(|r| QAgent::new(cfg, seed.wrapping_add(r as u64))).collect(),
             discretizer: Discretizer::paper_default(),
             reward_kind,
             mode_histogram: [0; 5],
@@ -118,13 +116,23 @@ impl RlControl {
     /// network-wide step average, and if *nothing* completed network-wide
     /// the step is treated as a stall with a large latency penalty.
     pub fn decide(&mut self, observations: &[RouterObservation]) -> Vec<RouterDirective> {
+        self.decide_traced(observations, 0, None)
+    }
+
+    /// Like [`RlControl::decide`], additionally emitting one `QUpdate` event
+    /// per agent (discretized state, chosen action, observed reward) and a
+    /// `ModeSwitch` event for every router whose mode changed, stamped at
+    /// `cycle`, when a tracer is supplied.
+    pub fn decide_traced(
+        &mut self,
+        observations: &[RouterObservation],
+        cycle: u64,
+        mut tracer: Option<&mut Tracer>,
+    ) -> Vec<RouterDirective> {
         debug_assert_eq!(observations.len(), self.agents.len());
         let total_pkts: u64 = observations.iter().map(|o| o.ejected_packets).sum();
         let net_latency = if total_pkts > 0 {
-            observations
-                .iter()
-                .map(|o| o.avg_latency * o.ejected_packets as f64)
-                .sum::<f64>()
+            observations.iter().map(|o| o.avg_latency * o.ejected_packets as f64).sum::<f64>()
                 / total_pkts as f64
         } else {
             STALL_LATENCY
@@ -148,6 +156,24 @@ impl RlControl {
                 let key = self.discretizer.key(&obs.features);
                 let action = agent.step(key, reward);
                 let mode = OperationMode::from_action(action);
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.record(Event::QUpdate {
+                        cycle,
+                        router: r as u32,
+                        state: key.0,
+                        action: action as u8,
+                        reward,
+                    });
+                    let prev = self.last_modes[r];
+                    if prev != mode {
+                        t.record(Event::ModeSwitch {
+                            cycle,
+                            router: r as u32,
+                            from: prev.action() as u8,
+                            to: action as u8,
+                        });
+                    }
+                }
                 self.mode_histogram[action] += 1;
                 self.last_modes[r] = mode;
                 mode.directive()
@@ -235,6 +261,17 @@ pub enum ControlPolicy {
 impl ControlPolicy {
     /// One control step; `None` means "leave directives unchanged".
     pub fn decide(&mut self, observations: &[RouterObservation]) -> Option<Vec<RouterDirective>> {
+        self.decide_traced(observations, 0, None)
+    }
+
+    /// One control step with telemetry: RL policies emit `QUpdate` and
+    /// `ModeSwitch` events into `tracer` stamped at `cycle`.
+    pub fn decide_traced(
+        &mut self,
+        observations: &[RouterObservation],
+        cycle: u64,
+        tracer: Option<&mut Tracer>,
+    ) -> Option<Vec<RouterDirective>> {
         match self {
             ControlPolicy::Static => None,
             ControlPolicy::CpdHeuristic(streaks) => {
@@ -243,7 +280,7 @@ impl ControlPolicy {
                 }
                 Some(cpd_decide(observations, streaks))
             }
-            ControlPolicy::Rl(rl) => Some(rl.decide(observations)),
+            ControlPolicy::Rl(rl) => Some(rl.decide_traced(observations, cycle, tracer)),
         }
     }
 

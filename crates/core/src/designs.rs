@@ -228,7 +228,9 @@ mod tests {
         // IntelliNoC gates reactively underneath the RL's proactive mode 0,
         // with an MFAC-sized wake threshold.
         assert!(Design::IntelliNoc.sim_config().reactive_gating);
-        assert!(Design::IntelliNoc.sim_config().wake_occupancy > Design::Cp.sim_config().wake_occupancy);
+        assert!(
+            Design::IntelliNoc.sim_config().wake_occupancy > Design::Cp.sim_config().wake_occupancy
+        );
         assert!(Design::IntelliNoc.sim_config().bypass_enabled);
     }
 }

@@ -7,9 +7,13 @@
 use crate::controller::{intellinoc_rl_config, ControlPolicy, RewardKind, RlControl};
 use crate::designs::Design;
 use noc_rl::{QLearningConfig, QTable};
-use noc_sim::{Network, RunReport, SimConfig};
+use noc_sim::{
+    Network, Profiler, RouterObservation, RunReport, RunTimeline, SimConfig, TimelineSample,
+    TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+};
 use noc_traffic::{ParsecBenchmark, WorkloadSpec};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// The paper's default RL control time step in cycles (§6.3).
 pub const DEFAULT_TIME_STEP: u64 = 1_000;
@@ -39,6 +43,43 @@ pub struct ExperimentConfig {
     pub pretrained: Option<Vec<QTable>>,
     /// Overrides applied to the design's simulator config (ablations).
     pub tweak: Option<fn(&mut SimConfig)>,
+    /// Observability switches (all off by default).
+    pub telemetry: TelemetryOptions,
+}
+
+/// Observability switches for one experiment run. Everything defaults to
+/// off; the disabled paths cost one branch per emission site.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryOptions {
+    /// Record a structured event trace.
+    pub trace: bool,
+    /// Admission filter applied when tracing.
+    pub trace_filter: TraceFilter,
+    /// Trace ring capacity in events (`0` = default).
+    pub trace_capacity: usize,
+    /// Sample a per-control-step metrics timeline.
+    pub timeline: bool,
+    /// Collect wall-clock section timers and pipeline-phase counters.
+    pub profile: bool,
+}
+
+impl TelemetryOptions {
+    /// Whether any facility is enabled.
+    pub fn any(&self) -> bool {
+        self.trace || self.timeline || self.profile
+    }
+}
+
+/// The telemetry artifacts of one run; each field is present iff the
+/// corresponding [`TelemetryOptions`] switch was on.
+#[derive(Debug, Default)]
+pub struct TelemetryArtifacts {
+    /// The event trace (ring contents + admission counters).
+    pub tracer: Option<Tracer>,
+    /// Per-control-step metrics time-series.
+    pub timeline: Option<RunTimeline>,
+    /// Section timers and pipeline-phase counters.
+    pub profiler: Option<Profiler>,
 }
 
 impl ExperimentConfig {
@@ -55,6 +96,7 @@ impl ExperimentConfig {
             error_rate_override: None,
             pretrained: None,
             tweak: None,
+            telemetry: TelemetryOptions::default(),
         }
     }
 
@@ -109,9 +151,70 @@ pub fn run_experiment(cfg: ExperimentConfig) -> ExperimentOutcome {
 
 /// Runs one experiment and returns the control policy as well (to extract
 /// trained Q-tables).
-pub fn run_experiment_keeping_policy(
+pub fn run_experiment_keeping_policy(cfg: ExperimentConfig) -> (ExperimentOutcome, ControlPolicy) {
+    let (outcome, policy, _) = run_experiment_instrumented(cfg);
+    (outcome, policy)
+}
+
+/// Per-step baseline for delta-valued timeline series.
+#[derive(Debug, Default, Clone, Copy)]
+struct StepBase {
+    injected: u64,
+    delivered: u64,
+    hop_retx: u64,
+    e2e_retx: u64,
+    modes: [u64; 5],
+}
+
+/// Builds one timeline sample from the live network state and advances the
+/// delta baseline.
+fn sample_timeline(
+    net: &Network,
+    obs: &[RouterObservation],
+    policy: &ControlPolicy,
+    prev: &mut StepBase,
+) -> TimelineSample {
+    let report = net.report();
+    let s = &report.stats;
+    let modes = match policy {
+        ControlPolicy::Rl(rl) => rl.mode_histogram(),
+        _ => [0; 5],
+    };
+    let mut mode_delta = [0u64; 5];
+    for (d, (&now, &before)) in mode_delta.iter_mut().zip(modes.iter().zip(&prev.modes)) {
+        *d = now - before;
+    }
+    let sample = TimelineSample {
+        cycle: net.now(),
+        avg_latency: s.avg_latency(),
+        p99_latency: s.latency_percentile(0.99),
+        dynamic_power_mw: report.power.dynamic_mw,
+        static_power_mw: report.power.static_mw,
+        mean_temp_c: report.mean_temp_c,
+        max_temp_c: report.max_temp_c,
+        tile_temps_c: obs.iter().map(|o| o.temperature_c).collect(),
+        mean_aging_factor: report.mean_aging_factor,
+        mode_histogram: mode_delta,
+        hop_retx: s.hop_retx_events - prev.hop_retx,
+        e2e_retx: s.e2e_retx_packets - prev.e2e_retx,
+        packets_injected: s.packets_injected - prev.injected,
+        packets_delivered: s.packets_delivered - prev.delivered,
+    };
+    *prev = StepBase {
+        injected: s.packets_injected,
+        delivered: s.packets_delivered,
+        hop_retx: s.hop_retx_events,
+        e2e_retx: s.e2e_retx_packets,
+        modes,
+    };
+    sample
+}
+
+/// Runs one experiment with the configured telemetry enabled, returning the
+/// outcome, the control policy, and the collected telemetry artifacts.
+pub fn run_experiment_instrumented(
     cfg: ExperimentConfig,
-) -> (ExperimentOutcome, ControlPolicy) {
+) -> (ExperimentOutcome, ControlPolicy, TelemetryArtifacts) {
     let mut sim_cfg = cfg.design.sim_config();
     sim_cfg.seed = cfg.seed;
     sim_cfg.max_cycles = cfg.max_cycles;
@@ -122,6 +225,20 @@ pub fn run_experiment_keeping_policy(
     let workload_name = cfg.workload.name.clone();
     let mut net = Network::new(sim_cfg, cfg.workload, cfg.seed.wrapping_mul(31).wrapping_add(7));
     net.set_error_rate_override(cfg.error_rate_override);
+    if cfg.telemetry.trace {
+        let capacity = if cfg.telemetry.trace_capacity == 0 {
+            DEFAULT_TRACE_CAPACITY
+        } else {
+            cfg.telemetry.trace_capacity
+        };
+        net.install_tracer(Tracer::new(capacity, cfg.telemetry.trace_filter.clone()));
+    }
+    if cfg.telemetry.profile {
+        net.install_profiler(Profiler::new());
+    }
+    let profile = cfg.telemetry.profile;
+    let mut timeline = if cfg.telemetry.timeline { Some(RunTimeline::new()) } else { None };
+    let mut base = StepBase::default();
 
     let mut policy = match cfg.design {
         Design::IntelliNoc => {
@@ -144,9 +261,22 @@ pub fn run_experiment_keeping_policy(
         if decisions > 0 {
             net.charge_rl_decisions(decisions);
         }
-        if let Some(directives) = policy.decide(&obs) {
+        let t0 = if profile { Some(Instant::now()) } else { None };
+        let directives = policy.decide_traced(&obs, net.now(), net.tracer_mut());
+        if let (Some(t0), Some(prof)) = (t0, net.profiler_mut()) {
+            prof.add("rl.decide", t0.elapsed());
+        }
+        if let Some(directives) = directives {
             net.apply_directives(&directives);
         }
+        if let Some(tl) = timeline.as_mut() {
+            tl.push(sample_timeline(&net, &obs, &policy, &mut base));
+        }
+    }
+    // Close the timeline with the final (possibly partial) step.
+    if let Some(tl) = timeline.as_mut() {
+        let obs = net.observations();
+        tl.push(sample_timeline(&net, &obs, &policy, &mut base));
     }
 
     let report = net.report();
@@ -154,6 +284,8 @@ pub fn run_experiment_keeping_policy(
         ControlPolicy::Rl(rl) => (rl.mode_histogram(), rl.mean_table_entries()),
         _ => ([0; 5], 0.0),
     };
+    let artifacts =
+        TelemetryArtifacts { tracer: net.take_tracer(), timeline, profiler: net.take_profiler() };
     (
         ExperimentOutcome {
             design: cfg.design,
@@ -163,6 +295,7 @@ pub fn run_experiment_keeping_policy(
             mean_qtable_entries,
         },
         policy,
+        artifacts,
     )
 }
 
@@ -199,9 +332,8 @@ pub fn pretrain_intellinoc(
     let mut tables: Option<Vec<QTable>> = None;
     for ep in 0..episodes.max(1) {
         let (rate_mult, err) = CURRICULUM[ep as usize % CURRICULUM.len()];
-        let workload = ParsecBenchmark::Blackscholes
-            .workload(packets_per_node)
-            .scaled_rate(rate_mult);
+        let workload =
+            ParsecBenchmark::Blackscholes.workload(packets_per_node).scaled_rate(rate_mult);
         let cfg = ExperimentConfig {
             time_step,
             rl,
@@ -232,10 +364,7 @@ mod tests {
     fn every_design_completes_a_small_workload() {
         for design in Design::ALL {
             let out = run_experiment(small(design, 0.02, 8));
-            assert_eq!(
-                out.report.stats.packets_delivered, 64 * 8,
-                "{design} dropped packets"
-            );
+            assert_eq!(out.report.stats.packets_delivered, 64 * 8, "{design} dropped packets");
             assert!(out.report.power.total_mw() > 0.0, "{design}");
             assert!(out.report.exec_cycles > 0, "{design}");
         }
@@ -261,14 +390,8 @@ mod tests {
 
     #[test]
     fn pretraining_produces_populated_tables() {
-        let tables = pretrain_intellinoc(
-            intellinoc_rl_config(),
-            RewardKind::LogSpace,
-            20,
-            500,
-            3,
-            3,
-        );
+        let tables =
+            pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 20, 500, 3, 3);
         assert_eq!(tables.len(), 64);
         let filled = tables.iter().filter(|t| !t.is_empty()).count();
         assert!(filled > 32, "only {filled} tables learned anything");
@@ -278,14 +401,8 @@ mod tests {
 
     #[test]
     fn pretrained_run_executes() {
-        let tables = pretrain_intellinoc(
-            intellinoc_rl_config(),
-            RewardKind::LogSpace,
-            10,
-            500,
-            3,
-            2,
-        );
+        let tables =
+            pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 10, 500, 3, 2);
         let mut cfg = small(Design::IntelliNoc, 0.02, 10);
         cfg.pretrained = Some(tables);
         let out = run_experiment(cfg);

@@ -42,8 +42,8 @@ impl Default for ExpertThresholds {
 impl ExpertThresholds {
     /// The mode this rule picks for one observation.
     pub fn mode_for(&self, obs: &RouterObservation) -> OperationMode {
-        let util: f64 = obs.features[..5].iter().sum::<f64>()
-            + obs.features[10..15].iter().sum::<f64>();
+        let util: f64 =
+            obs.features[..5].iter().sum::<f64>() + obs.features[10..15].iter().sum::<f64>();
         if util < self.gate_util {
             OperationMode::StressRelax
         } else if obs.temperature_c < self.crc_temp_c {

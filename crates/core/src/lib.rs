@@ -49,8 +49,9 @@ mod sweeps;
 pub use controller::{cpd_decide, intellinoc_rl_config, ControlPolicy, RewardKind, RlControl};
 pub use designs::Design;
 pub use experiment::{
-    pretrain_intellinoc, run_experiment, run_experiment_keeping_policy, ExperimentConfig,
-    ExperimentOutcome, DEFAULT_TIME_STEP,
+    pretrain_intellinoc, run_experiment, run_experiment_instrumented,
+    run_experiment_keeping_policy, ExperimentConfig, ExperimentOutcome, TelemetryArtifacts,
+    TelemetryOptions, DEFAULT_TIME_STEP,
 };
 pub use expert::{expert_decide, ExpertThresholds};
 pub use metrics::{compare, geomean, normalize, ComparisonRow, NormalizedMetrics};

@@ -100,11 +100,7 @@ where
     let vals: Vec<f64> = rows
         .iter()
         .flat_map(|row| {
-            row.designs
-                .iter()
-                .filter(|(d, _)| *d == design)
-                .map(|(_, m)| f(m))
-                .collect::<Vec<_>>()
+            row.designs.iter().filter(|(d, _)| *d == design).map(|(_, m)| f(m)).collect::<Vec<_>>()
         })
         .filter(|v| v.is_finite() && *v > 0.0)
         .collect();

@@ -76,31 +76,21 @@ impl OperationMode {
     ///   ECC mode; mode 0 *additionally* forces proactive stress relief).
     pub fn directive(self) -> RouterDirective {
         match self {
-            OperationMode::StressRelax => RouterDirective {
-                gate: Some(true),
-                scheme: EccScheme::None,
-                relaxed: false,
-            },
-            OperationMode::BasicCrc => RouterDirective {
-                gate: None,
-                scheme: EccScheme::None,
-                relaxed: false,
-            },
-            OperationMode::Secded => RouterDirective {
-                gate: None,
-                scheme: EccScheme::Secded,
-                relaxed: false,
-            },
-            OperationMode::Dected => RouterDirective {
-                gate: None,
-                scheme: EccScheme::Dected,
-                relaxed: false,
-            },
-            OperationMode::Relaxed => RouterDirective {
-                gate: None,
-                scheme: EccScheme::Secded,
-                relaxed: true,
-            },
+            OperationMode::StressRelax => {
+                RouterDirective { gate: Some(true), scheme: EccScheme::None, relaxed: false }
+            }
+            OperationMode::BasicCrc => {
+                RouterDirective { gate: None, scheme: EccScheme::None, relaxed: false }
+            }
+            OperationMode::Secded => {
+                RouterDirective { gate: None, scheme: EccScheme::Secded, relaxed: false }
+            }
+            OperationMode::Dected => {
+                RouterDirective { gate: None, scheme: EccScheme::Dected, relaxed: false }
+            }
+            OperationMode::Relaxed => {
+                RouterDirective { gate: None, scheme: EccScheme::Secded, relaxed: true }
+            }
         }
     }
 }

@@ -166,10 +166,8 @@ pub fn mesh_scaling(design: Design, sides: &[usize], rate: f64, ppn: u64) -> Vec
             sim_cfg.height = side;
             sim_cfg.seed = 13;
             // Drive the simulator directly so we control the mesh size.
-            let mut net =
-                noc_sim::Network::new(sim_cfg, WorkloadSpec::uniform(rate, ppn), 13);
-            let report =
-                net.run_to_completion(crate::experiment::DEFAULT_TIME_STEP, |_, _| None);
+            let mut net = noc_sim::Network::new(sim_cfg, WorkloadSpec::uniform(rate, ppn), 13);
+            let report = net.run_to_completion(crate::experiment::DEFAULT_TIME_STEP, |_, _| None);
             ScalePoint {
                 side,
                 latency: report.avg_latency(),

@@ -161,7 +161,7 @@ impl FlitCodec for Dected {
         debug_assert_eq!(cw.len(), CW_LEN);
         let gf = &self.gf;
         let (s1, s3) = self.syndromes(cw);
-        let parity_even = cw.count_ones() % 2 == 0;
+        let parity_even = cw.count_ones().is_multiple_of(2);
 
         if s1 == 0 && s3 == 0 {
             return if parity_even {

@@ -50,8 +50,8 @@ impl BchCodec {
     /// Panics if `t` is 0 or greater than 7, if `data_bits` is 0 or exceeds
     /// 128 (the flit payload), or if the code does not fit in n = 255.
     pub fn new(data_bits: usize, t: usize) -> Self {
-        assert!(t >= 1 && t <= 7, "t out of supported range: {t}");
-        assert!(data_bits >= 1 && data_bits <= 128, "data_bits out of range: {data_bits}");
+        assert!((1..=7).contains(&t), "t out of supported range: {t}");
+        assert!((1..=128).contains(&data_bits), "data_bits out of range: {data_bits}");
         let gf = Gf256::new();
         // g(x) = lcm of minimal polynomials of alpha^1, alpha^3, ..., alpha^(2t-1).
         let mut generator = vec![true]; // constant 1
@@ -103,9 +103,7 @@ impl BchCodec {
             "code does not fit in GF(2^8): k={data_bits} r={check_bits}"
         );
         let n = data_bits + check_bits;
-        let pow = (0..=2 * t)
-            .map(|j| (0..n).map(|i| gf.alpha_pow(j * i)).collect())
-            .collect();
+        let pow = (0..=2 * t).map(|j| (0..n).map(|i| gf.alpha_pow(j * i)).collect()).collect();
         BchCodec { gf, data_bits, t, generator, check_bits, pow }
     }
 
@@ -132,6 +130,7 @@ impl BchCodec {
     fn syndromes(&self, cw: &Codeword) -> Vec<u8> {
         let mut s = vec![0u8; 2 * self.t + 1]; // s[j] = S_j, s[0] unused
         for i in cw.iter_ones() {
+            #[allow(clippy::needless_range_loop)] // s[0] is deliberately unused
             for j in 1..=2 * self.t {
                 s[j] ^= self.pow[j][i];
             }
@@ -155,7 +154,7 @@ impl BchCodec {
             // Discrepancy d = S_{i+1} + sum sigma_k * S_{i+1-k}.
             let mut d = s[i + 1];
             for k in 1..=l.min(i) {
-                if i + 1 >= k + 1 {
+                if i + 1 > k {
                     d ^= gf.mul(sigma[k], s[i - k + 1]);
                 }
             }

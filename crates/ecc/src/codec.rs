@@ -117,11 +117,7 @@ impl Codeword {
 
     /// Number of bit positions in which `self` and `other` differ.
     pub fn hamming_distance(&self, other: &Codeword) -> u32 {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a ^ b).count_ones()).sum()
     }
 
     /// Iterator over the indices of the set bits.

@@ -61,11 +61,7 @@ impl Crc {
     ///
     /// Panics if `spec.width` is not 8, 16, or 32.
     pub fn new(spec: CrcSpec) -> Self {
-        assert!(
-            matches!(spec.width, 8 | 16 | 32),
-            "unsupported CRC width {}",
-            spec.width
-        );
+        assert!(matches!(spec.width, 8 | 16 | 32), "unsupported CRC width {}", spec.width);
         let mut table = Box::new([0u32; 256]);
         let top = 1u64 << (spec.width - 1);
         let mask = if spec.width == 32 { u32::MAX as u64 } else { (1u64 << spec.width) - 1 };
@@ -86,11 +82,7 @@ impl Crc {
 
     /// Computes the CRC register over `data` (16 bytes, big-endian order).
     pub fn checksum(&self, data: u128) -> u32 {
-        let mask = if self.spec.width == 32 {
-            u32::MAX
-        } else {
-            (1u32 << self.spec.width) - 1
-        };
+        let mask = if self.spec.width == 32 { u32::MAX } else { (1u32 << self.spec.width) - 1 };
         let mut reg = self.spec.init & mask;
         for i in (0..16).rev() {
             let byte = ((data >> (i * 8)) & 0xFF) as u32;

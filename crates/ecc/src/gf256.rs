@@ -39,6 +39,7 @@ impl Gf256 {
         let mut exp = [0u8; 512];
         let mut log = [0u16; 256];
         let mut x = 1u16;
+        #[allow(clippy::needless_range_loop)] // i is both index and exponent
         for i in 0..255 {
             exp[i] = x as u8;
             log[x as usize] = i as u16;

@@ -55,6 +55,7 @@ impl Secded {
         let mut data_pos = Vec::with_capacity(data_bits);
         let mut pos_data = vec![None; n + 1];
         let mut d = 0;
+        #[allow(clippy::needless_range_loop)] // p is a 1-based codeword position
         for p in 1..=n {
             if !p.is_power_of_two() {
                 pos_data[p] = Some(d);
@@ -133,7 +134,7 @@ impl FlitCodec for Secded {
                 syndrome ^= i; // position == index for positions 1..=n
             }
         }
-        let parity_ok = ones % 2 == 0;
+        let parity_ok = ones.is_multiple_of(2);
 
         let extract = |cw: &Codeword| -> u128 {
             let mut data = 0u128;
@@ -185,8 +186,7 @@ mod tests {
     #[test]
     fn clean_roundtrip_various_data() {
         let c = Secded::flit();
-        for data in [0u128, 1, u128::MAX, 0xDEAD_BEEF, 0xAAAA_AAAA_AAAA_AAAA_5555_5555_5555_5555]
-        {
+        for data in [0u128, 1, u128::MAX, 0xDEAD_BEEF, 0xAAAA_AAAA_AAAA_AAAA_5555_5555_5555_5555] {
             let cw = c.encode(data);
             let (out, status) = c.decode(&cw);
             assert_eq!(out, data);

@@ -70,13 +70,8 @@ pub enum EccScheme {
 
 impl EccScheme {
     /// All schemes in increasing order of strength.
-    pub const ALL: [EccScheme; 5] = [
-        EccScheme::None,
-        EccScheme::Crc,
-        EccScheme::Secded,
-        EccScheme::Dected,
-        EccScheme::Tecqed,
-    ];
+    pub const ALL: [EccScheme; 5] =
+        [EccScheme::None, EccScheme::Crc, EccScheme::Secded, EccScheme::Dected, EccScheme::Tecqed];
 
     /// Number of check bits appended to a 128-bit flit under this scheme.
     pub fn check_bits(self) -> usize {

@@ -90,11 +90,8 @@ pub fn extrapolate_mttf(model: &AgingModel, state: &AgingState) -> Option<MttfEs
 ///
 /// Returns `None` if no router accumulated any stress.
 pub fn network_mttf(model: &AgingModel, states: &[AgingState]) -> Option<MttfEstimate> {
-    let rate: f64 = states
-        .iter()
-        .filter_map(|s| extrapolate_mttf(model, s))
-        .map(|m| 1.0 / m.cycles)
-        .sum();
+    let rate: f64 =
+        states.iter().filter_map(|s| extrapolate_mttf(model, s)).map(|m| 1.0 / m.cycles).sum();
     if rate > 0.0 {
         Some(MttfEstimate { cycles: 1.0 / rate })
     } else {
@@ -120,7 +117,8 @@ mod tests {
         let mttf = extrapolate_mttf(&m, &s).unwrap();
         // Directly verify: at the extrapolated time the ΔVth equals the
         // threshold (within bisection tolerance).
-        let dvth = m.nbti_dvth(s.nbti_rate() * mttf.cycles) + m.hci_dvth(s.hci_rate() * mttf.cycles);
+        let dvth =
+            m.nbti_dvth(s.nbti_rate() * mttf.cycles) + m.hci_dvth(s.hci_rate() * mttf.cycles);
         assert!((dvth - m.failure_dvth()).abs() / m.failure_dvth() < 1e-6);
     }
 

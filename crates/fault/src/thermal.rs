@@ -137,7 +137,10 @@ impl ThermalGrid {
                 let mut nsum = 0.0;
                 let mut ncnt = 0.0;
                 let mut visit = |xx: isize, yy: isize| {
-                    if xx >= 0 && yy >= 0 && (xx as usize) < self.width && (yy as usize) < self.height
+                    if xx >= 0
+                        && yy >= 0
+                        && (xx as usize) < self.width
+                        && (yy as usize) < self.height
                     {
                         nsum += old[yy as usize * self.width + xx as usize];
                         ncnt += 1.0;

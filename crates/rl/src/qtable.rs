@@ -150,9 +150,7 @@ impl QTable {
         }
         if self.entries.len() >= self.capacity {
             // Evict the LRU entry. Linear scan is fine at capacity 350.
-            if let Some((&victim, _)) =
-                self.entries.iter().min_by_key(|(_, e)| e.last_used)
-            {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
                 self.entries.remove(&victim);
                 self.evictions += 1;
             }

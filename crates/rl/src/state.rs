@@ -46,10 +46,7 @@ impl Discretizer {
     pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
         assert_eq!(lo.len(), hi.len(), "range vectors must have equal length");
         assert!(lo.len() <= FEATURE_COUNT, "too many features");
-        assert!(
-            lo.iter().zip(&hi).all(|(l, h)| h > l),
-            "every feature range must be non-empty"
-        );
+        assert!(lo.iter().zip(&hi).all(|(l, h)| h > l), "every feature range must be non-empty");
         Discretizer { lo, hi }
     }
 
@@ -144,7 +141,7 @@ mod tests {
     #[test]
     fn distinct_bins_distinct_keys() {
         let d = Discretizer::paper_default();
-        let a = d.key(&vec![0.1; FEATURE_COUNT]);
+        let a = d.key(&[0.1; FEATURE_COUNT]);
         let mut f = vec![0.1; FEATURE_COUNT];
         f[3] = 0.9;
         let b = d.key(&f);

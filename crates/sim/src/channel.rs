@@ -261,8 +261,8 @@ mod tests {
         ch.push(p1[0], 0); // idx 0: P1 head
         ch.push(p1[1], 0); // idx 1: P1 body
         ch.push(p2[0], 0); // idx 2: P2 head
-        // Predicate rejects P1 entirely: the scan must NOT return P1's body
-        // (same-packet order) but may return P2's head.
+                           // Predicate rejects P1 entirely: the scan must NOT return P1's body
+                           // (same-packet order) but may return P2's head.
         let idx = ch.scan_deliverable(10, |f| f.packet_id != 1);
         assert_eq!(idx, Some(2));
         // Predicate accepts everything: the front wins.

@@ -116,11 +116,7 @@ impl LatencyHistogram {
 
     /// Non-empty `(bucket_lower_edge, count)` pairs, for reporting.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (bucket_edge(i), c))
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (bucket_edge(i), c))
     }
 }
 
@@ -141,7 +137,7 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(100);
         let p = h.percentile(0.5);
-        assert!(p >= 64.0 && p <= 128.0, "p50 = {p}");
+        assert!((64.0..=128.0).contains(&p), "p50 = {p}");
     }
 
     #[test]
@@ -201,5 +197,65 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 1);
         assert!(h.percentile(0.5).is_finite());
+    }
+
+    #[test]
+    fn empty_histogram_every_quantile_is_zero() {
+        let h = LatencyHistogram::new();
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 0.0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_zero_returns_lower_edge_of_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        h.record(500);
+        // q = 0 targets mass 0: interpolation fraction clamps to 0, so the
+        // result is exactly the lower edge of the first occupied bucket.
+        let p0 = h.percentile(0.0);
+        assert!(p0 <= 10.0, "p0 = {p0}");
+        assert!(p0 > 0.0);
+    }
+
+    #[test]
+    fn quantile_one_returns_upper_edge_of_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        h.record(500);
+        let p100 = h.percentile(1.0);
+        // q = 1 lands at the top of the last occupied bucket, never beyond.
+        assert!(p100 >= 500.0, "p100 = {p100}");
+        assert!(p100 <= 1024.0, "p100 = {p100}");
+    }
+
+    #[test]
+    fn single_bucket_interpolates_within_its_edges() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(100); // all samples in one bucket
+        }
+        let lo = h.percentile(0.0);
+        let mid = h.percentile(0.5);
+        let hi = h.percentile(1.0);
+        assert!(lo <= mid && mid <= hi);
+        // Bucket covering 100 cycles: [2^(26/4), 2^(27/4)) ≈ [90.5, 107.6).
+        assert!(lo >= 64.0 && hi <= 128.0, "lo = {lo}, hi = {hi}");
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        let p = h.percentile(0.5);
+        assert!(p >= 0.0 && p <= bucket_edge(1), "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_above_one_panics() {
+        LatencyHistogram::new().percentile(1.5);
     }
 }

@@ -43,3 +43,10 @@ pub use network::Network;
 pub use router::{GateState, InputPort, InputVc, Router, StepStats};
 pub use stats::{NetworkStats, RouterObservation, RunReport};
 pub use topology::{Mesh, Port, DIRS, PORTS};
+
+// Telemetry surface, re-exported so simulator users can install tracers and
+// profilers without depending on `noc-telemetry` directly.
+pub use noc_telemetry::{
+    Event, EventKind, GateEdge, PhaseCounters, Profiler, RetxScope, RunTimeline, SectionStats,
+    TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+};

@@ -31,9 +31,11 @@ use crate::topology::{Mesh, Port, DIRS, PORTS};
 use noc_ecc::{DecodeStatus, EccScheme, EccSuite};
 use noc_fault::{network_mttf, AgingState, FaultInjector, ThermalGrid};
 use noc_power::{EnergyLedger, RouterLeakageSpec, CLOCK_PERIOD_NS};
+use noc_telemetry::{Event, GateEdge, Profiler, RetxScope, Tracer};
 use noc_traffic::{TrafficGen, Workload, WorkloadSpec};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Per-packet reassembly state at a destination NI.
 #[derive(Debug, Default, Clone, Copy)]
@@ -72,6 +74,12 @@ pub struct Network {
     next_packet_id: u64,
     next_flit_id: u64,
     completed: u64,
+    /// Structured event trace; `None` means tracing is disabled and every
+    /// emission site is a single not-taken branch with zero allocation.
+    tracer: Option<Tracer>,
+    /// Self-profiling hooks (section timers + pipeline-phase counters);
+    /// `None` means profiling is disabled.
+    profiler: Option<Profiler>,
 }
 
 impl std::fmt::Debug for Network {
@@ -109,14 +117,11 @@ impl Network {
         let mut channels = Vec::with_capacity(n * DIRS);
         for r in 0..n {
             for dir in Port::DIRECTIONS {
-                channels.push(
-                    mesh.neighbor(r, dir).map(|_| Channel::new(cfg.channel_capacity)),
-                );
+                channels.push(mesh.neighbor(r, dir).map(|_| Channel::new(cfg.channel_capacity)));
             }
         }
         let thermal = ThermalGrid::new(cfg.thermal, cfg.width, cfg.height);
-        let base_re =
-            cfg.varius.bit_error_rate(thermal.temp_c(0), cfg.vdd, 0.0);
+        let base_re = cfg.varius.bit_error_rate(thermal.temp_c(0), cfg.vdd, 0.0);
         Network {
             mesh,
             now: 0,
@@ -135,6 +140,8 @@ impl Network {
             next_packet_id: 0,
             next_flit_id: 0,
             completed: 0,
+            tracer: None,
+            profiler: None,
             cfg,
         }
     }
@@ -152,6 +159,65 @@ impl Network {
     /// Aggregate statistics so far.
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// Installs a structured event tracer; subsequent cycles emit events.
+    pub fn install_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The installed tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Mutable access to the installed tracer (e.g. for control-layer
+    /// events emitted between cycles).
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_mut()
+    }
+
+    /// Removes and returns the tracer, disabling tracing.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take()
+    }
+
+    /// Installs a self-profiler; subsequent cycles accumulate section
+    /// timings and pipeline-phase counters.
+    pub fn install_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Mutable access to the installed profiler.
+    pub fn profiler_mut(&mut self) -> Option<&mut Profiler> {
+        self.profiler.as_mut()
+    }
+
+    /// Removes and returns the profiler, disabling profiling.
+    pub fn take_profiler(&mut self) -> Option<Profiler> {
+        self.profiler.take()
+    }
+
+    /// Records `event` when tracing is enabled; otherwise a single branch.
+    #[inline]
+    fn trace(&mut self, event: Event) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(event);
+        }
+    }
+
+    /// Samples link bit flips, charging the time to the `fault.inject`
+    /// profile section when profiling is enabled.
+    #[inline]
+    fn sample_flips(&mut self, bits: usize, re: f64) -> u32 {
+        if self.profiler.is_none() {
+            return self.injector.sample_flip_count(bits, re);
+        }
+        let t0 = Instant::now();
+        let k = self.injector.sample_flip_count(bits, re);
+        let prof = self.profiler.as_mut().expect("profiler checked above");
+        prof.add("fault.inject", t0.elapsed());
+        k
     }
 
     /// Forces a fixed per-bit transient error rate (Fig. 17b sweep).
@@ -196,11 +262,8 @@ impl Network {
                     _ => continue, // boundary or full channel
                 }
             };
-            let downstream = if out_port == Port::Local {
-                None
-            } else {
-                self.mesh.neighbor(r, out_port)
-            };
+            let downstream =
+                if out_port == Port::Local { None } else { self.mesh.neighbor(r, out_port) };
             // A downstream router accepting reservations: powered and not
             // draining toward a proactive gate.
             let down_reservable = downstream
@@ -246,6 +309,13 @@ impl Network {
             }
             let Some((p, v, dvc, packet_id, is_head)) = grant else { continue };
             granted_inputs[p] = true;
+            if let Some(prof) = self.profiler.as_mut() {
+                prof.phases.sa += 1; // switch allocation granted
+                prof.phases.st += 1; // the grant traverses the crossbar
+                if is_head && dvc != NO_VC {
+                    prof.phases.va += 1; // head won a downstream VC
+                }
+            }
             // Commit the downstream VC reservation for head flits.
             if is_head && dvc != NO_VC {
                 let dv = downstream.expect("non-local output");
@@ -351,10 +421,7 @@ impl Network {
                 router.counters.link_flits += 1;
                 router.counters.channel_stage_ops += 1;
                 // The bypass mux/latch adds one cycle on top of the link.
-                self.channels[out_ci]
-                    .as_mut()
-                    .expect("checked")
-                    .push_delayed(flit, now, 1);
+                self.channels[out_ci].as_mut().expect("checked").push_delayed(flit, now, 1);
             }
         }
         self.routers[r].bypass_rr = (rr + 1) % PORTS;
@@ -377,7 +444,7 @@ impl Network {
         let base = self.re[up];
         let re = if relaxed { (base * base).max(1e-300) } else { base };
         let bits = self.traversal_bits(&flit);
-        let k = self.injector.sample_flip_count(bits, re);
+        let k = self.sample_flips(bits, re);
         if k > 0 {
             self.stats.faulty_traversals += 1;
             if flit.hop_scheme.is_per_hop() {
@@ -390,6 +457,12 @@ impl Network {
         }
         self.routers[up].step.error_hist[(k as usize).min(3)] += 1;
         flit.hops += 1;
+        self.trace(Event::HopTraversed {
+            cycle: now,
+            router: r as u32,
+            packet: flit.packet_id,
+            flit: flit.id,
+        });
         flit
     }
 
@@ -408,7 +481,7 @@ impl Network {
         let base = self.re[up];
         let re = if relaxed { (base * base).max(1e-300) } else { base };
         let bits = self.traversal_bits(&head);
-        let k_link = self.injector.sample_flip_count(bits, re);
+        let k_link = self.sample_flips(bits, re);
         if k_link > 0 {
             self.stats.faulty_traversals += 1;
         }
@@ -429,17 +502,30 @@ impl Network {
                 DecodeStatus::Corrected(_) => {
                     if data == payload {
                         self.stats.corrected_bits += k as u64;
+                        self.trace(Event::EccCorrected {
+                            cycle: now,
+                            router: r as u32,
+                            packet: head.packet_id,
+                            bits: k,
+                        });
                     } else {
                         extra_flips = k as u16;
                     }
                 }
                 DecodeStatus::Detected => {
-                    self.channels[ci]
-                        .as_mut()
-                        .expect("channel exists")
-                        .delay_at(0, now, self.cfg.retx_latency as u64);
+                    self.channels[ci].as_mut().expect("channel exists").delay_at(
+                        0,
+                        now,
+                        self.cfg.retx_latency as u64,
+                    );
                     self.stats.hop_retx_events += 1;
                     self.stats.retransmitted_flits += 1;
+                    self.trace(Event::Retransmission {
+                        cycle: now,
+                        router: r as u32,
+                        packet: head.packet_id,
+                        scope: RetxScope::Hop,
+                    });
                     let upr = &mut self.routers[up];
                     upr.step.retransmissions += 1;
                     upr.counters.retransmitted_flits += 1;
@@ -453,6 +539,12 @@ impl Network {
             flit.hop_flips = 0;
             flit.hops += 1;
             self.routers[r].counters.count_ecc_op(scheme); // NI-side decode
+            self.trace(Event::HopTraversed {
+                cycle: now,
+                router: r as u32,
+                packet: flit.packet_id,
+                flit: flit.id,
+            });
             return Some(flit);
         }
         let mut flit = self.channels[ci].as_mut().expect("channel exists").pop_ready(now);
@@ -462,6 +554,12 @@ impl Network {
             flit.hop_flips = 0;
         }
         flit.hops += 1;
+        self.trace(Event::HopTraversed {
+            cycle: now,
+            router: r as u32,
+            packet: flit.packet_id,
+            flit: flit.id,
+        });
         Some(flit)
     }
 
@@ -521,11 +619,10 @@ impl Network {
                                         ),
                                     }
                             }
-                        } else if port.vcs().iter().any(|vc| vc.packet() == Some(flit.packet_id))
-                        {
-                            port.vcs().iter().any(|vc| {
-                                vc.packet() == Some(flit.packet_id) && vc.has_space()
-                            })
+                        } else if port.vcs().iter().any(|vc| vc.packet() == Some(flit.packet_id)) {
+                            port.vcs()
+                                .iter()
+                                .any(|vc| vc.packet() == Some(flit.packet_id) && vc.has_space())
                         } else {
                             // BST continuation (§3.1.2): the head passed this
                             // router while it was gated (bypass), so no VC is
@@ -547,8 +644,7 @@ impl Network {
                 let scheme = head.hop_scheme;
                 let re = {
                     let base = self.re[u];
-                    let relaxed =
-                        self.channels[ci].as_ref().map(|c| c.relaxed).unwrap_or(false);
+                    let relaxed = self.channels[ci].as_ref().map(|c| c.relaxed).unwrap_or(false);
                     if relaxed {
                         (base * base).max(1e-300)
                     } else {
@@ -556,7 +652,7 @@ impl Network {
                     }
                 };
                 let bits = self.traversal_bits(&head);
-                let k_link = self.injector.sample_flip_count(bits, re);
+                let k_link = self.sample_flips(bits, re);
                 let bucket = (k_link as usize).min(3);
                 self.routers[u].step.error_hist[bucket] += 1;
                 if k_link > 0 {
@@ -580,18 +676,31 @@ impl Network {
                             DecodeStatus::Corrected(_) => {
                                 if data == payload {
                                     self.stats.corrected_bits += k as u64;
+                                    self.trace(Event::EccCorrected {
+                                        cycle: now,
+                                        router: v as u32,
+                                        packet: head.packet_id,
+                                        bits: k,
+                                    });
                                 } else {
                                     extra_flips = k as u16;
                                 }
                             }
                             DecodeStatus::Detected => {
                                 // NACK: the stored copy re-traverses the link.
-                                self.channels[ci]
-                                    .as_mut()
-                                    .expect("channel exists")
-                                    .delay_at(idx, now, self.cfg.retx_latency as u64);
+                                self.channels[ci].as_mut().expect("channel exists").delay_at(
+                                    idx,
+                                    now,
+                                    self.cfg.retx_latency as u64,
+                                );
                                 self.stats.hop_retx_events += 1;
                                 self.stats.retransmitted_flits += 1;
+                                self.trace(Event::Retransmission {
+                                    cycle: now,
+                                    router: v as u32,
+                                    packet: head.packet_id,
+                                    scope: RetxScope::Hop,
+                                });
                                 let up = &mut self.routers[u];
                                 up.step.retransmissions += 1;
                                 up.counters.retransmitted_flits += 1;
@@ -610,30 +719,30 @@ impl Network {
                     }
                 }
                 // Deliver.
-                let mut flit = self.channels[ci]
-                    .as_mut()
-                    .expect("channel exists")
-                    .remove_at(idx);
+                let mut flit = self.channels[ci].as_mut().expect("channel exists").remove_at(idx);
                 flit.e2e_flips = flit.e2e_flips.saturating_add(extra_flips);
                 flit.hop_flips = 0; // decoded (and re-encoded at next output)
                 flit.hops += 1;
+                self.trace(Event::HopTraversed {
+                    cycle: now,
+                    router: v as u32,
+                    packet: flit.packet_id,
+                    flit: flit.id,
+                });
                 let route = self.mesh.xy_route(v, flit.dest as usize);
-                let ready = now
-                    + if flit.is_head() {
-                        self.cfg.pipeline_latency as u64
-                    } else {
-                        1
-                    };
+                if flit.is_head() {
+                    if let Some(prof) = self.profiler.as_mut() {
+                        prof.phases.rc += 1; // route computed for a new packet
+                    }
+                }
+                let ready = now + if flit.is_head() { self.cfg.pipeline_latency as u64 } else { 1 };
                 let vc = if flit.is_head() {
                     if flit.vc != NO_VC {
                         Some(flit.vc as usize)
                     } else if self.routers[v].gate_pending {
                         None // continuation only while draining toward a gate
                     } else {
-                        self.routers[v].inputs()[in_port]
-                            .vcs()
-                            .iter()
-                            .position(InputVc::available)
+                        self.routers[v].inputs()[in_port].vcs().iter().position(InputVc::available)
                     }
                 } else {
                     self.routers[v].inputs()[in_port]
@@ -696,8 +805,7 @@ impl Network {
                 let out_ci = self.channel_index(r, route);
                 let ok = matches!(&self.channels[out_ci], Some(ch) if ch.has_space());
                 if ok {
-                    let mut flit =
-                        self.nis[r].inject.pop_front().expect("checked nonempty");
+                    let mut flit = self.nis[r].inject.pop_front().expect("checked nonempty");
                     flit.hop_scheme = EccScheme::None;
                     flit.vc = NO_VC;
                     let router = &mut self.routers[r];
@@ -716,12 +824,12 @@ impl Network {
             };
             let flit = self.nis[r].inject.pop_front().expect("checked nonempty");
             let route = self.mesh.xy_route(r, flit.dest as usize);
-            let ready = now
-                + if flit.is_head() {
-                    self.cfg.pipeline_latency as u64
-                } else {
-                    1
-                };
+            if flit.is_head() {
+                if let Some(prof) = self.profiler.as_mut() {
+                    prof.phases.rc += 1; // route computed at injection
+                }
+            }
+            let ready = now + if flit.is_head() { self.cfg.pipeline_latency as u64 } else { 1 };
             let router = &mut self.routers[r];
             router.counters.buffer_writes += 1;
             router.step.in_flits[in_port] += 1;
@@ -766,6 +874,12 @@ impl Network {
             // End-to-end re-transmission: the source NI re-sends the packet.
             self.stats.e2e_retx_packets += 1;
             self.stats.retransmitted_flits += crate::flit::FLITS_PER_PACKET as u64;
+            self.trace(Event::Retransmission {
+                cycle: self.now,
+                router: r as u32,
+                packet: flit.packet_id,
+                scope: RetxScope::E2e,
+            });
             let src = flit.src as usize;
             let mut flits = make_packet(
                 flit.packet_id,
@@ -780,8 +894,7 @@ impl Network {
             }
             // e2e CRC re-encode energy at the source.
             self.routers[src].counters.crc_ops += crate::flit::FLITS_PER_PACKET as u64;
-            self.routers[src].counters.retransmitted_flits +=
-                crate::flit::FLITS_PER_PACKET as u64;
+            self.routers[src].counters.retransmitted_flits += crate::flit::FLITS_PER_PACKET as u64;
             // Re-transmissions join the BACK of the source queue: pushing
             // them in front would interleave with a partially injected
             // packet's remaining flits and can deadlock the NI FIFO.
@@ -863,6 +976,7 @@ impl Network {
             let router = &mut self.routers[r];
             router.step.occupancy_sum += router.occupancy() as u64;
             router.step.cycles += 1;
+            let mut gate_edge = None;
             match router.gate {
                 GateState::On => {
                     let busy = router.occupancy() > 0 || incoming > 0 || ni_waiting;
@@ -879,11 +993,13 @@ impl Network {
                     let reactive_ready = self.cfg.reactive_gating
                         && router.directive.gate != Some(false)
                         && router.idle_cycles >= self.cfg.idle_gate_threshold;
-                    if (forced_ready || reactive_ready) && router.is_gateable() {
-                        if self.cfg.bypass_enabled || (!busy && !ni_waiting && incoming == 0) {
-                            router.gate = GateState::Gated;
-                            router.idle_cycles = 0;
-                        }
+                    if (forced_ready || reactive_ready)
+                        && router.is_gateable()
+                        && (self.cfg.bypass_enabled || (!busy && !ni_waiting && incoming == 0))
+                    {
+                        router.gate = GateState::Gated;
+                        router.idle_cycles = 0;
+                        gate_edge = Some(GateEdge::On);
                     }
                     router.gate_pending = false;
                 }
@@ -896,9 +1012,8 @@ impl Network {
                     let pressure_wake = if forced {
                         // Proactive stress-relax mode rides out pressure
                         // using MFAC storage before powering back on.
-                        max_incoming >= self.cfg.forced_wake_occupancy.min(
-                            self.cfg.channel_capacity.max(1),
-                        )
+                        max_incoming
+                            >= self.cfg.forced_wake_occupancy.min(self.cfg.channel_capacity.max(1))
                     } else {
                         max_incoming
                             >= self.cfg.wake_occupancy.min(self.cfg.channel_capacity.max(1))
@@ -915,8 +1030,12 @@ impl Network {
                     if now >= t {
                         router.gate = GateState::On;
                         router.idle_cycles = 0;
+                        gate_edge = Some(GateEdge::Off);
                     }
                 }
+            }
+            if let Some(edge) = gate_edge {
+                self.trace(Event::PowerGate { cycle: now, router: r as u32, edge });
             }
         }
     }
@@ -929,21 +1048,22 @@ impl Network {
         let now = self.now;
         for node in 0..self.mesh.nodes() {
             if let Some(dest) = self.traffic.poll(now, node, self.outstanding[node]) {
-                let flits = make_packet(
-                    self.next_packet_id,
-                    self.next_flit_id,
-                    node as u16,
-                    dest as u16,
-                    now,
-                );
+                let packet_id = self.next_packet_id;
+                let flits =
+                    make_packet(packet_id, self.next_flit_id, node as u16, dest as u16, now);
                 self.next_packet_id += 1;
                 self.next_flit_id += crate::flit::FLITS_PER_PACKET as u64;
                 self.stats.packets_injected += 1;
                 self.outstanding[node] += 1;
+                self.trace(Event::PacketInjected {
+                    cycle: now,
+                    router: node as u32,
+                    packet: packet_id,
+                    dest: dest as u32,
+                });
                 if self.cfg.e2e_crc {
                     // e2e CRC encode at the source NI.
-                    self.routers[node].counters.crc_ops +=
-                        crate::flit::FLITS_PER_PACKET as u64;
+                    self.routers[node].counters.crc_ops += crate::flit::FLITS_PER_PACKET as u64;
                 }
                 self.nis[node].inject.extend(flits);
             }
@@ -985,8 +1105,8 @@ impl Network {
             let activity = if gated {
                 0.0
             } else {
-                let switching = (counters.xbar_traversals + counters.link_flits) as f64
-                    / (epoch as f64 * 2.0);
+                let switching =
+                    (counters.xbar_traversals + counters.link_flits) as f64 / (epoch as f64 * 2.0);
                 (switching + 0.02).min(1.0)
             };
             self.aging[r].accumulate(&self.cfg.aging, temp, activity, epoch);
@@ -1023,7 +1143,7 @@ impl Network {
         self.workload_phase();
         self.now += 1;
         self.stats.cycles = self.now;
-        if self.now % self.cfg.epoch_cycles == 0 {
+        if self.now.is_multiple_of(self.cfg.epoch_cycles) {
             self.epoch_phase();
         }
     }
@@ -1031,11 +1151,16 @@ impl Network {
     /// Runs `n` cycles (or fewer if the workload completes); returns whether
     /// the run is done.
     pub fn run_cycles(&mut self, n: u64) -> bool {
+        let t0 = if self.profiler.is_some() { Some(Instant::now()) } else { None };
+        let start = self.now;
         for _ in 0..n {
             if self.is_done() || self.now >= self.cfg.max_cycles {
                 break;
             }
             self.step_cycle();
+        }
+        if let (Some(t0), Some(prof)) = (t0, self.profiler.as_mut()) {
+            prof.add_batch("sim.step_cycle", t0.elapsed(), self.now - start);
         }
         self.is_done() || self.now >= self.cfg.max_cycles
     }
@@ -1096,11 +1221,8 @@ impl Network {
             } else {
                 0.0
             };
-            let avg_power = if step.epochs > 0 {
-                step.power_mw_sum / step.epochs as f64
-            } else {
-                0.0
-            };
+            let avg_power =
+                if step.epochs > 0 { step.power_mw_sum / step.epochs as f64 } else { 0.0 };
             out.push(RouterObservation {
                 router: r,
                 features,
@@ -1149,9 +1271,18 @@ impl Network {
     /// Explains why each router's SA cannot grant anything (debugging aid).
     #[doc(hidden)]
     pub fn debug_sa_block(&self, router: usize) {
+        print!("{}", self.snapshot_sa_block(router));
+    }
+
+    /// String form of [`Network::debug_sa_block`] — the introspection text
+    /// rendered for the telemetry/debug layer instead of stdout.
+    #[doc(hidden)]
+    pub fn snapshot_sa_block(&self, router: usize) -> String {
+        use std::fmt::Write as _;
+        let mut buf = String::new();
         let now = self.now;
         let r = router;
-        println!("router {r} gate={:?}:", self.routers[r].gate);
+        let _ = writeln!(buf, "router {r} gate={:?}:", self.routers[r].gate);
         for p in 0..PORTS {
             for (vi, vc) in self.routers[r].inputs()[p].vcs().iter().enumerate() {
                 if vc.occupancy() == 0 {
@@ -1159,38 +1290,40 @@ impl Network {
                 }
                 let front = vc.sa_candidate(now);
                 let out = vc.route();
-                let reason = if front.is_none() {
-                    "front not SA-ready".to_owned()
-                } else if out == Port::Local {
-                    "ejectable NOW".to_owned()
-                } else {
-                    let ci = self.channel_index(r, out);
-                    let ch_full = !matches!(&self.channels[ci], Some(ch) if ch.has_space());
-                    let f = front.expect("checked");
-                    if ch_full {
-                        format!("out {out:?} channel full")
-                    } else if f.is_head() {
-                        let dv = self.mesh.neighbor(r, out);
-                        match dv {
-                            Some(dv) if self.routers[dv].is_on() => {
-                                let in_port = out.opposite().index();
-                                let free = self.routers[dv].inputs()[in_port]
-                                    .vcs()
-                                    .iter()
-                                    .any(InputVc::available);
-                                if free {
-                                    "head grantable NOW".to_owned()
-                                } else {
-                                    format!("no free VC at {dv}")
-                                }
-                            }
-                            _ => "downstream gated: head grantable NOW".to_owned(),
-                        }
+                let reason = if let Some(f) = front {
+                    if out == Port::Local {
+                        "ejectable NOW".to_owned()
                     } else {
-                        "body grantable NOW".to_owned()
+                        let ci = self.channel_index(r, out);
+                        let ch_full = !matches!(&self.channels[ci], Some(ch) if ch.has_space());
+                        if ch_full {
+                            format!("out {out:?} channel full")
+                        } else if f.is_head() {
+                            let dv = self.mesh.neighbor(r, out);
+                            match dv {
+                                Some(dv) if self.routers[dv].is_on() => {
+                                    let in_port = out.opposite().index();
+                                    let free = self.routers[dv].inputs()[in_port]
+                                        .vcs()
+                                        .iter()
+                                        .any(InputVc::available);
+                                    if free {
+                                        "head grantable NOW".to_owned()
+                                    } else {
+                                        format!("no free VC at {dv}")
+                                    }
+                                }
+                                _ => "downstream gated: head grantable NOW".to_owned(),
+                            }
+                        } else {
+                            "body grantable NOW".to_owned()
+                        }
                     }
+                } else {
+                    "front not SA-ready".to_owned()
                 };
-                println!(
+                let _ = writeln!(
+                    buf,
                     "  port {p} vc {vi}: pkt={:?} occ={} route={:?} -> {}",
                     vc.packet(),
                     vc.occupancy(),
@@ -1199,6 +1332,7 @@ impl Network {
                 );
             }
         }
+        buf
     }
 
     /// Counts movement opportunities in the current state (debugging aid):
@@ -1228,8 +1362,7 @@ impl Network {
                         let dv = self.mesh.neighbor(r, out);
                         let ok = match dv {
                             Some(dv)
-                                if self.routers[dv].is_on()
-                                    && !self.routers[dv].gate_pending =>
+                                if self.routers[dv].is_on() && !self.routers[dv].gate_pending =>
                             {
                                 let in_port = out.opposite().index();
                                 self.routers[dv].inputs()[in_port]
@@ -1287,11 +1420,10 @@ impl Network {
                                         ),
                                     }
                             }
-                        } else if port.vcs().iter().any(|vc| vc.packet() == Some(flit.packet_id))
-                        {
-                            port.vcs().iter().any(|vc| {
-                                vc.packet() == Some(flit.packet_id) && vc.has_space()
-                            })
+                        } else if port.vcs().iter().any(|vc| vc.packet() == Some(flit.packet_id)) {
+                            port.vcs()
+                                .iter()
+                                .any(|vc| vc.packet() == Some(flit.packet_id) && vc.has_space())
                         } else {
                             match mesh.xy_route(v, flit.dest as usize) {
                                 Port::Local => true,
@@ -1315,9 +1447,7 @@ impl Network {
                         .inject
                         .front()
                         .map(|h| {
-                            self.routers[r].inputs()[Port::Local.index()]
-                                .accept_target(h)
-                                .is_some()
+                            self.routers[r].inputs()[Port::Local.index()].accept_target(h).is_some()
                         })
                         .unwrap_or(false)
             })
@@ -1328,9 +1458,18 @@ impl Network {
     /// Prints every VC of a router including reservations (debugging aid).
     #[doc(hidden)]
     pub fn debug_vcs(&self, r: usize) {
+        print!("{}", self.snapshot_vcs(r));
+    }
+
+    /// String form of [`Network::debug_vcs`].
+    #[doc(hidden)]
+    pub fn snapshot_vcs(&self, r: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
         for p in 0..PORTS {
             for (vi, vc) in self.routers[r].inputs()[p].vcs().iter().enumerate() {
-                println!(
+                let _ = writeln!(
+                    out,
                     "router {r} port {p} vc {vi}: packet={:?} reserved={:?} occ={} route={:?}",
                     vc.packet(),
                     vc.reserved_by_debug(),
@@ -1339,17 +1478,27 @@ impl Network {
                 );
             }
         }
+        out
     }
 
     /// Finds every location a packet's flits occupy (debugging aid).
     #[doc(hidden)]
     pub fn debug_find_packet(&self, pkt: u64) {
+        print!("{}", self.snapshot_find_packet(pkt));
+    }
+
+    /// String form of [`Network::debug_find_packet`].
+    #[doc(hidden)]
+    pub fn snapshot_find_packet(&self, pkt: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
         for (ci, ch) in self.channels.iter().enumerate() {
             let Some(ch) = ch else { continue };
             for i in 0..ch.occupancy() {
                 let f = ch.get(i);
                 if f.packet_id == pkt {
-                    println!(
+                    let _ = writeln!(
+                        out,
                         "pkt {pkt}: channel {} dir {} idx {i} kind={:?} vc={}",
                         ci / DIRS,
                         ci % DIRS,
@@ -1363,7 +1512,8 @@ impl Network {
             for p in 0..PORTS {
                 for (vi, vc) in self.routers[r].inputs()[p].vcs().iter().enumerate() {
                     if vc.packet() == Some(pkt) || vc.reserved_by_debug() == Some(pkt) {
-                        println!(
+                        let _ = writeln!(
+                            out,
                             "pkt {pkt}: router {r} port {p} vc {vi} bound={:?} reserved={:?} occ={}",
                             vc.packet(),
                             vc.reserved_by_debug(),
@@ -1374,40 +1524,59 @@ impl Network {
             }
             for f in &self.nis[r].inject {
                 if f.packet_id == pkt {
-                    println!("pkt {pkt}: NI {r} inject queue kind={:?}", f.kind);
+                    let _ = writeln!(out, "pkt {pkt}: NI {r} inject queue kind={:?}", f.kind);
                 }
             }
             if self.nis[r].recv.contains_key(&pkt) {
-                println!("pkt {pkt}: NI {r} recv partial");
+                let _ = writeln!(out, "pkt {pkt}: NI {r} recv partial");
             }
         }
+        out
     }
 
     /// Dumps one channel's full contents (debugging aid).
     #[doc(hidden)]
     pub fn debug_channel(&self, u: usize, dir: Port) {
+        print!("{}", self.snapshot_channel(u, dir));
+    }
+
+    /// String form of [`Network::debug_channel`].
+    #[doc(hidden)]
+    pub fn snapshot_channel(&self, u: usize, dir: Port) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
         let ci = self.channel_index(u, dir);
         let Some(ch) = &self.channels[ci] else {
-            println!("channel {u} {dir:?}: boundary");
-            return;
+            let _ = writeln!(out, "channel {u} {dir:?}: boundary");
+            return out;
         };
         let v = self.mesh.neighbor(u, dir).expect("channel exists");
-        println!("channel {u}->{v} ({dir:?}) occ={}:", ch.occupancy());
+        let _ = writeln!(out, "channel {u}->{v} ({dir:?}) occ={}:", ch.occupancy());
         for i in 0..ch.occupancy() {
             let f = ch.get(i);
             let in_port = dir.opposite().index();
             let port = &self.routers[v].inputs()[in_port];
             let bound = port.vcs().iter().position(|vc| vc.packet() == Some(f.packet_id));
-            println!(
+            let _ = writeln!(
+                out,
                 "  [{i}] pkt={} kind={:?} vc={} dest={} src={} retx={} bound_at={:?}",
                 f.packet_id, f.kind, f.vc, f.dest, f.src, f.retx, bound
             );
         }
+        out
     }
 
     /// Prints per-channel blocking detail for stuck-state debugging.
     #[doc(hidden)]
     pub fn debug_blocked(&self, limit: usize) {
+        print!("{}", self.snapshot_blocked(limit));
+    }
+
+    /// String form of [`Network::debug_blocked`].
+    #[doc(hidden)]
+    pub fn snapshot_blocked(&self, limit: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
         let now = self.now;
         let mut shown = 0;
         for u in 0..self.mesh.nodes() {
@@ -1434,7 +1603,8 @@ impl Network {
                         )
                     })
                     .collect();
-                println!(
+                let _ = writeln!(
+                    out,
                     "ch {u}->{v} ({dir:?}) occ={} front: pkt={} kind={:?} vc={} ready={} dest={} | down on={} pending={} vcs={}",
                     ch.occupancy(),
                     f.packet_id,
@@ -1448,15 +1618,24 @@ impl Network {
                 );
                 shown += 1;
                 if shown >= limit {
-                    return;
+                    return out;
                 }
             }
         }
+        out
     }
 
     /// Prints a diagnostic snapshot of stuck state (debugging aid).
     #[doc(hidden)]
     pub fn debug_dump(&self) {
+        print!("{}", self.snapshot_dump());
+    }
+
+    /// String form of [`Network::debug_dump`].
+    #[doc(hidden)]
+    pub fn snapshot_dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
         for r in 0..self.mesh.nodes() {
             let router = &self.routers[r];
             let occ = router.occupancy();
@@ -1481,23 +1660,21 @@ impl Network {
                 }
             }
             if occ + ni + recv + ch_occ + reserved + bound > 0 {
-                println!(
+                let _ = writeln!(
+                    out,
                     "router {r}: gate={:?} pending={} occ={occ} ni={ni} recv={recv} out_ch={ch_occ} reserved_vcs={reserved} bound_vcs={bound}",
                     router.gate, router.gate_pending
                 );
             }
         }
+        out
     }
 
     /// Produces the final report for the simulated interval so far.
     pub fn report(&self) -> RunReport {
         let exec = self.stats.last_delivery.max(1);
         let power = self.ledger.report(self.now.max(1));
-        let mean_aging = self
-            .aging
-            .iter()
-            .map(|a| a.aging_factor(&self.cfg.aging))
-            .sum::<f64>()
+        let mean_aging = self.aging.iter().map(|a| a.aging_factor(&self.cfg.aging)).sum::<f64>()
             / self.aging.len() as f64;
         RunReport {
             exec_cycles: exec,
@@ -1547,10 +1724,7 @@ mod tests {
         let mut cfg = quiet_config();
         cfg.width = 2;
         cfg.height = 2;
-        let spec = WorkloadSpec {
-            packets_per_node: 0,
-            ..WorkloadSpec::uniform(0.0, 0)
-        };
+        let spec = WorkloadSpec { packets_per_node: 0, ..WorkloadSpec::uniform(0.0, 0) };
         let mut net = Network::new(cfg, spec, 1);
         // Hand-inject a packet.
         let flits = make_packet(0, 0, 0, 1, 0);
@@ -1564,7 +1738,7 @@ mod tests {
         let lat = net.stats.latency_sum;
         // 4 flits: head takes ~ (inject 1 + pipeline 4 + SA + link 1 +
         // pipeline at dest...) and tail 3 cycles behind.
-        assert!(lat >= 10 && lat <= 25, "one-hop packet latency {lat}");
+        assert!((10..=25).contains(&lat), "one-hop packet latency {lat}");
     }
 
     #[test]
@@ -1602,9 +1776,11 @@ mod tests {
 
     #[test]
     fn e2e_crc_catches_unprotected_corruption() {
-        let mut cfg = SimConfig::default();
-        cfg.default_scheme = EccScheme::Crc; // no per-hop protection
-        cfg.e2e_crc = true;
+        let mut cfg = SimConfig {
+            default_scheme: EccScheme::Crc, // no per-hop protection
+            e2e_crc: true,
+            ..SimConfig::default()
+        };
         cfg.varius.base_rate = 2e-4;
         cfg.varius.max_rate = 2e-4;
         cfg.varius.min_rate = 2e-4;
@@ -1616,9 +1792,8 @@ mod tests {
 
     #[test]
     fn unprotected_network_delivers_corrupted_packets() {
-        let mut cfg = SimConfig::default();
-        cfg.default_scheme = EccScheme::None;
-        cfg.e2e_crc = false;
+        let mut cfg =
+            SimConfig { default_scheme: EccScheme::None, e2e_crc: false, ..SimConfig::default() };
         cfg.varius.base_rate = 2e-4;
         cfg.varius.max_rate = 2e-4;
         cfg.varius.min_rate = 2e-4;
@@ -1654,12 +1829,8 @@ mod tests {
         let spec = WorkloadSpec::uniform(0.01, 10);
         let mut net = Network::new(cfg, spec, 3);
         // Force-gate every router; traffic must still flow via bypass.
-        let d = RouterDirective {
-            gate: Some(true),
-            scheme: EccScheme::Crc,
-            relaxed: false,
-        };
-        net.apply_directives(&vec![d; 64]);
+        let d = RouterDirective { gate: Some(true), scheme: EccScheme::Crc, relaxed: false };
+        net.apply_directives(&[d; 64]);
         let done = net.run_cycles(500_000);
         assert!(done, "bypass-only network deadlocked");
         assert_eq!(net.stats().packets_delivered, net.stats().packets_injected);
@@ -1673,12 +1844,8 @@ mod tests {
         let mut normal = Network::new(cfg.clone(), spec.clone(), 5);
         normal.run_cycles(500_000);
         let mut relaxed_net = Network::new(cfg, spec, 5);
-        let d = RouterDirective {
-            gate: None,
-            scheme: EccScheme::Secded,
-            relaxed: true,
-        };
-        relaxed_net.apply_directives(&vec![d; 64]);
+        let d = RouterDirective { gate: None, scheme: EccScheme::Secded, relaxed: true };
+        relaxed_net.apply_directives(&[d; 64]);
         relaxed_net.run_cycles(500_000);
         assert!(
             relaxed_net.stats().avg_latency() > normal.stats().avg_latency() + 1.0,

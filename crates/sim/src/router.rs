@@ -171,9 +171,7 @@ impl InputPort {
         if flit.is_head() {
             self.vcs.iter().position(InputVc::available)
         } else {
-            self.vcs
-                .iter()
-                .position(|vc| vc.packet() == Some(flit.packet_id) && vc.has_space())
+            self.vcs.iter().position(|vc| vc.packet() == Some(flit.packet_id) && vc.has_space())
         }
     }
 

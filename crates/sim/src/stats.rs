@@ -151,4 +151,65 @@ mod tests {
         assert_eq!(s.avg_latency(), 25.0);
         assert_eq!(s.delivery_ratio(), 0.8);
     }
+
+    #[test]
+    fn avg_latency_stays_finite_near_u64_max() {
+        let s =
+            NetworkStats { packets_delivered: 1, latency_sum: u64::MAX, ..NetworkStats::default() };
+        let avg = s.avg_latency();
+        assert!(avg.is_finite());
+        // f64 can't represent u64::MAX exactly; it must stay in the ballpark.
+        assert!(avg > 1.8e19 && avg < 1.9e19, "avg = {avg}");
+    }
+
+    #[test]
+    fn avg_latency_tiny_ratio_does_not_round_to_zero() {
+        let s =
+            NetworkStats { packets_delivered: u64::MAX, latency_sum: 1, ..NetworkStats::default() };
+        let avg = s.avg_latency();
+        assert!(avg > 0.0 && avg < 1e-18, "avg = {avg}");
+    }
+
+    #[test]
+    fn delivery_ratio_extremes_stay_in_unit_interval() {
+        let all = NetworkStats {
+            packets_injected: u64::MAX,
+            packets_delivered: u64::MAX,
+            ..NetworkStats::default()
+        };
+        assert_eq!(all.delivery_ratio(), 1.0);
+
+        let none = NetworkStats { packets_injected: u64::MAX, ..NetworkStats::default() };
+        assert_eq!(none.delivery_ratio(), 0.0);
+
+        let one = NetworkStats {
+            packets_injected: u64::MAX,
+            packets_delivered: 1,
+            ..NetworkStats::default()
+        };
+        let r = one.delivery_ratio();
+        assert!(r > 0.0 && r < 1e-18, "ratio = {r}");
+    }
+
+    #[test]
+    fn delivery_ratio_in_flight_packets_bound_it_below_one() {
+        // Injected-but-undelivered packets (still in flight at run end) pull
+        // the ratio below 1 without any loss having occurred.
+        let s = NetworkStats {
+            packets_injected: 1000,
+            packets_delivered: 993,
+            ..NetworkStats::default()
+        };
+        let r = s.delivery_ratio();
+        assert!(r > 0.99 && r < 1.0, "ratio = {r}");
+    }
+
+    #[test]
+    fn latency_percentile_delegates_to_histogram() {
+        let mut s = NetworkStats::default();
+        s.latency_hist.record(10);
+        s.latency_hist.record(1000);
+        assert!(s.latency_percentile(0.0) <= 10.0);
+        assert!(s.latency_percentile(1.0) >= 1000.0);
+    }
 }

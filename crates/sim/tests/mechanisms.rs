@@ -32,7 +32,7 @@ fn straight_path_flows_through_gated_routers() {
     let replay = TraceReplay::new("straight", &records, 64, 4);
     let mut net = Network::with_workload(cfg, Box::new(replay));
     let d = RouterDirective { gate: Some(true), scheme: EccScheme::None, relaxed: false };
-    net.apply_directives(&vec![d; 64]);
+    net.apply_directives(&[d; 64]);
     assert!(net.run_cycles(100_000), "straight bypass path must drain");
     assert_eq!(net.stats().packets_delivered, 1);
     // Everything was idle except the one packet: routers spent most cycles
@@ -55,7 +55,7 @@ fn turning_packet_wakes_the_gated_turn_router() {
     let replay = TraceReplay::new("turn", &records, 64, 4);
     let mut net = Network::with_workload(cfg, Box::new(replay));
     let d = RouterDirective { gate: Some(true), scheme: EccScheme::None, relaxed: false };
-    net.apply_directives(&vec![d; 64]);
+    net.apply_directives(&[d; 64]);
     assert!(net.run_cycles(100_000));
     assert_eq!(net.stats().packets_delivered, 1);
     // At least one wake-up must have occurred (the turn router).
@@ -76,10 +76,7 @@ fn channel_storage_improves_burst_drain() {
     };
     let without = run(0);
     let with = run(8);
-    assert!(
-        with <= without,
-        "8-stage channels ({with}) must not be slower than wires ({without})"
-    );
+    assert!(with <= without, "8-stage channels ({with}) must not be slower than wires ({without})");
 }
 
 /// TECQED (the t = 3 extension scheme) corrects more per hop and therefore
@@ -87,8 +84,7 @@ fn channel_storage_improves_burst_drain() {
 #[test]
 fn tecqed_retransmits_less_than_secded() {
     let run = |scheme| {
-        let mut cfg = SimConfig::default();
-        cfg.default_scheme = scheme;
+        let cfg = SimConfig { default_scheme: scheme, ..SimConfig::default() };
         let mut net = Network::new(cfg, WorkloadSpec::uniform(0.02, 20), 31);
         net.set_error_rate_override(Some(3e-4));
         assert!(net.run_cycles(2_000_000));
@@ -111,8 +107,7 @@ fn tecqed_retransmits_less_than_secded() {
 /// forced error rate, SECDED+NACK delivers every packet uncorrupted.
 #[test]
 fn retransmission_machinery_is_lossless() {
-    let mut cfg = SimConfig::default();
-    cfg.default_scheme = EccScheme::Dected;
+    let cfg = SimConfig { default_scheme: EccScheme::Dected, ..SimConfig::default() };
     let mut net = Network::new(cfg, WorkloadSpec::uniform(0.02, 20), 6);
     net.set_error_rate_override(Some(3e-4));
     assert!(net.run_cycles(2_000_000));
@@ -128,9 +123,8 @@ fn retransmission_machinery_is_lossless() {
 #[test]
 fn single_flow_packets_arrive_in_injection_order() {
     let cfg = quiet();
-    let records: Vec<TraceRecord> = (0..50)
-        .map(|i| TraceRecord { cycle: 10 * i, src: 0, dest: 63, size_flits: 4 })
-        .collect();
+    let records: Vec<TraceRecord> =
+        (0..50).map(|i| TraceRecord { cycle: 10 * i, src: 0, dest: 63, size_flits: 4 }).collect();
     let replay = TraceReplay::new("flow", &records, 64, 50);
     let mut net = Network::with_workload(cfg, Box::new(replay));
     assert!(net.run_cycles(1_000_000));
@@ -167,10 +161,7 @@ fn gate_wake_cycle_reaches_all_states() {
     cfg.idle_gate_threshold = 4;
     cfg.wake_occupancy = 1;
     // Bursty on/off traffic to force gate + wake churn.
-    let spec = WorkloadSpec {
-        pattern: SpatialPattern::Uniform,
-        ..WorkloadSpec::uniform(0.01, 30)
-    };
+    let spec = WorkloadSpec { pattern: SpatialPattern::Uniform, ..WorkloadSpec::uniform(0.01, 30) };
     let mut net = Network::new(cfg, spec, 8);
     let mut saw_waking = false;
     for _ in 0..20_000 {

@@ -1,0 +1,333 @@
+//! Typed trace events and their wire encodings.
+
+use std::fmt::Write as _;
+
+/// Which retransmission mechanism fired (per IntelliNoC's two-level ARQ:
+/// hop-by-hop NACK on ECC-detected corruption, end-to-end on CRC failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetxScope {
+    /// Hop-by-hop retransmission from an upstream buffer.
+    Hop,
+    /// End-to-end retransmission from the source NI.
+    E2e,
+}
+
+impl RetxScope {
+    fn label(self) -> &'static str {
+        match self {
+            RetxScope::Hop => "hop",
+            RetxScope::E2e => "e2e",
+        }
+    }
+}
+
+/// Direction of a power-gating transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateEdge {
+    /// Router entered the gated (sleep) state.
+    On,
+    /// Router woke from the gated state.
+    Off,
+}
+
+impl GateEdge {
+    fn label(self) -> &'static str {
+        match self {
+            GateEdge::On => "on",
+            GateEdge::Off => "off",
+        }
+    }
+}
+
+/// A single structured trace event. `Copy` with no heap payload, so
+/// constructing one on the disabled path costs nothing beyond the branch
+/// that discards it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A packet entered the network at `router` bound for `dest`.
+    PacketInjected {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Source router id.
+        router: u32,
+        /// Packet id.
+        packet: u64,
+        /// Destination router id.
+        dest: u32,
+    },
+    /// A head flit completed traversal into `router`.
+    HopTraversed {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Receiving router id.
+        router: u32,
+        /// Packet id.
+        packet: u64,
+        /// Flit id.
+        flit: u64,
+    },
+    /// A flit (hop) or packet (e2e) was scheduled for retransmission.
+    Retransmission {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Router where the error was detected.
+        router: u32,
+        /// Affected packet id.
+        packet: u64,
+        /// Which ARQ level fired.
+        scope: RetxScope,
+    },
+    /// The ECC decoder corrected `bits` bit errors in place.
+    EccCorrected {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Router where the correction happened.
+        router: u32,
+        /// Affected packet id.
+        packet: u64,
+        /// Number of corrected bit errors.
+        bits: u32,
+    },
+    /// The controller changed a router's operating mode.
+    ModeSwitch {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Router id.
+        router: u32,
+        /// Previous mode index.
+        from: u8,
+        /// New mode index.
+        to: u8,
+    },
+    /// A router crossed a power-gating boundary.
+    PowerGate {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Router id.
+        router: u32,
+        /// Sleep or wake.
+        edge: GateEdge,
+    },
+    /// One Q-learning update: state/action/reward of an agent step.
+    QUpdate {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Router id the agent controls.
+        router: u32,
+        /// Discretized state key.
+        state: u64,
+        /// Chosen action index.
+        action: u8,
+        /// Reward observed for the previous action.
+        reward: f64,
+    },
+}
+
+/// Discriminant of [`Event`], used for filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// [`Event::PacketInjected`].
+    PacketInjected = 0,
+    /// [`Event::HopTraversed`].
+    HopTraversed = 1,
+    /// [`Event::Retransmission`].
+    Retransmission = 2,
+    /// [`Event::EccCorrected`].
+    EccCorrected = 3,
+    /// [`Event::ModeSwitch`].
+    ModeSwitch = 4,
+    /// [`Event::PowerGate`].
+    PowerGate = 5,
+    /// [`Event::QUpdate`].
+    QUpdate = 6,
+}
+
+impl EventKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [EventKind; 7] = [
+        EventKind::PacketInjected,
+        EventKind::HopTraversed,
+        EventKind::Retransmission,
+        EventKind::EccCorrected,
+        EventKind::ModeSwitch,
+        EventKind::PowerGate,
+        EventKind::QUpdate,
+    ];
+
+    /// Canonical name used in the JSONL/CSV `kind` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PacketInjected => "PacketInjected",
+            EventKind::HopTraversed => "HopTraversed",
+            EventKind::Retransmission => "Retransmission",
+            EventKind::EccCorrected => "EccCorrected",
+            EventKind::ModeSwitch => "ModeSwitch",
+            EventKind::PowerGate => "PowerGate",
+            EventKind::QUpdate => "QUpdate",
+        }
+    }
+
+    /// Parses a filter token; accepts canonical names (case-insensitive)
+    /// and the short aliases used by `--trace-filter`.
+    pub fn parse(token: &str) -> Option<EventKind> {
+        Some(match token.to_ascii_lowercase().as_str() {
+            "packetinjected" | "inject" | "injection" => EventKind::PacketInjected,
+            "hoptraversed" | "hop" => EventKind::HopTraversed,
+            "retransmission" | "retx" => EventKind::Retransmission,
+            "ecccorrected" | "ecc" => EventKind::EccCorrected,
+            "modeswitch" | "mode" => EventKind::ModeSwitch,
+            "powergate" | "gate" => EventKind::PowerGate,
+            "qupdate" | "q" => EventKind::QUpdate,
+            _ => return None,
+        })
+    }
+}
+
+impl Event {
+    /// This event's kind discriminant.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::PacketInjected { .. } => EventKind::PacketInjected,
+            Event::HopTraversed { .. } => EventKind::HopTraversed,
+            Event::Retransmission { .. } => EventKind::Retransmission,
+            Event::EccCorrected { .. } => EventKind::EccCorrected,
+            Event::ModeSwitch { .. } => EventKind::ModeSwitch,
+            Event::PowerGate { .. } => EventKind::PowerGate,
+            Event::QUpdate { .. } => EventKind::QUpdate,
+        }
+    }
+
+    /// The cycle the event was recorded at.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::PacketInjected { cycle, .. }
+            | Event::HopTraversed { cycle, .. }
+            | Event::Retransmission { cycle, .. }
+            | Event::EccCorrected { cycle, .. }
+            | Event::ModeSwitch { cycle, .. }
+            | Event::PowerGate { cycle, .. }
+            | Event::QUpdate { cycle, .. } => cycle,
+        }
+    }
+
+    /// The router the event is attributed to.
+    pub fn router(&self) -> u32 {
+        match *self {
+            Event::PacketInjected { router, .. }
+            | Event::HopTraversed { router, .. }
+            | Event::Retransmission { router, .. }
+            | Event::EccCorrected { router, .. }
+            | Event::ModeSwitch { router, .. }
+            | Event::PowerGate { router, .. }
+            | Event::QUpdate { router, .. } => router,
+        }
+    }
+
+    /// Appends this event as one JSON object (no trailing newline). The
+    /// field order is fixed, so traces are byte-deterministic.
+    pub fn write_jsonl(&self, out: &mut String) {
+        let kind = self.kind().name();
+        let (cycle, router) = (self.cycle(), self.router());
+        let _ = write!(out, "{{\"kind\":\"{kind}\",\"cycle\":{cycle},\"router\":{router}");
+        match *self {
+            Event::PacketInjected { packet, dest, .. } => {
+                let _ = write!(out, ",\"packet\":{packet},\"dest\":{dest}");
+            }
+            Event::HopTraversed { packet, flit, .. } => {
+                let _ = write!(out, ",\"packet\":{packet},\"flit\":{flit}");
+            }
+            Event::Retransmission { packet, scope, .. } => {
+                let _ = write!(out, ",\"packet\":{packet},\"scope\":\"{}\"", scope.label());
+            }
+            Event::EccCorrected { packet, bits, .. } => {
+                let _ = write!(out, ",\"packet\":{packet},\"bits\":{bits}");
+            }
+            Event::ModeSwitch { from, to, .. } => {
+                let _ = write!(out, ",\"from\":{from},\"to\":{to}");
+            }
+            Event::PowerGate { edge, .. } => {
+                let _ = write!(out, ",\"edge\":\"{}\"", edge.label());
+            }
+            Event::QUpdate { state, action, reward, .. } => {
+                let _ = write!(out, ",\"state\":{state},\"action\":{action},\"reward\":{reward}");
+            }
+        }
+        out.push('}');
+    }
+
+    /// Appends this event as one CSV row matching [`Event::CSV_HEADER`].
+    pub fn write_csv(&self, out: &mut String) {
+        let kind = self.kind().name();
+        let (cycle, router) = (self.cycle(), self.router());
+        let _ = write!(out, "{cycle},{router},{kind}");
+        // Columns: packet,flit_or_dest,bits,scope_or_edge,from,to,state,action,reward
+        match *self {
+            Event::PacketInjected { packet, dest, .. } => {
+                let _ = write!(out, ",{packet},{dest},,,,,,,");
+            }
+            Event::HopTraversed { packet, flit, .. } => {
+                let _ = write!(out, ",{packet},{flit},,,,,,,");
+            }
+            Event::Retransmission { packet, scope, .. } => {
+                let _ = write!(out, ",{packet},,,{},,,,,", scope.label());
+            }
+            Event::EccCorrected { packet, bits, .. } => {
+                let _ = write!(out, ",{packet},,{bits},,,,,,");
+            }
+            Event::ModeSwitch { from, to, .. } => {
+                let _ = write!(out, ",,,,,{from},{to},,,");
+            }
+            Event::PowerGate { edge, .. } => {
+                let _ = write!(out, ",,,,{},,,,,", edge.label());
+            }
+            Event::QUpdate { state, action, reward, .. } => {
+                let _ = write!(out, ",,,,,,,{state},{action},{reward}");
+            }
+        }
+    }
+}
+
+impl Event {
+    /// Header row for the CSV sink.
+    pub const CSV_HEADER: &'static str =
+        "cycle,router,kind,packet,flit_or_dest,bits,scope_or_edge,from,to,state,action,reward";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_shape() {
+        let mut s = String::new();
+        Event::ModeSwitch { cycle: 9, router: 3, from: 0, to: 4 }.write_jsonl(&mut s);
+        assert_eq!(s, "{\"kind\":\"ModeSwitch\",\"cycle\":9,\"router\":3,\"from\":0,\"to\":4}");
+    }
+
+    #[test]
+    fn kind_aliases_parse() {
+        assert_eq!(EventKind::parse("retx"), Some(EventKind::Retransmission));
+        assert_eq!(EventKind::parse("ModeSwitch"), Some(EventKind::ModeSwitch));
+        assert_eq!(EventKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn csv_column_count_is_constant() {
+        let header_cols = Event::CSV_HEADER.split(',').count();
+        let events = [
+            Event::PacketInjected { cycle: 1, router: 2, packet: 3, dest: 4 },
+            Event::HopTraversed { cycle: 1, router: 2, packet: 3, flit: 4 },
+            Event::Retransmission { cycle: 1, router: 2, packet: 3, scope: RetxScope::Hop },
+            Event::EccCorrected { cycle: 1, router: 2, packet: 3, bits: 1 },
+            Event::ModeSwitch { cycle: 1, router: 2, from: 0, to: 1 },
+            Event::PowerGate { cycle: 1, router: 2, edge: GateEdge::On },
+            Event::QUpdate { cycle: 1, router: 2, state: 7, action: 1, reward: -0.5 },
+        ];
+        for e in events {
+            let mut row = String::new();
+            e.write_csv(&mut row);
+            assert_eq!(row.split(',').count(), header_cols, "row `{row}`");
+        }
+    }
+}

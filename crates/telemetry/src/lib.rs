@@ -1,0 +1,29 @@
+//! `noc-telemetry`: the observability layer of the IntelliNoC reproduction.
+//!
+//! Three independent facilities, all runtime-toggleable and all free when
+//! disabled (the simulator holds them in `Option`s and the disabled path is
+//! a single branch with zero allocation):
+//!
+//! 1. [`Tracer`] — a structured event trace. Simulator subsystems emit typed
+//!    [`Event`]s (packet injection, hop traversal, retransmissions, ECC
+//!    corrections, RL mode switches, power gating, Q-learning updates) into a
+//!    bounded ring buffer, optionally filtered per router and per event kind,
+//!    and drained to JSONL or CSV sinks.
+//! 2. [`RunTimeline`] — a metrics time-series sampled once per control time
+//!    step (latency, power, temperature, aging, mode mix, retransmission
+//!    counts), serialized alongside the end-of-run report so figures can be
+//!    regenerated from a single run.
+//! 3. [`Profiler`] — wall-clock section timers plus per-pipeline-phase
+//!    (RC/VA/SA/ST) counters, rendered as a self-profile table at run end.
+
+#![forbid(unsafe_code)]
+
+mod event;
+mod profiler;
+mod timeline;
+mod tracer;
+
+pub use event::{Event, EventKind, GateEdge, RetxScope};
+pub use profiler::{PhaseCounters, Profiler, SectionStats};
+pub use timeline::{RunTimeline, TimelineSample};
+pub use tracer::{TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY};

@@ -1,0 +1,121 @@
+//! Simulator self-profiling: wall-clock section timers and pipeline-phase
+//! counters.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Event counts for the four canonical router pipeline phases.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCounters {
+    /// Route computations.
+    pub rc: u64,
+    /// Virtual-channel allocations.
+    pub va: u64,
+    /// Switch allocations (grants).
+    pub sa: u64,
+    /// Switch traversals (flits crossing the crossbar).
+    pub st: u64,
+}
+
+/// Aggregate wall-clock statistics for one named section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectionStats {
+    /// Total time spent in the section.
+    pub nanos: u128,
+    /// Number of section entries.
+    pub calls: u64,
+}
+
+/// Collects section timings and phase counters for the end-of-run
+/// self-profile table. Wall-clock values are nondeterministic, so the
+/// profile is reported separately and never included in the
+/// determinism-checked run artifacts.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    sections: BTreeMap<&'static str, SectionStats>,
+    /// Pipeline-phase event counters.
+    pub phases: PhaseCounters,
+}
+
+impl Profiler {
+    /// A fresh profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Adds one timed entry to `section`.
+    #[inline]
+    pub fn add(&mut self, section: &'static str, elapsed: Duration) {
+        let s = self.sections.entry(section).or_default();
+        s.nanos += elapsed.as_nanos();
+        s.calls += 1;
+    }
+
+    /// Adds `calls` entries totalling `elapsed` to `section` (for callers
+    /// that batch many iterations under one timer read).
+    #[inline]
+    pub fn add_batch(&mut self, section: &'static str, elapsed: Duration, calls: u64) {
+        let s = self.sections.entry(section).or_default();
+        s.nanos += elapsed.as_nanos();
+        s.calls += calls;
+    }
+
+    /// The recorded sections, sorted by name.
+    pub fn sections(&self) -> impl Iterator<Item = (&'static str, &SectionStats)> {
+        self.sections.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Stats for one section, if recorded.
+    pub fn section(&self, name: &str) -> Option<&SectionStats> {
+        self.sections.get(name)
+    }
+
+    /// Renders the self-profile table shown at run end.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("self-profile\n");
+        out.push_str("  section              calls        total_ms      ns/call\n");
+        for (name, s) in &self.sections {
+            let total_ms = s.nanos as f64 / 1e6;
+            let per_call = if s.calls == 0 { 0.0 } else { s.nanos as f64 / s.calls as f64 };
+            let _ = writeln!(out, "  {name:<20} {:>9} {total_ms:>15.3} {per_call:>12.1}", s.calls);
+        }
+        let p = &self.phases;
+        let _ = writeln!(
+            out,
+            "  pipeline phases: RC {} | VA {} | SA {} | ST {}",
+            p.rc, p.va, p.sa, p.st
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_accumulate() {
+        let mut p = Profiler::new();
+        p.add("sim.step_cycle", Duration::from_micros(5));
+        p.add("sim.step_cycle", Duration::from_micros(7));
+        p.add("rl.decide", Duration::from_micros(1));
+        let s = p.section("sim.step_cycle").unwrap();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.nanos, 12_000);
+        assert!(p.section("fault.inject").is_none());
+    }
+
+    #[test]
+    fn table_lists_everything() {
+        let mut p = Profiler::new();
+        p.add_batch("sim.step_cycle", Duration::from_millis(2), 1000);
+        p.phases.sa = 42;
+        let table = p.table();
+        assert!(table.contains("sim.step_cycle"));
+        assert!(table.contains("SA 42"));
+    }
+}

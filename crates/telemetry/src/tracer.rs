@@ -1,0 +1,230 @@
+//! The event tracer: filter + bounded ring buffer + sinks.
+
+use crate::event::{Event, EventKind};
+use std::collections::VecDeque;
+
+/// Per-router / per-kind admission filter for the tracer.
+///
+/// Parsed from `--trace-filter` syntax: comma-separated `router=N` and
+/// `kind=NAME` clauses. Multiple clauses of the same key are OR-ed; the two
+/// keys are AND-ed. An empty filter admits everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceFilter {
+    routers: Vec<u32>,
+    kind_mask: Option<u8>,
+}
+
+impl TraceFilter {
+    /// The filter that admits every event.
+    #[must_use]
+    pub fn all() -> Self {
+        TraceFilter::default()
+    }
+
+    /// Parses `--trace-filter` syntax, e.g. `router=3,kind=retx,kind=mode`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut filter = TraceFilter::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("trace filter clause `{clause}` is not key=value"))?;
+            match key.trim() {
+                "router" => {
+                    let id = value
+                        .trim()
+                        .parse::<u32>()
+                        .map_err(|_| format!("bad router id `{value}` in trace filter"))?;
+                    filter.routers.push(id);
+                }
+                "kind" => {
+                    let kind = EventKind::parse(value.trim()).ok_or_else(|| {
+                        format!(
+                            "unknown event kind `{value}`; expected one of \
+                             inject, hop, retx, ecc, mode, gate, q"
+                        )
+                    })?;
+                    *filter.kind_mask.get_or_insert(0) |= 1 << kind as u8;
+                }
+                other => return Err(format!("unknown trace filter key `{other}`")),
+            }
+        }
+        Ok(filter)
+    }
+
+    /// Whether an event with this router/kind passes the filter.
+    #[inline]
+    pub fn admits(&self, router: u32, kind: EventKind) -> bool {
+        if let Some(mask) = self.kind_mask {
+            if mask & (1 << kind as u8) == 0 {
+                return false;
+            }
+        }
+        self.routers.is_empty() || self.routers.contains(&router)
+    }
+}
+
+/// Bounded structured event trace.
+///
+/// Admitted events go into a preallocated ring buffer; once full, the oldest
+/// events are evicted (and counted) so a trace of a long run keeps its tail,
+/// which is where the interesting steady-state behavior lives. `record` never
+/// allocates.
+#[derive(Debug)]
+pub struct Tracer {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    filter: TraceFilter,
+    recorded: u64,
+    evicted: u64,
+}
+
+/// Default ring capacity (events).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_TRACE_CAPACITY, TraceFilter::all())
+    }
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` events, admitting per `filter`.
+    #[must_use]
+    pub fn new(capacity: usize, filter: TraceFilter) -> Self {
+        let capacity = capacity.max(1);
+        Tracer { buf: VecDeque::with_capacity(capacity), capacity, filter, recorded: 0, evicted: 0 }
+    }
+
+    /// Records one event (if it passes the filter), evicting the oldest
+    /// event when the ring is full.
+    #[inline]
+    pub fn record(&mut self, event: Event) {
+        if !self.filter.admits(event.router(), event.kind()) {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(event);
+        self.recorded += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events admitted over the run (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted by ring overflow.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Renders the retained events as JSON Lines (one object per line).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 64);
+        for e in &self.buf {
+            e.write_jsonl(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the retained events as CSV with a header row.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 48 + 64);
+        out.push_str(Event::CSV_HEADER);
+        out.push('\n');
+        for e in &self.buf {
+            e.write_csv(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Count of retained events of one kind.
+    pub fn count_of(&self, kind: EventKind) -> usize {
+        self.buf.iter().filter(|e| e.kind() == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RetxScope;
+
+    fn mode_switch(cycle: u64, router: u32) -> Event {
+        Event::ModeSwitch { cycle, router, from: 0, to: 1 }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::new(3, TraceFilter::all());
+        for c in 0..5 {
+            t.record(mode_switch(c, 0));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evicted(), 2);
+        assert_eq!(t.recorded(), 5);
+        let cycles: Vec<u64> = t.events().map(Event::cycle).collect();
+        assert_eq!(cycles, [2, 3, 4]);
+    }
+
+    #[test]
+    fn filter_router_and_kind() {
+        let f = TraceFilter::parse("router=1, kind=retx, kind=mode").unwrap();
+        assert!(f.admits(1, EventKind::Retransmission));
+        assert!(f.admits(1, EventKind::ModeSwitch));
+        assert!(!f.admits(2, EventKind::ModeSwitch));
+        assert!(!f.admits(1, EventKind::QUpdate));
+
+        let mut t = Tracer::new(16, f);
+        t.record(mode_switch(0, 1));
+        t.record(mode_switch(0, 2));
+        t.record(Event::Retransmission { cycle: 1, router: 1, packet: 7, scope: RetxScope::Hop });
+        t.record(Event::QUpdate { cycle: 1, router: 1, state: 0, action: 0, reward: 0.0 });
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn filter_parse_errors() {
+        assert!(TraceFilter::parse("router=x").is_err());
+        assert!(TraceFilter::parse("kind=nope").is_err());
+        assert!(TraceFilter::parse("bogus=1").is_err());
+        assert!(TraceFilter::parse("rawvalue").is_err());
+        assert_eq!(TraceFilter::parse("").unwrap(), TraceFilter::all());
+    }
+
+    #[test]
+    fn sinks_render_every_event() {
+        let mut t = Tracer::default();
+        t.record(mode_switch(3, 1));
+        t.record(Event::PacketInjected { cycle: 4, router: 0, packet: 9, dest: 5 });
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"kind\":\"ModeSwitch\""));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3); // header + 2 rows
+    }
+}

@@ -36,6 +36,6 @@ mod workload;
 pub use parsec::ParsecBenchmark;
 pub use pattern::{default_mc_nodes, SpatialPattern};
 pub use process::{InjectionProcess, ProcessState};
-pub use trace::{capture_trace, read_trace, write_trace, TraceRecord};
 pub use replay::TraceReplay;
+pub use trace::{capture_trace, read_trace, write_trace, TraceRecord};
 pub use workload::{Phase, TrafficGen, Workload, WorkloadSpec};

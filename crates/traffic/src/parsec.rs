@@ -106,12 +106,9 @@ impl ParsecBenchmark {
             f64,
             Vec<Phase>,
         ) = match self {
-            ParsecBenchmark::Blackscholes => (
-                InjectionProcess::Bernoulli { rate: 0.010 },
-                SpatialPattern::Uniform,
-                0.08,
-                vec![],
-            ),
+            ParsecBenchmark::Blackscholes => {
+                (InjectionProcess::Bernoulli { rate: 0.010 }, SpatialPattern::Uniform, 0.08, vec![])
+            }
             ParsecBenchmark::Bodytrack => (
                 InjectionProcess::Mmp {
                     on_rate: 0.045,
@@ -180,12 +177,9 @@ impl ParsecBenchmark {
                 0.05,
                 vec![],
             ),
-            ParsecBenchmark::Swaptions => (
-                InjectionProcess::Bernoulli { rate: 0.005 },
-                SpatialPattern::Uniform,
-                0.06,
-                vec![],
-            ),
+            ParsecBenchmark::Swaptions => {
+                (InjectionProcess::Bernoulli { rate: 0.005 }, SpatialPattern::Uniform, 0.06, vec![])
+            }
             ParsecBenchmark::Vips => (
                 InjectionProcess::Mmp {
                     on_rate: 0.055,
@@ -260,8 +254,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let mut labels: Vec<&str> =
-            ParsecBenchmark::TEST_SET.iter().map(|b| b.label()).collect();
+        let mut labels: Vec<&str> = ParsecBenchmark::TEST_SET.iter().map(|b| b.label()).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 10);

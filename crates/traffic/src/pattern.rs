@@ -109,10 +109,10 @@ impl SpatialPattern {
 /// four edge-midpoint tiles, mirroring common CMP floorplans.
 pub fn default_mc_nodes(width: usize, height: usize) -> Vec<usize> {
     vec![
-        width / 2,                                 // top edge
-        (height / 2) * width,                      // left edge
-        (height / 2) * width + width - 1,          // right edge
-        (height - 1) * width + width / 2,          // bottom edge
+        width / 2,                        // top edge
+        (height / 2) * width,             // left edge
+        (height / 2) * width + width - 1, // right edge
+        (height - 1) * width + width / 2, // bottom edge
     ]
 }
 
@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn uniform_covers_all_destinations() {
         let mut r = rng();
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for _ in 0..4000 {
             seen[SpatialPattern::Uniform.dest(10, 8, 8, &mut r)] = true;
         }

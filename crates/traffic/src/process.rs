@@ -157,12 +157,8 @@ mod tests {
     fn scaling_scales_mean_rate() {
         let p = InjectionProcess::Bernoulli { rate: 0.04 };
         assert!((p.scaled(2.0).mean_rate() - 0.08).abs() < 1e-12);
-        let m = InjectionProcess::Mmp {
-            on_rate: 0.2,
-            off_rate: 0.02,
-            p_on_off: 0.01,
-            p_off_on: 0.01,
-        };
+        let m =
+            InjectionProcess::Mmp { on_rate: 0.2, off_rate: 0.02, p_on_off: 0.01, p_off_on: 0.01 };
         let s = m.scaled(0.5);
         assert!((s.mean_rate() - m.mean_rate() * 0.5).abs() < 1e-12);
     }

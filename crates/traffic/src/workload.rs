@@ -107,8 +107,7 @@ impl WorkloadSpec {
             return base;
         }
         let total: f64 = self.phases.iter().map(|p| p.cycles as f64).sum();
-        let weighted: f64 =
-            self.phases.iter().map(|p| p.cycles as f64 * p.rate_factor).sum();
+        let weighted: f64 = self.phases.iter().map(|p| p.cycles as f64 * p.rate_factor).sum();
         base * weighted / total
     }
 }
@@ -268,11 +267,11 @@ mod tests {
     #[test]
     fn budget_is_respected() {
         let mut g = TrafficGen::new(WorkloadSpec::uniform(0.5, 5), 4, 4, 1);
-        let mut injected = vec![0u64; 16];
+        let mut injected = [0u64; 16];
         for cycle in 0..10_000 {
-            for node in 0..16 {
+            for (node, count) in injected.iter_mut().enumerate() {
                 if g.poll(cycle, node, 0).is_some() {
-                    injected[node] += 1;
+                    *count += 1;
                 }
             }
         }
@@ -294,10 +293,7 @@ mod tests {
 
     #[test]
     fn hotspot_fraction_targets_mcs() {
-        let spec = WorkloadSpec {
-            hotspot_fraction: 1.0,
-            ..WorkloadSpec::uniform(1.0, 1000)
-        };
+        let spec = WorkloadSpec { hotspot_fraction: 1.0, ..WorkloadSpec::uniform(1.0, 1000) };
         let mut g = TrafficGen::new(spec, 8, 8, 3);
         let mcs = default_mc_nodes(8, 8);
         let mut hits = 0;

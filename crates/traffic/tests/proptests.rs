@@ -36,11 +36,11 @@ proptest! {
         let mut gen = TrafficGen::new(spec, 8, 8, seed);
         let mut counts = vec![0u64; 64];
         for cycle in 0..200_000 {
-            for node in 0..64 {
+            for (node, count) in counts.iter_mut().enumerate() {
                 if let Some(dest) = gen.poll(cycle, node, 0) {
                     prop_assert!(dest < 64);
                     prop_assert_ne!(dest, node);
-                    counts[node] += 1;
+                    *count += 1;
                 }
             }
             if gen.is_exhausted() {

@@ -27,7 +27,8 @@ fn main() {
     }
 
     println!("Pre-training IntelliNoC on blackscholes (paper Section 6.3)...");
-    let tables = pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 150, 1_000, 9, 10);
+    let tables =
+        pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 150, 1_000, 9, 10);
 
     for bench in selected {
         println!("\n--- {bench} ---");

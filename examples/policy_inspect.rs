@@ -27,8 +27,10 @@ fn main() {
 
     println!("\nQ-table occupancy across the 64 routers:");
     println!("  total visited states : {total_states}");
-    println!("  per router           : min {min_states}, max {max_states}, mean {:.1}",
-        total_states as f64 / tables.len() as f64);
+    println!(
+        "  per router           : min {min_states}, max {max_states}, mean {:.1}",
+        total_states as f64 / tables.len() as f64
+    );
     println!("  hardware cap         : 350 entries (paper Section 7.4 reports <300 visited)");
 
     let total: u64 = greedy_mode_counts.iter().sum();
@@ -36,16 +38,12 @@ fn main() {
     for (i, &c) in greedy_mode_counts.iter().enumerate() {
         let mode = OperationMode::from_action(i);
         let pct = 100.0 * c as f64 / total.max(1) as f64;
-        let bar: String = std::iter::repeat('#').take((pct / 2.0) as usize).collect();
+        let bar: String = std::iter::repeat_n('#', (pct / 2.0) as usize).collect();
         println!("  {mode:<22} {c:>5} states ({pct:>5.1}%) {bar}");
     }
 
     // Show one concrete router's table in detail.
-    let (ri, richest) = tables
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, t)| t.len())
-        .expect("64 tables");
+    let (ri, richest) = tables.iter().enumerate().max_by_key(|(_, t)| t.len()).expect("64 tables");
     println!("\nrouter {ri} (richest table, {} states):", richest.len());
     println!("  {:<18} {:>10} {:>8} {:>22}", "state key", "greedy", "Q", "visits per action");
     let mut states: Vec<_> = richest.states().collect();

@@ -18,11 +18,9 @@ fn main() {
         "ep", "exec_cyc", "latency", "qtab", "m0", "m1", "m2", "m3", "m4"
     );
     for ep in 0..episodes {
-        let mut cfg = ExperimentConfig::new(
-            Design::IntelliNoc,
-            ParsecBenchmark::Blackscholes.workload(150),
-        )
-        .with_seed(100 + ep);
+        let mut cfg =
+            ExperimentConfig::new(Design::IntelliNoc, ParsecBenchmark::Blackscholes.workload(150))
+                .with_seed(100 + ep);
         cfg.rl = intellinoc_rl_config();
         cfg.pretrained = tables.take();
         let (outcome, policy) = run_experiment_keeping_policy(cfg);

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release -p intellinoc --example thermal_map`
 
-use intellinoc::{ControlPolicy, Design, RewardKind, RlControl};
 use intellinoc::intellinoc_rl_config;
+use intellinoc::{ControlPolicy, Design, RewardKind, RlControl};
 use noc_sim::Network;
 use noc_traffic::ParsecBenchmark;
 
@@ -55,10 +55,8 @@ fn main() {
         let (temps, mean, max) = run(design);
         println!("{} (mean {:.1}C, max {:.1}C):", design.label(), mean, max);
         for y in 0..8 {
-            let row: String = (0..8)
-                .map(|x| heat_glyph(temps[y * 8 + x]))
-                .flat_map(|c| [c, ' '])
-                .collect();
+            let row: String =
+                (0..8).map(|x| heat_glyph(temps[y * 8 + x])).flat_map(|c| [c, ' ']).collect();
             println!("  {row}");
         }
         println!();

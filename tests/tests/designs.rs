@@ -14,7 +14,8 @@ fn all_designs_deliver_all_packets_on_parsec() {
         for bench in [ParsecBenchmark::Swaptions, ParsecBenchmark::Dedup] {
             let o = run(design, bench.workload(15), 3);
             assert_eq!(
-                o.report.stats.packets_delivered, 64 * 15,
+                o.report.stats.packets_delivered,
+                64 * 15,
                 "{design} on {bench} lost packets"
             );
             assert_eq!(
@@ -51,10 +52,7 @@ fn power_breakdown_is_positive_and_static_dominates_at_idle() {
 fn gating_designs_actually_gate_at_low_load() {
     for design in [Design::Cp, Design::Cpd] {
         let o = run(design, WorkloadSpec::uniform(0.002, 10), 6);
-        assert!(
-            o.report.stats.gated_router_cycles > 0,
-            "{design} never gated at idle"
-        );
+        assert!(o.report.stats.gated_router_cycles > 0, "{design} never gated at idle");
     }
     let o = run(Design::Secded, WorkloadSpec::uniform(0.002, 10), 6);
     assert_eq!(o.report.stats.gated_router_cycles, 0, "baseline must never gate");
@@ -88,8 +86,7 @@ fn eb_has_lower_latency_than_baseline_at_low_load() {
 #[test]
 fn e2e_crc_designs_never_deliver_corrupted_packets() {
     for design in [Design::Cpd, Design::IntelliNoc] {
-        let mut cfg =
-            ExperimentConfig::new(design, WorkloadSpec::uniform(0.02, 20)).with_seed(9);
+        let mut cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(0.02, 20)).with_seed(9);
         cfg.error_rate_override = Some(5e-5);
         let o = run_experiment(cfg);
         assert_eq!(o.report.stats.corrupted_packets, 0, "{design}");
@@ -108,10 +105,8 @@ fn mttf_reported_for_all_designs() {
 
 #[test]
 fn comparison_row_is_finite_for_full_design_set() {
-    let outcomes: Vec<_> = Design::ALL
-        .iter()
-        .map(|&d| run(d, ParsecBenchmark::Freqmine.workload(15), 11))
-        .collect();
+    let outcomes: Vec<_> =
+        Design::ALL.iter().map(|&d| run(d, ParsecBenchmark::Freqmine.workload(15), 11)).collect();
     let row = compare(&outcomes);
     for (design, m) in &row.designs {
         for (name, v) in [

@@ -57,12 +57,8 @@ fn relaxed_timing_suppresses_errors() {
     let run = |relaxed| {
         let cfg = faulty_config(1e-4);
         let mut net = Network::new(cfg, WorkloadSpec::uniform(0.02, 25), 23);
-        let d = RouterDirective {
-            gate: None,
-            scheme: noc_ecc::EccScheme::Secded,
-            relaxed,
-        };
-        net.apply_directives(&vec![d; 64]);
+        let d = RouterDirective { gate: None, scheme: noc_ecc::EccScheme::Secded, relaxed };
+        net.apply_directives(&[d; 64]);
         assert!(net.run_cycles(2_000_000));
         net.stats().clone()
     };
@@ -83,11 +79,8 @@ fn relaxed_timing_suppresses_errors() {
 fn error_rate_scales_fault_activity_monotonically() {
     let mut last = 0u64;
     for rate in [1e-6, 1e-5, 1e-4] {
-        let mut cfg = ExperimentConfig::new(
-            Design::Secded,
-            WorkloadSpec::uniform(0.02, 15),
-        )
-        .with_seed(24);
+        let mut cfg =
+            ExperimentConfig::new(Design::Secded, WorkloadSpec::uniform(0.02, 15)).with_seed(24);
         cfg.error_rate_override = Some(rate);
         let o = run_experiment(cfg);
         assert!(

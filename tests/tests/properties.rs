@@ -28,8 +28,7 @@ proptest! {
         seed in 0u64..1000,
         fault_exp in 0u32..3,
     ) {
-        let mut cfg = SimConfig::default();
-        cfg.seed = seed;
+        let mut cfg = SimConfig { seed, ..SimConfig::default() };
         // Fault rate in {0, 1e-5, 1e-4}.
         let rate_f = if fault_exp == 0 { 0.0 } else { 10f64.powi(-(6 - fault_exp as i32)) };
         cfg.varius.base_rate = rate_f;
@@ -53,15 +52,17 @@ proptest! {
         seed in 0u64..500,
         wake in 1usize..6,
     ) {
-        let mut cfg = SimConfig::default();
-        cfg.seed = seed;
+        let mut cfg = SimConfig {
+            seed,
+            reactive_gating: true,
+            bypass_enabled: true,
+            channel_capacity: 8,
+            vc_depth: 2,
+            wake_occupancy: wake,
+            ..SimConfig::default()
+        };
         cfg.varius.base_rate = 0.0;
         cfg.varius.min_rate = 0.0;
-        cfg.reactive_gating = true;
-        cfg.bypass_enabled = true;
-        cfg.channel_capacity = 8;
-        cfg.vc_depth = 2;
-        cfg.wake_occupancy = wake;
         let mut net = Network::new(cfg, WorkloadSpec::uniform(rate, 6), seed);
         prop_assert!(net.run_cycles(2_000_000), "gated network did not drain");
         prop_assert_eq!(net.stats().packets_delivered, 64 * 6);
@@ -71,8 +72,7 @@ proptest! {
     #[test]
     fn determinism(seed in 0u64..200, rate in 0.01f64..0.05) {
         let run = || {
-            let mut cfg = SimConfig::default();
-            cfg.seed = seed;
+            let cfg = SimConfig { seed, ..SimConfig::default() };
             let mut net = Network::new(cfg, WorkloadSpec::uniform(rate, 6), seed);
             net.run_cycles(2_000_000);
             net.stats().clone()

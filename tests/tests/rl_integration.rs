@@ -23,19 +23,15 @@ fn policy_gates_at_idle_but_not_under_load() {
     let tables =
         pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 120, 1_000, 32, 12);
     let run = |rate: f64| {
-        let mut cfg = ExperimentConfig::new(
-            Design::IntelliNoc,
-            WorkloadSpec::uniform(rate, 120),
-        )
-        .with_seed(32);
+        let mut cfg = ExperimentConfig::new(Design::IntelliNoc, WorkloadSpec::uniform(rate, 120))
+            .with_seed(32);
         cfg.pretrained = Some(tables.clone());
         run_experiment(cfg)
     };
     let idle = run(0.004);
     let busy = run(0.06);
     let gated_frac = |o: &intellinoc::ExperimentOutcome| {
-        o.report.stats.gated_router_cycles as f64
-            / (64.0 * o.report.stats.cycles.max(1) as f64)
+        o.report.stats.gated_router_cycles as f64 / (64.0 * o.report.stats.cycles.max(1) as f64)
     };
     assert!(
         gated_frac(&idle) > gated_frac(&busy),
@@ -52,11 +48,8 @@ fn policy_gates_at_idle_but_not_under_load() {
 fn mode_histogram_uses_multiple_modes() {
     let tables =
         pretrain_intellinoc(intellinoc_rl_config(), RewardKind::LogSpace, 100, 1_000, 33, 8);
-    let mut cfg = ExperimentConfig::new(
-        Design::IntelliNoc,
-        ParsecBenchmark::Canneal.workload(80),
-    )
-    .with_seed(33);
+    let mut cfg = ExperimentConfig::new(Design::IntelliNoc, ParsecBenchmark::Canneal.workload(80))
+        .with_seed(33);
     cfg.pretrained = Some(tables);
     let o = run_experiment(cfg);
     let total: u64 = o.mode_histogram.iter().sum();
@@ -93,8 +86,5 @@ fn rl_decision_energy_is_charged() {
 #[test]
 fn ten_benchmark_labels_cover_paper_axis() {
     let labels: Vec<&str> = ParsecBenchmark::TEST_SET.iter().map(|b| b.label()).collect();
-    assert_eq!(
-        labels,
-        ["bod", "can", "dedup", "fac", "fer", "fre", "flu", "swa", "vips", "x264s"]
-    );
+    assert_eq!(labels, ["bod", "can", "dedup", "fac", "fer", "fre", "flu", "swa", "vips", "x264s"]);
 }

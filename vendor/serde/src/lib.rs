@@ -1,0 +1,565 @@
+//! Offline drop-in subset of `serde` for this workspace.
+//!
+//! The container image this repository builds in has no crates.io access, so
+//! the workspace vendors a minimal serialization framework under the same
+//! crate name. Instead of real serde's visitor architecture, types convert
+//! to and from a small JSON-shaped [`Content`] tree; the derive macros
+//! (re-exported from our `serde_derive`) generate those conversions for
+//! plain structs and enums. `serde_json` (also vendored) renders the tree.
+//!
+//! Supported surface (everything this workspace uses):
+//! - `#[derive(Serialize, Deserialize)]` on non-generic structs and enums
+//!   without `#[serde(...)]` attributes,
+//! - primitives, `String`, `Option`, `Vec`, `VecDeque`, arrays, tuples,
+//!   boxed values, and maps with integer/string-like keys,
+//! - externally-tagged enum encoding matching real serde's JSON output.
+//!
+//! Map entries are serialized in sorted key order so serialized output is
+//! byte-for-byte deterministic — a property the telemetry determinism tests
+//! rely on.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The self-describing data model: a JSON-shaped content tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object (ordered key/value pairs).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries of a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a map entry by key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric view as `f64` (accepts any number representation).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (accepts integral floats).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64` (accepts integral floats).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(v) => i64::try_from(v).ok(),
+            Content::I64(v) => Some(v),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// A value that can be rendered into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn serialize_content(&self) -> Content;
+}
+
+/// A value that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the content shape does not match `Self`.
+    fn deserialize_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Helper used by derived code: extract and deserialize a struct field.
+///
+/// # Errors
+///
+/// Returns an error when the field is missing or has the wrong shape.
+pub fn field<T: Deserialize>(content: &Content, name: &str) -> Result<T, Error> {
+    let v = content
+        .get(name)
+        .ok_or_else(|| Error(format!("missing field `{name}` in {}", content.kind())))?;
+    T::deserialize_content(v).map_err(|e| Error(format!("field `{name}`: {e}")))
+}
+
+/// Helper used by derived code: extract and deserialize a tuple element.
+///
+/// # Errors
+///
+/// Returns an error when the element is missing or has the wrong shape.
+pub fn seq_field<T: Deserialize>(content: &Content, idx: usize) -> Result<T, Error> {
+    let seq = content
+        .as_seq()
+        .ok_or_else(|| Error(format!("expected array, found {}", content.kind())))?;
+    let v = seq.get(idx).ok_or_else(|| Error(format!("missing tuple element {idx}")))?;
+    T::deserialize_content(v).map_err(|e| Error(format!("element {idx}: {e}")))
+}
+
+fn type_error<T>(expected: &str, found: &Content) -> Result<T, Error> {
+    Err(Error(format!("expected {expected}, found {}", found.kind())))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let v = c.as_u64().ok_or_else(|| {
+                    Error(format!("expected unsigned integer, found {}", c.kind()))
+                })?;
+                <$t>::try_from(v).map_err(|_| Error(format!("{v} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                let v = c.as_i64().ok_or_else(|| {
+                    Error(format!("expected integer, found {}", c.kind()))
+                })?;
+                <$t>::try_from(v).map_err(|_| Error(format!("{v} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize_content(&self) -> Content {
+        // JSON numbers cannot hold u128 precisely; encode as a string.
+        if let Ok(v) = u64::try_from(*self) {
+            Content::U64(v)
+        } else {
+            Content::Str(self.to_string())
+        }
+    }
+}
+impl Deserialize for u128 {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        if let Some(v) = c.as_u64() {
+            return Ok(v as u128);
+        }
+        match c {
+            Content::Str(s) => s.parse().map_err(|_| Error(format!("bad u128 `{s}`"))),
+            other => type_error("u128", other),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                c.as_f64().map(|v| v as $t).ok_or_else(|| {
+                    Error(format!("expected number, found {}", c.kind()))
+                })
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => type_error("bool", other),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("non-empty")),
+            other => type_error("single-char string", other),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => type_error("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn deserialize_content(_: &Content) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.serialize_content(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(s) => s.iter().map(T::deserialize_content).collect(),
+            other => type_error("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Vec::<T>::deserialize_content(c).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        let v = Vec::<T>::deserialize_content(c)?;
+        let len = v.len();
+        v.try_into().map_err(|_| Error(format!("expected array of {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, Error> {
+                Ok(($(seq_field::<$name>(c, $idx)?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+// Map keys: rendered through the content tree, then stringified. Integer and
+// string keys round-trip; anything else is a serialization error surfaced at
+// JSON-rendering time (mirroring serde_json's key restrictions).
+fn key_to_string(c: Content) -> String {
+    match c {
+        Content::Str(s) => s,
+        Content::U64(v) => v.to_string(),
+        Content::I64(v) => v.to_string(),
+        Content::Bool(b) => b.to_string(),
+        other => format!("<unsupported key: {}>", other.kind()),
+    }
+}
+
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    // Try the numeric readings first so integer-keyed maps round-trip, then
+    // fall back to the plain string.
+    if let Ok(v) = s.parse::<u64>() {
+        if let Ok(k) = K::deserialize_content(&Content::U64(v)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(v) = s.parse::<i64>() {
+        if let Ok(k) = K::deserialize_content(&Content::I64(v)) {
+            return Ok(k);
+        }
+    }
+    K::deserialize_content(&Content::Str(s.to_owned()))
+}
+
+fn serialize_map<'a, K, V, I>(entries: I) -> Content
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut out: Vec<(String, Content)> = entries
+        .map(|(k, v)| (key_to_string(k.serialize_content()), v.serialize_content()))
+        .collect();
+    // Sorted key order keeps serialized maps deterministic regardless of the
+    // source container's iteration order.
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Content::Map(out)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_content(&self) -> Content {
+        serialize_map(self.iter())
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_content(v)?)))
+                .collect(),
+            other => type_error("object", other),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        serialize_map(self.iter())
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_content(v)?)))
+                .collect(),
+            other => type_error("object", other),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn deserialize_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::deserialize_content(&42u64.serialize_content()).unwrap(), 42);
+        assert_eq!(i32::deserialize_content(&(-7i32).serialize_content()).unwrap(), -7);
+        assert_eq!(f64::deserialize_content(&1.5f64.serialize_content()).unwrap(), 1.5);
+        assert!(bool::deserialize_content(&Content::Bool(true)).unwrap());
+    }
+
+    #[test]
+    fn f64_accepts_integer_content() {
+        assert_eq!(f64::deserialize_content(&Content::U64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize_content(&v.serialize_content()).unwrap(), v);
+        let a = [1.0f64, 2.0];
+        assert_eq!(<[f64; 2]>::deserialize_content(&a.serialize_content()).unwrap(), a);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize_content(&o.serialize_content()).unwrap(), None);
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = HashMap::new();
+        m.insert(10u64, 1u32);
+        m.insert(2u64, 2u32);
+        let c = m.serialize_content();
+        let keys: Vec<&str> = c.as_map().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["10", "2"]); // lexicographic, but stable
+        let back = HashMap::<u64, u32>::deserialize_content(&c).unwrap();
+        assert_eq!(back, m);
+    }
+}

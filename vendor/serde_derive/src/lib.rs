@@ -1,0 +1,382 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Generates [`serde::Serialize`]/[`serde::Deserialize`] impls that convert
+//! through the `serde::Content` tree. Supports non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple, and struct variants) with serde's
+//! externally-tagged JSON encoding. `#[serde(...)]` attributes and generic
+//! parameters are not supported — the workspace does not use them.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline): the input item is walked as token trees
+//! and the impl is assembled as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Unnamed(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Unnamed(count_unnamed_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // (crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past one type (or discriminant expression), stopping at a `,`
+/// outside any `<...>` nesting. Delimited groups are single token trees, so
+/// only angle brackets need explicit depth tracking.
+fn skip_to_field_end(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        fields.push(id.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        skip_to_field_end(&tokens, &mut i);
+        i += 1; // ','
+    }
+    fields
+}
+
+fn count_unnamed_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_to_field_end(&tokens, &mut i);
+        i += 1; // ','
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else { break };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Unnamed(count_unnamed_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Optional `= discriminant`, then the separating comma.
+        skip_to_field_end(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, struct_ser_body(name, fields)),
+        Item::Enum { name, variants } => (name, enum_ser_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn struct_ser_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Content::Null".to_owned(),
+        Fields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Unnamed(1) => "::serde::Serialize::serialize_content(&self.0)".to_owned(),
+        Fields::Unnamed(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+        }
+    }
+}
+
+fn enum_ser_body(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Content::Str(::std::string::String::from(\"{vname}\"))"
+                ),
+                Fields::Unnamed(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let inner = if *n == 1 {
+                        "::serde::Serialize::serialize_content(f0)".to_owned()
+                    } else {
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_content({b})"))
+                            .collect();
+                        format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), {inner})])",
+                        binds.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::serialize_content({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), \
+                          ::serde::Content::Map(::std::vec![{}]))])",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(",\n"))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, struct_de_body(name, fields)),
+        Item::Enum { name, variants } => (name, enum_de_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_content(content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn struct_de_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Named(fields) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: ::serde::field(content, \"{f}\")?")).collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Fields::Unnamed(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_content(content)?))"
+        ),
+        Fields::Unnamed(n) => {
+            let inits: Vec<String> =
+                (0..*n).map(|i| format!("::serde::seq_field(content, {i})?")).collect();
+            format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+        }
+    }
+}
+
+fn enum_de_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => {
+                unit_arms
+                    .push(format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname})"));
+                // Externally-tagged form `{"Variant": null}` is accepted too.
+                tagged_arms
+                    .push(format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname})"));
+            }
+            Fields::Unnamed(1) => tagged_arms.push(format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::deserialize_content(value)?))"
+            )),
+            Fields::Unnamed(n) => {
+                let inits: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::seq_field(value, {i})?")).collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({}))",
+                    inits.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::field(value, \"{f}\")?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    let unit_match = unit_arms.join(",\n");
+    let tagged_match = tagged_arms.join(",\n");
+    format!(
+        "match content {{\n\
+           ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+             {unit_match}{}\n\
+             other => ::std::result::Result::Err(::serde::Error(\
+               ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+           }},\n\
+           ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+             let (tag, value) = &entries[0];\n\
+             let _ = value;\n\
+             match tag.as_str() {{\n\
+               {tagged_match}{}\n\
+               other => ::std::result::Result::Err(::serde::Error(\
+                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+             }}\n\
+           }}\n\
+           _ => ::std::result::Result::Err(::serde::Error(\
+             ::std::string::String::from(\"expected string or single-entry map for {name}\"))),\n\
+         }}",
+        if unit_arms.is_empty() { "" } else { "," },
+        if tagged_arms.is_empty() { "" } else { "," },
+    )
+}

@@ -1,0 +1,475 @@
+//! Offline subset of `serde_json` over the vendored serde [`Content`] tree.
+//!
+//! Provides the five entry points this workspace uses — [`to_string`],
+//! [`to_string_pretty`], [`to_vec`], [`from_str`], [`from_slice`] — with
+//! output conventions matching real serde_json: externally-tagged enums,
+//! two-space pretty indentation, and non-finite floats rendered as `null`.
+//! Because the vendored serde serializes maps in sorted key order, rendered
+//! JSON is byte-for-byte deterministic for identical inputs.
+
+#![forbid(unsafe_code)]
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// JSON error (serialization never fails; parsing reports position).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Convenience alias matching real serde_json.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the supported data model; the `Result` mirrors real
+/// serde_json's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&mut out, &value.serialize_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the supported data model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&mut out, &value.serialize_content(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+///
+/// Never fails for the supported data model.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let content = Parser::new(s).parse_document()?;
+    T::deserialize_content(&content).map_err(Error::from)
+}
+
+/// Deserializes a value from JSON bytes.
+///
+/// # Errors
+///
+/// Returns an error on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_content(out: &mut String, c: &Content, indent: Option<usize>, depth: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => write_block(out, indent, depth, '[', ']', items.len(), |out, i| {
+            write_content(out, &items[i], indent, depth + 1);
+        }),
+        Content::Map(entries) => {
+            write_block(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                let (k, v) = &entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, v, indent, depth + 1);
+            });
+        }
+    }
+}
+
+fn write_block(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..(width * (depth + 1)) {
+                out.push(' ');
+            }
+        }
+        write_item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * depth) {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        // Matches serde_json: non-finite floats render as null.
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        // Keep a trailing ".0" so integral floats stay recognizably floats.
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn parse_document(mut self) -> Result<Content> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        match self.peek().ok_or_else(|| self.err("unexpected end of input"))? {
+            b'n' => {
+                if self.eat_literal("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b't' => {
+                if self.eat_literal("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b'f' => {
+                if self.eat_literal("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            b'"' => self.parse_string().map(Content::Str),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(self.err(&format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // The input is valid UTF-8 and `"`/`\` are ASCII, so this slice
+            // falls on character boundaries.
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<()> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'b' => out.push('\u{08}'),
+            b'f' => out.push('\u{0c}'),
+            b'u' => {
+                let first = self.parse_hex4()?;
+                let code = if (0xD800..0xDC00).contains(&first) {
+                    // High surrogate: require a following `\uXXXX` low half.
+                    if !self.eat_literal("\\u") {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    let second = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&second) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                } else {
+                    first
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.err("invalid codepoint"))?);
+            }
+            _ => return Err(self.err("invalid escape")),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(hex).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+        }
+        text.parse::<f64>().map(Content::F64).map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_style() {
+        let v = vec![1u64];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1\n]");
+    }
+
+    #[test]
+    fn floats_and_specials() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let s = "line\n\"quoted\"\\µ";
+        let json = to_string(&s.to_owned()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(from_str::<String>("\"\\u00b5\"").unwrap(), "µ");
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(from_str::<Vec<u64>>("[1,2").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+    }
+}
