@@ -2,9 +2,9 @@
 
 use crate::args::Args;
 use intellinoc::{
-    compare as compare_outcomes, intellinoc_rl_config, pretrain_intellinoc, run_experiment,
-    run_experiment_instrumented, Design, ExperimentConfig, ExperimentOutcome, RewardKind,
-    TelemetryArtifacts, TelemetryOptions,
+    compare as compare_outcomes, intellinoc_rl_config, pretrain_intellinoc, run_campaign,
+    run_experiment, run_experiment_instrumented, CampaignConfig, Design, ExperimentConfig,
+    ExperimentOutcome, RewardKind, TelemetryArtifacts, TelemetryOptions,
 };
 use noc_power::AreaModel;
 use noc_sim::{EventKind, Network, TraceFilter};
@@ -300,6 +300,79 @@ pub fn trace(args: &Args) -> CmdResult {
         }
         _ => Err("usage: intellinoc trace <capture|replay> <path> [options]".into()),
     }
+}
+
+/// `intellinoc campaign` — the deterministic fault-resilience campaign.
+pub fn campaign(args: &Args) -> CmdResult {
+    let mut cfg = CampaignConfig {
+        rate: args.get_or("rate", 0.02f64)?,
+        ppn: args.get_or("ppn", 30u64)?,
+        seed: args.get_or("seed", 1u64)?,
+        fault_aware_routing: !args.has_flag("no-reroute"),
+        max_cycles: args.get_or("max-cycles", 400_000u64)?,
+        ..CampaignConfig::default()
+    };
+    if let Some(spec) = args.get("dead-links") {
+        cfg.dead_links = spec
+            .split(',')
+            .map(|n| n.trim().parse().map_err(|_| format!("invalid --dead-links entry: {n}")))
+            .collect::<Result<_, _>>()?;
+    }
+    cfg.router_fail_at = match args.get("router-fail") {
+        Some(at) => Some(at.parse().map_err(|_| format!("invalid --router-fail: {at}"))?),
+        None if args.has_flag("no-router-fail") => None,
+        None => cfg.router_fail_at,
+    };
+    cfg.flapping = args.get_or("flapping", cfg.flapping)?;
+
+    let report = run_campaign(&cfg);
+    if args.has_flag("json") {
+        let s = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{s}");
+    } else {
+        println!(
+            "{:<11} {:<20} {:>8} {:>8} {:>7} {:>9} {:>8} {:>8} {:>8} {:>7}",
+            "design",
+            "scenario",
+            "injected",
+            "deliver",
+            "drop",
+            "deliv%",
+            "avg_lat",
+            "p99_lat",
+            "reroute",
+            "stalled"
+        );
+        for r in &report.rows {
+            println!(
+                "{:<11} {:<20} {:>8} {:>8} {:>7} {:>9.3} {:>8.1} {:>8.0} {:>8} {:>7}",
+                r.design,
+                r.scenario,
+                r.injected,
+                r.delivered,
+                r.dropped,
+                100.0 * r.delivery_rate,
+                r.avg_latency,
+                r.p99_latency,
+                r.reroutes,
+                if r.stalled { "YES" } else { "-" }
+            );
+        }
+    }
+    if let Some(path) = args.get("csv-out") {
+        std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("campaign: {} rows written to {path}", report.rows.len());
+    }
+    if let Some(threshold) = args.get("assert-delivery") {
+        let threshold: f64 =
+            threshold.parse().map_err(|_| format!("invalid --assert-delivery: {threshold}"))?;
+        let min = report.min_delivery_rate();
+        if min < threshold {
+            return Err(format!("delivery rate {min:.4} fell below the required {threshold:.4}"));
+        }
+        eprintln!("campaign: min delivery rate {min:.4} >= {threshold:.4}");
+    }
+    Ok(())
 }
 
 /// `intellinoc area`.

@@ -6,6 +6,7 @@
 //! intellinoc sweep    --design secded --rates 0.01,0.02,0.04 [--ppn 100]
 //! intellinoc trace capture <out.jsonl> --benchmark dedup [--ppn 50]
 //! intellinoc trace replay <in.jsonl> --design cp
+//! intellinoc campaign --dead-links 0,1,2,4,8 [--no-reroute] [--csv-out camp.csv]
 //! intellinoc area
 //! intellinoc list
 //! ```
@@ -20,6 +21,7 @@ fn main() {
         Some("compare") => commands::compare(&args),
         Some("sweep") => commands::sweep(&args),
         Some("trace") => commands::trace(&args),
+        Some("campaign") => commands::campaign(&args),
         Some("area") => commands::area(),
         Some("list") => commands::list(),
         Some(other) => {
@@ -55,6 +57,11 @@ fn usage() {
     eprintln!("  sweep    latency-vs-load curve for one design");
     eprintln!("           --design <d> --rates r1,r2,... [--ppn N]");
     eprintln!("  trace    capture <out> --benchmark <name> | replay <in> --design <d>");
+    eprintln!("  campaign deterministic hard-fault resilience campaign, all designs");
+    eprintln!("           [--rate R] [--ppn N] [--seed S] [--dead-links 0,1,2,4,8]");
+    eprintln!("           [--router-fail CYCLE | --no-router-fail] [--flapping N]");
+    eprintln!("           [--no-reroute] [--max-cycles N] [--json] [--csv-out F.csv]");
+    eprintln!("           [--assert-delivery T]");
     eprintln!("  area     Table 2 per-router area comparison");
     eprintln!("  list     known designs and benchmarks");
 }

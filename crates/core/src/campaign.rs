@@ -1,0 +1,270 @@
+//! Deterministic fault-campaign harness.
+//!
+//! A campaign sweeps a family of seeded [`HardFaultScenario`]s — growing
+//! numbers of dead links, a mid-run router failure, intermittently flapping
+//! links — across all five comparison [`Design`]s and reports resilience
+//! metrics per (design, scenario) cell: delivery rate, accounted drops,
+//! degraded latency, detour (reroute) counts, retransmission pressure, and
+//! whether the stall watchdog had to abort the run. Same seed → byte-identical
+//! report, so campaigns are directly diffable across code revisions.
+
+use crate::designs::Design;
+use crate::experiment::{run_experiment, ExperimentConfig};
+use noc_sim::HardFaultScenario;
+use noc_traffic::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Campaign parameters: the workload, the scenario family, and the routing
+/// policy under test.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Uniform-random injection rate (packets/node/cycle).
+    pub rate: f64,
+    /// Packets per node.
+    pub ppn: u64,
+    /// Master seed: drives workload, transient faults, and scenario choice.
+    pub seed: u64,
+    /// Dead-link sweep: one scenario per entry, with that many fail-stop
+    /// link failures at cycle 0.
+    pub dead_links: Vec<usize>,
+    /// If set, adds a scenario with one fail-stop router failure activating
+    /// at this cycle (mid-run when nonzero).
+    pub router_fail_at: Option<u64>,
+    /// If nonzero, adds a scenario with this many intermittently flapping
+    /// links (down 40 of every 200 cycles from cycle 0).
+    pub flapping: usize,
+    /// Whether the designs route around faults (up*/down* detours) or stay
+    /// on plain XY and rely on the drop/watchdog escalation only.
+    pub fault_aware_routing: bool,
+    /// Per-run cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            rate: 0.02,
+            ppn: 30,
+            seed: 1,
+            dead_links: vec![0, 1, 2, 4, 8],
+            router_fail_at: Some(500),
+            flapping: 2,
+            fault_aware_routing: true,
+            max_cycles: 400_000,
+        }
+    }
+}
+
+/// One (design, scenario) cell of the campaign grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignRow {
+    /// Design label (e.g. `IntelliNoC`).
+    pub design: String,
+    /// Scenario name (e.g. `dead-links-4`).
+    pub scenario: String,
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Packets dropped (accounted loss).
+    pub dropped: u64,
+    /// delivered / injected.
+    pub delivery_rate: f64,
+    /// Mean end-to-end latency (cycles).
+    pub avg_latency: f64,
+    /// 99th-percentile latency (cycles).
+    pub p99_latency: f64,
+    /// Fault-aware detour hops taken.
+    pub reroutes: u64,
+    /// Per-hop retransmission events.
+    pub hop_retx: u64,
+    /// End-to-end packet retries.
+    pub e2e_retx: u64,
+    /// Whether the stall watchdog aborted the run.
+    pub stalled: bool,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Extrapolated network MTTF in hours, if any router aged.
+    pub mttf_hours: Option<f64>,
+}
+
+/// The full campaign grid plus the config that produced it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The campaign parameters (embedded so a report is self-describing).
+    pub config: CampaignConfig,
+    /// One row per (design, scenario) cell, scenario-major.
+    pub rows: Vec<CampaignRow>,
+}
+
+impl CampaignReport {
+    /// Smallest delivery rate across the grid.
+    pub fn min_delivery_rate(&self) -> f64 {
+        self.rows.iter().map(|r| r.delivery_rate).fold(1.0, f64::min)
+    }
+
+    /// Renders the grid as CSV with a header row. Float formatting is fixed
+    /// (6 decimal places) so equal campaigns render byte-identically.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 96 + 128);
+        out.push_str(
+            "design,scenario,injected,delivered,dropped,delivery_rate,\
+             avg_latency,p99_latency,reroutes,hop_retx,e2e_retx,stalled,cycles,mttf_hours\n",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.6},{:.3},{:.1},{},{},{},{},{},{}",
+                r.design,
+                r.scenario,
+                r.injected,
+                r.delivered,
+                r.dropped,
+                r.delivery_rate,
+                r.avg_latency,
+                r.p99_latency,
+                r.reroutes,
+                r.hop_retx,
+                r.e2e_retx,
+                r.stalled,
+                r.cycles,
+                r.mttf_hours.map_or_else(String::new, |h| format!("{h:.3e}")),
+            );
+        }
+        out
+    }
+}
+
+/// The seeded scenario family a [`CampaignConfig`] describes, as
+/// `(name, scenario)` pairs in a fixed order.
+pub fn campaign_scenarios(cfg: &CampaignConfig) -> Vec<(String, HardFaultScenario)> {
+    const W: usize = 8;
+    const H: usize = 8;
+    let mut out = Vec::new();
+    for &n in &cfg.dead_links {
+        let name = if n == 0 { "fault-free".to_owned() } else { format!("dead-links-{n}") };
+        out.push((name, HardFaultScenario::dead_links(W, H, n, cfg.seed, 0)));
+    }
+    if let Some(at) = cfg.router_fail_at {
+        out.push((
+            format!("router-fail-at-{at}"),
+            HardFaultScenario::dead_routers(W, H, 1, cfg.seed, at),
+        ));
+    }
+    if cfg.flapping > 0 {
+        out.push((
+            format!("flapping-links-{}", cfg.flapping),
+            HardFaultScenario::flapping_links(W, H, cfg.flapping, cfg.seed, 0, 200, 40),
+        ));
+    }
+    out
+}
+
+/// Runs the full campaign grid: every scenario in [`campaign_scenarios`]
+/// order × every design in [`Design::ALL`] order. Fully deterministic for a
+/// given config.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let mut rows = Vec::new();
+    for (name, scenario) in campaign_scenarios(cfg) {
+        for design in Design::ALL {
+            let workload = WorkloadSpec::uniform(cfg.rate, cfg.ppn);
+            let mut ecfg = ExperimentConfig::new(design, workload).with_seed(cfg.seed);
+            ecfg.max_cycles = cfg.max_cycles;
+            ecfg.hard_faults = scenario.clone();
+            ecfg.fault_aware_routing = cfg.fault_aware_routing;
+            let o = run_experiment(ecfg);
+            let s = &o.report.stats;
+            rows.push(CampaignRow {
+                design: design.label().to_owned(),
+                scenario: name.clone(),
+                injected: s.packets_injected,
+                delivered: s.packets_delivered,
+                dropped: s.packets_dropped,
+                delivery_rate: s.delivery_ratio(),
+                avg_latency: s.avg_latency(),
+                p99_latency: s.latency_percentile(0.99),
+                reroutes: s.reroutes,
+                hop_retx: s.hop_retx_events,
+                e2e_retx: s.e2e_retx_packets,
+                stalled: o.report.stall.is_some(),
+                cycles: s.cycles,
+                mttf_hours: o.report.mttf_hours,
+            });
+        }
+    }
+    CampaignReport { config: cfg.clone(), rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CampaignConfig {
+        CampaignConfig {
+            rate: 0.01,
+            ppn: 4,
+            seed: 3,
+            dead_links: vec![0, 1],
+            router_fail_at: None,
+            flapping: 0,
+            fault_aware_routing: true,
+            max_cycles: 60_000,
+        }
+    }
+
+    #[test]
+    fn scenario_family_order_and_names() {
+        let cfg = CampaignConfig::default();
+        let scenarios = campaign_scenarios(&cfg);
+        let names: Vec<&str> = scenarios.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "fault-free",
+                "dead-links-1",
+                "dead-links-2",
+                "dead-links-4",
+                "dead-links-8",
+                "router-fail-at-500",
+                "flapping-links-2",
+            ]
+        );
+        assert!(scenarios[0].1.is_empty());
+        assert_eq!(scenarios[4].1.faults.len(), 8);
+    }
+
+    #[test]
+    fn tiny_campaign_full_delivery_and_deterministic() {
+        let report = run_campaign(&tiny());
+        assert_eq!(report.rows.len(), 2 * Design::ALL.len());
+        for row in &report.rows {
+            assert_eq!(
+                row.delivered + row.dropped,
+                row.injected,
+                "{} / {}: unaccounted packets",
+                row.design,
+                row.scenario
+            );
+            assert_eq!(
+                row.dropped, 0,
+                "{} / {}: rerouting should save all",
+                row.design, row.scenario
+            );
+            assert!(!row.stalled, "{} / {}: stalled", row.design, row.scenario);
+        }
+        let again = run_campaign(&tiny());
+        assert_eq!(report.to_csv(), again.to_csv());
+        assert_eq!(serde_json::to_string(&report).unwrap(), serde_json::to_string(&again).unwrap());
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_cell() {
+        let report = run_campaign(&tiny());
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 1 + report.rows.len());
+        assert!(csv.starts_with("design,scenario,"));
+        assert!(report.min_delivery_rate() > 0.999);
+    }
+}

@@ -8,8 +8,8 @@ use crate::controller::{intellinoc_rl_config, ControlPolicy, RewardKind, RlContr
 use crate::designs::Design;
 use noc_rl::{QLearningConfig, QTable};
 use noc_sim::{
-    Network, Profiler, RouterObservation, RunReport, RunTimeline, SimConfig, TimelineSample,
-    TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+    HardFaultScenario, Network, Profiler, RouterObservation, RunReport, RunTimeline, SimConfig,
+    TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
 };
 use noc_traffic::{ParsecBenchmark, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -43,6 +43,10 @@ pub struct ExperimentConfig {
     pub pretrained: Option<Vec<QTable>>,
     /// Overrides applied to the design's simulator config (ablations).
     pub tweak: Option<fn(&mut SimConfig)>,
+    /// Scheduled hard faults (dead links/routers, flapping, wear-out).
+    pub hard_faults: HardFaultScenario,
+    /// Route around hard faults (up*/down* detours) instead of plain XY.
+    pub fault_aware_routing: bool,
     /// Observability switches (all off by default).
     pub telemetry: TelemetryOptions,
 }
@@ -96,6 +100,8 @@ impl ExperimentConfig {
             error_rate_override: None,
             pretrained: None,
             tweak: None,
+            hard_faults: HardFaultScenario::none(),
+            fault_aware_routing: false,
             telemetry: TelemetryOptions::default(),
         }
     }
@@ -161,6 +167,9 @@ pub fn run_experiment_keeping_policy(cfg: ExperimentConfig) -> (ExperimentOutcom
 struct StepBase {
     injected: u64,
     delivered: u64,
+    dropped: u64,
+    reroutes: u64,
+    injected_bits: u64,
     hop_retx: u64,
     e2e_retx: u64,
     modes: [u64; 5],
@@ -199,10 +208,16 @@ fn sample_timeline(
         e2e_retx: s.e2e_retx_packets - prev.e2e_retx,
         packets_injected: s.packets_injected - prev.injected,
         packets_delivered: s.packets_delivered - prev.delivered,
+        packets_dropped: s.packets_dropped - prev.dropped,
+        reroutes: s.reroutes - prev.reroutes,
+        injected_bits: report.injected_bit_flips - prev.injected_bits,
     };
     *prev = StepBase {
         injected: s.packets_injected,
         delivered: s.packets_delivered,
+        dropped: s.packets_dropped,
+        reroutes: s.reroutes,
+        injected_bits: report.injected_bit_flips,
         hop_retx: s.hop_retx_events,
         e2e_retx: s.e2e_retx_packets,
         modes,
@@ -220,6 +235,14 @@ pub fn run_experiment_instrumented(
     sim_cfg.max_cycles = cfg.max_cycles;
     if let Some(tweak) = cfg.tweak {
         tweak(&mut sim_cfg);
+    }
+    // Hard-fault settings come after `tweak` so scenario sweeps can't be
+    // silently overridden by an ablation hook.
+    if !cfg.hard_faults.is_empty() {
+        sim_cfg.hard_faults = cfg.hard_faults.clone();
+    }
+    if cfg.fault_aware_routing {
+        sim_cfg.fault_aware_routing = true;
     }
     let routers = sim_cfg.nodes();
     let workload_name = cfg.workload.name.clone();

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod campaign;
 mod controller;
 mod designs;
 mod experiment;
@@ -46,6 +47,7 @@ mod metrics;
 mod modes;
 mod sweeps;
 
+pub use campaign::{campaign_scenarios, run_campaign, CampaignConfig, CampaignReport, CampaignRow};
 pub use controller::{cpd_decide, intellinoc_rl_config, ControlPolicy, RewardKind, RlControl};
 pub use designs::Design;
 pub use experiment::{

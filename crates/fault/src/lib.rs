@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 
 mod aging;
+mod hard;
 mod injector;
 mod mttf;
 mod thermal;
 mod varius;
 
 pub use aging::{AgingModel, AgingState};
+pub use hard::{HardFault, HardFaultKind, HardFaultScenario, HardFaultTarget};
 pub use injector::FaultInjector;
 pub use mttf::{extrapolate_mttf, network_mttf, MttfEstimate, CYCLES_PER_HOUR};
 pub use thermal::{ThermalGrid, ThermalModel};

@@ -175,6 +175,14 @@ impl Channel {
     pub fn drain_all(&mut self) -> Vec<Flit> {
         self.queue.drain(..).map(|(f, _)| f).collect()
     }
+
+    /// Removes every flit of `packet` (hard-fault salvage/drop support).
+    /// Returns the number of flits removed.
+    pub fn purge_packet(&mut self, packet: u64) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|(f, _)| f.packet_id != packet);
+        before - self.queue.len()
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use noc_ecc::EccScheme;
-use noc_fault::{AgingModel, ThermalModel, VariusModel};
+use noc_fault::{AgingModel, HardFaultScenario, ThermalModel, VariusModel};
 use noc_power::{EnergyModel, LeakageModel};
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +79,20 @@ pub struct SimConfig {
     pub default_scheme: EccScheme,
     /// Cycles from a NACK to the re-transmitted flit being back on the link.
     pub retx_latency: u32,
+    /// Per-hop retransmission budget before escalating to end-to-end
+    /// recovery, and the end-to-end generation bound before an accounted
+    /// drop. `0` means unbounded (the pre-resilience behaviour).
+    pub max_retx: u32,
+    /// Stall-watchdog window: with packets in flight and zero completions
+    /// or drops for this many cycles, the run aborts with a structured
+    /// [`crate::StallReport`]. `0` disables the watchdog.
+    pub stall_window: u64,
+    /// Consult the link/router health map and detour around dead links with
+    /// the odd-even turn model instead of routing strictly XY.
+    pub fault_aware_routing: bool,
+    /// Deterministic schedule of permanent/intermittent link and router
+    /// failures.
+    pub hard_faults: HardFaultScenario,
     /// Supply voltage (V).
     pub vdd: f64,
     /// Hard cap on simulated cycles (safety net for drains).
@@ -122,6 +136,10 @@ impl Default for SimConfig {
             has_qtable: false,
             default_scheme: EccScheme::Secded,
             retx_latency: 4,
+            max_retx: 16,
+            stall_window: 50_000,
+            fault_aware_routing: false,
+            hard_faults: HardFaultScenario::default(),
             vdd: 1.0,
             max_cycles: 2_000_000,
             epoch_cycles: 250,
@@ -163,6 +181,18 @@ impl SimConfig {
         assert!(self.pipeline_latency >= 1, "pipeline must be at least 1 cycle");
         assert!(self.retx_latency >= 1, "retransmission latency must be nonzero");
         assert!(self.epoch_cycles >= 1, "epoch must be nonzero");
+        let nodes = self.nodes() as u32;
+        for f in &self.hard_faults.faults {
+            match f.target {
+                noc_fault::HardFaultTarget::Link { router, dir } => {
+                    assert!(router < nodes, "hard-fault link router {router} out of range");
+                    assert!(dir < 4, "hard-fault link dir {dir} out of range");
+                }
+                noc_fault::HardFaultTarget::Router { router } => {
+                    assert!(router < nodes, "hard-fault router {router} out of range");
+                }
+            }
+        }
     }
 }
 

@@ -65,6 +65,10 @@ pub struct Flit {
     /// bypassing gated routers is not re-decoded/re-encoded until it reaches
     /// a powered router, so link flips accumulate across the bypass chain.
     pub hop_flips: u16,
+    /// End-to-end transmission generation: 0 for the original send,
+    /// incremented on every end-to-end recovery re-injection. Receivers
+    /// discard flits from superseded generations.
+    pub generation: u16,
 }
 
 impl Flit {
@@ -113,6 +117,7 @@ pub fn make_packet(
             hop_scheme: noc_ecc::EccScheme::None,
             vc: NO_VC,
             hop_flips: 0,
+            generation: 0,
         })
         .collect()
 }

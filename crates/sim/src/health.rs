@@ -1,0 +1,417 @@
+//! Link/router health map and fault-aware routing.
+//!
+//! [`HealthRouter`] tracks which links and routers are in service and
+//! provides a deadlock-free detour route around dead components. While the
+//! mesh is healthy it defers to plain XY dimension-order routing; as soon as
+//! any component is down it switches to **up*/down*** routing over the
+//! surviving topology:
+//!
+//! * Nodes are labelled by BFS order from a deterministic root (the
+//!   lowest-indexed live router). A link traversal toward a smaller label is
+//!   an *up* move, toward a larger label a *down* move.
+//! * A legal route is any sequence of up moves followed by down moves —
+//!   after the first down move a packet may never go up again. Any cycle of
+//!   channels must contain a down→up transition, so the channel dependency
+//!   graph is acyclic and the routing is deadlock-free on *any* connected
+//!   residual graph (unlike turn models such as west-first or odd-even,
+//!   which cannot detour around boundary-column failures).
+//! * Routes are exact shortest legal paths (per-destination BFS over
+//!   `(node, phase)` states), so every hop strictly decreases the distance
+//!   to the destination — routes cannot cycle.
+//!
+//! The phase bit is never stored in a flit: a flit's last traversed link is
+//! known at every routing site from its input port, and the phase is simply
+//! whether that traversal was a down move under the current labelling.
+
+use crate::topology::{Mesh, Port, DIRS};
+
+/// Route-table sentinel: destination unreachable from this state.
+const UNREACHABLE: u8 = u8::MAX;
+
+/// Health map plus fault-aware route tables for one mesh.
+#[derive(Debug, Clone)]
+pub struct HealthRouter {
+    mesh: Mesh,
+    /// Per-directed-link service state, indexed `node * DIRS + dir`.
+    link_up: Vec<bool>,
+    /// Per-router service state.
+    router_up: Vec<bool>,
+    /// BFS label per node; `u32::MAX` for dead or disconnected nodes.
+    label: Vec<u32>,
+    /// `table[dest][node * 2 + phase]` = output-port index, `Port::Local`
+    /// index on arrival, or [`UNREACHABLE`].
+    table: Vec<u8>,
+    /// Whether any component is currently out of service.
+    degraded: bool,
+}
+
+impl HealthRouter {
+    /// A fully healthy mesh.
+    pub fn new(mesh: Mesh) -> Self {
+        let nodes = mesh.nodes();
+        let mut h = HealthRouter {
+            mesh,
+            link_up: vec![true; nodes * DIRS],
+            router_up: vec![true; nodes],
+            label: vec![0; nodes],
+            table: vec![0; nodes * nodes * 2],
+            degraded: false,
+        };
+        h.rebuild();
+        h
+    }
+
+    /// Whether any link or router is currently down.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Whether router `r` is in service.
+    pub fn router_up(&self, r: usize) -> bool {
+        self.router_up[r]
+    }
+
+    /// Whether the directed link leaving `r` toward `dir` is in service
+    /// (false for mesh-boundary non-links).
+    pub fn link_up(&self, r: usize, dir: Port) -> bool {
+        self.mesh.neighbor(r, dir).is_some() && self.link_up[r * DIRS + dir.index()]
+    }
+
+    /// Sets the service state of the *physical* link `(r, dir)` — both
+    /// directions fail and recover together. Call [`Self::rebuild`] after a
+    /// batch of changes.
+    pub fn set_link(&mut self, r: usize, dir: Port, up: bool) {
+        if let Some(n) = self.mesh.neighbor(r, dir) {
+            self.link_up[r * DIRS + dir.index()] = up;
+            self.link_up[n * DIRS + dir.opposite().index()] = up;
+        }
+    }
+
+    /// Sets the service state of router `r`. Call [`Self::rebuild`] after a
+    /// batch of changes.
+    pub fn set_router(&mut self, r: usize, up: bool) {
+        self.router_up[r] = up;
+    }
+
+    /// Whether a usable traversal `r → dir` exists: link up and both
+    /// endpoint routers in service.
+    pub fn usable(&self, r: usize, dir: Port) -> bool {
+        self.router_up[r]
+            && self.link_up[r * DIRS + dir.index()]
+            && self.mesh.neighbor(r, dir).map(|n| self.router_up[n]).unwrap_or(false)
+    }
+
+    /// Recomputes labels and route tables from the current health state.
+    pub fn rebuild(&mut self) {
+        let nodes = self.mesh.nodes();
+        self.degraded = !self.router_up.iter().all(|&u| u)
+            || (0..nodes).any(|r| {
+                Port::DIRECTIONS.iter().any(|&d| {
+                    self.mesh.neighbor(r, d).is_some() && !self.link_up[r * DIRS + d.index()]
+                })
+            });
+
+        // BFS labelling from the lowest-indexed live router. Disconnected or
+        // dead nodes keep label u32::MAX and are unroutable.
+        self.label = vec![u32::MAX; nodes];
+        let root = match (0..nodes).find(|&r| self.router_up[r]) {
+            Some(r) => r,
+            None => {
+                self.table = vec![UNREACHABLE; nodes * nodes * 2];
+                return;
+            }
+        };
+        let mut order = 0u32;
+        let mut queue = std::collections::VecDeque::new();
+        self.label[root] = order;
+        queue.push_back(root);
+        while let Some(n) = queue.pop_front() {
+            for d in Port::DIRECTIONS {
+                if self.usable(n, d) {
+                    let m = self.mesh.neighbor(n, d).unwrap();
+                    if self.label[m] == u32::MAX {
+                        order += 1;
+                        self.label[m] = order;
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+
+        self.table = vec![UNREACHABLE; nodes * nodes * 2];
+        for dest in 0..nodes {
+            if self.label[dest] != u32::MAX {
+                self.build_dest_table(dest);
+            }
+        }
+    }
+
+    /// Fills `table[dest]` by backward BFS over `(node, phase)` states.
+    /// Phase 0 = up moves still allowed, phase 1 = locked to down moves.
+    fn build_dest_table(&mut self, dest: usize) {
+        let nodes = self.mesh.nodes();
+        let idx = |n: usize, ph: usize| n * 2 + ph;
+        let mut dist = vec![u32::MAX; nodes * 2];
+        let mut queue = std::collections::VecDeque::new();
+        dist[idx(dest, 0)] = 0;
+        dist[idx(dest, 1)] = 0;
+        queue.push_back(idx(dest, 0));
+        queue.push_back(idx(dest, 1));
+        while let Some(s) = queue.pop_front() {
+            let (m, ph) = (s / 2, s % 2);
+            let d = dist[s];
+            // Predecessors: states (n, pn) with a legal move n → m entering
+            // phase `ph`. A move n → m is *up* iff label[m] < label[n]; an
+            // up move requires pn = 0 and lands in phase 0, a down move is
+            // legal from either phase and lands in phase 1.
+            for dir in Port::DIRECTIONS {
+                let n = match self.mesh.neighbor(m, dir) {
+                    Some(n) => n,
+                    None => continue,
+                };
+                if !self.usable(n, dir.opposite()) || self.label[n] == u32::MAX {
+                    continue;
+                }
+                let up_move = self.label[m] < self.label[n];
+                let preds: &[usize] = if up_move {
+                    if ph == 0 {
+                        &[0]
+                    } else {
+                        &[]
+                    }
+                } else if ph == 1 {
+                    &[0, 1]
+                } else {
+                    &[]
+                };
+                for &pn in preds {
+                    let p = idx(n, pn);
+                    if dist[p] == u32::MAX {
+                        dist[p] = d + 1;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+
+        // Port selection: the legal move minimizing the successor distance.
+        // Ties prefer the XY port, then fixed port order, for determinism.
+        let base = dest * nodes * 2;
+        for n in 0..nodes {
+            if self.label[n] == u32::MAX {
+                continue;
+            }
+            for ph in 0..2 {
+                if n == dest {
+                    self.table[base + idx(n, ph)] = Port::Local.index() as u8;
+                    continue;
+                }
+                if dist[idx(n, ph)] == u32::MAX {
+                    continue;
+                }
+                let xy = self.mesh.xy_route(n, dest);
+                let mut best: Option<(u32, Port)> = None;
+                for dir in Port::DIRECTIONS {
+                    if !self.usable(n, dir) {
+                        continue;
+                    }
+                    let m = self.mesh.neighbor(n, dir).unwrap();
+                    if self.label[m] == u32::MAX {
+                        continue;
+                    }
+                    let up_move = self.label[m] < self.label[n];
+                    if up_move && ph == 1 {
+                        continue;
+                    }
+                    let succ = dist[idx(m, if up_move { 0 } else { 1 })];
+                    if succ == u32::MAX {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((bd, bp)) => succ < bd || (succ == bd && dir == xy && bp != xy),
+                    };
+                    if better {
+                        best = Some((succ, dir));
+                    }
+                }
+                if let Some((_, dir)) = best {
+                    self.table[base + idx(n, ph)] = dir.index() as u8;
+                }
+            }
+        }
+    }
+
+    /// The up*/down* phase of a flit at `here` that arrived through input
+    /// port `in_port` (phase 1 = locked to down moves).
+    fn phase(&self, here: usize, in_port: Port) -> usize {
+        if in_port == Port::Local {
+            return 0;
+        }
+        match self.mesh.neighbor(here, in_port) {
+            // The last traversal was upstream → here; it was a down move iff
+            // our label is larger than the upstream label.
+            Some(u) if self.label[u] != u32::MAX && self.label[here] > self.label[u] => 1,
+            _ => 0,
+        }
+    }
+
+    /// Fault-aware route: the output port for a flit at `here` destined for
+    /// `dest` that arrived through `in_port` (`Port::Local` for fresh
+    /// injections). Falls back to plain XY while the mesh is healthy;
+    /// returns `None` when `dest` is unreachable from the flit's current
+    /// up*/down* state.
+    pub fn route(&self, here: usize, dest: usize, in_port: Port) -> Option<Port> {
+        if !self.degraded {
+            return Some(self.mesh.xy_route(here, dest));
+        }
+        if here == dest {
+            return Some(Port::Local);
+        }
+        let nodes = self.mesh.nodes();
+        let ph = self.phase(here, in_port);
+        match self.table[dest * nodes * 2 + here * 2 + ph] {
+            UNREACHABLE => None,
+            p => Some(Port::from_index(p as usize)),
+        }
+    }
+
+    /// Whether a fresh injection at `src` can reach `dest` at all.
+    pub fn reachable(&self, src: usize, dest: usize) -> bool {
+        if !self.router_up[src] || !self.router_up[dest] {
+            return false;
+        }
+        if !self.degraded || src == dest {
+            return true;
+        }
+        let nodes = self.mesh.nodes();
+        self.table[dest * nodes * 2 + src * 2] != UNREACHABLE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(h: &HealthRouter, mesh: &Mesh, src: usize, dest: usize) -> usize {
+        let mut here = src;
+        let mut in_port = Port::Local;
+        let mut steps = 0;
+        loop {
+            let p = h.route(here, dest, in_port).expect("route exists");
+            if p == Port::Local {
+                assert_eq!(here, dest);
+                return steps;
+            }
+            assert!(h.link_up(here, p), "route uses dead link {here}->{p:?}");
+            let next = mesh.neighbor(here, p).expect("route fell off mesh");
+            assert!(h.router_up(next), "route enters dead router {next}");
+            in_port = p.opposite();
+            here = next;
+            steps += 1;
+            assert!(steps <= 4 * mesh.nodes(), "route cycles: {src}->{dest}");
+        }
+    }
+
+    #[test]
+    fn healthy_mesh_routes_are_xy() {
+        let mesh = Mesh::new(8, 8);
+        let h = HealthRouter::new(mesh);
+        assert!(!h.degraded());
+        for src in 0..64 {
+            for dest in 0..64 {
+                assert_eq!(h.route(src, dest, Port::Local), Some(mesh.xy_route(src, dest)));
+            }
+        }
+    }
+
+    #[test]
+    fn any_single_link_failure_keeps_all_pairs_connected() {
+        let mesh = Mesh::new(8, 8);
+        for r in 0..mesh.nodes() {
+            for dir in [Port::XPlus, Port::YPlus] {
+                if mesh.neighbor(r, dir).is_none() {
+                    continue;
+                }
+                let mut h = HealthRouter::new(mesh);
+                h.set_link(r, dir, false);
+                h.rebuild();
+                assert!(h.degraded());
+                for src in 0..mesh.nodes() {
+                    for dest in 0..mesh.nodes() {
+                        assert!(h.reachable(src, dest), "dead {r}->{dir:?}: {src}->{dest}");
+                        walk(&h, &mesh, src, dest);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_column_detour_works() {
+        // The case turn models (west-first, odd-even) cannot handle: a dead
+        // vertical link in column 0 forces an east-side detour returning
+        // west. Up*/down* routes it.
+        let mesh = Mesh::new(8, 8);
+        let mut h = HealthRouter::new(mesh);
+        h.set_link(mesh.node(0, 1), Port::YPlus, false); // (0,1)-(0,2) dead
+        h.rebuild();
+        let steps = walk(&h, &mesh, mesh.node(0, 5), mesh.node(0, 0));
+        assert!(steps >= 7, "detour must be non-minimal, got {steps}");
+    }
+
+    #[test]
+    fn dead_router_unreachable_but_others_connected() {
+        let mesh = Mesh::new(8, 8);
+        let dead = mesh.node(3, 3);
+        let mut h = HealthRouter::new(mesh);
+        h.set_router(dead, false);
+        h.rebuild();
+        for src in 0..mesh.nodes() {
+            for dest in 0..mesh.nodes() {
+                if src == dead || dest == dead {
+                    assert!(!h.reachable(src, dest));
+                } else {
+                    assert!(h.reachable(src, dest));
+                    let steps = walk(&h, &mesh, src, dest);
+                    let _ = steps;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_region_reports_unreachable() {
+        // 2x2 mesh with both links around node 3 cut: node 3 is isolated.
+        let mesh = Mesh::new(2, 2);
+        let mut h = HealthRouter::new(mesh);
+        h.set_link(1, Port::YPlus, false);
+        h.set_link(2, Port::XPlus, false);
+        h.rebuild();
+        assert!(!h.reachable(0, 3));
+        assert!(!h.reachable(3, 0));
+        assert_eq!(h.route(0, 3, Port::Local), None);
+        assert!(h.reachable(0, 1) && h.reachable(0, 2));
+    }
+
+    #[test]
+    fn link_setters_are_symmetric() {
+        let mesh = Mesh::new(4, 4);
+        let mut h = HealthRouter::new(mesh);
+        h.set_link(5, Port::XPlus, false);
+        h.rebuild();
+        assert!(!h.link_up(5, Port::XPlus));
+        assert!(!h.link_up(6, Port::XMinus));
+        h.set_link(6, Port::XMinus, true);
+        h.rebuild();
+        assert!(h.link_up(5, Port::XPlus) && !h.degraded());
+    }
+
+    #[test]
+    fn boundary_links_report_down() {
+        let h = HealthRouter::new(Mesh::new(4, 4));
+        assert!(!h.link_up(0, Port::XMinus));
+        assert!(!h.link_up(0, Port::YMinus));
+        assert!(h.link_up(0, Port::XPlus));
+    }
+}

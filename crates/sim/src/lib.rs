@@ -29,6 +29,7 @@
 mod channel;
 mod config;
 mod flit;
+mod health;
 mod latency;
 mod network;
 mod router;
@@ -38,11 +39,15 @@ pub mod topology;
 pub use channel::Channel;
 pub use config::{RouterDirective, SimConfig};
 pub use flit::{make_packet, Cycle, Flit, FlitKind, FLITS_PER_PACKET, NO_VC};
+pub use health::HealthRouter;
 pub use latency::LatencyHistogram;
 pub use network::Network;
 pub use router::{GateState, InputPort, InputVc, Router, StepStats};
-pub use stats::{NetworkStats, RouterObservation, RunReport};
+pub use stats::{NetworkStats, RouterObservation, RunReport, StallReport};
 pub use topology::{Mesh, Port, DIRS, PORTS};
+
+// Hard-fault scenario types, re-exported for configuration convenience.
+pub use noc_fault::{HardFault, HardFaultKind, HardFaultScenario, HardFaultTarget};
 
 // Telemetry surface, re-exported so simulator users can install tracers and
 // profilers without depending on `noc-telemetry` directly.

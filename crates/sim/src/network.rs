@@ -25,16 +25,18 @@
 use crate::channel::Channel;
 use crate::config::{RouterDirective, SimConfig};
 use crate::flit::{make_packet, Cycle, Flit, NO_VC};
+use crate::health::HealthRouter;
 use crate::router::{GateState, InputVc, Router};
-use crate::stats::{NetworkStats, RouterObservation, RunReport};
+use crate::stats::{NetworkStats, RouterObservation, RunReport, StallReport};
 use crate::topology::{Mesh, Port, DIRS, PORTS};
 use noc_ecc::{DecodeStatus, EccScheme, EccSuite};
-use noc_fault::{network_mttf, AgingState, FaultInjector, ThermalGrid};
+use noc_fault::{network_mttf, AgingState, FaultInjector, HardFaultTarget, ThermalGrid};
 use noc_power::{EnergyLedger, RouterLeakageSpec, CLOCK_PERIOD_NS};
 use noc_telemetry::{Event, GateEdge, Profiler, RetxScope, Tracer};
 use noc_traffic::{TrafficGen, Workload, WorkloadSpec};
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashSet};
 use std::time::Instant;
 
 /// Per-packet reassembly state at a destination NI.
@@ -80,6 +82,29 @@ pub struct Network {
     /// Self-profiling hooks (section timers + pipeline-phase counters);
     /// `None` means profiling is disabled.
     profiler: Option<Profiler>,
+    /// Link/router health map + fault-aware route tables.
+    health: HealthRouter,
+    /// Current down/up state per scheduled hard fault (transition edges are
+    /// detected against this).
+    fault_state: Vec<bool>,
+    /// Links taken down by a currently-active *fail-stop* fault (indexed
+    /// like `channels`); intermittent outages stall flits but do not purge.
+    failstop_link_down: Vec<bool>,
+    /// Routers taken down by a currently-active fail-stop fault.
+    failstop_router_down: Vec<bool>,
+    /// Connected-component id per router over the fail-stop-surviving
+    /// topology (intermittent outages ignored). Packets whose source and
+    /// destination sit in different components can never be delivered.
+    fs_comp: Vec<u32>,
+    /// Packets already accounted as dropped (guards double counting when a
+    /// packet is disturbed by several faults or escalation paths).
+    dropped_ids: HashSet<u64>,
+    /// Last cycle the watchdog observed forward progress.
+    last_progress: Cycle,
+    /// Progress score (delivered + dropped) at `last_progress`.
+    last_score: u64,
+    /// Set when the stall watchdog aborted the run.
+    stall: Option<StallReport>,
 }
 
 impl std::fmt::Debug for Network {
@@ -122,7 +147,18 @@ impl Network {
         }
         let thermal = ThermalGrid::new(cfg.thermal, cfg.width, cfg.height);
         let base_re = cfg.varius.bit_error_rate(thermal.temp_c(0), cfg.vdd, 0.0);
+        let health = HealthRouter::new(mesh);
+        let n_faults = cfg.hard_faults.faults.len();
         Network {
+            health,
+            fault_state: vec![false; n_faults],
+            failstop_link_down: vec![false; n * DIRS],
+            failstop_router_down: vec![false; n],
+            fs_comp: vec![0; n],
+            dropped_ids: HashSet::new(),
+            last_progress: 0,
+            last_score: 0,
+            stall: None,
             mesh,
             now: 0,
             routers,
@@ -225,9 +261,11 @@ impl Network {
         self.injector.set_rate_override(rate);
     }
 
-    /// Whether every workload packet has been generated and delivered.
+    /// Whether every workload packet has been generated and either
+    /// delivered or accounted as dropped.
     pub fn is_done(&self) -> bool {
-        self.traffic.is_exhausted() && self.completed == self.stats.packets_injected
+        self.traffic.is_exhausted()
+            && self.completed + self.stats.packets_dropped == self.stats.packets_injected
     }
 
     fn channel_index(&self, router: usize, dir: Port) -> usize {
@@ -239,6 +277,374 @@ impl Network {
     fn incoming_index(&self, r: usize, port: Port) -> Option<usize> {
         let up = self.mesh.neighbor(r, port)?;
         Some(self.channel_index(up, port.opposite()))
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 0: scheduled hard faults (fail-stop and intermittent)
+    // ------------------------------------------------------------------
+
+    /// The current link/router health map.
+    pub fn health(&self) -> &HealthRouter {
+        &self.health
+    }
+
+    /// The stall-watchdog diagnostic, if the run was aborted.
+    pub fn stall(&self) -> Option<&StallReport> {
+        self.stall.as_ref()
+    }
+
+    /// Applies scheduled hard-fault transitions at `self.now`. On any
+    /// service-state edge the health map and route tables are rebuilt, and
+    /// packets stranded on fail-stop-dead components are salvaged via
+    /// end-to-end recovery or accounted as dropped. Intermittent outages
+    /// only stall traffic: stored flits wait out the outage.
+    fn apply_hard_faults(&mut self) {
+        if self.cfg.hard_faults.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let mut edges: Vec<(HardFaultTarget, bool)> = Vec::new();
+        for (i, fault) in self.cfg.hard_faults.faults.iter().enumerate() {
+            let down = fault.is_down(now);
+            if down != self.fault_state[i] {
+                self.fault_state[i] = down;
+                edges.push((fault.target, down));
+            }
+        }
+        if edges.is_empty() {
+            return;
+        }
+        for (target, down) in edges {
+            self.trace(match (target, down) {
+                (HardFaultTarget::Link { router, dir }, true) => {
+                    Event::LinkFailed { cycle: now, router, dir }
+                }
+                (HardFaultTarget::Link { router, dir }, false) => {
+                    Event::LinkRepaired { cycle: now, router, dir }
+                }
+                (HardFaultTarget::Router { router }, true) => {
+                    Event::RouterFailed { cycle: now, router }
+                }
+                (HardFaultTarget::Router { router }, false) => {
+                    Event::RouterRepaired { cycle: now, router }
+                }
+            });
+        }
+        // Recompute the aggregate service state from scratch: faults can
+        // overlap (e.g. a flapping link inside a dead router), so per-edge
+        // incremental updates would be wrong.
+        let n = self.mesh.nodes();
+        let mut link_down = vec![false; n * DIRS];
+        let mut router_down = vec![false; n];
+        let mut fs_link_down = vec![false; n * DIRS];
+        let mut fs_router_down = vec![false; n];
+        for (i, fault) in self.cfg.hard_faults.faults.iter().enumerate() {
+            if !self.fault_state[i] {
+                continue;
+            }
+            let fail_stop = !fault.is_intermittent();
+            match fault.target {
+                HardFaultTarget::Link { router, dir } => {
+                    let idx = router as usize * DIRS + dir as usize;
+                    link_down[idx] = true;
+                    fs_link_down[idx] = fs_link_down[idx] || fail_stop;
+                }
+                HardFaultTarget::Router { router } => {
+                    router_down[router as usize] = true;
+                    fs_router_down[router as usize] = fs_router_down[router as usize] || fail_stop;
+                }
+            }
+        }
+        // A physical link fails in both directions regardless of which
+        // endpoint the scenario named.
+        symmetrize_links(&self.mesh, &mut link_down);
+        symmetrize_links(&self.mesh, &mut fs_link_down);
+        for r in 0..n {
+            self.health.set_router(r, !router_down[r]);
+            for dir in [Port::XPlus, Port::YPlus] {
+                self.health.set_link(r, dir, !link_down[r * DIRS + dir.index()]);
+            }
+        }
+        self.health.rebuild();
+        self.failstop_link_down = fs_link_down;
+        self.failstop_router_down = fs_router_down;
+        self.rebuild_fs_components();
+        self.purge_after_fault();
+    }
+
+    /// Labels connected components of the fail-stop-surviving topology.
+    fn rebuild_fs_components(&mut self) {
+        let n = self.mesh.nodes();
+        self.fs_comp = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut queue = VecDeque::new();
+        for start in 0..n {
+            if self.fs_comp[start] != u32::MAX || self.failstop_router_down[start] {
+                continue;
+            }
+            self.fs_comp[start] = next;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for dir in Port::DIRECTIONS {
+                    let Some(v) = self.mesh.neighbor(u, dir) else { continue };
+                    if self.failstop_link_down[u * DIRS + dir.index()]
+                        || self.failstop_router_down[v]
+                        || self.fs_comp[v] != u32::MAX
+                    {
+                        continue;
+                    }
+                    self.fs_comp[v] = next;
+                    queue.push_back(v);
+                }
+            }
+            next += 1;
+        }
+    }
+
+    /// Routes `here → dest` given the arrival port: health-aware detour
+    /// routing when `fault_aware_routing` is enabled, plain XY otherwise
+    /// (in which case traffic blocked by a dead link waits until the stall
+    /// watchdog aborts the run).
+    fn route_via(&self, here: usize, dest: usize, in_port: Port) -> Option<Port> {
+        if self.cfg.fault_aware_routing {
+            self.health.route(here, dest, in_port)
+        } else {
+            Some(self.mesh.xy_route(here, dest))
+        }
+    }
+
+    /// Whether a packet at router `at` can never reach `dest` again:
+    /// either endpoint is fail-stop dead or they sit in different
+    /// fail-stop-surviving components. Intermittent outages do not count.
+    fn fs_split(&self, at: usize, dest: usize) -> bool {
+        self.failstop_router_down[at]
+            || self.failstop_router_down[dest]
+            || self.fs_comp[at] != self.fs_comp[dest]
+    }
+
+    /// Finds every packet disturbed by a health-map transition and salvages
+    /// or drops it: flits stranded on a fail-stop-dead component (or bound
+    /// for a dead destination), plus — under fault-aware routing — packets
+    /// whose head is parked at a position the rebuilt up*/down* table cannot
+    /// continue from. Iteration is in deterministic packet-id order.
+    fn purge_after_fault(&mut self) {
+        let n = self.mesh.nodes();
+        let any_failstop = self.failstop_link_down.iter().any(|&d| d)
+            || self.failstop_router_down.iter().any(|&d| d);
+        let mut disturbed: BTreeMap<u64, Flit> = BTreeMap::new();
+        if any_failstop {
+            // Channel-resident flits on a dead link or feeding a dead router.
+            for u in 0..n {
+                for dir in Port::DIRECTIONS {
+                    let ci = self.channel_index(u, dir);
+                    let Some(ch) = self.channels[ci].as_ref() else { continue };
+                    let v = self.mesh.neighbor(u, dir).expect("channel implies neighbor");
+                    let dead_path = self.failstop_link_down[ci]
+                        || self.failstop_router_down[u]
+                        || self.failstop_router_down[v];
+                    for i in 0..ch.occupancy() {
+                        let f = *ch.get(i);
+                        if dead_path || self.fs_split(v, f.dest as usize) {
+                            disturbed.entry(f.packet_id).or_insert(f);
+                        }
+                    }
+                }
+            }
+            // VC-resident flits: dead router, dead bound output, or dead dest.
+            for r in 0..n {
+                let router_dead = self.failstop_router_down[r];
+                for port in self.routers[r].inputs() {
+                    for vc in port.vcs() {
+                        let route = vc.route();
+                        let route_dead = route != Port::Local
+                            && (self.failstop_link_down[r * DIRS + route.index()]
+                                || self
+                                    .mesh
+                                    .neighbor(r, route)
+                                    .map(|nb| self.failstop_router_down[nb])
+                                    .unwrap_or(false));
+                        for f in vc.flits() {
+                            if router_dead
+                                || (route_dead && vc.packet() == Some(f.packet_id))
+                                || self.fs_split(r, f.dest as usize)
+                            {
+                                disturbed.entry(f.packet_id).or_insert(*f);
+                            }
+                        }
+                    }
+                }
+            }
+            // NI injection queues: dead source or dead destination.
+            for r in 0..n {
+                let ni_dead = self.failstop_router_down[r];
+                for f in &self.nis[r].inject {
+                    if ni_dead || self.fs_split(r, f.dest as usize) {
+                        disturbed.entry(f.packet_id).or_insert(*f);
+                    }
+                }
+            }
+            // Partial reassembly state dies with a destination router.
+            for r in 0..n {
+                if self.failstop_router_down[r] {
+                    self.nis[r].recv.clear();
+                }
+            }
+        }
+        // A rebuild invalidates routes computed under the previous topology.
+        // The up*/down* table only guarantees progress from legal states; a
+        // packet caught mid-path by the transition can sit at a (node,
+        // arrival-port) pair the new table has no continuation for — it
+        // would wait forever and leak its downstream VC reservation. Rebind
+        // parked heads that still have a legal continuation; salvage the
+        // phase-stranded rest. Targets inside an intermittent outage are
+        // skipped here and re-swept at the repair edge.
+        if self.cfg.fault_aware_routing {
+            for u in 0..n {
+                for dir in Port::DIRECTIONS {
+                    let ci = self.channel_index(u, dir);
+                    let Some(ch) = self.channels[ci].as_ref() else { continue };
+                    if !self.health.usable(u, dir) {
+                        continue;
+                    }
+                    let v = self.mesh.neighbor(u, dir).expect("channel implies neighbor");
+                    for i in 0..ch.occupancy() {
+                        let f = *ch.get(i);
+                        if f.is_head()
+                            && self.health.route(v, f.dest as usize, dir.opposite()).is_none()
+                        {
+                            disturbed.entry(f.packet_id).or_insert(f);
+                        }
+                    }
+                }
+            }
+            let mut rebinds: Vec<(usize, usize, usize, Port)> = Vec::new();
+            for r in 0..n {
+                if !self.health.router_up(r) {
+                    continue;
+                }
+                for (p, port) in self.routers[r].inputs().iter().enumerate() {
+                    for (vi, vc) in port.vcs().iter().enumerate() {
+                        let Some(head) = vc.flits().next().copied() else { continue };
+                        if vc.packet() != Some(head.packet_id) || !head.is_head() {
+                            continue; // body flits must follow their head's path
+                        }
+                        match self.health.route(r, head.dest as usize, Port::from_index(p)) {
+                            None => {
+                                disturbed.entry(head.packet_id).or_insert(head);
+                            }
+                            Some(route) if route != vc.route() => {
+                                rebinds.push((r, p, vi, route));
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+            }
+            for (r, p, vi, route) in rebinds {
+                self.routers[r].input_mut(p).vc_mut(vi).rebind_route(route);
+            }
+        }
+        for (_, f) in disturbed {
+            self.salvage_or_drop(f);
+        }
+    }
+
+    /// Removes every in-flight flit of `packet` from channels, input VCs,
+    /// NI injection queues, and reassembly buffers.
+    fn purge_packet(&mut self, packet: u64) {
+        for ch in self.channels.iter_mut().flatten() {
+            ch.purge_packet(packet);
+        }
+        for router in &mut self.routers {
+            router.purge_packet(packet);
+        }
+        for ni in &mut self.nis {
+            ni.inject.retain(|f| f.packet_id != packet);
+            ni.recv.remove(&packet);
+        }
+    }
+
+    /// End-to-end recovery for a packet disturbed by a hard fault or out of
+    /// hop-retry budget: purges its in-flight flits, then re-injects it
+    /// from the source NI with a bumped generation — or, when the budget is
+    /// exhausted or no route survives, accounts it as dropped.
+    fn salvage_or_drop(&mut self, f: Flit) {
+        self.purge_packet(f.packet_id);
+        if self.dropped_ids.contains(&f.packet_id) {
+            return;
+        }
+        let src = f.src as usize;
+        let budget_ok = self.cfg.max_retx == 0 || u32::from(f.generation) < self.cfg.max_retx;
+        // Intermittent outages don't disqualify a salvage: the re-injected
+        // packet simply waits them out in the source NI queue.
+        let routable = !self.fs_split(src, f.dest as usize);
+        if budget_ok && routable {
+            self.stats.e2e_retx_packets += 1;
+            self.stats.retransmitted_flits += crate::flit::FLITS_PER_PACKET as u64;
+            self.trace(Event::Retransmission {
+                cycle: self.now,
+                router: src as u32,
+                packet: f.packet_id,
+                scope: RetxScope::E2e,
+            });
+            let mut flits =
+                make_packet(f.packet_id, self.next_flit_id, f.src, f.dest, f.injected_at);
+            self.next_flit_id += crate::flit::FLITS_PER_PACKET as u64;
+            for nf in &mut flits {
+                nf.generation = f.generation + 1;
+            }
+            self.routers[src].counters.crc_ops += crate::flit::FLITS_PER_PACKET as u64;
+            self.routers[src].counters.retransmitted_flits += crate::flit::FLITS_PER_PACKET as u64;
+            self.nis[src].inject.extend(flits);
+        } else {
+            self.account_drop(&f);
+        }
+    }
+
+    /// Accounts a packet as permanently lost. Idempotent per packet id.
+    fn account_drop(&mut self, f: &Flit) {
+        if !self.dropped_ids.insert(f.packet_id) {
+            return;
+        }
+        let src = f.src as usize;
+        self.stats.packets_dropped += 1;
+        self.outstanding[src] = self.outstanding[src].saturating_sub(1);
+        self.trace(Event::PacketDropped {
+            cycle: self.now,
+            router: u32::from(f.src),
+            packet: f.packet_id,
+            bits: u32::from(f.generation),
+        });
+    }
+
+    /// Checks forward progress and arms the stall diagnostic when none was
+    /// made for a full watchdog window while packets are in flight.
+    fn watchdog_check(&mut self) -> bool {
+        if self.cfg.stall_window == 0 {
+            return false;
+        }
+        let score = self.stats.packets_delivered + self.stats.packets_dropped;
+        let in_flight = self
+            .stats
+            .packets_injected
+            .saturating_sub(self.stats.packets_delivered + self.stats.packets_dropped);
+        if score != self.last_score || in_flight == 0 {
+            self.last_score = score;
+            self.last_progress = self.now;
+            return false;
+        }
+        if self.now.saturating_sub(self.last_progress) < self.cfg.stall_window {
+            return false;
+        }
+        self.trace(Event::WatchdogStall { cycle: self.now, router: 0, state: in_flight });
+        self.stall = Some(StallReport {
+            cycle: self.now,
+            window: self.cfg.stall_window,
+            in_flight,
+            blocked: self.snapshot_blocked(16).lines().map(String::from).collect(),
+            dump: self.snapshot_dump(),
+        });
+        true
     }
 
     // ------------------------------------------------------------------
@@ -256,6 +662,8 @@ impl Network {
             let out_port = Port::from_index(out_idx);
             let ch_idx = if out_port == Port::Local {
                 None
+            } else if !self.health.usable(r, out_port) {
+                continue; // dead link or dead downstream router: flits wait
             } else {
                 match &self.channels[self.channel_index(r, out_port)] {
                     Some(ch) if ch.has_space() => Some(self.channel_index(r, out_port)),
@@ -377,7 +785,10 @@ impl Network {
                     None => continue,
                 }
             };
-            let route = self.mesh.xy_route(r, dest);
+            let in_port = if is_ni { Port::Local } else { Port::from_index(i) };
+            let Some(route) = self.route_via(r, dest, in_port) else {
+                continue; // no live route right now: the flit waits
+            };
             if out_used[route.index()] {
                 continue;
             }
@@ -398,6 +809,9 @@ impl Network {
                 self.routers[r].step.in_flits[i.min(PORTS - 1)] += 1;
                 self.eject(r, flit);
             } else {
+                if !self.health.usable(r, route) {
+                    continue; // outage on the outgoing link: wait it out
+                }
                 let out_ci = self.channel_index(r, route);
                 let ok = matches!(&self.channels[out_ci], Some(ch) if ch.has_space());
                 if !ok {
@@ -513,6 +927,12 @@ impl Network {
                     }
                 }
                 DecodeStatus::Detected => {
+                    if self.cfg.max_retx > 0 && u32::from(head.retx) >= self.cfg.max_retx {
+                        // Hop-retry budget exhausted: escalate to
+                        // end-to-end recovery (or an accounted drop).
+                        self.salvage_or_drop(head);
+                        return None;
+                    }
                     self.channels[ci].as_mut().expect("channel exists").delay_at(
                         0,
                         now,
@@ -583,6 +1003,9 @@ impl Network {
         for u in 0..self.mesh.nodes() {
             for dir in Port::DIRECTIONS {
                 let Some(v) = self.mesh.neighbor(u, dir) else { continue };
+                if !self.health.usable(u, dir) {
+                    continue; // link or endpoint outage: stored flits wait
+                }
                 if !self.routers[v].is_on() {
                     continue; // bypass (phase 1) handles gated routers
                 }
@@ -593,10 +1016,27 @@ impl Network {
                 // (order-preserving per packet — the BST dynamic buffer
                 // allocation of §3.1.2).
                 let idx = {
-                    let mesh = self.mesh;
                     let channels_view = &self.channels;
+                    let health = &self.health;
+                    let mesh = self.mesh;
+                    let fault_aware = self.cfg.fault_aware_routing;
                     let Some(ch) = channels_view[ci].as_ref() else { continue };
                     let port = &self.routers[v].inputs()[in_port];
+                    let continuation_ok = |flit: &Flit| {
+                        let route = if fault_aware {
+                            health.route(v, flit.dest as usize, dir.opposite())
+                        } else {
+                            Some(mesh.xy_route(v, flit.dest as usize))
+                        };
+                        match route {
+                            Some(Port::Local) => true,
+                            Some(out) => matches!(
+                                &channels_view[v * DIRS + out.index()],
+                                Some(ch) if ch.has_space() && health.usable(v, out)
+                            ),
+                            None => false, // no live route: wait
+                        }
+                    };
                     ch.scan_deliverable(now, |flit| {
                         if flit.is_head() {
                             if flit.vc != NO_VC {
@@ -610,14 +1050,7 @@ impl Network {
                                 // the continuation path is allowed.
                                 let can_bind =
                                     !pending && port.vcs().iter().any(InputVc::available);
-                                can_bind
-                                    || match mesh.xy_route(v, flit.dest as usize) {
-                                        Port::Local => true,
-                                        out => matches!(
-                                            &channels_view[v * DIRS + out.index()],
-                                            Some(ch) if ch.has_space()
-                                        ),
-                                    }
+                                can_bind || continuation_ok(flit)
                             }
                         } else if port.vcs().iter().any(|vc| vc.packet() == Some(flit.packet_id)) {
                             port.vcs()
@@ -628,18 +1061,28 @@ impl Network {
                             // router while it was gated (bypass), so no VC is
                             // bound; the BST still holds the packet's route,
                             // and the body follows latch-to-channel.
-                            match mesh.xy_route(v, flit.dest as usize) {
-                                Port::Local => true,
-                                out => matches!(
-                                    &channels_view[v * DIRS + out.index()],
-                                    Some(ch) if ch.has_space()
-                                ),
-                            }
+                            continuation_ok(flit)
                         }
                     })
                 };
                 let Some(idx) = idx else { continue };
                 let head = *self.channels[ci].as_ref().expect("channel exists").get(idx);
+                // Route at the receiving router, around any hard faults.
+                // Heads (and BST continuations) need a live route now; a
+                // temporarily unreachable destination (intermittent outage)
+                // leaves them waiting on the channel. Body/tail flits bound
+                // to a VC follow the path their head already took, so a
+                // missing route must not block them.
+                let bound_body = !head.is_head()
+                    && self.routers[v].inputs()[in_port]
+                        .vcs()
+                        .iter()
+                        .any(|vc| vc.packet() == Some(head.packet_id));
+                let route = match self.route_via(v, head.dest as usize, dir.opposite()) {
+                    Some(route) => route,
+                    None if bound_body => Port::Local, // unused: follows the VC binding
+                    None => continue,
+                };
                 // The flit physically traverses the link now: sample faults.
                 let scheme = head.hop_scheme;
                 let re = {
@@ -687,6 +1130,14 @@ impl Network {
                                 }
                             }
                             DecodeStatus::Detected => {
+                                if self.cfg.max_retx > 0
+                                    && u32::from(head.retx) >= self.cfg.max_retx
+                                {
+                                    // Hop-retry budget exhausted: escalate to
+                                    // end-to-end recovery (or accounted drop).
+                                    self.salvage_or_drop(head);
+                                    continue;
+                                }
                                 // NACK: the stored copy re-traverses the link.
                                 self.channels[ci].as_mut().expect("channel exists").delay_at(
                                     idx,
@@ -729,10 +1180,20 @@ impl Network {
                     packet: flit.packet_id,
                     flit: flit.id,
                 });
-                let route = self.mesh.xy_route(v, flit.dest as usize);
                 if flit.is_head() {
                     if let Some(prof) = self.profiler.as_mut() {
                         prof.phases.rc += 1; // route computed for a new packet
+                    }
+                    let xy = self.mesh.xy_route(v, flit.dest as usize);
+                    if route != xy {
+                        self.stats.reroutes += 1;
+                        self.trace(Event::Rerouted {
+                            cycle: now,
+                            router: v as u32,
+                            packet: flit.packet_id,
+                            from: xy.index() as u8,
+                            to: route.index() as u8,
+                        });
                     }
                 }
                 let ready = now + if flit.is_head() { self.cfg.pipeline_latency as u64 } else { 1 };
@@ -801,7 +1262,12 @@ impl Network {
             if !head.is_head() && !bound {
                 // BST continuation: the packet's head was injected through
                 // the bypass while the router was gated.
-                let route = self.mesh.xy_route(r, head.dest as usize);
+                let Some(route) = self.route_via(r, head.dest as usize, Port::Local) else {
+                    continue; // no live route right now: wait in the NI
+                };
+                if route == Port::Local || !self.health.usable(r, route) {
+                    continue;
+                }
                 let out_ci = self.channel_index(r, route);
                 let ok = matches!(&self.channels[out_ci], Some(ch) if ch.has_space());
                 if ok {
@@ -822,11 +1288,24 @@ impl Network {
             let Some(vc) = self.routers[r].inputs()[in_port].accept_target(&head) else {
                 continue;
             };
+            let Some(route) = self.route_via(r, head.dest as usize, Port::Local) else {
+                continue; // destination unreachable right now: wait
+            };
             let flit = self.nis[r].inject.pop_front().expect("checked nonempty");
-            let route = self.mesh.xy_route(r, flit.dest as usize);
             if flit.is_head() {
                 if let Some(prof) = self.profiler.as_mut() {
                     prof.phases.rc += 1; // route computed at injection
+                }
+                let xy = self.mesh.xy_route(r, flit.dest as usize);
+                if route != xy {
+                    self.stats.reroutes += 1;
+                    self.trace(Event::Rerouted {
+                        cycle: now,
+                        router: r as u32,
+                        packet: flit.packet_id,
+                        from: xy.index() as u8,
+                        to: route.index() as u8,
+                    });
                 }
             }
             let ready = now + if flit.is_head() { self.cfg.pipeline_latency as u64 } else { 1 };
@@ -871,6 +1350,15 @@ impl Network {
         }
         let state = self.nis[r].recv.remove(&flit.packet_id).expect("entry exists");
         if state.crc_failed {
+            // Bounded escalation: a packet that keeps failing its e2e CRC
+            // past the generation budget is accounted as lost rather than
+            // retried forever.
+            let budget_ok =
+                self.cfg.max_retx == 0 || u32::from(flit.generation) < self.cfg.max_retx;
+            if !budget_ok || self.fs_split(flit.src as usize, r) {
+                self.account_drop(&flit);
+                return;
+            }
             // End-to-end re-transmission: the source NI re-sends the packet.
             self.stats.e2e_retx_packets += 1;
             self.stats.retransmitted_flits += crate::flit::FLITS_PER_PACKET as u64;
@@ -891,6 +1379,7 @@ impl Network {
             self.next_flit_id += crate::flit::FLITS_PER_PACKET as u64;
             for f in &mut flits {
                 f.retx = flit.retx + 1;
+                f.generation = flit.generation + 1;
             }
             // e2e CRC re-encode energy at the source.
             self.routers[src].counters.crc_ops += crate::flit::FLITS_PER_PACKET as u64;
@@ -958,7 +1447,9 @@ impl Network {
             let Some(ci) = self.incoming_index(r, p) else { continue };
             let Some(ch) = &self.channels[ci] else { continue };
             if let Some(flit) = ch.peek_ready(now) {
-                let route = self.mesh.xy_route(r, flit.dest as usize);
+                let Some(route) = self.route_via(r, flit.dest as usize, p) else {
+                    continue; // unreachable right now: nothing to wake for
+                };
                 if route != Port::Local && route != p.opposite() {
                     return true;
                 }
@@ -970,6 +1461,15 @@ impl Network {
     fn gating_phase(&mut self) {
         let now = self.now;
         for r in 0..self.mesh.nodes() {
+            if !self.health.router_up(r) {
+                // A dead router draws no dynamic power and makes no gating
+                // transitions; account its cycles as gated.
+                let router = &mut self.routers[r];
+                router.step.cycles += 1;
+                router.step.gated_cycles += 1;
+                self.stats.gated_router_cycles += 1;
+                continue;
+            }
             let (incoming, max_incoming) = self.incoming_occupancy(r);
             let turn_pending = self.incoming_turn_pending(r);
             let ni_waiting = !self.nis[r].inject.is_empty();
@@ -1061,6 +1561,13 @@ impl Network {
                     packet: packet_id,
                     dest: dest as u32,
                 });
+                if self.fs_split(node, dest) {
+                    // The destination can never be reached (dead source or
+                    // dest router, or a mesh split): account the loss at
+                    // injection instead of letting the packet wedge the NI.
+                    self.account_drop(&flits[0]);
+                    continue;
+                }
                 if self.cfg.e2e_crc {
                     // e2e CRC encode at the source NI.
                     self.routers[node].counters.crc_ops += crate::flit::FLITS_PER_PACKET as u64;
@@ -1087,7 +1594,7 @@ impl Network {
         for r in 0..n {
             let counters = std::mem::take(&mut self.routers[r].counters);
             let dyn_pj = self.cfg.energy.dynamic_pj(&counters);
-            let gated = self.routers[r].is_gated_or_waking();
+            let gated = self.routers[r].is_gated_or_waking() || !self.health.router_up(r);
             let temp = self.thermal.temp_c(r);
             let static_mw = self.cfg.leakage.router_static_mw(
                 &spec,
@@ -1128,7 +1635,11 @@ impl Network {
 
     /// Advances the simulation by one cycle.
     pub fn step_cycle(&mut self) {
+        self.apply_hard_faults();
         for r in 0..self.mesh.nodes() {
+            if !self.health.router_up(r) {
+                continue; // dead routers do no work at all
+            }
             if self.routers[r].is_on() {
                 self.sa_phase(r);
             } else if self.cfg.bypass_enabled {
@@ -1154,15 +1665,18 @@ impl Network {
         let t0 = if self.profiler.is_some() { Some(Instant::now()) } else { None };
         let start = self.now;
         for _ in 0..n {
-            if self.is_done() || self.now >= self.cfg.max_cycles {
+            if self.is_done() || self.now >= self.cfg.max_cycles || self.stall.is_some() {
                 break;
             }
             self.step_cycle();
+            if self.watchdog_check() {
+                break;
+            }
         }
         if let (Some(t0), Some(prof)) = (t0, self.profiler.as_mut()) {
             prof.add_batch("sim.step_cycle", t0.elapsed(), self.now - start);
         }
-        self.is_done() || self.now >= self.cfg.max_cycles
+        self.is_done() || self.now >= self.cfg.max_cycles || self.stall.is_some()
     }
 
     /// Applies one directive per router (control-policy output).
@@ -1399,10 +1913,27 @@ impl Network {
                 let pending = self.routers[v].gate_pending;
                 let ci = self.channel_index(u, dir);
                 let in_port = dir.opposite().index();
-                let mesh = self.mesh;
                 let channels_view = &self.channels;
+                let health = &self.health;
+                let mesh = self.mesh;
+                let fault_aware = self.cfg.fault_aware_routing;
                 let Some(ch) = channels_view[ci].as_ref() else { continue };
                 let port = &self.routers[v].inputs()[in_port];
+                let continuation_ok = |flit: &Flit| {
+                    let route = if fault_aware {
+                        health.route(v, flit.dest as usize, dir.opposite())
+                    } else {
+                        Some(mesh.xy_route(v, flit.dest as usize))
+                    };
+                    match route {
+                        Some(Port::Local) => true,
+                        Some(out) => matches!(
+                            &channels_view[v * DIRS + out.index()],
+                            Some(ch) if ch.has_space()
+                        ),
+                        None => false,
+                    }
+                };
                 if ch
                     .scan_deliverable(now, |flit| {
                         if flit.is_head() {
@@ -1411,27 +1942,14 @@ impl Network {
                             } else {
                                 let can_bind =
                                     !pending && port.vcs().iter().any(InputVc::available);
-                                can_bind
-                                    || match mesh.xy_route(v, flit.dest as usize) {
-                                        Port::Local => true,
-                                        out => matches!(
-                                            &channels_view[v * DIRS + out.index()],
-                                            Some(ch) if ch.has_space()
-                                        ),
-                                    }
+                                can_bind || continuation_ok(flit)
                             }
                         } else if port.vcs().iter().any(|vc| vc.packet() == Some(flit.packet_id)) {
                             port.vcs()
                                 .iter()
                                 .any(|vc| vc.packet() == Some(flit.packet_id) && vc.has_space())
                         } else {
-                            match mesh.xy_route(v, flit.dest as usize) {
-                                Port::Local => true,
-                                out => matches!(
-                                    &channels_view[v * DIRS + out.index()],
-                                    Some(ch) if ch.has_space()
-                                ),
-                            }
+                            continuation_ok(flit)
                         }
                     })
                     .is_some()
@@ -1684,6 +2202,23 @@ impl Network {
             mean_temp_c: self.thermal.mean_c(),
             max_temp_c: self.thermal.max_c(),
             mean_aging_factor: mean_aging,
+            injected_bit_flips: self.injector.injected_bits(),
+            faulty_flit_traversals: self.injector.faulty_flits(),
+            stall: self.stall.clone(),
+        }
+    }
+}
+
+/// Marks the reverse direction of every downed link so a physical link
+/// fails in both directions regardless of which endpoint named it.
+fn symmetrize_links(mesh: &Mesh, down: &mut [bool]) {
+    for r in 0..mesh.nodes() {
+        for dir in Port::DIRECTIONS {
+            if down[r * DIRS + dir.index()] {
+                if let Some(nb) = mesh.neighbor(r, dir) {
+                    down[nb * DIRS + dir.opposite().index()] = true;
+                }
+            }
         }
     }
 }

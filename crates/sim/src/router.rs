@@ -115,6 +115,37 @@ impl InputVc {
         }
     }
 
+    /// Iterates the queued flits in order (purge/diagnostic support).
+    pub fn flits(&self) -> impl Iterator<Item = &Flit> {
+        self.queue.iter().map(|(f, _)| f)
+    }
+
+    /// Removes every trace of `packet` from this VC: queued flits, the
+    /// binding, and any reservation. Returns the number of flits removed.
+    /// Used by hard-fault salvage/drop handling.
+    pub fn purge_packet(&mut self, packet: u64) -> usize {
+        let mut removed = 0;
+        if self.packet == Some(packet) {
+            removed = self.queue.len();
+            self.queue.clear();
+            self.packet = None;
+            self.out_vc = crate::flit::NO_VC;
+            self.route = Port::Local;
+        }
+        if self.reserved_by == Some(packet) {
+            self.reserved_by = None;
+        }
+        removed
+    }
+
+    /// Rebinds the output route of the bound packet after a health-map
+    /// rebuild. Only legal while the head flit is still queued (body flits
+    /// must follow the path their head already took).
+    pub fn rebind_route(&mut self, route: Port) {
+        debug_assert!(self.packet.is_some(), "rebind on unbound VC");
+        self.route = route;
+    }
+
     /// Removes the head flit after a switch-allocation grant.
     ///
     /// # Panics
@@ -319,6 +350,16 @@ impl Router {
     /// Whether the router is gated or still waking (bypass territory).
     pub fn is_gated_or_waking(&self) -> bool {
         !self.is_on()
+    }
+
+    /// Removes every trace of `packet` from all input VCs (hard-fault
+    /// salvage/drop support). Returns the number of flits removed.
+    pub fn purge_packet(&mut self, packet: u64) -> usize {
+        self.inputs
+            .iter_mut()
+            .flat_map(|p| p.vcs.iter_mut())
+            .map(|vc| vc.purge_packet(packet))
+            .sum()
     }
 }
 

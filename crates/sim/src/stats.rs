@@ -28,6 +28,12 @@ pub struct NetworkStats {
     pub faulty_traversals: u64,
     /// Packets delivered with undetected corruption (silent data corruption).
     pub corrupted_packets: u64,
+    /// Packets dropped after exhausting the retransmission escalation
+    /// ladder or losing their route to a hard fault (accounted loss).
+    pub packets_dropped: u64,
+    /// Hops where fault-aware routing chose a non-XY port to detour around
+    /// a hard fault (head flits only).
+    pub reroutes: u64,
     /// Cycle of the last packet delivery (execution time).
     pub last_delivery: u64,
     /// Total cycles simulated.
@@ -61,6 +67,33 @@ impl NetworkStats {
             self.packets_delivered as f64 / self.packets_injected as f64
         }
     }
+
+    /// Fraction of injected packets dropped (accounted loss).
+    pub fn drop_ratio(&self) -> f64 {
+        if self.packets_injected == 0 {
+            0.0
+        } else {
+            self.packets_dropped as f64 / self.packets_injected as f64
+        }
+    }
+}
+
+/// Structured diagnostic produced by the stall watchdog when the network
+/// makes zero forward progress (no deliveries, no drops) over a full
+/// watchdog window while packets are in flight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StallReport {
+    /// Cycle the watchdog fired.
+    pub cycle: u64,
+    /// Watchdog window length in cycles.
+    pub window: u64,
+    /// Packets in flight (injected − delivered − dropped) at the stall.
+    pub in_flight: u64,
+    /// Human-readable descriptions of the first few blocked flits (from
+    /// `snapshot_blocked`).
+    pub blocked: Vec<String>,
+    /// Full network state dump (from `snapshot_dump`).
+    pub dump: String,
 }
 
 /// Observation of one router over the last control time step — the RL state
@@ -110,6 +143,14 @@ pub struct RunReport {
     pub max_temp_c: f64,
     /// Mean aging factor across routers (Eq. 7).
     pub mean_aging_factor: f64,
+    /// Total bit flips injected by the transient-fault injector (sanity
+    /// check against the observed corrected/faulty counters).
+    pub injected_bit_flips: u64,
+    /// Link traversals on which the injector flipped at least one bit.
+    pub faulty_flit_traversals: u64,
+    /// Stall-watchdog diagnostic, set when the run was aborted for lack of
+    /// forward progress.
+    pub stall: Option<StallReport>,
 }
 
 impl RunReport {

@@ -1,0 +1,306 @@
+//! Hard-fault resilience: permanent link/router failures, fault-aware
+//! rerouting, the bounded retransmission escalation ladder, and the stall
+//! watchdog — exercised through the public `Network` API.
+
+use noc_sim::{
+    HardFault, HardFaultKind, HardFaultScenario, HardFaultTarget, Mesh, Network, Port, SimConfig,
+};
+use noc_traffic::WorkloadSpec;
+
+fn quiet() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.varius.base_rate = 0.0;
+    cfg.varius.min_rate = 0.0;
+    cfg
+}
+
+/// IntelliNoC-flavoured substrate: MFAC channel storage, bypass, e2e CRC.
+fn mfac() -> SimConfig {
+    let mut cfg = quiet();
+    cfg.channel_capacity = 8;
+    cfg.bypass_enabled = true;
+    cfg.bypass_during_wake = true;
+    cfg.mfac_retx = true;
+    cfg.e2e_crc = true;
+    cfg.has_bst = true;
+    cfg
+}
+
+fn run(mut cfg: SimConfig, workload: WorkloadSpec, seed: u64) -> Network {
+    cfg.seed = seed;
+    let mut net = Network::new(cfg, workload, seed);
+    assert!(net.run_cycles(2_000_000), "run must terminate (done or watchdog)");
+    net
+}
+
+fn assert_accounted(net: &Network, label: &str) {
+    let s = net.stats();
+    assert_eq!(
+        s.packets_delivered + s.packets_dropped,
+        s.packets_injected,
+        "{label}: {} delivered + {} dropped != {} injected (stall: {:?})",
+        s.packets_delivered,
+        s.packets_dropped,
+        s.packets_injected,
+        net.stall().map(|st| &st.blocked),
+    );
+}
+
+fn link_fault(router: u32, dir: u8, at: u64) -> HardFaultScenario {
+    HardFaultScenario {
+        faults: vec![HardFault {
+            at,
+            target: HardFaultTarget::Link { router, dir },
+            kind: HardFaultKind::FailStop,
+        }],
+    }
+}
+
+/// Acceptance criterion: any single permanent link failure at t=0 on the
+/// 8×8 mesh under uniform-random traffic → rerouting delivers 100% of
+/// packets. Checked exhaustively over every physical link, on both the
+/// baseline substrate and the MFAC/bypass substrate.
+#[test]
+fn every_single_link_failure_delivers_all_packets() {
+    let mesh = Mesh::new(8, 8);
+    for r in 0..mesh.nodes() {
+        for (di, dir) in [Port::XPlus, Port::YPlus].into_iter().enumerate() {
+            if mesh.neighbor(r, dir).is_none() {
+                continue;
+            }
+            let dir = if di == 0 { 0u8 } else { 2u8 };
+            for base in [quiet(), mfac()] {
+                let mut cfg = base;
+                cfg.fault_aware_routing = true;
+                cfg.hard_faults = link_fault(r as u32, dir, 0);
+                let net = run(cfg, WorkloadSpec::uniform(0.02, 2), 7);
+                let s = net.stats();
+                assert!(net.stall().is_none(), "link {r}/{dir}: watchdog fired");
+                assert_eq!(s.packets_dropped, 0, "link {r}/{dir}: dropped");
+                assert_eq!(s.packets_delivered, s.packets_injected, "link {r}/{dir}: lost packets");
+            }
+        }
+    }
+}
+
+/// With rerouting disabled the same scenario must terminate via the
+/// drop/watchdog escalation instead of hanging forever.
+#[test]
+fn no_reroute_terminates_via_drop_or_watchdog() {
+    let mut cfg = quiet();
+    cfg.fault_aware_routing = false;
+    cfg.stall_window = 5_000;
+    // Interior link: XY routes will pile into it from both sides.
+    cfg.hard_faults = link_fault(27, 0, 0);
+    let mut net = Network::new(cfg, WorkloadSpec::uniform(0.02, 4), 3);
+    assert!(net.run_cycles(2_000_000), "watchdog must end the run");
+    let s = net.stats();
+    assert!(
+        net.stall().is_some() || s.packets_dropped > 0,
+        "expected a stall report or accounted drops, got neither"
+    );
+    if let Some(st) = net.stall() {
+        assert!(st.in_flight > 0);
+        // `blocked` names channel-front flits; with XY pinned the wedge can
+        // also sit wholly inside router VCs, which the full dump covers.
+        assert!(!st.dump.is_empty(), "stall report must carry a state dump");
+        assert_eq!(st.window, 5_000);
+    }
+}
+
+/// A router that dies mid-run takes its NI and in-flight packets with it;
+/// everything else must be rerouted or salvaged, and packets to/from the
+/// dead node become accounted drops — never silent losses or hangs.
+#[test]
+fn midrun_router_failure_accounts_every_packet() {
+    for base in [quiet(), mfac()] {
+        let mut cfg = base;
+        cfg.fault_aware_routing = true;
+        cfg.hard_faults = HardFaultScenario::dead_routers(8, 8, 1, 1, 300);
+        let net = run(cfg, WorkloadSpec::uniform(0.02, 10), 1);
+        assert!(net.stall().is_none(), "watchdog fired: {:?}", net.stall().map(|s| &s.blocked));
+        assert_accounted(&net, "router-fail");
+        assert!(net.stats().packets_dropped > 0, "dead NI must cost some packets");
+    }
+}
+
+/// Two links dying mid-run while traffic is flowing: packets in flight at
+/// the transition must be salvaged (e2e retransmission) or rerouted.
+#[test]
+fn midrun_link_failures_account_every_packet() {
+    let mut cfg = quiet();
+    cfg.fault_aware_routing = true;
+    cfg.hard_faults = HardFaultScenario::dead_links(8, 8, 2, 5, 400);
+    let net = run(cfg, WorkloadSpec::uniform(0.03, 10), 5);
+    assert!(net.stall().is_none(), "watchdog fired: {:?}", net.stall().map(|s| &s.blocked));
+    let s = net.stats();
+    assert_eq!(s.packets_dropped, 0, "mesh stays connected: no drops expected");
+    assert_eq!(s.packets_delivered, s.packets_injected);
+    assert!(s.reroutes > 0, "detours must be taken");
+}
+
+/// Intermittent (flapping) outages stall traffic but never drop it: the
+/// mesh keeps full delivery across repeated down/up transitions.
+#[test]
+fn flapping_links_deliver_everything() {
+    let mut cfg = quiet();
+    cfg.fault_aware_routing = true;
+    cfg.hard_faults = HardFaultScenario::flapping_links(8, 8, 2, 9, 0, 200, 40);
+    let net = run(cfg, WorkloadSpec::uniform(0.02, 10), 9);
+    assert!(net.stall().is_none(), "watchdog fired: {:?}", net.stall().map(|s| &s.blocked));
+    let s = net.stats();
+    assert_eq!(s.packets_delivered + s.packets_dropped, s.packets_injected);
+    assert_eq!(s.packets_dropped, 0, "flapping must not cause drops");
+}
+
+/// Escalation ladder under a brutal transient-error rate: hop retries hit
+/// `max_retx`, escalate to e2e recovery, and finally to accounted drops —
+/// the run terminates with every packet delivered or accounted.
+#[test]
+fn extreme_error_rates_terminate_with_full_accounting() {
+    for rate in [0.05, 0.2, 0.5] {
+        let mut cfg = quiet();
+        cfg.max_retx = 3;
+        cfg.stall_window = 20_000;
+        cfg.seed = 11;
+        let mut net = Network::new(cfg, WorkloadSpec::uniform(0.01, 3), 11);
+        net.set_error_rate_override(Some(rate));
+        assert!(net.run_cycles(5_000_000), "rate {rate}: run must terminate");
+        assert_accounted(&net, &format!("error rate {rate}"));
+        let s = net.stats();
+        assert!(
+            s.hop_retx_events + s.e2e_retx_packets > 0,
+            "rate {rate}: the ladder must actually engage"
+        );
+    }
+}
+
+/// `max_retx = 0` keeps the legacy unbounded-retry semantics: no drops,
+/// every packet eventually delivered even under heavy noise.
+#[test]
+fn unbounded_retx_never_drops() {
+    let mut cfg = quiet();
+    cfg.max_retx = 0;
+    cfg.seed = 13;
+    let mut net = Network::new(cfg, WorkloadSpec::uniform(0.01, 2), 13);
+    net.set_error_rate_override(Some(0.02));
+    assert!(net.run_cycles(5_000_000));
+    let s = net.stats();
+    assert_eq!(s.packets_dropped, 0);
+    assert_eq!(s.packets_delivered, s.packets_injected);
+}
+
+/// Hard-fault runs are deterministic: same seed and scenario, same stats.
+#[test]
+fn fault_runs_are_deterministic() {
+    let go = || {
+        let mut cfg = quiet();
+        cfg.fault_aware_routing = true;
+        cfg.hard_faults = HardFaultScenario::dead_links(8, 8, 4, 21, 100)
+            .merged(HardFaultScenario::flapping_links(8, 8, 1, 21, 0, 300, 60));
+        run(cfg, WorkloadSpec::uniform(0.02, 8), 21)
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.stats(), b.stats());
+}
+
+mod rerouting_properties {
+    use super::*;
+    use noc_sim::HealthRouter;
+    use proptest::prelude::*;
+
+    /// Follows the health router hop by hop; panics on dead links/routers
+    /// or cycles. Returns hops taken, or None when the route is refused.
+    fn walk(h: &HealthRouter, mesh: &Mesh, src: usize, dest: usize) -> Option<usize> {
+        let mut here = src;
+        let mut in_port = Port::Local;
+        let mut steps = 0;
+        loop {
+            let p = h.route(here, dest, in_port)?;
+            if p == Port::Local {
+                assert_eq!(here, dest, "Local before reaching the destination");
+                return Some(steps);
+            }
+            assert!(h.link_up(here, p), "route uses dead link {here}->{p:?}");
+            let next = mesh.neighbor(here, p).expect("route fell off the mesh");
+            assert!(h.router_up(next), "route enters dead router {next}");
+            in_port = p.opposite();
+            here = next;
+            steps += 1;
+            assert!(steps <= 4 * mesh.nodes(), "route cycles: {src}->{dest}");
+        }
+    }
+
+    proptest! {
+        /// On any residual topology (random link kills), every route the
+        /// health map produces from a fresh source is acyclic and ends at
+        /// the destination; unreachable pairs are refused, never looped.
+        #[test]
+        fn routes_never_cycle_under_random_link_failures(
+            seed in 0u64..500,
+            kills in 0usize..14,
+        ) {
+            let mesh = Mesh::new(6, 6);
+            let mut h = HealthRouter::new(mesh);
+            // Deterministic pseudo-random link kills from the seed.
+            let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            for _ in 0..kills {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let r = (x >> 33) as usize % mesh.nodes();
+                let dir = if (x >> 13) & 1 == 0 { Port::XPlus } else { Port::YPlus };
+                if mesh.neighbor(r, dir).is_some() {
+                    h.set_link(r, dir, false);
+                }
+            }
+            h.rebuild();
+            for src in 0..mesh.nodes() {
+                for dest in 0..mesh.nodes() {
+                    let hops = walk(&h, &mesh, src, dest);
+                    prop_assert!(
+                        hops.is_some() == h.reachable(src, dest),
+                        "route presence must match reachability {}->{}", src, dest
+                    );
+                }
+            }
+        }
+
+        /// Mid-path states: from any (node, arrival-port) the table either
+        /// continues to the destination without cycling or refuses.
+        #[test]
+        fn continuations_never_cycle(seed in 0u64..200) {
+            let mesh = Mesh::new(5, 5);
+            let mut h = HealthRouter::new(mesh);
+            let mut x = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(9);
+            for _ in 0..6 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let r = (x >> 33) as usize % mesh.nodes();
+                let dir = if (x >> 13) & 1 == 0 { Port::XPlus } else { Port::YPlus };
+                if mesh.neighbor(r, dir).is_some() {
+                    h.set_link(r, dir, false);
+                }
+            }
+            h.rebuild();
+            for here in 0..mesh.nodes() {
+                for dest in 0..mesh.nodes() {
+                    for in_port in [Port::XPlus, Port::XMinus, Port::YPlus, Port::YMinus, Port::Local] {
+                        let mut at = here;
+                        let mut port = in_port;
+                        let mut steps = 0;
+                        while let Some(p) = h.route(at, dest, port) {
+                            if p == Port::Local {
+                                prop_assert_eq!(at, dest);
+                                break;
+                            }
+                            prop_assert!(h.link_up(at, p));
+                            at = mesh.neighbor(at, p).expect("on mesh");
+                            port = p.opposite();
+                            steps += 1;
+                            prop_assert!(steps <= 4 * mesh.nodes(), "cycle from ({}, {:?})", here, in_port);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -121,6 +121,74 @@ pub enum Event {
         /// Reward observed for the previous action.
         reward: f64,
     },
+    /// A hard fault took the physical link `(router, dir)` out of service.
+    LinkFailed {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Upstream router of the canonical link direction.
+        router: u32,
+        /// Direction index of the failed link (0..4).
+        dir: u8,
+    },
+    /// An intermittent link fault ended and the link returned to service.
+    LinkRepaired {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Upstream router of the canonical link direction.
+        router: u32,
+        /// Direction index of the repaired link (0..4).
+        dir: u8,
+    },
+    /// A hard fault took an entire router out of service.
+    RouterFailed {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Failed router id.
+        router: u32,
+    },
+    /// An intermittent router fault ended and the router returned to
+    /// service.
+    RouterRepaired {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Repaired router id.
+        router: u32,
+    },
+    /// Fault-aware routing detoured a head flit off its XY path.
+    Rerouted {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Router where the detour was taken.
+        router: u32,
+        /// Affected packet id.
+        packet: u64,
+        /// Port index XY routing would have chosen.
+        from: u8,
+        /// Port index actually taken.
+        to: u8,
+    },
+    /// A packet was dropped after exhausting the retransmission escalation
+    /// ladder or losing its route to a hard fault.
+    PacketDropped {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Router charged with the drop (source NI).
+        router: u32,
+        /// Dropped packet id.
+        packet: u64,
+        /// End-to-end transmission generation at the drop.
+        bits: u32,
+    },
+    /// The stall watchdog detected zero forward progress over a full
+    /// window and aborted the run.
+    WatchdogStall {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Always 0 (network-scoped event).
+        router: u32,
+        /// Packets in flight at the stall.
+        state: u64,
+    },
 }
 
 /// Discriminant of [`Event`], used for filtering.
@@ -141,11 +209,25 @@ pub enum EventKind {
     PowerGate = 5,
     /// [`Event::QUpdate`].
     QUpdate = 6,
+    /// [`Event::LinkFailed`].
+    LinkFailed = 7,
+    /// [`Event::LinkRepaired`].
+    LinkRepaired = 8,
+    /// [`Event::RouterFailed`].
+    RouterFailed = 9,
+    /// [`Event::RouterRepaired`].
+    RouterRepaired = 10,
+    /// [`Event::Rerouted`].
+    Rerouted = 11,
+    /// [`Event::PacketDropped`].
+    PacketDropped = 12,
+    /// [`Event::WatchdogStall`].
+    WatchdogStall = 13,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 7] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::PacketInjected,
         EventKind::HopTraversed,
         EventKind::Retransmission,
@@ -153,6 +235,13 @@ impl EventKind {
         EventKind::ModeSwitch,
         EventKind::PowerGate,
         EventKind::QUpdate,
+        EventKind::LinkFailed,
+        EventKind::LinkRepaired,
+        EventKind::RouterFailed,
+        EventKind::RouterRepaired,
+        EventKind::Rerouted,
+        EventKind::PacketDropped,
+        EventKind::WatchdogStall,
     ];
 
     /// Canonical name used in the JSONL/CSV `kind` field.
@@ -165,6 +254,13 @@ impl EventKind {
             EventKind::ModeSwitch => "ModeSwitch",
             EventKind::PowerGate => "PowerGate",
             EventKind::QUpdate => "QUpdate",
+            EventKind::LinkFailed => "LinkFailed",
+            EventKind::LinkRepaired => "LinkRepaired",
+            EventKind::RouterFailed => "RouterFailed",
+            EventKind::RouterRepaired => "RouterRepaired",
+            EventKind::Rerouted => "Rerouted",
+            EventKind::PacketDropped => "PacketDropped",
+            EventKind::WatchdogStall => "WatchdogStall",
         }
     }
 
@@ -179,6 +275,13 @@ impl EventKind {
             "modeswitch" | "mode" => EventKind::ModeSwitch,
             "powergate" | "gate" => EventKind::PowerGate,
             "qupdate" | "q" => EventKind::QUpdate,
+            "linkfailed" | "linkfail" => EventKind::LinkFailed,
+            "linkrepaired" | "linkrepair" => EventKind::LinkRepaired,
+            "routerfailed" | "routerfail" => EventKind::RouterFailed,
+            "routerrepaired" | "routerrepair" => EventKind::RouterRepaired,
+            "rerouted" | "reroute" => EventKind::Rerouted,
+            "packetdropped" | "drop" | "dropped" => EventKind::PacketDropped,
+            "watchdogstall" | "stall" | "watchdog" => EventKind::WatchdogStall,
             _ => return None,
         })
     }
@@ -195,6 +298,13 @@ impl Event {
             Event::ModeSwitch { .. } => EventKind::ModeSwitch,
             Event::PowerGate { .. } => EventKind::PowerGate,
             Event::QUpdate { .. } => EventKind::QUpdate,
+            Event::LinkFailed { .. } => EventKind::LinkFailed,
+            Event::LinkRepaired { .. } => EventKind::LinkRepaired,
+            Event::RouterFailed { .. } => EventKind::RouterFailed,
+            Event::RouterRepaired { .. } => EventKind::RouterRepaired,
+            Event::Rerouted { .. } => EventKind::Rerouted,
+            Event::PacketDropped { .. } => EventKind::PacketDropped,
+            Event::WatchdogStall { .. } => EventKind::WatchdogStall,
         }
     }
 
@@ -207,7 +317,14 @@ impl Event {
             | Event::EccCorrected { cycle, .. }
             | Event::ModeSwitch { cycle, .. }
             | Event::PowerGate { cycle, .. }
-            | Event::QUpdate { cycle, .. } => cycle,
+            | Event::QUpdate { cycle, .. }
+            | Event::LinkFailed { cycle, .. }
+            | Event::LinkRepaired { cycle, .. }
+            | Event::RouterFailed { cycle, .. }
+            | Event::RouterRepaired { cycle, .. }
+            | Event::Rerouted { cycle, .. }
+            | Event::PacketDropped { cycle, .. }
+            | Event::WatchdogStall { cycle, .. } => cycle,
         }
     }
 
@@ -220,7 +337,14 @@ impl Event {
             | Event::EccCorrected { router, .. }
             | Event::ModeSwitch { router, .. }
             | Event::PowerGate { router, .. }
-            | Event::QUpdate { router, .. } => router,
+            | Event::QUpdate { router, .. }
+            | Event::LinkFailed { router, .. }
+            | Event::LinkRepaired { router, .. }
+            | Event::RouterFailed { router, .. }
+            | Event::RouterRepaired { router, .. }
+            | Event::Rerouted { router, .. }
+            | Event::PacketDropped { router, .. }
+            | Event::WatchdogStall { router, .. } => router,
         }
     }
 
@@ -251,6 +375,19 @@ impl Event {
             }
             Event::QUpdate { state, action, reward, .. } => {
                 let _ = write!(out, ",\"state\":{state},\"action\":{action},\"reward\":{reward}");
+            }
+            Event::LinkFailed { dir, .. } | Event::LinkRepaired { dir, .. } => {
+                let _ = write!(out, ",\"dir\":{dir}");
+            }
+            Event::RouterFailed { .. } | Event::RouterRepaired { .. } => {}
+            Event::Rerouted { packet, from, to, .. } => {
+                let _ = write!(out, ",\"packet\":{packet},\"from\":{from},\"to\":{to}");
+            }
+            Event::PacketDropped { packet, bits, .. } => {
+                let _ = write!(out, ",\"packet\":{packet},\"generation\":{bits}");
+            }
+            Event::WatchdogStall { state, .. } => {
+                let _ = write!(out, ",\"in_flight\":{state}");
             }
         }
         out.push('}');
@@ -283,6 +420,21 @@ impl Event {
             }
             Event::QUpdate { state, action, reward, .. } => {
                 let _ = write!(out, ",,,,,,,{state},{action},{reward}");
+            }
+            Event::LinkFailed { dir, .. } | Event::LinkRepaired { dir, .. } => {
+                let _ = write!(out, ",,,,{dir},,,,,");
+            }
+            Event::RouterFailed { .. } | Event::RouterRepaired { .. } => {
+                out.push_str(",,,,,,,,,");
+            }
+            Event::Rerouted { packet, from, to, .. } => {
+                let _ = write!(out, ",{packet},,,,{from},{to},,,");
+            }
+            Event::PacketDropped { packet, bits, .. } => {
+                let _ = write!(out, ",{packet},,{bits},,,,,,");
+            }
+            Event::WatchdogStall { state, .. } => {
+                let _ = write!(out, ",,,,,,,{state},,");
             }
         }
     }
@@ -323,6 +475,13 @@ mod tests {
             Event::ModeSwitch { cycle: 1, router: 2, from: 0, to: 1 },
             Event::PowerGate { cycle: 1, router: 2, edge: GateEdge::On },
             Event::QUpdate { cycle: 1, router: 2, state: 7, action: 1, reward: -0.5 },
+            Event::LinkFailed { cycle: 1, router: 2, dir: 0 },
+            Event::LinkRepaired { cycle: 1, router: 2, dir: 3 },
+            Event::RouterFailed { cycle: 1, router: 2 },
+            Event::RouterRepaired { cycle: 1, router: 2 },
+            Event::Rerouted { cycle: 1, router: 2, packet: 3, from: 0, to: 2 },
+            Event::PacketDropped { cycle: 1, router: 2, packet: 3, bits: 4 },
+            Event::WatchdogStall { cycle: 1, router: 0, state: 9 },
         ];
         for e in events {
             let mut row = String::new();

@@ -35,6 +35,12 @@ pub struct TimelineSample {
     pub packets_injected: u64,
     /// Packets delivered this step.
     pub packets_delivered: u64,
+    /// Packets dropped this step (hard-fault escalation ladder exhausted).
+    pub packets_dropped: u64,
+    /// Fault-aware detour hops taken this step.
+    pub reroutes: u64,
+    /// Bit flips injected by the transient-fault injector this step.
+    pub injected_bits: u64,
 }
 
 /// The full per-step time-series of one run.
@@ -47,7 +53,7 @@ pub struct RunTimeline {
 impl RunTimeline {
     /// Names of the series each sample carries (one per sampled field,
     /// excluding the `cycle` axis).
-    pub const SERIES: [&'static str; 13] = [
+    pub const SERIES: [&'static str; 16] = [
         "avg_latency",
         "p99_latency",
         "dynamic_power_mw",
@@ -61,6 +67,9 @@ impl RunTimeline {
         "e2e_retx",
         "packets_injected",
         "packets_delivered",
+        "packets_dropped",
+        "reroutes",
+        "injected_bits",
     ];
 
     /// An empty timeline.
@@ -110,6 +119,9 @@ mod tests {
             e2e_retx: 0,
             packets_injected: 12,
             packets_delivered: 11,
+            packets_dropped: 0,
+            reroutes: 2,
+            injected_bits: 3,
         }
     }
 
