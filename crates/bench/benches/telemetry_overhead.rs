@@ -1,7 +1,13 @@
 //! Microbenchmark for the telemetry zero-overhead-when-disabled contract:
 //! the same `step_cycle` hot loop with no telemetry installed, with a
-//! tracer+profiler installed, and with a tracer whose filter rejects
-//! everything (branch taken, nothing recorded).
+//! tracer+profiler installed, with a tracer whose filter rejects
+//! everything (branch taken, nothing recorded), and with latency
+//! attribution installed.
+//!
+//! `telemetry_disabled` is the baseline for the <2% disabled-attribution
+//! overhead claim: with no attribution installed every hook is a single
+//! `Option` discriminant check, so its time must stay within noise of the
+//! pre-instrumentation simulator.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use noc_sim::{Network, SimConfig, TraceFilter, Tracer};
@@ -36,6 +42,21 @@ fn bench_step_cycle(c: &mut Criterion) {
                 let mut net = make_network();
                 net.install_tracer(Tracer::new(1 << 20, TraceFilter::default()));
                 net.install_profiler(Profiler::new());
+                net
+            },
+            |mut net| {
+                net.run_cycles(CYCLES);
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("attribution_enabled", |b| {
+        b.iter_batched(
+            || {
+                let mut net = make_network();
+                net.install_attribution();
                 net
             },
             |mut net| {

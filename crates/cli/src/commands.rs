@@ -2,9 +2,9 @@
 
 use crate::args::Args;
 use intellinoc::{
-    compare as compare_outcomes, intellinoc_rl_config, pretrain_intellinoc, run_campaign,
-    run_experiment, run_experiment_instrumented, CampaignConfig, Design, ExperimentConfig,
-    ExperimentOutcome, RewardKind, TelemetryArtifacts, TelemetryOptions,
+    compare as compare_outcomes, intellinoc_rl_config, pretrain_intellinoc, render_inspect_report,
+    run_campaign, run_experiment, run_experiment_instrumented, CampaignConfig, Design,
+    ExperimentConfig, ExperimentOutcome, RewardKind, TelemetryArtifacts, TelemetryOptions,
 };
 use noc_power::AreaModel;
 use noc_sim::{EventKind, Network, TraceFilter};
@@ -120,6 +120,8 @@ pub fn telemetry_from(args: &Args) -> Result<TelemetryOptions, String> {
         trace_capacity: args.get_or("trace-capacity", 0usize)?,
         timeline: args.get("timeline-out").is_some(),
         profile: args.has_flag("profile"),
+        attribution: args.has_flag("attribution"),
+        decisions: args.has_flag("decisions"),
     })
 }
 
@@ -184,6 +186,61 @@ pub fn run(args: &Args) -> CmdResult {
     }
     let (outcome, _, artifacts) = run_experiment_instrumented(cfg);
     print_outcome(&outcome, args.has_flag("json"))?;
+    emit_telemetry(args, &artifacts)
+}
+
+/// `intellinoc inspect` — run one design with full attribution and RL
+/// introspection enabled, then render the trace-analysis report and any
+/// requested artifact files.
+pub fn inspect(args: &Args) -> CmdResult {
+    let design = match args.get("design") {
+        Some(d) => parse_design(d)?,
+        None => Design::IntelliNoc,
+    };
+    let ppn = args.get_or("ppn", 50u64)?;
+    let workload = workload_from(args, ppn)?;
+    let mut cfg = ExperimentConfig::new(design, workload)
+        .with_seed(args.get_or("seed", 1u64)?)
+        .with_time_step(args.get_or("time-step", 1_000u64)?);
+    if let Some(r) = args.get("error-rate") {
+        cfg.error_rate_override =
+            Some(r.parse().map_err(|_| format!("invalid --error-rate: {r}"))?);
+    }
+    cfg.telemetry = telemetry_from(args)?;
+    cfg.telemetry.attribution = true;
+    cfg.telemetry.decisions = design.uses_rl();
+    let (outcome, _, artifacts) = run_experiment_instrumented(cfg);
+
+    let report = render_inspect_report(&outcome, &artifacts);
+    match args.get("report-out") {
+        Some(path) => {
+            std::fs::write(path, &report).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("inspect: report written to {path}");
+        }
+        None => print!("{report}"),
+    }
+    if let (Some(dir), Some(att)) = (args.get("heatmap-dir"), &artifacts.attribution) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        for grid in &att.grids {
+            let path = format!("{dir}/{}.csv", grid.name);
+            std::fs::write(&path, grid.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        }
+        let links = format!("{dir}/links.csv");
+        std::fs::write(&links, noc_sim::link_stats_csv(&att.links))
+            .map_err(|e| format!("writing {links}: {e}"))?;
+        eprintln!("inspect: {} heatmaps + links.csv written to {dir}", att.grids.len());
+    }
+    if let Some(log) = &artifacts.decisions {
+        if let Some(path) = args.get("decisions-out") {
+            std::fs::write(path, log.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("inspect: {} decision records written to {path}", log.len());
+        }
+        if let Some(path) = args.get("convergence-out") {
+            std::fs::write(path, log.convergence_csv())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("inspect: {} convergence samples written to {path}", log.convergence.len());
+        }
+    }
     emit_telemetry(args, &artifacts)
 }
 

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! intellinoc run      --design intellinoc --benchmark canneal [--ppn 150]
+//! intellinoc inspect  --benchmark canneal [--report-out report.md] [--heatmap-dir DIR]
 //! intellinoc compare  --benchmark canneal [--ppn 150] [--pretrain-episodes 12]
 //! intellinoc sweep    --design secded --rates 0.01,0.02,0.04 [--ppn 100]
 //! intellinoc trace capture <out.jsonl> --benchmark dedup [--ppn 50]
@@ -18,6 +19,7 @@ fn main() {
     let args = Args::from_env();
     let code = match args.command.as_deref() {
         Some("run") => commands::run(&args),
+        Some("inspect") => commands::inspect(&args),
         Some("compare") => commands::compare(&args),
         Some("sweep") => commands::sweep(&args),
         Some("trace") => commands::trace(&args),
@@ -52,6 +54,10 @@ fn usage() {
     eprintln!("           [--ppn N] [--seed S] [--error-rate R] [--time-step T] [--json]");
     eprintln!("           [--trace] [--trace-out F.jsonl|F.csv] [--trace-filter router=N,kind=K]");
     eprintln!("           [--trace-capacity N] [--timeline-out F.json] [--profile]");
+    eprintln!("  inspect  run with full attribution and render a trace-analysis report");
+    eprintln!("           --benchmark <name> | --rate R  [--design <d>] [--ppn N] [--seed S]");
+    eprintln!("           [--report-out F.md] [--heatmap-dir DIR] [--decisions-out F.jsonl]");
+    eprintln!("           [--convergence-out F.csv] [+ run's telemetry flags]");
     eprintln!("  compare  all five designs on one workload, normalized table");
     eprintln!("           --benchmark <name> [--ppn N] [--pretrain-episodes E]");
     eprintln!("  sweep    latency-vs-load curve for one design");

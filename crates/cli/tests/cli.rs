@@ -54,6 +54,55 @@ fn area_and_list_always_succeed() {
 }
 
 #[test]
+fn inspect_command_writes_every_artifact() {
+    let dir = std::env::temp_dir().join("intellinoc-cli-inspect-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let d = dir.to_str().unwrap();
+    let args = Args::parse(
+        format!(
+            "inspect --rate 0.02 --ppn 5 --seed 9 --time-step 200 --report-out {d}/report.md \
+             --heatmap-dir {d}/heat --decisions-out {d}/decisions.jsonl \
+             --convergence-out {d}/convergence.csv"
+        )
+        .split_whitespace()
+        .map(str::to_owned),
+    );
+    assert!(intellinoc_cli::commands::inspect(&args).is_ok());
+    let report = std::fs::read_to_string(dir.join("report.md")).unwrap();
+    assert!(report.contains("## Latency attribution"));
+    assert!(report.contains("## RL decisions"));
+    let links = std::fs::read_to_string(dir.join("heat/links.csv")).unwrap();
+    assert_eq!(links.lines().count(), 113, "header + 112 links");
+    for grid in ["router_utilization", "router_retx", "router_gate_residency", "router_temperature"]
+    {
+        let g = std::fs::read_to_string(dir.join(format!("heat/{grid}.csv"))).unwrap();
+        assert_eq!(g.lines().count(), 8, "{grid} is an 8x8 grid");
+    }
+    let decisions = std::fs::read_to_string(dir.join("decisions.jsonl")).unwrap();
+    assert!(decisions.lines().count() >= 64, "at least one decision per router");
+    let conv = std::fs::read_to_string(dir.join("convergence.csv")).unwrap();
+    assert!(conv.starts_with("cycle,decisions,explorations,updates"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inspect_on_static_design_skips_rl_sections() {
+    let dir = std::env::temp_dir().join("intellinoc-cli-inspect-static");
+    std::fs::create_dir_all(&dir).unwrap();
+    let d = dir.to_str().unwrap();
+    let args = Args::parse(
+        format!("inspect --design secded --rate 0.02 --ppn 3 --seed 2 --report-out {d}/r.md")
+            .split_whitespace()
+            .map(str::to_owned),
+    );
+    assert!(intellinoc_cli::commands::inspect(&args).is_ok());
+    let report = std::fs::read_to_string(dir.join("r.md")).unwrap();
+    assert!(report.contains("## Latency attribution"));
+    assert!(!report.contains("## RL decisions"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn trace_capture_then_replay() {
     let dir = std::env::temp_dir().join("intellinoc-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

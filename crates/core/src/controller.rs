@@ -10,7 +10,10 @@
 use crate::modes::OperationMode;
 use noc_ecc::EccScheme;
 use noc_rl::{holistic_reward, linear_reward, Discretizer, QAgent, QLearningConfig, QTable};
-use noc_sim::{Event, RouterDirective, RouterObservation, Tracer};
+use noc_sim::{
+    ConvergenceSample, DecisionLog, DecisionRecord, Event, RouterDirective, RouterObservation,
+    Tracer,
+};
 use serde::{Deserialize, Serialize};
 
 /// Reward shaping variant (ablation D5).
@@ -43,6 +46,8 @@ pub struct RlControl {
     /// Router-steps spent in each operation mode (Fig. 14).
     mode_histogram: [u64; 5],
     last_modes: Vec<OperationMode>,
+    /// Per-decision introspection log, populated only when enabled.
+    decision_log: Option<DecisionLog>,
 }
 
 impl RlControl {
@@ -54,7 +59,25 @@ impl RlControl {
             reward_kind,
             mode_histogram: [0; 5],
             last_modes: vec![OperationMode::BasicCrc; routers],
+            decision_log: None,
         }
+    }
+
+    /// Starts recording one [`DecisionRecord`] per agent decision plus a
+    /// per-step [`ConvergenceSample`]. Costs one traced Q-row per decision;
+    /// leave disabled for performance runs.
+    pub fn enable_decision_log(&mut self) {
+        self.decision_log = Some(DecisionLog::default());
+    }
+
+    /// The decision log recorded so far, if enabled.
+    pub fn decision_log(&self) -> Option<&DecisionLog> {
+        self.decision_log.as_ref()
+    }
+
+    /// Takes the decision log, disabling further recording.
+    pub fn take_decision_log(&mut self) -> Option<DecisionLog> {
+        self.decision_log.take()
     }
 
     /// Loads pre-trained Q-tables (paper §6.3: pre-training on
@@ -137,7 +160,10 @@ impl RlControl {
         } else {
             STALL_LATENCY
         };
-        observations
+        let mut explorations = 0u64;
+        let mut updates = 0u64;
+        let mut td_abs_sum = 0.0f64;
+        let directives: Vec<RouterDirective> = observations
             .iter()
             .zip(self.agents.iter_mut())
             .enumerate()
@@ -154,7 +180,41 @@ impl RlControl {
                     RewardKind::Linear => linear_reward(latency, power, aging),
                 };
                 let key = self.discretizer.key(&obs.features);
-                let action = agent.step(key, reward);
+                let action = if let Some(log) = self.decision_log.as_mut() {
+                    let trace = agent.step_traced(key, reward);
+                    let mut q_row = [0.0f32; 5];
+                    for (dst, src) in q_row.iter_mut().zip(trace.q_row.iter()) {
+                        *dst = *src;
+                    }
+                    // Decompose the reward into the paper's three terms so
+                    // the log shows *why* an action scored what it did.
+                    let (rl, rp, ra) = match self.reward_kind {
+                        RewardKind::LogSpace => (-latency.ln(), -power.ln(), -aging.ln()),
+                        RewardKind::Linear => (-latency / 100.0, -power / 100.0, -aging),
+                    };
+                    log.records.push(DecisionRecord {
+                        cycle,
+                        router: r as u32,
+                        state: key.0,
+                        q_row,
+                        action: trace.action as u8,
+                        explored: trace.explored,
+                        reward,
+                        reward_latency: rl,
+                        reward_power: rp,
+                        reward_aging: ra,
+                    });
+                    if trace.explored {
+                        explorations += 1;
+                    }
+                    if trace.updated {
+                        updates += 1;
+                        td_abs_sum += f64::from(trace.td_delta.abs());
+                    }
+                    trace.action
+                } else {
+                    agent.step(key, reward)
+                };
                 let mode = OperationMode::from_action(action);
                 if let Some(t) = tracer.as_deref_mut() {
                     t.record(Event::QUpdate {
@@ -178,7 +238,20 @@ impl RlControl {
                 self.last_modes[r] = mode;
                 mode.directive()
             })
-            .collect()
+            .collect();
+        let mean_entries =
+            if self.decision_log.is_some() { self.mean_table_entries() } else { 0.0 };
+        if let Some(log) = self.decision_log.as_mut() {
+            log.convergence.push(ConvergenceSample {
+                cycle,
+                decisions: directives.len() as u64,
+                explorations,
+                updates,
+                mean_abs_td: if updates > 0 { td_abs_sum / updates as f64 } else { 0.0 },
+                mean_table_entries: mean_entries,
+            });
+        }
+        directives
     }
 
     /// The mode each router is currently running.
@@ -338,6 +411,106 @@ mod tests {
         let _ = rl.decide(&observations);
         assert_eq!(rl.mode_histogram().iter().sum::<u64>(), 8);
         assert_eq!(rl.last_modes().len(), 4);
+    }
+
+    #[test]
+    fn mode_histogram_starts_empty_and_sums_to_decisions() {
+        let mut rl = RlControl::new(8, QLearningConfig::default(), 21, RewardKind::LogSpace);
+        assert_eq!(rl.mode_histogram(), [0; 5], "fresh controller has made no decisions");
+        let observations: Vec<_> = (0..8).map(|r| obs(r, [5, 1, 0, 0])).collect();
+        for _ in 0..10 {
+            rl.decide(&observations);
+        }
+        let hist = rl.mode_histogram();
+        assert_eq!(hist.iter().sum::<u64>(), 80, "one histogram count per router-decision");
+        // Every bucket maps back to a valid operation mode.
+        for (action, _count) in hist.iter().enumerate() {
+            assert!(OperationMode::from_action(action).action() == action);
+        }
+    }
+
+    #[test]
+    fn degenerate_observations_stay_finite() {
+        // Zero / negative latency, power, and aging must clamp to 1.0 and
+        // never reach the agents as NaN or -inf (satellite: reward edge
+        // cases at the controller level).
+        for kind in [RewardKind::LogSpace, RewardKind::Linear] {
+            let mut rl = RlControl::new(2, QLearningConfig::default(), 5, kind);
+            rl.enable_decision_log();
+            let mut bad = obs(0, [0; 4]);
+            bad.avg_latency = 0.0;
+            bad.avg_power_mw = -7.5;
+            bad.aging_factor = -1.0;
+            let mut worse = obs(1, [0; 4]);
+            worse.avg_latency = -100.0;
+            worse.ejected_packets = 0; // falls back to net latency
+            worse.avg_power_mw = 0.0;
+            worse.aging_factor = 0.0;
+            let d = rl.decide_traced(&[bad, worse], 1000, None);
+            assert_eq!(d.len(), 2);
+            let log = rl.take_decision_log().expect("log enabled");
+            for rec in &log.records {
+                assert!(rec.reward.is_finite(), "reward must be finite, got {}", rec.reward);
+                assert!(rec.reward_latency.is_finite());
+                assert!(rec.reward_power.is_finite());
+                assert!(rec.reward_aging.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn decision_log_reproduces_controller_choices() {
+        let mut rl = RlControl::new(4, intellinoc_rl_config(), 77, RewardKind::LogSpace);
+        rl.enable_decision_log();
+        let observations: Vec<_> = (0..4).map(|r| obs(r, [8, 2, 0, 0])).collect();
+        for step in 0..25 {
+            rl.decide_traced(&observations, step * 1000, None);
+        }
+        let hist = rl.mode_histogram();
+        let last: Vec<_> = rl.last_modes().to_vec();
+        let log = rl.take_decision_log().expect("log enabled");
+        assert_eq!(log.len(), 100, "25 steps x 4 routers");
+        assert_eq!(
+            log.action_counts(),
+            hist,
+            "decision log action counts must reproduce the mode histogram"
+        );
+        // The final logged action per router matches the controller's
+        // last-mode state.
+        for (r, &mode) in last.iter().enumerate() {
+            let rec = log
+                .records
+                .iter()
+                .rev()
+                .find(|d| d.router == r as u32)
+                .expect("every router decided");
+            assert_eq!(OperationMode::from_action(rec.action as usize), mode);
+        }
+        // Convergence samples: one per step, decisions add up, TD stats are
+        // finite once learning starts.
+        assert_eq!(log.convergence.len(), 25);
+        assert!(log.convergence.iter().all(|c| c.decisions == 4));
+        assert!(log.convergence.iter().skip(1).all(|c| c.updates == 4));
+        assert!(log.convergence.iter().all(|c| c.mean_abs_td.is_finite()));
+        assert!(log.convergence.last().unwrap().mean_table_entries >= 1.0);
+    }
+
+    #[test]
+    fn decision_logging_does_not_change_the_policy() {
+        // Same seeds, same observations: a logging controller and a plain
+        // one must pick identical mode sequences (step_traced preserves the
+        // agents' RNG stream).
+        let observations: Vec<_> = (0..4).map(|r| obs(r, [6, 1, 1, 0])).collect();
+        let mut plain = RlControl::new(4, intellinoc_rl_config(), 123, RewardKind::LogSpace);
+        let mut logged = RlControl::new(4, intellinoc_rl_config(), 123, RewardKind::LogSpace);
+        logged.enable_decision_log();
+        for step in 0..40 {
+            let a = plain.decide_traced(&observations, step, None);
+            let b = logged.decide_traced(&observations, step, None);
+            assert_eq!(a, b, "directives diverged at step {step}");
+        }
+        assert_eq!(plain.mode_histogram(), logged.mode_histogram());
+        assert_eq!(plain.last_modes(), logged.last_modes());
     }
 
     #[test]

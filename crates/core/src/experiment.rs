@@ -8,8 +8,8 @@ use crate::controller::{intellinoc_rl_config, ControlPolicy, RewardKind, RlContr
 use crate::designs::Design;
 use noc_rl::{QLearningConfig, QTable};
 use noc_sim::{
-    HardFaultScenario, Network, Profiler, RouterObservation, RunReport, RunTimeline, SimConfig,
-    TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+    AttributionArtifacts, DecisionLog, HardFaultScenario, Network, Profiler, RouterObservation,
+    RunReport, RunTimeline, SimConfig, TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
 };
 use noc_traffic::{ParsecBenchmark, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -65,12 +65,17 @@ pub struct TelemetryOptions {
     pub timeline: bool,
     /// Collect wall-clock section timers and pipeline-phase counters.
     pub profile: bool,
+    /// Attribute per-packet latency to components and accumulate spatial
+    /// (per-link / per-router) heatmaps.
+    pub attribution: bool,
+    /// Record per-decision RL introspection (IntelliNoC only).
+    pub decisions: bool,
 }
 
 impl TelemetryOptions {
     /// Whether any facility is enabled.
     pub fn any(&self) -> bool {
-        self.trace || self.timeline || self.profile
+        self.trace || self.timeline || self.profile || self.attribution || self.decisions
     }
 }
 
@@ -84,6 +89,10 @@ pub struct TelemetryArtifacts {
     pub timeline: Option<RunTimeline>,
     /// Section timers and pipeline-phase counters.
     pub profiler: Option<Profiler>,
+    /// Latency attribution and spatial heatmaps.
+    pub attribution: Option<AttributionArtifacts>,
+    /// RL per-decision records and convergence samples.
+    pub decisions: Option<DecisionLog>,
 }
 
 impl ExperimentConfig {
@@ -259,6 +268,9 @@ pub fn run_experiment_instrumented(
     if cfg.telemetry.profile {
         net.install_profiler(Profiler::new());
     }
+    if cfg.telemetry.attribution {
+        net.install_attribution();
+    }
     let profile = cfg.telemetry.profile;
     let mut timeline = if cfg.telemetry.timeline { Some(RunTimeline::new()) } else { None };
     let mut base = StepBase::default();
@@ -268,6 +280,9 @@ pub fn run_experiment_instrumented(
             let mut rl = RlControl::new(routers, cfg.rl, cfg.seed, cfg.reward);
             if let Some(tables) = cfg.pretrained {
                 rl.load_tables(tables);
+            }
+            if cfg.telemetry.decisions {
+                rl.enable_decision_log();
             }
             ControlPolicy::Rl(Box::new(rl))
         }
@@ -307,8 +322,23 @@ pub fn run_experiment_instrumented(
         ControlPolicy::Rl(rl) => (rl.mode_histogram(), rl.mean_table_entries()),
         _ => ([0; 5], 0.0),
     };
-    let artifacts =
-        TelemetryArtifacts { tracer: net.take_tracer(), timeline, profiler: net.take_profiler() };
+    // Surface tracer ring drops in the self-profile so a truncated trace
+    // is visible without reading the trace itself.
+    let trace_drops = net.tracer().map(Tracer::evicted);
+    if let (Some(dropped), Some(prof)) = (trace_drops, net.profiler_mut()) {
+        prof.set_trace_drops(dropped);
+    }
+    let decisions = match &mut policy {
+        ControlPolicy::Rl(rl) => rl.take_decision_log(),
+        _ => None,
+    };
+    let artifacts = TelemetryArtifacts {
+        tracer: net.take_tracer(),
+        timeline,
+        profiler: net.take_profiler(),
+        attribution: net.take_attribution(),
+        decisions,
+    };
     (
         ExperimentOutcome {
             design: cfg.design,

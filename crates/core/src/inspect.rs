@@ -1,0 +1,217 @@
+//! Trace-analysis report rendering for `intellinoc inspect`.
+//!
+//! Takes one instrumented run's [`ExperimentOutcome`] and
+//! [`TelemetryArtifacts`] and renders a deterministic markdown report:
+//! where each cycle of packet latency went, where in the mesh the traffic
+//! (and the heat, the gating, the re-transmissions) concentrated, and what
+//! the RL controller was thinking while it happened.
+//!
+//! Everything rendered here is simulation-deterministic: wall-clock data
+//! from the profiler is deliberately excluded so two runs with the same
+//! seed produce byte-identical reports.
+
+use crate::experiment::{ExperimentOutcome, TelemetryArtifacts};
+use crate::modes::OperationMode;
+use noc_sim::{AttributionArtifacts, DecisionLog, LatencyComponents};
+use std::fmt::Write as _;
+
+/// Number of slowest source→destination pairs listed in the report.
+const SLOWEST_PAIRS: usize = 10;
+
+/// Number of hottest links listed per spatial section.
+const HOTTEST_LINKS: usize = 5;
+
+fn component_table(out: &mut String, totals: &LatencyComponents, packets: u64) {
+    let grand = totals.total();
+    let _ = writeln!(out, "| component | cycles | per packet | share |");
+    let _ = writeln!(out, "|---|---:|---:|---:|");
+    for (name, cycles) in LatencyComponents::NAMES.iter().zip(totals.as_array()) {
+        let per_packet = if packets > 0 { cycles as f64 / packets as f64 } else { 0.0 };
+        let share = if grand > 0 { 100.0 * cycles as f64 / grand as f64 } else { 0.0 };
+        let _ = writeln!(out, "| {name} | {cycles} | {per_packet:.2} | {share:.1}% |");
+    }
+    let _ = writeln!(
+        out,
+        "| **total** | {grand} | {:.2} | 100.0% |",
+        if packets > 0 { grand as f64 / packets as f64 } else { 0.0 }
+    );
+}
+
+fn attribution_section(out: &mut String, att: &AttributionArtifacts) {
+    let b = &att.breakdown;
+    let _ = writeln!(out, "## Latency attribution\n");
+    let _ = writeln!(
+        out,
+        "{} packets attributed over {} cycles, mean end-to-end latency {:.2} cycles.\n",
+        b.packets,
+        att.cycles,
+        b.mean_latency()
+    );
+    component_table(out, &b.totals, b.packets);
+    let _ = writeln!(out, "\n### Slowest source→destination pairs\n");
+    let _ = writeln!(out, "| src | dest | packets | mean latency | dominant component |");
+    let _ = writeln!(out, "|---:|---:|---:|---:|---|");
+    for ((src, dest), pair) in b.slowest_pairs(SLOWEST_PAIRS) {
+        let dominant = LatencyComponents::NAMES
+            .iter()
+            .zip(pair.components.as_array())
+            .max_by_key(|(_, v)| *v)
+            .map(|(n, _)| *n)
+            .unwrap_or("-");
+        let _ = writeln!(
+            out,
+            "| {src} | {dest} | {} | {:.2} | {dominant} |",
+            pair.packets,
+            pair.mean_latency()
+        );
+    }
+    let _ = writeln!(out, "\n## Spatial heatmaps\n");
+    for grid in &att.grids {
+        let _ = writeln!(out, "### {}\n", grid.name);
+        let _ = writeln!(out, "```");
+        let _ = write!(out, "{}", grid.render());
+        let _ = writeln!(out, "```");
+        let (x, y, v) = grid.hottest();
+        let _ = writeln!(out, "hottest router: {} (x={x}, y={y}) at {v:.3}\n", y * grid.width + x);
+    }
+    let _ = writeln!(out, "### Busiest links\n");
+    let mut by_flits: Vec<_> = att.links.iter().collect();
+    by_flits.sort_by(|a, b| b.flits.cmp(&a.flits).then(a.a.cmp(&b.a)).then(a.b.cmp(&b.b)));
+    let _ = writeln!(out, "| link | flits | retx |");
+    let _ = writeln!(out, "|---|---:|---:|");
+    for l in by_flits.iter().take(HOTTEST_LINKS) {
+        let _ = writeln!(out, "| {}–{} | {} | {} |", l.a, l.b, l.flits, l.retx);
+    }
+    let total_retx: u64 = att.links.iter().map(|l| l.retx).sum();
+    let _ = writeln!(
+        out,
+        "\n{} links carried traffic ({} total link retx).\n",
+        att.links.iter().filter(|l| l.flits > 0).count(),
+        total_retx
+    );
+}
+
+fn decisions_section(out: &mut String, log: &DecisionLog) {
+    let _ = writeln!(out, "## RL decisions\n");
+    let counts = log.action_counts();
+    let total: u64 = counts.iter().sum();
+    let _ = writeln!(
+        out,
+        "{} decisions logged, exploration rate {:.4}.\n",
+        log.len(),
+        log.exploration_rate()
+    );
+    let _ = writeln!(out, "| mode | decisions | share |");
+    let _ = writeln!(out, "|---|---:|---:|");
+    for (action, &n) in counts.iter().enumerate() {
+        let share = if total > 0 { 100.0 * n as f64 / total as f64 } else { 0.0 };
+        let _ = writeln!(out, "| {} | {n} | {share:.1}% |", OperationMode::from_action(action));
+    }
+    if let (Some(first), Some(last)) = (log.convergence.first(), log.convergence.last()) {
+        let _ = writeln!(out, "\n### Q-learning convergence\n");
+        let _ = writeln!(
+            out,
+            "{} control steps sampled; mean |TD| {:.4} → {:.4}; mean Q-table entries \
+             {:.1} → {:.1}.",
+            log.convergence.len(),
+            first.mean_abs_td,
+            last.mean_abs_td,
+            first.mean_table_entries,
+            last.mean_table_entries
+        );
+    }
+    let _ = writeln!(out);
+}
+
+/// Renders the full inspection report for one instrumented run.
+///
+/// Sections appear only for the artifacts actually collected; a run with
+/// nothing enabled still gets the run-summary header.
+#[must_use]
+pub fn render_inspect_report(
+    outcome: &ExperimentOutcome,
+    artifacts: &TelemetryArtifacts,
+) -> String {
+    let mut out = String::new();
+    let r = &outcome.report;
+    let _ = writeln!(
+        out,
+        "# intellinoc inspect — {} on {}\n",
+        outcome.design.label(),
+        outcome.workload
+    );
+    let _ = writeln!(out, "| metric | value |");
+    let _ = writeln!(out, "|---|---:|");
+    let _ = writeln!(out, "| execution time | {} cycles |", r.exec_cycles);
+    let _ = writeln!(out, "| packets delivered | {} |", r.stats.packets_delivered);
+    let _ = writeln!(out, "| packets injected | {} |", r.stats.packets_injected);
+    let _ = writeln!(out, "| avg latency | {:.2} cycles |", r.avg_latency());
+    let _ = writeln!(out, "| p99 latency | {:.0} cycles |", r.stats.latency_percentile(0.99));
+    let _ = writeln!(out, "| hop retx events | {} |", r.stats.hop_retx_events);
+    let _ = writeln!(out, "| e2e retx packets | {} |", r.stats.e2e_retx_packets);
+    let _ = writeln!(out, "| total power | {:.2} mW |", r.power.total_mw());
+    let _ = writeln!(out, "| mean / max temp | {:.1} / {:.1} C |", r.mean_temp_c, r.max_temp_c);
+    let _ = writeln!(out);
+
+    if let Some(att) = &artifacts.attribution {
+        attribution_section(&mut out, att);
+    }
+    if let Some(log) = &artifacts.decisions {
+        decisions_section(&mut out, log);
+    }
+    if let Some(tracer) = &artifacts.tracer {
+        let _ = writeln!(out, "## Event trace\n");
+        let _ = writeln!(
+            out,
+            "{} events retained ({} recorded, {} evicted by the ring).\n",
+            tracer.len(),
+            tracer.recorded(),
+            tracer.evicted()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::Design;
+    use crate::experiment::{run_experiment_instrumented, ExperimentConfig, TelemetryOptions};
+    use noc_traffic::WorkloadSpec;
+
+    fn instrumented_outcome() -> (ExperimentOutcome, TelemetryArtifacts) {
+        let mut cfg =
+            ExperimentConfig::new(Design::IntelliNoc, WorkloadSpec::uniform(0.02, 10)).with_seed(4);
+        cfg.time_step = 500;
+        cfg.telemetry =
+            TelemetryOptions { attribution: true, decisions: true, ..TelemetryOptions::default() };
+        let (outcome, _, artifacts) = run_experiment_instrumented(cfg);
+        (outcome, artifacts)
+    }
+
+    #[test]
+    fn report_has_all_sections_and_is_deterministic() {
+        let (o1, a1) = instrumented_outcome();
+        let r1 = render_inspect_report(&o1, &a1);
+        assert!(r1.contains("# intellinoc inspect"));
+        assert!(r1.contains("## Latency attribution"));
+        assert!(r1.contains("## Spatial heatmaps"));
+        assert!(r1.contains("### router_utilization"));
+        assert!(r1.contains("## RL decisions"));
+        assert!(r1.contains("Q-learning convergence"));
+        let (o2, a2) = instrumented_outcome();
+        let r2 = render_inspect_report(&o2, &a2);
+        assert_eq!(r1, r2, "same seed must render byte-identical reports");
+    }
+
+    #[test]
+    fn report_without_artifacts_still_renders_summary() {
+        let cfg =
+            ExperimentConfig::new(Design::Secded, WorkloadSpec::uniform(0.02, 5)).with_seed(2);
+        let (outcome, _, artifacts) = run_experiment_instrumented(cfg);
+        let report = render_inspect_report(&outcome, &artifacts);
+        assert!(report.contains("packets delivered"));
+        assert!(!report.contains("## Latency attribution"));
+        assert!(!report.contains("## RL decisions"));
+    }
+}

@@ -43,6 +43,7 @@ mod controller;
 mod designs;
 mod experiment;
 mod expert;
+mod inspect;
 mod metrics;
 mod modes;
 mod sweeps;
@@ -56,6 +57,7 @@ pub use experiment::{
     TelemetryOptions, DEFAULT_TIME_STEP,
 };
 pub use expert::{expert_decide, ExpertThresholds};
+pub use inspect::render_inspect_report;
 pub use metrics::{compare, geomean, normalize, ComparisonRow, NormalizedMetrics};
 pub use modes::OperationMode;
 pub use sweeps::{

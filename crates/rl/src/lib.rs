@@ -35,7 +35,7 @@ mod mdp;
 mod qtable;
 mod state;
 
-pub use agent::{holistic_reward, linear_reward, QAgent, QLearningConfig};
+pub use agent::{holistic_reward, linear_reward, QAgent, QLearningConfig, StepTrace};
 pub use mdp::ChainMdp;
 pub use qtable::{QTable, PAPER_QTABLE_CAPACITY};
 pub use state::{Discretizer, StateKey, BINS, FEATURE_COUNT};

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attribution;
 mod channel;
 mod config;
 mod flit;
@@ -52,6 +53,8 @@ pub use noc_fault::{HardFault, HardFaultKind, HardFaultScenario, HardFaultTarget
 // Telemetry surface, re-exported so simulator users can install tracers and
 // profilers without depending on `noc-telemetry` directly.
 pub use noc_telemetry::{
-    Event, EventKind, GateEdge, PhaseCounters, Profiler, RetxScope, RunTimeline, SectionStats,
-    TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+    link_stats_csv, AttributionArtifacts, ConvergenceSample, DecisionLog, DecisionRecord, Event,
+    EventKind, GateEdge, HeatGrid, LatencyBreakdown, LatencyComponents, LinkStat, PacketLatency,
+    PairBreakdown, PhaseCounters, Profiler, RetxScope, RunTimeline, SectionStats, TimelineSample,
+    TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
 };

@@ -22,6 +22,7 @@
 //!    thermal grid steps, aging accumulates, and per-router error rates are
 //!    refreshed.
 
+use crate::attribution::Attribution;
 use crate::channel::Channel;
 use crate::config::{RouterDirective, SimConfig};
 use crate::flit::{make_packet, Cycle, Flit, NO_VC};
@@ -32,7 +33,7 @@ use crate::topology::{Mesh, Port, DIRS, PORTS};
 use noc_ecc::{DecodeStatus, EccScheme, EccSuite};
 use noc_fault::{network_mttf, AgingState, FaultInjector, HardFaultTarget, ThermalGrid};
 use noc_power::{EnergyLedger, RouterLeakageSpec, CLOCK_PERIOD_NS};
-use noc_telemetry::{Event, GateEdge, Profiler, RetxScope, Tracer};
+use noc_telemetry::{AttributionArtifacts, Event, GateEdge, Profiler, RetxScope, Tracer};
 use noc_traffic::{TrafficGen, Workload, WorkloadSpec};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -82,6 +83,9 @@ pub struct Network {
     /// Self-profiling hooks (section timers + pipeline-phase counters);
     /// `None` means profiling is disabled.
     profiler: Option<Profiler>,
+    /// Per-flit latency attribution + spatial accumulators; `None` means
+    /// attribution is disabled and every hook site is a single branch.
+    attribution: Option<Attribution>,
     /// Link/router health map + fault-aware route tables.
     health: HealthRouter,
     /// Current down/up state per scheduled hard fault (transition edges are
@@ -178,6 +182,7 @@ impl Network {
             completed: 0,
             tracer: None,
             profiler: None,
+            attribution: None,
             cfg,
         }
     }
@@ -232,6 +237,24 @@ impl Network {
     /// Removes and returns the profiler, disabling profiling.
     pub fn take_profiler(&mut self) -> Option<Profiler> {
         self.profiler.take()
+    }
+
+    /// Installs per-flit latency attribution: subsequent cycles track every
+    /// packet's lifecycle spans and the spatial (per-link / per-router)
+    /// accumulators behind the `inspect` artifacts.
+    pub fn install_attribution(&mut self) {
+        self.attribution = Some(Attribution::new(self.mesh.nodes()));
+    }
+
+    /// Whether attribution is currently installed.
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution.is_some()
+    }
+
+    /// Removes the attribution engine and folds its accumulators into
+    /// renderable artifacts, disabling further attribution.
+    pub fn take_attribution(&mut self) -> Option<AttributionArtifacts> {
+        self.attribution.take().map(|a| a.finish(&self.mesh, self.now))
     }
 
     /// Records `event` when tracing is enabled; otherwise a single branch.
@@ -596,6 +619,9 @@ impl Network {
             self.routers[src].counters.crc_ops += crate::flit::FLITS_PER_PACKET as u64;
             self.routers[src].counters.retransmitted_flits += crate::flit::FLITS_PER_PACKET as u64;
             self.nis[src].inject.extend(flits);
+            if let Some(att) = self.attribution.as_mut() {
+                att.on_e2e_retx(f.packet_id, self.now);
+            }
         } else {
             self.account_drop(&f);
         }
@@ -605,6 +631,9 @@ impl Network {
     fn account_drop(&mut self, f: &Flit) {
         if !self.dropped_ids.insert(f.packet_id) {
             return;
+        }
+        if let Some(att) = self.attribution.as_mut() {
+            att.on_drop(f.packet_id);
         }
         let src = f.src as usize;
         self.stats.packets_dropped += 1;
@@ -750,6 +779,10 @@ impl Network {
                 if self.cfg.channel_capacity > 0 {
                     router.counters.channel_stage_ops += 1;
                 }
+                let cost = self.channels[ci].as_ref().expect("channel exists").latency();
+                if let Some(att) = self.attribution.as_mut() {
+                    att.on_link_flit(ci, &flit, cost, false);
+                }
                 self.channels[ci].as_mut().expect("channel exists").push(flit, now);
             } else {
                 self.eject(r, flit);
@@ -834,6 +867,10 @@ impl Network {
                 router.step.out_flits[route.index()] += 1;
                 router.counters.link_flits += 1;
                 router.counters.channel_stage_ops += 1;
+                let cost = self.channels[out_ci].as_ref().expect("checked").latency() + 1;
+                if let Some(att) = self.attribution.as_mut() {
+                    att.on_link_flit(out_ci, &flit, cost, true);
+                }
                 // The bypass mux/latch adds one cycle on top of the link.
                 self.channels[out_ci].as_mut().expect("checked").push_delayed(flit, now, 1);
             }
@@ -938,6 +975,9 @@ impl Network {
                         now,
                         self.cfg.retx_latency as u64,
                     );
+                    if let Some(att) = self.attribution.as_mut() {
+                        att.on_hop_retx(ci, &head, self.cfg.retx_latency as u64);
+                    }
                     self.stats.hop_retx_events += 1;
                     self.stats.retransmitted_flits += 1;
                     self.trace(Event::Retransmission {
@@ -1144,6 +1184,9 @@ impl Network {
                                     now,
                                     self.cfg.retx_latency as u64,
                                 );
+                                if let Some(att) = self.attribution.as_mut() {
+                                    att.on_hop_retx(ci, &head, self.cfg.retx_latency as u64);
+                                }
                                 self.stats.hop_retx_events += 1;
                                 self.stats.retransmitted_flits += 1;
                                 self.trace(Event::Retransmission {
@@ -1220,6 +1263,11 @@ impl Network {
                 }
                 match vc {
                     Some(vc) => {
+                        if flit.is_head() {
+                            if let Some(att) = self.attribution.as_mut() {
+                                att.on_pipeline(flit.packet_id, self.cfg.pipeline_latency as u64);
+                            }
+                        }
                         let router = &mut self.routers[v];
                         router.counters.buffer_writes += 1;
                         router.input_mut(in_port).enqueue(vc, flit, route, ready);
@@ -1236,6 +1284,13 @@ impl Network {
                             router.step.out_flits[route.index()] += 1;
                             router.counters.link_flits += 1;
                             router.counters.channel_stage_ops += 1;
+                            let cost = self.channels[out_ci]
+                                .as_ref()
+                                .expect("route stays on the mesh")
+                                .latency();
+                            if let Some(att) = self.attribution.as_mut() {
+                                att.on_link_flit(out_ci, &flit, cost, false);
+                            }
                             self.channels[out_ci]
                                 .as_mut()
                                 .expect("route stays on the mesh")
@@ -1278,6 +1333,11 @@ impl Network {
                     router.step.out_flits[route.index()] += 1;
                     router.counters.link_flits += 1;
                     router.counters.channel_stage_ops += 1;
+                    let cost =
+                        self.channels[out_ci].as_ref().expect("route stays on the mesh").latency();
+                    if let Some(att) = self.attribution.as_mut() {
+                        att.on_link_flit(out_ci, &flit, cost, false);
+                    }
                     self.channels[out_ci]
                         .as_mut()
                         .expect("route stays on the mesh")
@@ -1309,6 +1369,11 @@ impl Network {
                 }
             }
             let ready = now + if flit.is_head() { self.cfg.pipeline_latency as u64 } else { 1 };
+            if flit.is_head() {
+                if let Some(att) = self.attribution.as_mut() {
+                    att.on_pipeline(flit.packet_id, self.cfg.pipeline_latency as u64);
+                }
+            }
             let router = &mut self.routers[r];
             router.counters.buffer_writes += 1;
             router.step.in_flits[in_port] += 1;
@@ -1322,6 +1387,11 @@ impl Network {
 
     fn eject(&mut self, r: usize, mut flit: Flit) {
         debug_assert_eq!(flit.dest as usize, r, "flit ejected at wrong node");
+        if flit.is_head() {
+            if let Some(att) = self.attribution.as_mut() {
+                att.on_head_eject(flit.packet_id, self.now);
+            }
+        }
         // A flit ejected straight off the bypass still carries undecoded
         // per-hop codeword corruption; it surfaces at the NI.
         flit.e2e_flips = flit.e2e_flips.saturating_add(flit.hop_flips);
@@ -1388,10 +1458,16 @@ impl Network {
             // them in front would interleave with a partially injected
             // packet's remaining flits and can deadlock the NI FIFO.
             self.nis[src].inject.extend(flits);
+            if let Some(att) = self.attribution.as_mut() {
+                att.on_e2e_retx(flit.packet_id, self.now);
+            }
             return;
         }
         // Final delivery.
         let latency = self.now + 1 - flit.injected_at;
+        if let Some(att) = self.attribution.as_mut() {
+            att.on_complete(flit.packet_id, flit.src, flit.dest, self.now, latency);
+        }
         self.stats.packets_delivered += 1;
         self.stats.latency_sum += latency;
         self.stats.latency_max = self.stats.latency_max.max(latency);
@@ -1538,6 +1614,16 @@ impl Network {
                 self.trace(Event::PowerGate { cycle: now, router: r as u32, edge });
             }
         }
+        if self.attribution.is_some() {
+            let mut att = self.attribution.take().expect("checked above");
+            att.on_gate_cycle();
+            for r in 0..self.mesh.nodes() {
+                if self.routers[r].is_gated_or_waking() || !self.health.router_up(r) {
+                    att.on_gate_sample(r);
+                }
+            }
+            self.attribution = Some(att);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1555,6 +1641,9 @@ impl Network {
                 self.next_flit_id += crate::flit::FLITS_PER_PACKET as u64;
                 self.stats.packets_injected += 1;
                 self.outstanding[node] += 1;
+                if let Some(att) = self.attribution.as_mut() {
+                    att.on_inject(packet_id, now);
+                }
                 self.trace(Event::PacketInjected {
                     cycle: now,
                     router: node as u32,
@@ -1626,6 +1715,14 @@ impl Network {
                 self.cfg.vdd,
                 self.aging[r].delay_degradation(&self.cfg.aging),
             );
+        }
+        if self.attribution.is_some() {
+            let mut att = self.attribution.take().expect("checked above");
+            for r in 0..n {
+                att.on_temp_sample(r, self.thermal.temp_c(r));
+            }
+            att.on_temp_epoch();
+            self.attribution = Some(att);
         }
     }
 

@@ -1,0 +1,174 @@
+//! Integration tests for per-flit latency attribution: exact component
+//! sums, spatial coverage, and interaction with power gating and
+//! re-transmission — all through the public `Network` API.
+
+use noc_ecc::EccScheme;
+use noc_sim::{Network, RouterDirective, SimConfig, DIRS};
+use noc_traffic::WorkloadSpec;
+
+fn quiet() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.varius.base_rate = 0.0;
+    cfg.varius.min_rate = 0.0;
+    cfg
+}
+
+/// Every attributed packet's component breakdown must sum exactly to its
+/// measured end-to-end latency, and the totals must sum over all packets.
+#[test]
+fn components_sum_to_measured_latency() {
+    let mut net = Network::new(quiet(), WorkloadSpec::uniform(0.02, 20), 7);
+    net.install_attribution();
+    assert!(net.attribution_enabled());
+    assert!(net.run_cycles(200_000), "uniform workload must drain");
+    let art = net.take_attribution().expect("attribution installed");
+    let b = &art.breakdown;
+    assert_eq!(b.packets, 64 * 20, "all delivered packets attributed");
+    assert_eq!(b.records.len(), b.packets as usize);
+    let mut total = 0u64;
+    for rec in &b.records {
+        assert_eq!(
+            rec.components.total(),
+            rec.latency,
+            "packet {} components {:?} != latency {}",
+            rec.packet,
+            rec.components,
+            rec.latency
+        );
+        total += rec.latency;
+    }
+    assert_eq!(b.latency_sum, total);
+    assert_eq!(b.totals.total(), total);
+    // Per-pair rollups cover every record.
+    let pair_packets: u64 = b.pairs.values().map(|p| p.packets).sum();
+    assert_eq!(pair_packets, b.packets);
+}
+
+/// The folded per-link stats must cover exactly the 112 physical links of
+/// an 8x8 mesh, and the heat grids one cell per router.
+#[test]
+fn spatial_outputs_cover_the_mesh() {
+    let mut net = Network::new(quiet(), WorkloadSpec::uniform(0.02, 10), 3);
+    net.install_attribution();
+    assert!(net.run_cycles(200_000));
+    let art = net.take_attribution().expect("attribution installed");
+    assert_eq!(art.links.len(), 112, "8x8 mesh has 112 physical links");
+    let mut seen = std::collections::BTreeSet::new();
+    for l in &art.links {
+        assert!(l.a < l.b, "links are canonicalized low-high");
+        assert!(seen.insert((l.a, l.b)), "duplicate link {},{}", l.a, l.b);
+    }
+    assert_eq!(art.grids.len(), 4);
+    for g in &art.grids {
+        assert_eq!(g.width, 8);
+        assert_eq!(g.height, 8);
+        assert_eq!(g.cells.len(), 64);
+    }
+    let util = art.grid("router_utilization").expect("utilization grid present");
+    assert!(util.cells.iter().sum::<f64>() > 0.0, "traffic flowed somewhere");
+    // Total flits on the utilization grid match the directed link counters.
+    let link_flits: u64 = art.links.iter().map(|l| l.flits).sum();
+    assert!(link_flits > 0);
+    assert_eq!(DIRS, 4);
+}
+
+/// Attribution stays exact under per-hop soft errors: SECDED detects
+/// multi-bit flips, NACKs the stored copy, and the stall lands in the
+/// retransmission component and the per-link retx counters.
+#[test]
+fn hop_retransmission_component_appears_under_errors() {
+    let mut cfg = SimConfig::default();
+    cfg.varius.base_rate = 5e-4;
+    cfg.varius.min_rate = 5e-4;
+    let mut net = Network::new(cfg, WorkloadSpec::uniform(0.02, 20), 11);
+    let d = RouterDirective { gate: None, scheme: EccScheme::Secded, relaxed: false };
+    net.apply_directives(&[d; 64]);
+    net.install_attribution();
+    assert!(net.run_cycles(400_000));
+    let hop_retx = net.stats().hop_retx_events;
+    let faulty = net.stats().faulty_traversals;
+    assert!(hop_retx > 0, "SECDED at 5e-4 must NACK ({faulty} faulty traversals)");
+    let art = net.take_attribution().expect("attribution installed");
+    for rec in &art.breakdown.records {
+        assert_eq!(rec.components.total(), rec.latency);
+    }
+    assert!(
+        art.breakdown.totals.retransmission > 0,
+        "{hop_retx} hop NACKs must charge the retransmission component"
+    );
+    let link_retx: u64 = art.links.iter().map(|l| l.retx).sum();
+    assert!(link_retx > 0, "per-link retx counters must see the NACKs");
+}
+
+/// End-to-end CRC failures scrap the whole delivery and re-inject at the
+/// source: the wasted generation is charged to retransmission and the
+/// packet's `e2e_retx` count records the round trips.
+#[test]
+fn e2e_retransmission_charges_the_wasted_generation() {
+    let mut cfg = SimConfig::default();
+    cfg.varius.base_rate = 5e-4;
+    cfg.varius.min_rate = 5e-4;
+    cfg.e2e_crc = true;
+    let mut net = Network::new(cfg, WorkloadSpec::uniform(0.02, 20), 13);
+    let d = RouterDirective { gate: None, scheme: EccScheme::Crc, relaxed: false };
+    net.apply_directives(&[d; 64]);
+    net.install_attribution();
+    assert!(net.run_cycles(400_000));
+    let e2e = net.stats().e2e_retx_packets;
+    assert!(e2e > 0, "e2e CRC at 5e-4 must scrap at least one delivery");
+    let art = net.take_attribution().expect("attribution installed");
+    let mut retx_packets = 0u64;
+    for rec in &art.breakdown.records {
+        assert_eq!(rec.components.total(), rec.latency);
+        if rec.e2e_retx > 0 {
+            retx_packets += 1;
+            assert!(
+                rec.components.retransmission > 0,
+                "packet {} had {} e2e retx but no retransmission charge",
+                rec.packet,
+                rec.e2e_retx
+            );
+        }
+    }
+    assert!(retx_packets > 0, "some delivered packet must carry an e2e retx");
+}
+
+/// Gate-residency accumulates when routers are force-gated, and bypass
+/// hops are charged to the bypass component.
+#[test]
+fn gate_residency_and_bypass_show_up_when_gated() {
+    let mut cfg = quiet();
+    cfg.bypass_enabled = true;
+    cfg.bypass_during_wake = true;
+    cfg.channel_capacity = 8;
+    cfg.vc_depth = 2;
+    let mut net = Network::new(cfg, WorkloadSpec::uniform(0.001, 3), 5);
+    let d = RouterDirective { gate: Some(true), scheme: EccScheme::None, relaxed: false };
+    net.apply_directives(&[d; 64]);
+    net.install_attribution();
+    assert!(net.run_cycles(400_000));
+    let art = net.take_attribution().expect("attribution installed");
+    let gate = art.grid("router_gate_residency").expect("gate grid present");
+    assert!(gate.cells.iter().sum::<f64>() > 1.0, "force-gated mesh must show gate residency");
+    for rec in &art.breakdown.records {
+        assert_eq!(rec.components.total(), rec.latency);
+    }
+    assert!(art.breakdown.totals.bypass > 0, "gated routers must produce bypass hops");
+}
+
+/// Taking the artifacts disables further accounting; reinstalling starts
+/// fresh.
+#[test]
+fn take_disables_and_reinstall_resets() {
+    let mut net = Network::new(quiet(), WorkloadSpec::uniform(0.01, 2), 1);
+    assert!(!net.attribution_enabled());
+    assert!(net.take_attribution().is_none());
+    net.install_attribution();
+    assert!(net.run_cycles(100_000));
+    let first = net.take_attribution().expect("installed");
+    assert!(first.breakdown.packets > 0);
+    assert!(!net.attribution_enabled());
+    net.install_attribution();
+    let empty = net.take_attribution().expect("reinstalled");
+    assert_eq!(empty.breakdown.packets, 0);
+}

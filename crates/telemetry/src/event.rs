@@ -464,29 +464,53 @@ mod tests {
         assert_eq!(EventKind::parse("bogus"), None);
     }
 
+    /// One representative event per kind; the exhaustive match means adding
+    /// an `EventKind` variant without extending this test fails to compile.
+    fn sample(kind: EventKind) -> Event {
+        match kind {
+            EventKind::PacketInjected => {
+                Event::PacketInjected { cycle: 1, router: 2, packet: 3, dest: 4 }
+            }
+            EventKind::HopTraversed => {
+                Event::HopTraversed { cycle: 1, router: 2, packet: 3, flit: 4 }
+            }
+            EventKind::Retransmission => {
+                Event::Retransmission { cycle: 1, router: 2, packet: 3, scope: RetxScope::Hop }
+            }
+            EventKind::EccCorrected => {
+                Event::EccCorrected { cycle: 1, router: 2, packet: 3, bits: 1 }
+            }
+            EventKind::ModeSwitch => Event::ModeSwitch { cycle: 1, router: 2, from: 0, to: 1 },
+            EventKind::PowerGate => Event::PowerGate { cycle: 1, router: 2, edge: GateEdge::On },
+            EventKind::QUpdate => {
+                Event::QUpdate { cycle: 1, router: 2, state: 7, action: 1, reward: -0.5 }
+            }
+            EventKind::LinkFailed => Event::LinkFailed { cycle: 1, router: 2, dir: 0 },
+            EventKind::LinkRepaired => Event::LinkRepaired { cycle: 1, router: 2, dir: 3 },
+            EventKind::RouterFailed => Event::RouterFailed { cycle: 1, router: 2 },
+            EventKind::RouterRepaired => Event::RouterRepaired { cycle: 1, router: 2 },
+            EventKind::Rerouted => {
+                Event::Rerouted { cycle: 1, router: 2, packet: 3, from: 0, to: 2 }
+            }
+            EventKind::PacketDropped => {
+                Event::PacketDropped { cycle: 1, router: 2, packet: 3, bits: 4 }
+            }
+            EventKind::WatchdogStall => Event::WatchdogStall { cycle: 1, router: 0, state: 9 },
+        }
+    }
+
     #[test]
-    fn csv_column_count_is_constant() {
+    fn csv_column_count_matches_header_for_every_kind() {
         let header_cols = Event::CSV_HEADER.split(',').count();
-        let events = [
-            Event::PacketInjected { cycle: 1, router: 2, packet: 3, dest: 4 },
-            Event::HopTraversed { cycle: 1, router: 2, packet: 3, flit: 4 },
-            Event::Retransmission { cycle: 1, router: 2, packet: 3, scope: RetxScope::Hop },
-            Event::EccCorrected { cycle: 1, router: 2, packet: 3, bits: 1 },
-            Event::ModeSwitch { cycle: 1, router: 2, from: 0, to: 1 },
-            Event::PowerGate { cycle: 1, router: 2, edge: GateEdge::On },
-            Event::QUpdate { cycle: 1, router: 2, state: 7, action: 1, reward: -0.5 },
-            Event::LinkFailed { cycle: 1, router: 2, dir: 0 },
-            Event::LinkRepaired { cycle: 1, router: 2, dir: 3 },
-            Event::RouterFailed { cycle: 1, router: 2 },
-            Event::RouterRepaired { cycle: 1, router: 2 },
-            Event::Rerouted { cycle: 1, router: 2, packet: 3, from: 0, to: 2 },
-            Event::PacketDropped { cycle: 1, router: 2, packet: 3, bits: 4 },
-            Event::WatchdogStall { cycle: 1, router: 0, state: 9 },
-        ];
-        for e in events {
+        for kind in EventKind::ALL {
+            let e = sample(kind);
+            assert_eq!(e.kind(), kind);
             let mut row = String::new();
             e.write_csv(&mut row);
-            assert_eq!(row.split(',').count(), header_cols, "row `{row}`");
+            assert_eq!(row.split(',').count(), header_cols, "{}: row `{row}`", kind.name());
+            let mut json = String::new();
+            e.write_jsonl(&mut json);
+            assert!(json.contains(kind.name()), "{}: json `{json}`", kind.name());
         }
     }
 }

@@ -15,15 +15,24 @@
 //!    regenerated from a single run.
 //! 3. [`Profiler`] — wall-clock section timers plus per-pipeline-phase
 //!    (RC/VA/SA/ST) counters, rendered as a self-profile table at run end.
+//!
+//! On top of the event stream sits an *analysis* layer (the `inspect`
+//! module): per-packet [`LatencyBreakdown`]s, spatial [`HeatGrid`]s, and RL
+//! [`DecisionLog`]s, all plain data with byte-deterministic renderers.
 
 #![forbid(unsafe_code)]
 
 mod event;
+mod inspect;
 mod profiler;
 mod timeline;
 mod tracer;
 
 pub use event::{Event, EventKind, GateEdge, RetxScope};
+pub use inspect::{
+    link_stats_csv, AttributionArtifacts, ConvergenceSample, DecisionLog, DecisionRecord, HeatGrid,
+    LatencyBreakdown, LatencyComponents, LinkStat, PacketLatency, PairBreakdown,
+};
 pub use profiler::{PhaseCounters, Profiler, SectionStats};
 pub use timeline::{RunTimeline, TimelineSample};
 pub use tracer::{TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY};

@@ -36,6 +36,8 @@ pub struct Profiler {
     sections: BTreeMap<&'static str, SectionStats>,
     /// Pipeline-phase event counters.
     pub phases: PhaseCounters,
+    /// Events the tracer's ring buffer evicted, when a tracer ran alongside.
+    trace_drops: Option<u64>,
 }
 
 impl Profiler {
@@ -72,6 +74,17 @@ impl Profiler {
         self.sections.get(name)
     }
 
+    /// Records how many events the tracer's ring buffer dropped, so the
+    /// self-profile table can warn about a truncated trace.
+    pub fn set_trace_drops(&mut self, dropped: u64) {
+        self.trace_drops = Some(dropped);
+    }
+
+    /// Tracer ring-buffer drops, if a tracer ran alongside this profiler.
+    pub fn trace_drops(&self) -> Option<u64> {
+        self.trace_drops
+    }
+
     /// Renders the self-profile table shown at run end.
     #[must_use]
     pub fn table(&self) -> String {
@@ -89,6 +102,9 @@ impl Profiler {
             "  pipeline phases: RC {} | VA {} | SA {} | ST {}",
             p.rc, p.va, p.sa, p.st
         );
+        if let Some(dropped) = self.trace_drops {
+            let _ = writeln!(out, "  trace ring drops: {dropped}");
+        }
         out
     }
 }
@@ -117,5 +133,9 @@ mod tests {
         let table = p.table();
         assert!(table.contains("sim.step_cycle"));
         assert!(table.contains("SA 42"));
+        assert!(!table.contains("trace ring drops"));
+        p.set_trace_drops(17);
+        assert_eq!(p.trace_drops(), Some(17));
+        assert!(p.table().contains("trace ring drops: 17"));
     }
 }

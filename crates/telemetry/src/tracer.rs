@@ -42,9 +42,10 @@ impl TraceFilter {
                 }
                 "kind" => {
                     let kind = EventKind::parse(value.trim()).ok_or_else(|| {
+                        let names: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
                         format!(
-                            "unknown event kind `{value}`; expected one of \
-                             inject, hop, retx, ecc, mode, gate, q"
+                            "unknown event kind `{value}`; expected one of: {}",
+                            names.join(", ")
                         )
                     })?;
                     *filter.kind_mask.get_or_insert(0) |= 1 << kind as u8;
@@ -214,6 +215,26 @@ mod tests {
         assert!(TraceFilter::parse("bogus=1").is_err());
         assert!(TraceFilter::parse("rawvalue").is_err());
         assert_eq!(TraceFilter::parse("").unwrap(), TraceFilter::all());
+    }
+
+    #[test]
+    fn unknown_kind_error_lists_every_valid_name() {
+        let err = TraceFilter::parse("kind=definitely-not-a-kind").unwrap_err();
+        assert!(err.contains("definitely-not-a-kind"), "err: {err}");
+        for kind in EventKind::ALL {
+            assert!(err.contains(kind.name()), "error is missing `{}`: {err}", kind.name());
+        }
+    }
+
+    #[test]
+    fn every_canonical_name_parses_back() {
+        for kind in EventKind::ALL {
+            assert!(
+                TraceFilter::parse(&format!("kind={}", kind.name())).is_ok(),
+                "canonical name `{}` must parse",
+                kind.name()
+            );
+        }
     }
 
     #[test]

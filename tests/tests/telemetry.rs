@@ -16,6 +16,7 @@ fn instrumented_cfg(seed: u64) -> ExperimentConfig {
         trace_capacity: 0, // 0 → default capacity
         timeline: true,
         profile: true,
+        ..TelemetryOptions::default()
     };
     cfg
 }
