@@ -3,19 +3,32 @@
 use crate::args::Args;
 use intellinoc::{
     compare as compare_outcomes, intellinoc_rl_config, pretrain_intellinoc, render_inspect_report,
-    run_campaign, run_experiment, run_experiment_instrumented, CampaignConfig, Design,
-    ExperimentConfig, ExperimentOutcome, RewardKind, TelemetryArtifacts, TelemetryOptions,
+    run_campaign_runner, run_experiment, run_experiment_instrumented, run_load_sweep,
+    CampaignConfig, ChaosOptions, Design, ExperimentConfig, ExperimentOutcome, RewardKind,
+    RunnerConfig, RunnerReport, TelemetryArtifacts, TelemetryOptions,
 };
 use noc_power::AreaModel;
-use noc_sim::{EventKind, Network, TraceFilter};
+use noc_sim::{runner_events_jsonl, EventKind, Network, Profiler, TraceFilter};
 use noc_traffic::{
     capture_trace, read_trace, write_trace, ParsecBenchmark, TraceReplay, WorkloadSpec,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+
+/// Terminal disposition of a subcommand, mapped to a process exit code by
+/// `main`: `Done` → 0, `Partial` → 2 (and `Err` → 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdOutcome {
+    /// Every unit of work completed cleanly.
+    Done,
+    /// The command produced a usable but partial report: some experiment
+    /// units failed, timed out, or were skipped.
+    Partial,
+}
 
 /// Result type of every subcommand.
-pub type CmdResult = Result<(), String>;
+pub type CmdResult = Result<CmdOutcome, String>;
 
 /// Parses a design name as accepted on the command line.
 ///
@@ -57,7 +70,58 @@ fn workload_from(args: &Args, ppn: u64) -> Result<WorkloadSpec, String> {
     }
 }
 
-fn print_outcome(o: &ExperimentOutcome, json: bool) -> CmdResult {
+/// Builds the execution-engine configuration and chaos switches shared by
+/// the grid commands (`campaign`, `sweep`) from the command line.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed option, or `--resume` without a
+/// `--journal` path.
+pub fn runner_config_from(args: &Args) -> Result<(RunnerConfig, ChaosOptions), String> {
+    let cfg = RunnerConfig {
+        jobs: args.get_or("jobs", 1usize)?,
+        max_retries: args.get_or("max-retries", 0u32)?,
+        retry_backoff_ms: args.get_or("retry-backoff-ms", 25u64)?,
+        deadline_cycles: match args.get("deadline-cycles") {
+            Some(v) => Some(v.parse().map_err(|_| format!("invalid --deadline-cycles: {v}"))?),
+            None => None,
+        },
+        journal: args.get("journal").map(PathBuf::from),
+        resume: args.has_flag("resume"),
+        max_units: match args.get("max-units") {
+            Some(v) => Some(v.parse().map_err(|_| format!("invalid --max-units: {v}"))?),
+            None => None,
+        },
+    };
+    if cfg.resume && cfg.journal.is_none() {
+        return Err("--resume requires --journal <path>".into());
+    }
+    let chaos = ChaosOptions {
+        panic_units: args.get("force-panic").map(str::to_owned),
+        timeout_units: args.get("force-timeout").map(str::to_owned),
+    };
+    Ok((cfg, chaos))
+}
+
+/// Emits the runner-level artifacts shared by the grid commands: the
+/// lifecycle-event JSONL (`--runner-log`), the per-run wall-clock profile
+/// (`--profile`), and the status summary line.
+fn emit_runner<T>(args: &Args, label: &str, report: &RunnerReport<T>) -> Result<(), String> {
+    if let Some(path) = args.get("runner-log") {
+        std::fs::write(path, runner_events_jsonl(&report.events))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("{label}: {} runner events written to {path}", report.events.len());
+    }
+    if args.has_flag("profile") {
+        let mut prof = Profiler::new();
+        report.fill_profiler(&mut prof);
+        print!("{}", prof.table());
+    }
+    eprintln!("{label}: {}", report.summary());
+    Ok(())
+}
+
+fn print_outcome(o: &ExperimentOutcome, json: bool) -> Result<(), String> {
     if json {
         let s = serde_json::to_string_pretty(o).map_err(|e| e.to_string())?;
         println!("{s}");
@@ -126,7 +190,7 @@ pub fn telemetry_from(args: &Args) -> Result<TelemetryOptions, String> {
 }
 
 /// Writes the collected telemetry artifacts to the configured sinks.
-fn emit_telemetry(args: &Args, artifacts: &TelemetryArtifacts) -> CmdResult {
+fn emit_telemetry(args: &Args, artifacts: &TelemetryArtifacts) -> Result<(), String> {
     if let Some(tracer) = &artifacts.tracer {
         let body = match args.get("trace-out") {
             Some(path) if path.ends_with(".csv") => Some((path, tracer.to_csv())),
@@ -182,11 +246,13 @@ pub fn run(args: &Args) -> CmdResult {
     cfg.telemetry = telemetry_from(args)?;
     if !cfg.telemetry.any() {
         let outcome = run_experiment(cfg);
-        return print_outcome(&outcome, args.has_flag("json"));
+        print_outcome(&outcome, args.has_flag("json"))?;
+        return Ok(CmdOutcome::Done);
     }
     let (outcome, _, artifacts) = run_experiment_instrumented(cfg);
     print_outcome(&outcome, args.has_flag("json"))?;
-    emit_telemetry(args, &artifacts)
+    emit_telemetry(args, &artifacts)?;
+    Ok(CmdOutcome::Done)
 }
 
 /// `intellinoc inspect` — run one design with full attribution and RL
@@ -241,7 +307,8 @@ pub fn inspect(args: &Args) -> CmdResult {
             eprintln!("inspect: {} convergence samples written to {path}", log.convergence.len());
         }
     }
-    emit_telemetry(args, &artifacts)
+    emit_telemetry(args, &artifacts)?;
+    Ok(CmdOutcome::Done)
 }
 
 /// `intellinoc compare`.
@@ -286,10 +353,11 @@ pub fn compare(args: &Args) -> CmdResult {
             m.mttf
         );
     }
-    Ok(())
+    Ok(CmdOutcome::Done)
 }
 
-/// `intellinoc sweep`.
+/// `intellinoc sweep` — one experiment unit per injection rate, executed by
+/// the `noc-runner` engine (`--jobs`, `--journal`/`--resume`, deadlines).
 pub fn sweep(args: &Args) -> CmdResult {
     let design = parse_design(args.get("design").ok_or("need --design")?)?;
     let rates: Vec<f64> = args
@@ -299,26 +367,44 @@ pub fn sweep(args: &Args) -> CmdResult {
         .map(|r| r.trim().parse().map_err(|_| format!("invalid rate: {r}")))
         .collect::<Result<_, _>>()?;
     let ppn = args.get_or("ppn", 100u64)?;
+    let (rcfg, chaos) = runner_config_from(args)?;
+    let report = run_load_sweep(design, &rates, ppn, args.get_or("seed", 1u64)?, &rcfg, &chaos)?;
     println!(
-        "{:>8} {:>10} {:>8} {:>8} {:>8} {:>10}",
-        "rate", "exec_cyc", "avg_lat", "p99_lat", "deliv%", "power_mW"
+        "{:>8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>4}",
+        "rate", "exec_cyc", "avg_lat", "p99_lat", "deliv%", "power_mW", "status", "try"
     );
-    for rate in rates {
-        let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, ppn))
-            .with_seed(args.get_or("seed", 1u64)?);
-        let o = run_experiment(cfg);
-        let r = &o.report;
-        println!(
-            "{:>8.4} {:>10} {:>8.1} {:>8.0} {:>8.1} {:>10.1}",
-            rate,
-            r.exec_cycles,
-            r.avg_latency(),
-            r.stats.latency_percentile(0.99),
-            100.0 * r.stats.delivery_ratio(),
-            r.power.total_mw()
-        );
+    for rec in &report.records {
+        match &rec.payload {
+            Some(p) => println!(
+                "{:>8.4} {:>10} {:>8.1} {:>8.0} {:>8.1} {:>10.1} {:>10} {:>4}",
+                p.rate,
+                p.exec_cycles,
+                p.avg_latency,
+                p.p99_latency,
+                100.0 * p.delivery_rate,
+                p.power_mw,
+                rec.status.label(),
+                rec.attempts
+            ),
+            None => {
+                // `sweep/<design>/r<rate>` → the rate column, empty metrics.
+                let rate = rec.key.rsplit('/').next().and_then(|s| s.strip_prefix('r'));
+                println!(
+                    "{:>8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>4}",
+                    rate.unwrap_or("?"),
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    rec.status.label(),
+                    rec.attempts
+                );
+            }
+        }
     }
-    Ok(())
+    emit_runner(args, "sweep", &report)?;
+    Ok(if report.is_clean() { CmdOutcome::Done } else { CmdOutcome::Partial })
 }
 
 /// `intellinoc trace capture|replay`.
@@ -332,7 +418,7 @@ pub fn trace(args: &Args) -> CmdResult {
             let f = File::create(path).map_err(|e| e.to_string())?;
             write_trace(BufWriter::new(f), &records).map_err(|e| e.to_string())?;
             println!("captured {} records to {path}", records.len());
-            Ok(())
+            Ok(CmdOutcome::Done)
         }
         Some("replay") => {
             let path = args.positional.get(1).ok_or("need an input path")?;
@@ -353,7 +439,7 @@ pub fn trace(args: &Args) -> CmdResult {
                 r.avg_latency(),
                 if done { "complete" } else { "INCOMPLETE" }
             );
-            Ok(())
+            Ok(CmdOutcome::Done)
         }
         _ => Err("usage: intellinoc trace <capture|replay> <path> [options]".into()),
     }
@@ -381,14 +467,15 @@ pub fn campaign(args: &Args) -> CmdResult {
         None => cfg.router_fail_at,
     };
     cfg.flapping = args.get_or("flapping", cfg.flapping)?;
+    let (rcfg, chaos) = runner_config_from(args)?;
 
-    let report = run_campaign(&cfg);
+    let report = run_campaign_runner(&cfg, &rcfg, &chaos)?;
     if args.has_flag("json") {
         let s = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         println!("{s}");
     } else {
         println!(
-            "{:<11} {:<20} {:>8} {:>8} {:>7} {:>9} {:>8} {:>8} {:>8} {:>7}",
+            "{:<11} {:<20} {:>8} {:>8} {:>7} {:>9} {:>8} {:>8} {:>8} {:>7} {:>10} {:>4}",
             "design",
             "scenario",
             "injected",
@@ -398,27 +485,55 @@ pub fn campaign(args: &Args) -> CmdResult {
             "avg_lat",
             "p99_lat",
             "reroute",
-            "stalled"
+            "stalled",
+            "status",
+            "try"
         );
-        for r in &report.rows {
-            println!(
-                "{:<11} {:<20} {:>8} {:>8} {:>7} {:>9.3} {:>8.1} {:>8.0} {:>8} {:>7}",
-                r.design,
-                r.scenario,
-                r.injected,
-                r.delivered,
-                r.dropped,
-                100.0 * r.delivery_rate,
-                r.avg_latency,
-                r.p99_latency,
-                r.reroutes,
-                if r.stalled { "YES" } else { "-" }
-            );
+        for rec in &report.runner.records {
+            match &rec.payload {
+                Some(r) => println!(
+                    "{:<11} {:<20} {:>8} {:>8} {:>7} {:>9.3} {:>8.1} {:>8.0} {:>8} {:>7} {:>10} {:>4}",
+                    r.design,
+                    r.scenario,
+                    r.injected,
+                    r.delivered,
+                    r.dropped,
+                    100.0 * r.delivery_rate,
+                    r.avg_latency,
+                    r.p99_latency,
+                    r.reroutes,
+                    if r.stalled { "YES" } else { "-" },
+                    rec.status.label(),
+                    rec.attempts
+                ),
+                None => {
+                    // `campaign/<scenario>/<design>/r<rate>` → named columns.
+                    let mut parts = rec.key.split('/');
+                    let _ = parts.next();
+                    let scenario = parts.next().unwrap_or("?");
+                    let design = parts.next().unwrap_or("?");
+                    println!(
+                        "{:<11} {:<20} {:>8} {:>8} {:>7} {:>9} {:>8} {:>8} {:>8} {:>7} {:>10} {:>4}",
+                        design,
+                        scenario,
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        "-",
+                        rec.status.label(),
+                        rec.attempts
+                    );
+                }
+            }
         }
     }
     if let Some(path) = args.get("csv-out") {
         std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("campaign: {} rows written to {path}", report.rows.len());
+        eprintln!("campaign: {} rows written to {path}", report.runner.records.len());
     }
     if let Some(threshold) = args.get("assert-delivery") {
         let threshold: f64 =
@@ -429,7 +544,8 @@ pub fn campaign(args: &Args) -> CmdResult {
         }
         eprintln!("campaign: min delivery rate {min:.4} >= {threshold:.4}");
     }
-    Ok(())
+    emit_runner(args, "campaign", &report.runner)?;
+    Ok(if report.runner.is_clean() { CmdOutcome::Done } else { CmdOutcome::Partial })
 }
 
 /// `intellinoc area`.
@@ -441,7 +557,7 @@ pub fn area() -> CmdResult {
         let total = model.router_area(&d.area_spec()).total();
         println!("{:<12} {:>12.1} {:>9.1}%", d.label(), total, 100.0 * (total / base - 1.0));
     }
-    Ok(())
+    Ok(CmdOutcome::Done)
 }
 
 /// `intellinoc list`.
@@ -454,5 +570,5 @@ pub fn list() -> CmdResult {
     for b in ParsecBenchmark::TEST_SET.into_iter().chain([ParsecBenchmark::Blackscholes]) {
         println!("  {} ({})", b.name(), b.label());
     }
-    Ok(())
+    Ok(CmdOutcome::Done)
 }

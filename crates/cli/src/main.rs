@@ -4,16 +4,21 @@
 //! intellinoc run      --design intellinoc --benchmark canneal [--ppn 150]
 //! intellinoc inspect  --benchmark canneal [--report-out report.md] [--heatmap-dir DIR]
 //! intellinoc compare  --benchmark canneal [--ppn 150] [--pretrain-episodes 12]
-//! intellinoc sweep    --design secded --rates 0.01,0.02,0.04 [--ppn 100]
+//! intellinoc sweep    --design secded --rates 0.01,0.02,0.04 [--ppn 100] [--jobs 4]
 //! intellinoc trace capture <out.jsonl> --benchmark dedup [--ppn 50]
 //! intellinoc trace replay <in.jsonl> --design cp
 //! intellinoc campaign --dead-links 0,1,2,4,8 [--no-reroute] [--csv-out camp.csv]
+//!                     [--jobs 4] [--journal camp.jsonl [--resume]]
+//!                     [--deadline-cycles N] [--max-retries N]
 //! intellinoc area
 //! intellinoc list
 //! ```
+//!
+//! Grid commands (`campaign`, `sweep`) run on the `noc-runner` execution
+//! engine. Exit codes: 0 clean, 1 usage/config error, 2 partial results.
 
 use intellinoc_cli::args::Args;
-use intellinoc_cli::commands;
+use intellinoc_cli::commands::{self, CmdOutcome};
 
 fn main() {
     let args = Args::from_env();
@@ -33,12 +38,19 @@ fn main() {
         }
         None => {
             usage();
-            Ok(())
+            Ok(CmdOutcome::Done)
         }
     };
-    if let Err(e) = code {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    // Exit codes: 0 clean, 1 usage/config error, 2 partial results (some
+    // experiment units failed, timed out, or were skipped — the printed
+    // report is still valid for the units that completed).
+    match code {
+        Ok(CmdOutcome::Done) => {}
+        Ok(CmdOutcome::Partial) => std::process::exit(2),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -61,13 +73,26 @@ fn usage() {
     eprintln!("  compare  all five designs on one workload, normalized table");
     eprintln!("           --benchmark <name> [--ppn N] [--pretrain-episodes E]");
     eprintln!("  sweep    latency-vs-load curve for one design");
-    eprintln!("           --design <d> --rates r1,r2,... [--ppn N]");
+    eprintln!("           --design <d> --rates r1,r2,... [--ppn N] [+ runner options]");
     eprintln!("  trace    capture <out> --benchmark <name> | replay <in> --design <d>");
     eprintln!("  campaign deterministic hard-fault resilience campaign, all designs");
     eprintln!("           [--rate R] [--ppn N] [--seed S] [--dead-links 0,1,2,4,8]");
     eprintln!("           [--router-fail CYCLE | --no-router-fail] [--flapping N]");
     eprintln!("           [--no-reroute] [--max-cycles N] [--json] [--csv-out F.csv]");
-    eprintln!("           [--assert-delivery T]");
+    eprintln!("           [--assert-delivery T] [+ runner options]");
     eprintln!("  area     Table 2 per-router area comparison");
     eprintln!("  list     known designs and benchmarks");
+    eprintln!();
+    eprintln!("RUNNER OPTIONS (campaign, sweep — the noc-runner execution engine):");
+    eprintln!("  --jobs N              worker threads (default 1; results identical at any N)");
+    eprintln!("  --deadline-cycles N   per-unit simulated-cycle deadline (timed-out status)");
+    eprintln!("  --max-retries N       retry retryable failures up to N times");
+    eprintln!("  --retry-backoff-ms M  linear retry backoff base (default 25)");
+    eprintln!("  --journal F.jsonl     journal terminal unit records (enables --resume)");
+    eprintln!("  --resume              reuse journaled records, run only the rest");
+    eprintln!("  --max-units N         dispatch at most N units, skip the tail");
+    eprintln!("  --runner-log F.jsonl  write runner lifecycle events");
+    eprintln!("  --force-panic M / --force-timeout M   chaos-test units whose key contains M");
+    eprintln!();
+    eprintln!("EXIT CODES: 0 clean, 1 usage/config error, 2 partial results");
 }

@@ -2,7 +2,7 @@
 
 use intellinoc::Design;
 use intellinoc_cli::args::Args;
-use intellinoc_cli::commands::{parse_benchmark, parse_design};
+use intellinoc_cli::commands::{parse_benchmark, parse_design, CmdOutcome};
 use noc_traffic::ParsecBenchmark;
 
 #[test]
@@ -44,7 +44,34 @@ fn sweep_command_executes() {
     let args = Args::parse(
         "sweep --design secded --rates 0.01,0.02 --ppn 5".split_whitespace().map(str::to_owned),
     );
-    assert!(intellinoc_cli::commands::sweep(&args).is_ok());
+    assert_eq!(intellinoc_cli::commands::sweep(&args).unwrap(), CmdOutcome::Done);
+}
+
+#[test]
+fn sweep_accepts_runner_flags_and_rejects_bare_resume() {
+    let ok = Args::parse(
+        "sweep --design secded --rates 0.01,0.02 --ppn 4 --jobs 2 --max-retries 1"
+            .split_whitespace()
+            .map(str::to_owned),
+    );
+    assert_eq!(intellinoc_cli::commands::sweep(&ok).unwrap(), CmdOutcome::Done);
+
+    let bad = Args::parse(
+        "sweep --design secded --rates 0.01 --ppn 4 --resume".split_whitespace().map(str::to_owned),
+    );
+    let err = intellinoc_cli::commands::sweep(&bad).unwrap_err();
+    assert!(err.contains("--journal"), "{err}");
+}
+
+#[test]
+fn campaign_with_chaos_panic_reports_partial_outcome() {
+    let args = Args::parse(
+        "campaign --rate 0.01 --ppn 4 --seed 3 --dead-links 0 --no-router-fail --flapping 0 \
+         --max-cycles 60000 --jobs 2 --force-panic fault-free/EB"
+            .split_whitespace()
+            .map(str::to_owned),
+    );
+    assert_eq!(intellinoc_cli::commands::campaign(&args).unwrap(), CmdOutcome::Partial);
 }
 
 #[test]

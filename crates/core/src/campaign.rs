@@ -7,9 +7,18 @@
 //! degraded latency, detour (reroute) counts, retransmission pressure, and
 //! whether the stall watchdog had to abort the run. Same seed → byte-identical
 //! report, so campaigns are directly diffable across code revisions.
+//!
+//! Execution goes through the `noc-runner` engine ([`run_campaign_runner`]):
+//! each (design, scenario) cell is one experiment unit with a stable run key
+//! and a key-derived seed, so the grid can run on `jobs` worker threads,
+//! survive panicking or hung cells, and resume from a journal — all while
+//! producing merged reports byte-identical to a serial run.
 
 use crate::designs::Design;
 use crate::experiment::{run_experiment, ExperimentConfig};
+use crate::runner::{
+    classify_timeout, run_units, ChaosOptions, RunnerConfig, RunnerReport, UnitCtx, UnitVerdict,
+};
 use noc_sim::HardFaultScenario;
 use noc_traffic::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -162,39 +171,178 @@ pub fn campaign_scenarios(cfg: &CampaignConfig) -> Vec<(String, HardFaultScenari
     out
 }
 
-/// Runs the full campaign grid: every scenario in [`campaign_scenarios`]
-/// order × every design in [`Design::ALL`] order. Fully deterministic for a
-/// given config.
-pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
-    let mut rows = Vec::new();
-    for (name, scenario) in campaign_scenarios(cfg) {
+/// The campaign's canonical unit list: one `(run key, scenario index,
+/// design)` triple per (scenario, design) cell, scenario-major. The key
+/// embeds scenario, design, and injection rate, so the per-unit seed
+/// ([`crate::derive_seed`] of the master seed and key) is stable across
+/// execution orders and grid reshapes.
+pub fn campaign_unit_keys(cfg: &CampaignConfig) -> Vec<(String, usize, Design)> {
+    let scenarios = campaign_scenarios(cfg);
+    let mut out = Vec::with_capacity(scenarios.len() * Design::ALL.len());
+    for (si, (name, _)) in scenarios.iter().enumerate() {
         for design in Design::ALL {
-            let workload = WorkloadSpec::uniform(cfg.rate, cfg.ppn);
-            let mut ecfg = ExperimentConfig::new(design, workload).with_seed(cfg.seed);
-            ecfg.max_cycles = cfg.max_cycles;
-            ecfg.hard_faults = scenario.clone();
-            ecfg.fault_aware_routing = cfg.fault_aware_routing;
-            let o = run_experiment(ecfg);
-            let s = &o.report.stats;
-            rows.push(CampaignRow {
-                design: design.label().to_owned(),
-                scenario: name.clone(),
-                injected: s.packets_injected,
-                delivered: s.packets_delivered,
-                dropped: s.packets_dropped,
-                delivery_rate: s.delivery_ratio(),
-                avg_latency: s.avg_latency(),
-                p99_latency: s.latency_percentile(0.99),
-                reroutes: s.reroutes,
-                hop_retx: s.hop_retx_events,
-                e2e_retx: s.e2e_retx_packets,
-                stalled: o.report.stall.is_some(),
-                cycles: s.cycles,
-                mttf_hours: o.report.mttf_hours,
-            });
+            out.push((format!("campaign/{name}/{}/r{}", design.label(), cfg.rate), si, design));
         }
     }
-    CampaignReport { config: cfg.clone(), rows }
+    out
+}
+
+/// Runs one campaign cell under the runner's contract: key-derived seed,
+/// deadline clamped onto the cycle budget, stall-watchdog aborts and
+/// budget exhaustion classified as timeouts.
+fn run_campaign_cell(
+    cfg: &CampaignConfig,
+    scenario_name: &str,
+    scenario: &HardFaultScenario,
+    design: Design,
+    ctx: &UnitCtx,
+) -> UnitVerdict<CampaignRow> {
+    let workload = WorkloadSpec::uniform(cfg.rate, cfg.ppn);
+    let mut ecfg =
+        ExperimentConfig { max_cycles: cfg.max_cycles, ..ExperimentConfig::new(design, workload) }
+            .with_seed(ctx.seed)
+            .with_deadline(ctx.deadline_cycles);
+    let budget = ecfg.max_cycles;
+    ecfg.hard_faults = scenario.clone();
+    ecfg.fault_aware_routing = cfg.fault_aware_routing;
+    let o = run_experiment(ecfg);
+    let s = &o.report.stats;
+    let row = CampaignRow {
+        design: design.label().to_owned(),
+        scenario: scenario_name.to_owned(),
+        injected: s.packets_injected,
+        delivered: s.packets_delivered,
+        dropped: s.packets_dropped,
+        delivery_rate: s.delivery_ratio(),
+        avg_latency: s.avg_latency(),
+        p99_latency: s.latency_percentile(0.99),
+        reroutes: s.reroutes,
+        hop_retx: s.hop_retx_events,
+        e2e_retx: s.e2e_retx_packets,
+        stalled: o.report.stall.is_some(),
+        cycles: s.cycles,
+        mttf_hours: o.report.mttf_hours,
+    };
+    match classify_timeout(&o.report, budget) {
+        Some(report) => UnitVerdict::TimedOut { partial: Some(row), report },
+        None => UnitVerdict::Ok(row),
+    }
+}
+
+/// The full campaign grid as executed by the `noc-runner` engine: the
+/// config plus one [`crate::UnitRecord`] per cell in canonical order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignRunReport {
+    /// The campaign parameters (embedded so a report is self-describing).
+    pub config: CampaignConfig,
+    /// Per-cell records (status + payload + diagnostics), scenario-major.
+    pub runner: RunnerReport<CampaignRow>,
+}
+
+impl CampaignRunReport {
+    /// Smallest delivery rate across cleanly completed cells.
+    pub fn min_delivery_rate(&self) -> f64 {
+        self.runner.ok_payloads().map(|r| r.delivery_rate).fold(1.0, f64::min)
+    }
+
+    /// Renders every cell as CSV: the classic campaign columns plus
+    /// `status` and `attempts`. Cells without a payload (failed, skipped)
+    /// render empty metric fields. Fixed float formatting keeps equal
+    /// campaigns byte-identical.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.runner.records.len() * 112 + 160);
+        out.push_str(
+            "design,scenario,injected,delivered,dropped,delivery_rate,\
+             avg_latency,p99_latency,reroutes,hop_retx,e2e_retx,stalled,cycles,mttf_hours,\
+             status,attempts\n",
+        );
+        for rec in &self.runner.records {
+            match &rec.payload {
+                Some(r) => {
+                    let _ = write!(
+                        out,
+                        "{},{},{},{},{},{:.6},{:.3},{:.1},{},{},{},{},{},{}",
+                        r.design,
+                        r.scenario,
+                        r.injected,
+                        r.delivered,
+                        r.dropped,
+                        r.delivery_rate,
+                        r.avg_latency,
+                        r.p99_latency,
+                        r.reroutes,
+                        r.hop_retx,
+                        r.e2e_retx,
+                        r.stalled,
+                        r.cycles,
+                        r.mttf_hours.map_or_else(String::new, |h| format!("{h:.3e}")),
+                    );
+                }
+                None => {
+                    // `campaign/<scenario>/<design>/r<rate>` → named columns.
+                    let mut parts = rec.key.split('/');
+                    let _ = parts.next();
+                    let scenario = parts.next().unwrap_or("?");
+                    let design = parts.next().unwrap_or("?");
+                    let _ = write!(out, "{design},{scenario},,,,,,,,,,,,");
+                }
+            }
+            let _ = writeln!(out, ",{},{}", rec.status.label(), rec.attempts);
+        }
+        out
+    }
+
+    /// Converts to the legacy [`CampaignReport`] shape: rows for every cell
+    /// that produced statistics (clean completions and timed-out cells
+    /// with partial payloads), in canonical order.
+    #[must_use]
+    pub fn to_legacy(&self) -> CampaignReport {
+        let rows = self.runner.records.iter().filter_map(|rec| rec.payload.clone()).collect();
+        CampaignReport { config: self.config.clone(), rows }
+    }
+}
+
+/// Runs the campaign grid through the `noc-runner` execution engine.
+///
+/// Every scenario in [`campaign_scenarios`] order × every design in
+/// [`Design::ALL`] order, executed per `rcfg` (worker count, deadline,
+/// retry, journal/resume) with `chaos` failure injection for robustness
+/// testing. Serial, parallel, and resumed executions produce byte-identical
+/// reports for the same campaign config.
+///
+/// # Errors
+///
+/// Propagates engine-level errors (journal mismatch or I/O); unit-level
+/// failures are contained in the report instead.
+pub fn run_campaign_runner(
+    cfg: &CampaignConfig,
+    rcfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+) -> Result<CampaignRunReport, String> {
+    let scenarios = campaign_scenarios(cfg);
+    let units = campaign_unit_keys(cfg);
+    let keys: Vec<String> = units.iter().map(|(k, _, _)| k.clone()).collect();
+    let runner = run_units(cfg.seed, &keys, rcfg, chaos, |ctx: &UnitCtx| {
+        let (_, si, design) = units
+            .iter()
+            .find(|(k, _, _)| k == ctx.key)
+            .expect("runner only executes supplied keys");
+        let (name, scenario) = &scenarios[*si];
+        run_campaign_cell(cfg, name, scenario, *design, ctx)
+    })?;
+    Ok(CampaignRunReport { config: cfg.clone(), runner })
+}
+
+/// Runs the full campaign grid serially: every scenario in
+/// [`campaign_scenarios`] order × every design in [`Design::ALL`] order.
+/// Fully deterministic for a given config. Cells the stall watchdog
+/// terminated keep their (partial) rows, exactly as before the engine
+/// existed.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_runner(cfg, &RunnerConfig::serial(), &ChaosOptions::default())
+        .expect("serial journal-less campaign cannot hit engine errors")
+        .to_legacy()
 }
 
 #[cfg(test)]
@@ -266,5 +414,42 @@ mod tests {
         assert_eq!(csv.lines().count(), 1 + report.rows.len());
         assert!(csv.starts_with("design,scenario,"));
         assert!(report.min_delivery_rate() > 0.999);
+    }
+
+    #[test]
+    fn unit_keys_embed_scenario_design_and_rate() {
+        let cfg = tiny();
+        let units = campaign_unit_keys(&cfg);
+        assert_eq!(units.len(), 2 * Design::ALL.len());
+        assert_eq!(units[0].0, "campaign/fault-free/SECDED/r0.01");
+        assert!(units.iter().all(|(k, _, _)| k.starts_with("campaign/")));
+        let mut keys: Vec<&str> = units.iter().map(|(k, _, _)| k.as_str()).collect();
+        keys.dedup();
+        assert_eq!(keys.len(), units.len(), "keys must be unique");
+    }
+
+    #[test]
+    fn runner_csv_carries_status_and_attempts_columns() {
+        let report =
+            run_campaign_runner(&tiny(), &RunnerConfig::serial(), &ChaosOptions::default())
+                .unwrap();
+        let csv = report.to_csv();
+        assert!(csv.lines().next().unwrap().ends_with("status,attempts"));
+        assert!(csv.lines().skip(1).all(|l| l.ends_with(",ok,1")));
+        assert!(report.runner.is_clean());
+        assert_eq!(report.to_legacy().rows.len(), report.runner.records.len());
+    }
+
+    #[test]
+    fn forced_panic_cell_renders_empty_metrics_with_named_columns() {
+        let chaos =
+            ChaosOptions { panic_units: Some("dead-links-1/EB".to_owned()), timeout_units: None };
+        let report = run_campaign_runner(&tiny(), &RunnerConfig::serial(), &chaos).unwrap();
+        let csv = report.to_csv();
+        let failed: Vec<&str> = csv.lines().filter(|l| l.contains(",failed,")).collect();
+        assert_eq!(failed.len(), 1);
+        assert!(failed[0].starts_with("EB,dead-links-1,"), "{}", failed[0]);
+        assert_eq!(report.runner.counts().failed, 1);
+        assert_eq!(report.runner.counts().ok, 2 * Design::ALL.len() - 1);
     }
 }

@@ -126,6 +126,16 @@ impl ExperimentConfig {
         self.time_step = time_step;
         self
     }
+
+    /// Clamps the simulated-cycle budget to at most `deadline` cycles if
+    /// one is given (the `noc-runner` engine's per-unit deadline hook: the
+    /// simulator stops at the budget and the engine classifies the run).
+    pub fn with_deadline(mut self, deadline: Option<u64>) -> Self {
+        if let Some(d) = deadline {
+            self.max_cycles = self.max_cycles.min(d);
+        }
+        self
+    }
 }
 
 /// The outcome of one experiment run.

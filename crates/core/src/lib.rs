@@ -46,9 +46,13 @@ mod expert;
 mod inspect;
 mod metrics;
 mod modes;
+mod runner;
 mod sweeps;
 
-pub use campaign::{campaign_scenarios, run_campaign, CampaignConfig, CampaignReport, CampaignRow};
+pub use campaign::{
+    campaign_scenarios, campaign_unit_keys, run_campaign, run_campaign_runner, CampaignConfig,
+    CampaignReport, CampaignRow, CampaignRunReport,
+};
 pub use controller::{cpd_decide, intellinoc_rl_config, ControlPolicy, RewardKind, RlControl};
 pub use designs::Design;
 pub use experiment::{
@@ -60,7 +64,11 @@ pub use expert::{expert_decide, ExpertThresholds};
 pub use inspect::render_inspect_report;
 pub use metrics::{compare, geomean, normalize, ComparisonRow, NormalizedMetrics};
 pub use modes::OperationMode;
+pub use runner::{
+    classify_timeout, derive_seed, run_units, ChaosOptions, RunStatus, RunnerConfig, RunnerReport,
+    StatusCounts, TimeoutReport, UnitCtx, UnitRecord, UnitVerdict, CHAOS_DEADLINE_CYCLES,
+};
 pub use sweeps::{
-    epsilon_sweep, error_rate_sweep, gamma_sweep, mesh_scaling, time_step_sweep, HyperPoint,
-    ScalePoint, SweepPoint,
+    epsilon_sweep, error_rate_sweep, gamma_sweep, load_sweep_keys, mesh_scaling, run_load_sweep,
+    time_step_sweep, HyperPoint, LoadPoint, ScalePoint, SweepPoint,
 };

@@ -1,0 +1,1076 @@
+//! `noc-runner`: the fault-tolerant parallel execution engine for
+//! experiment grids.
+//!
+//! Campaigns, sweeps, and bench grids are sets of *independent* experiment
+//! units (one simulation each). This module runs any such set on a
+//! std-thread worker pool with the same layered recovery discipline the
+//! simulated mesh applies to its own traffic:
+//!
+//! * **Panic isolation** — each unit executes under
+//!   [`std::panic::catch_unwind`]; a crashing unit becomes a structured
+//!   `failed` record carrying the panic message and never poisons its
+//!   siblings.
+//! * **Deadlines** — a per-unit cycle budget (`deadline_cycles`) is clamped
+//!   onto the simulator's existing `max_cycles` hook; a run that exhausts it
+//!   without finishing (or that the in-sim stall watchdog aborts) is
+//!   reported `timed-out` with a [`TimeoutReport`] attached.
+//! * **Bounded retry** — retryable failures (panics, explicit
+//!   [`UnitVerdict::Retryable`]) are retried up to `max_retries` times with
+//!   linear backoff before the unit is marked `failed`.
+//! * **Journaled resume** — with a journal path configured, every terminal
+//!   record is appended to a JSONL journal (flushed per line); a `resume`
+//!   run reloads finished units from the journal and only executes the rest.
+//!
+//! Determinism is preserved by construction: each unit's RNG seed derives
+//! from `(master_seed, run key)` via [`derive_seed`] — never from iteration
+//! or completion order — and [`RunnerReport::records`] is returned in the
+//! canonical unit order, so serial, parallel, and resumed executions of the
+//! same grid produce byte-identical merged reports.
+
+use noc_sim::{Profiler, RunReport, RunnerEvent, StallReport};
+use serde::{Content, Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Derives a per-unit RNG seed from the master seed and the unit's stable
+/// run key (FNV-1a over the key, finalized with a SplitMix64 round).
+///
+/// The derivation depends only on `(master, key)`, so a unit's seed is
+/// identical whether the grid runs serially, on `--jobs N` workers, or
+/// resumes from a journal — and independent of every other unit.
+#[must_use]
+pub fn derive_seed(master: u64, key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h ^ master.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Execution-engine configuration, shared by every grid kind.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads. `0` or `1` runs serially (but still with panic
+    /// isolation, deadlines, retry, and journaling).
+    pub jobs: usize,
+    /// Extra attempts after a retryable failure (0 = fail immediately).
+    pub max_retries: u32,
+    /// Linear backoff base in milliseconds: attempt `n` sleeps `n * base`
+    /// before retrying.
+    pub retry_backoff_ms: u64,
+    /// Per-unit simulated-cycle deadline, clamped onto the unit's
+    /// `max_cycles` budget. `None` leaves the unit's own budget in place.
+    pub deadline_cycles: Option<u64>,
+    /// JSONL journal of terminal unit records (enables `resume`).
+    pub journal: Option<PathBuf>,
+    /// Reuse terminal records from the journal instead of re-running them.
+    pub resume: bool,
+    /// Dispatch at most this many units this invocation; the rest are
+    /// reported `skipped` (interruption testing, sharded execution).
+    pub max_units: Option<usize>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            jobs: 1,
+            max_retries: 0,
+            retry_backoff_ms: 25,
+            deadline_cycles: None,
+            journal: None,
+            resume: false,
+            max_units: None,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// A serial, journal-less configuration (the legacy execution mode).
+    #[must_use]
+    pub fn serial() -> Self {
+        RunnerConfig::default()
+    }
+
+    /// Sets the worker count.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// Deliberate failure injection for robustness tests and CI smoke runs:
+/// units whose key contains a marker substring are forced to misbehave.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosOptions {
+    /// Units whose key contains this substring panic at dispatch.
+    pub panic_units: Option<String>,
+    /// Units whose key contains this substring run under a tiny forced
+    /// deadline (64 cycles) and therefore time out.
+    pub timeout_units: Option<String>,
+}
+
+/// Forced deadline applied to chaos-marked timeout units.
+pub const CHAOS_DEADLINE_CYCLES: u64 = 64;
+
+impl ChaosOptions {
+    /// Whether `key` is marked for a forced panic.
+    fn panics(&self, key: &str) -> bool {
+        self.panic_units.as_deref().is_some_and(|m| !m.is_empty() && key.contains(m))
+    }
+
+    /// Whether `key` is marked for a forced timeout.
+    fn times_out(&self, key: &str) -> bool {
+        self.timeout_units.as_deref().is_some_and(|m| !m.is_empty() && key.contains(m))
+    }
+}
+
+/// Everything a unit executor gets to see about its run.
+#[derive(Debug, Clone)]
+pub struct UnitCtx<'a> {
+    /// The unit's stable run key.
+    pub key: &'a str,
+    /// The derived RNG seed ([`derive_seed`] of the master seed and key).
+    pub seed: u64,
+    /// 1-based attempt number (for logging; the seed never depends on it).
+    pub attempt: u32,
+    /// Effective simulated-cycle deadline for this unit, if any.
+    pub deadline_cycles: Option<u64>,
+}
+
+/// Structured description of a run that exceeded its deadline (cycle
+/// budget) or was aborted by the in-sim stall watchdog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeoutReport {
+    /// The cycle budget the run was held to.
+    pub deadline_cycles: u64,
+    /// Cycles actually simulated before cancellation.
+    pub cycles_run: u64,
+    /// Packets still in flight when the run was cancelled.
+    pub in_flight: u64,
+    /// The stall watchdog's diagnostic, when the cancellation came from the
+    /// watchdog rather than the budget.
+    pub stall: Option<StallReport>,
+}
+
+/// Classifies a finished simulation against its effective deadline.
+///
+/// Returns a [`TimeoutReport`] when the run was aborted by the stall
+/// watchdog (its [`StallReport`] rides along) or ran out of cycle budget
+/// with packets unaccounted for; `None` for a clean completion.
+#[must_use]
+pub fn classify_timeout(report: &RunReport, deadline_cycles: u64) -> Option<TimeoutReport> {
+    let s = &report.stats;
+    let in_flight = s.packets_injected.saturating_sub(s.packets_delivered + s.packets_dropped);
+    if let Some(stall) = &report.stall {
+        return Some(TimeoutReport {
+            deadline_cycles,
+            cycles_run: s.cycles,
+            in_flight,
+            stall: Some(stall.clone()),
+        });
+    }
+    if in_flight > 0 && s.cycles >= deadline_cycles {
+        return Some(TimeoutReport {
+            deadline_cycles,
+            cycles_run: s.cycles,
+            in_flight,
+            stall: None,
+        });
+    }
+    None
+}
+
+/// What a unit executor reports back for one attempt.
+#[derive(Debug, Clone)]
+pub enum UnitVerdict<T> {
+    /// The unit completed; `T` is its merged-report payload.
+    Ok(T),
+    /// The unit exceeded its deadline (or the stall watchdog fired); an
+    /// optional partial payload rides along for the merged report.
+    TimedOut {
+        /// Partial results, when the simulation produced usable statistics.
+        partial: Option<T>,
+        /// The structured timeout diagnostic.
+        report: TimeoutReport,
+    },
+    /// A host-level failure worth retrying (transient I/O, resources).
+    Retryable(String),
+    /// A failure that retrying cannot fix; the unit is marked `failed`
+    /// immediately.
+    Fatal(String),
+}
+
+/// Terminal status of one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Completed and produced a payload.
+    Ok,
+    /// Panicked or failed after exhausting retries.
+    Failed,
+    /// Cancelled by deadline or stall watchdog.
+    TimedOut,
+    /// Never dispatched (unit cap / interrupted invocation).
+    Skipped,
+}
+
+impl RunStatus {
+    /// Fixed status label (matches the serde encoding).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Failed => "failed",
+            RunStatus::TimedOut => "timed-out",
+            RunStatus::Skipped => "skipped",
+        }
+    }
+}
+
+impl Serialize for RunStatus {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.label().to_owned())
+    }
+}
+
+impl Deserialize for RunStatus {
+    fn deserialize_content(content: &Content) -> Result<Self, serde::Error> {
+        match content.as_str() {
+            Some("ok") => Ok(RunStatus::Ok),
+            Some("failed") => Ok(RunStatus::Failed),
+            Some("timed-out") => Ok(RunStatus::TimedOut),
+            Some("skipped") => Ok(RunStatus::Skipped),
+            _ => Err(serde::Error::msg(format!("invalid run status: {content:?}"))),
+        }
+    }
+}
+
+/// The merged record of one unit: status, payload, diagnostics.
+///
+/// Serialized both into the journal and into merged reports; wall-clock
+/// fields are excluded from serialization so merged reports stay
+/// byte-deterministic.
+#[derive(Debug, Clone)]
+pub struct UnitRecord<T> {
+    /// The unit's stable run key.
+    pub key: String,
+    /// Terminal status.
+    pub status: RunStatus,
+    /// Attempts consumed (0 for skipped units).
+    pub attempts: u32,
+    /// The unit's payload (`Some` for ok and partial timed-out records).
+    pub payload: Option<T>,
+    /// Panic message or failure description, for `failed` records.
+    pub error: Option<String>,
+    /// Timeout diagnostic, for `timed-out` records.
+    pub timeout: Option<TimeoutReport>,
+    /// Wall-clock milliseconds across attempts (nondeterministic; not
+    /// serialized).
+    pub wall_ms: f64,
+    /// Whether this record was reloaded from the journal (not serialized).
+    pub from_journal: bool,
+}
+
+// Manual impls (the derive macro does not cover generic types): wall_ms and
+// from_journal are deliberately excluded so serialized records — and
+// therefore journals and merged reports — stay byte-deterministic.
+impl<T: Serialize> Serialize for UnitRecord<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(vec![
+            ("key".to_owned(), self.key.serialize_content()),
+            ("status".to_owned(), self.status.serialize_content()),
+            ("attempts".to_owned(), self.attempts.serialize_content()),
+            ("payload".to_owned(), self.payload.serialize_content()),
+            ("error".to_owned(), self.error.serialize_content()),
+            ("timeout".to_owned(), self.timeout.serialize_content()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for UnitRecord<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, serde::Error> {
+        Ok(UnitRecord {
+            key: serde::field(content, "key")?,
+            status: serde::field(content, "status")?,
+            attempts: serde::field(content, "attempts")?,
+            payload: serde::field(content, "payload")?,
+            error: serde::field(content, "error")?,
+            timeout: serde::field(content, "timeout")?,
+            wall_ms: 0.0,
+            from_journal: false,
+        })
+    }
+}
+
+/// Status tallies across a whole grid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusCounts {
+    /// Units that completed.
+    pub ok: usize,
+    /// Units that failed (panic / fatal / retries exhausted).
+    pub failed: usize,
+    /// Units cancelled by deadline or stall watchdog.
+    pub timed_out: usize,
+    /// Units never dispatched.
+    pub skipped: usize,
+}
+
+/// The merged result of one grid execution: every unit's record in
+/// canonical (input) order, plus the runner telemetry that goes with it.
+#[derive(Debug, Clone)]
+pub struct RunnerReport<T> {
+    /// One record per unit, in the order the unit keys were supplied.
+    pub records: Vec<UnitRecord<T>>,
+    /// Runner lifecycle events in completion order (nondeterministic under
+    /// parallel execution; excluded from serialized reports).
+    pub events: Vec<RunnerEvent>,
+}
+
+impl<T: Serialize> Serialize for RunnerReport<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(vec![("records".to_owned(), self.records.serialize_content())])
+    }
+}
+
+impl<T: Deserialize> Deserialize for RunnerReport<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, serde::Error> {
+        Ok(RunnerReport { records: serde::field(content, "records")?, events: Vec::new() })
+    }
+}
+
+impl<T> RunnerReport<T> {
+    /// Status tallies.
+    #[must_use]
+    pub fn counts(&self) -> StatusCounts {
+        let mut c = StatusCounts::default();
+        for r in &self.records {
+            match r.status {
+                RunStatus::Ok => c.ok += 1,
+                RunStatus::Failed => c.failed += 1,
+                RunStatus::TimedOut => c.timed_out += 1,
+                RunStatus::Skipped => c.skipped += 1,
+            }
+        }
+        c
+    }
+
+    /// Whether every unit completed cleanly.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.records.iter().all(|r| r.status == RunStatus::Ok)
+    }
+
+    /// Payloads of successfully completed units, in canonical order.
+    pub fn ok_payloads(&self) -> impl Iterator<Item = &T> {
+        self.records.iter().filter(|r| r.status == RunStatus::Ok).filter_map(|r| r.payload.as_ref())
+    }
+
+    /// One-line human summary (`12 ok, 1 failed, 1 timed-out, 0 skipped`).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let c = self.counts();
+        format!(
+            "{} ok, {} failed, {} timed-out, {} skipped",
+            c.ok, c.failed, c.timed_out, c.skipped
+        )
+    }
+
+    /// Adds per-run wall-clock rows (and an aggregate `runner.unit`
+    /// section) to a profiler. Journal-reloaded and skipped units carry no
+    /// wall time and are excluded.
+    pub fn fill_profiler(&self, prof: &mut Profiler) {
+        let mut total = 0.0;
+        let mut executed = 0u64;
+        for r in &self.records {
+            if r.from_journal || r.status == RunStatus::Skipped {
+                continue;
+            }
+            prof.add_run(r.key.clone(), r.status.label(), r.attempts, r.wall_ms);
+            total += r.wall_ms;
+            executed += 1;
+        }
+        prof.add_batch(
+            "runner.unit",
+            std::time::Duration::from_nanos((total * 1e6) as u64),
+            executed,
+        );
+    }
+}
+
+/// Journal header line: identifies the journal format and pins the grid it
+/// belongs to, so resuming against a different grid or seed is an error
+/// instead of a silently wrong merge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JournalHeader {
+    /// Format marker.
+    journal: String,
+    /// Format version.
+    version: u32,
+    /// The grid's master seed.
+    master_seed: u64,
+    /// FNV-1a fingerprint over the canonical unit-key list.
+    fingerprint: u64,
+}
+
+/// Journal format version (bumped on incompatible changes).
+const JOURNAL_VERSION: u32 = 1;
+
+fn grid_fingerprint(keys: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for key in keys {
+        for b in key.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Separator so ["ab","c"] and ["a","bc"] differ.
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Reads a journal back: header check, then one [`UnitRecord`] per line.
+/// A torn trailing line (interrupted process mid-write) is tolerated and
+/// ignored; corruption anywhere else is an error.
+fn read_journal<T: Deserialize>(
+    path: &PathBuf,
+    expected: &JournalHeader,
+) -> Result<HashMap<String, UnitRecord<T>>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("opening journal {path:?}: {e}"))?;
+    let mut lines = BufReader::new(file).lines();
+    let header_line = match lines.next() {
+        Some(l) => l.map_err(|e| format!("reading journal {path:?}: {e}"))?,
+        None => return Ok(HashMap::new()),
+    };
+    let header: JournalHeader = serde_json::from_str(&header_line)
+        .map_err(|e| format!("journal {path:?} has an unreadable header: {e}"))?;
+    if header != *expected {
+        return Err(format!(
+            "journal {path:?} belongs to a different grid \
+             (seed {} / fingerprint {:#x}, expected seed {} / fingerprint {:#x}); \
+             delete it or fix the configuration",
+            header.master_seed, header.fingerprint, expected.master_seed, expected.fingerprint
+        ));
+    }
+    let mut records = HashMap::new();
+    let mut pending: Vec<String> =
+        lines.collect::<Result<_, _>>().map_err(|e| format!("reading journal {path:?}: {e}"))?;
+    // Only the final line may be torn (append + flush per record).
+    let last_torn =
+        pending.last().is_some_and(|l| serde_json::from_str::<UnitRecord<T>>(l).is_err());
+    if last_torn {
+        pending.pop();
+    }
+    for (i, line) in pending.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut rec: UnitRecord<T> = serde_json::from_str(line)
+            .map_err(|e| format!("journal {path:?} line {}: {e}", i + 2))?;
+        rec.from_journal = true;
+        // Last write wins (a record may be re-journaled by a later run).
+        records.insert(rec.key.clone(), rec);
+    }
+    Ok(records)
+}
+
+/// Append-mode journal writer, flushed after every record so an
+/// interrupted (or Ctrl-C'd) invocation loses at most the in-flight line.
+struct JournalWriter {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    fn create(path: &PathBuf, header: &JournalHeader) -> Result<Self, String> {
+        let mut file =
+            std::fs::File::create(path).map_err(|e| format!("creating journal {path:?}: {e}"))?;
+        let line = serde_json::to_string(header).expect("header serializes");
+        writeln!(file, "{line}").map_err(|e| format!("writing journal {path:?}: {e}"))?;
+        file.flush().map_err(|e| format!("flushing journal {path:?}: {e}"))?;
+        Ok(JournalWriter { file, path: path.clone() })
+    }
+
+    fn append(path: &PathBuf) -> Result<Self, String> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("opening journal {path:?} for append: {e}"))?;
+        Ok(JournalWriter { file, path: path.clone() })
+    }
+
+    fn record<T: Serialize>(&mut self, rec: &UnitRecord<T>) -> Result<(), String> {
+        let line = serde_json::to_string(rec)
+            .map_err(|e| format!("serializing journal record {}: {e}", rec.key))?;
+        writeln!(self.file, "{line}")
+            .map_err(|e| format!("writing journal {:?}: {e}", self.path))?;
+        self.file.flush().map_err(|e| format!("flushing journal {:?}: {e}", self.path))
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+/// Shared mutable state of one grid execution (journal + event log +
+/// completed records), locked around short append operations only.
+struct Shared<T> {
+    journal: Option<JournalWriter>,
+    events: Vec<RunnerEvent>,
+    done: Vec<(usize, UnitRecord<T>)>,
+    first_error: Option<String>,
+}
+
+/// Runs one unit to a terminal record: retry loop, panic containment,
+/// chaos injection, wall-clock accounting.
+fn run_one<T, F>(
+    key: &str,
+    master_seed: u64,
+    cfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+    exec: &F,
+    shared: &Mutex<Shared<T>>,
+) -> UnitRecord<T>
+where
+    T: Serialize + Send,
+    F: Fn(&UnitCtx) -> UnitVerdict<T> + Sync,
+{
+    let deadline =
+        if chaos.times_out(key) { Some(CHAOS_DEADLINE_CYCLES) } else { cfg.deadline_cycles };
+    let seed = derive_seed(master_seed, key);
+    let t0 = Instant::now();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        {
+            let mut s = shared.lock().expect("runner state lock");
+            s.events.push(RunnerEvent::UnitStarted { key: key.to_owned(), attempt });
+        }
+        let ctx = UnitCtx { key, seed, attempt, deadline_cycles: deadline };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            assert!(!chaos.panics(key), "chaos: forced panic for unit {key}");
+            exec(&ctx)
+        }));
+        let retry_error = match outcome {
+            Ok(UnitVerdict::Ok(payload)) => {
+                return UnitRecord {
+                    key: key.to_owned(),
+                    status: RunStatus::Ok,
+                    attempts: attempt,
+                    payload: Some(payload),
+                    error: None,
+                    timeout: None,
+                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    from_journal: false,
+                };
+            }
+            Ok(UnitVerdict::TimedOut { partial, report }) => {
+                return UnitRecord {
+                    key: key.to_owned(),
+                    status: RunStatus::TimedOut,
+                    attempts: attempt,
+                    payload: partial,
+                    error: None,
+                    timeout: Some(report),
+                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    from_journal: false,
+                };
+            }
+            Ok(UnitVerdict::Fatal(msg)) => {
+                return UnitRecord {
+                    key: key.to_owned(),
+                    status: RunStatus::Failed,
+                    attempts: attempt,
+                    payload: None,
+                    error: Some(msg),
+                    timeout: None,
+                    wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    from_journal: false,
+                };
+            }
+            Ok(UnitVerdict::Retryable(msg)) => msg,
+            Err(panic) => format!("panic: {}", panic_message(panic.as_ref())),
+        };
+        if attempt > cfg.max_retries {
+            return UnitRecord {
+                key: key.to_owned(),
+                status: RunStatus::Failed,
+                attempts: attempt,
+                payload: None,
+                error: Some(retry_error),
+                timeout: None,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                from_journal: false,
+            };
+        }
+        {
+            let mut s = shared.lock().expect("runner state lock");
+            s.events.push(RunnerEvent::UnitRetried {
+                key: key.to_owned(),
+                attempt,
+                error: retry_error,
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(
+            cfg.retry_backoff_ms.saturating_mul(u64::from(attempt)),
+        ));
+    }
+}
+
+fn finish_record<T: Serialize>(idx: usize, rec: UnitRecord<T>, shared: &Mutex<Shared<T>>) {
+    let mut s = shared.lock().expect("runner state lock");
+    s.events.push(RunnerEvent::UnitFinished {
+        key: rec.key.clone(),
+        status: rec.status.label(),
+        attempts: rec.attempts,
+    });
+    if let Some(journal) = s.journal.as_mut() {
+        if let Err(e) = journal.record(&rec) {
+            // Journal failures degrade the run (resume is lost) but never
+            // abort it; the first one is surfaced at the end.
+            if s.first_error.is_none() {
+                s.first_error = Some(e);
+            }
+        }
+    }
+    s.done.push((idx, rec));
+}
+
+/// Executes the grid described by `keys` through `exec` under the engine's
+/// recovery discipline, and returns every unit's record in `keys` order.
+///
+/// `exec` is called once per attempt with the unit's [`UnitCtx`] (stable
+/// key, derived seed, effective deadline). It must be `Sync`: with
+/// `cfg.jobs > 1` it runs concurrently on scoped worker threads.
+///
+/// # Errors
+///
+/// Returns an error for duplicate unit keys, an unreadable or mismatched
+/// journal, or a journal write failure (reported after the grid finishes;
+/// unit-level failures never abort the grid).
+pub fn run_units<T, F>(
+    master_seed: u64,
+    keys: &[String],
+    cfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+    exec: F,
+) -> Result<RunnerReport<T>, String>
+where
+    T: Serialize + Deserialize + Send,
+    F: Fn(&UnitCtx) -> UnitVerdict<T> + Sync,
+{
+    {
+        let mut seen = std::collections::HashSet::new();
+        for key in keys {
+            if !seen.insert(key.as_str()) {
+                return Err(format!("duplicate run key: {key}"));
+            }
+        }
+    }
+    let header = JournalHeader {
+        journal: "intellinoc-runner".to_owned(),
+        version: JOURNAL_VERSION,
+        master_seed,
+        fingerprint: grid_fingerprint(keys),
+    };
+
+    // Resume: reload terminal records for keys we already ran.
+    let mut resumed: HashMap<String, UnitRecord<T>> = HashMap::new();
+    if cfg.resume {
+        let path = cfg
+            .journal
+            .as_ref()
+            .ok_or("resume requires a journal path (set RunnerConfig::journal)")?;
+        if path.exists() {
+            resumed = read_journal(path, &header)?;
+        }
+    }
+
+    let journal = match &cfg.journal {
+        Some(path) if cfg.resume && path.exists() => Some(JournalWriter::append(path)?),
+        Some(path) => Some(JournalWriter::create(path, &header)?),
+        None => None,
+    };
+
+    let mut events: Vec<RunnerEvent> = Vec::new();
+    for key in keys {
+        if let Some(rec) = resumed.get(key) {
+            events.push(RunnerEvent::UnitResumed { key: key.clone(), status: rec.status.label() });
+        }
+    }
+
+    // Pending units in canonical order, truncated by the unit cap.
+    let pending: Vec<usize> =
+        (0..keys.len()).filter(|&i| !resumed.contains_key(&keys[i])).collect();
+    let cap = cfg.max_units.unwrap_or(usize::MAX);
+    let (dispatch, capped) = pending.split_at(pending.len().min(cap));
+    for &i in capped {
+        events.push(RunnerEvent::UnitSkipped {
+            key: keys[i].clone(),
+            reason: format!("unit cap {cap} reached"),
+        });
+    }
+
+    let shared = Mutex::new(Shared {
+        journal,
+        events,
+        done: Vec::with_capacity(dispatch.len()),
+        first_error: None,
+    });
+
+    let workers = cfg.jobs.max(1).min(dispatch.len().max(1));
+    if workers <= 1 {
+        for &i in dispatch {
+            let rec = run_one(&keys[i], master_seed, cfg, chaos, &exec, &shared);
+            finish_record(i, rec, &shared);
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let exec_ref = &exec;
+        let shared_ref = &shared;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = dispatch.get(slot) else { break };
+                    let rec = run_one(&keys[i], master_seed, cfg, chaos, exec_ref, shared_ref);
+                    finish_record(i, rec, shared_ref);
+                });
+            }
+        });
+    }
+
+    let mut state = shared.into_inner().expect("runner state lock");
+    if let Some(e) = state.first_error.take() {
+        return Err(e);
+    }
+
+    // Merge: executed + resumed + capped-skip records, in canonical order.
+    let mut by_idx: HashMap<usize, UnitRecord<T>> = state.done.drain(..).collect();
+    let mut records = Vec::with_capacity(keys.len());
+    for (i, key) in keys.iter().enumerate() {
+        if let Some(rec) = by_idx.remove(&i) {
+            records.push(rec);
+        } else if let Some(rec) = resumed.remove(key) {
+            records.push(rec);
+        } else {
+            records.push(UnitRecord {
+                key: key.clone(),
+                status: RunStatus::Skipped,
+                attempts: 0,
+                payload: None,
+                error: Some("not dispatched (unit cap)".to_owned()),
+                timeout: None,
+                wall_ms: 0.0,
+                from_journal: false,
+            });
+        }
+    }
+    Ok(RunnerReport { records, events: state.events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::NetworkStats;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("unit/{i}")).collect()
+    }
+
+    fn ok_exec(ctx: &UnitCtx) -> UnitVerdict<u64> {
+        UnitVerdict::Ok(ctx.seed)
+    }
+
+    #[test]
+    fn seeds_are_stable_and_key_dependent() {
+        let a = derive_seed(7, "campaign/dead-links-2/IntelliNoC/r0.02");
+        let b = derive_seed(7, "campaign/dead-links-2/IntelliNoC/r0.02");
+        let c = derive_seed(7, "campaign/dead-links-2/Secded/r0.02");
+        let d = derive_seed(8, "campaign/dead-links-2/IntelliNoC/r0.02");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let keys = vec!["a".to_owned(), "a".to_owned()];
+        let err = run_units::<u64, _>(
+            1,
+            &keys,
+            &RunnerConfig::serial(),
+            &ChaosOptions::default(),
+            ok_exec,
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn serial_and_parallel_reports_are_identical() {
+        let keys = keys(12);
+        let serial =
+            run_units(9, &keys, &RunnerConfig::serial(), &ChaosOptions::default(), ok_exec)
+                .unwrap();
+        let parallel = run_units(
+            9,
+            &keys,
+            &RunnerConfig::serial().with_jobs(4),
+            &ChaosOptions::default(),
+            ok_exec,
+        )
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+        assert!(serial.is_clean());
+        assert_eq!(serial.counts().ok, 12);
+    }
+
+    #[test]
+    fn panics_are_contained_and_siblings_complete() {
+        let keys = keys(6);
+        let exec = |ctx: &UnitCtx| -> UnitVerdict<u64> {
+            assert!(!ctx.key.ends_with("/3"), "unit 3 explodes");
+            UnitVerdict::Ok(ctx.seed)
+        };
+        for jobs in [1, 4] {
+            let report = run_units(
+                1,
+                &keys,
+                &RunnerConfig::serial().with_jobs(jobs),
+                &ChaosOptions::default(),
+                exec,
+            )
+            .unwrap();
+            let c = report.counts();
+            assert_eq!((c.ok, c.failed), (5, 1), "jobs={jobs}");
+            let failed = &report.records[3];
+            assert_eq!(failed.status, RunStatus::Failed);
+            assert!(failed.error.as_deref().unwrap().contains("unit 3 explodes"));
+            assert!(failed.payload.is_none());
+        }
+    }
+
+    #[test]
+    fn chaos_panic_marker_forces_failure() {
+        let keys = keys(3);
+        let chaos = ChaosOptions { panic_units: Some("unit/1".into()), timeout_units: None };
+        let report = run_units(1, &keys, &RunnerConfig::serial(), &chaos, ok_exec).unwrap();
+        assert_eq!(report.records[1].status, RunStatus::Failed);
+        assert!(report.records[1].error.as_deref().unwrap().contains("forced panic"));
+        assert_eq!(report.counts().ok, 2);
+    }
+
+    #[test]
+    fn retryable_failures_retry_with_bounded_attempts() {
+        let keys = keys(1);
+        let calls = AtomicUsize::new(0);
+        let exec = |ctx: &UnitCtx| -> UnitVerdict<u64> {
+            let n = calls.fetch_add(1, Ordering::SeqCst);
+            if n < 2 {
+                UnitVerdict::Retryable(format!("flaky attempt {}", ctx.attempt))
+            } else {
+                UnitVerdict::Ok(ctx.seed)
+            }
+        };
+        let cfg = RunnerConfig { max_retries: 3, retry_backoff_ms: 0, ..RunnerConfig::serial() };
+        let report = run_units(1, &keys, &cfg, &ChaosOptions::default(), exec).unwrap();
+        assert_eq!(report.records[0].status, RunStatus::Ok);
+        assert_eq!(report.records[0].attempts, 3);
+        let retries =
+            report.events.iter().filter(|e| matches!(e, RunnerEvent::UnitRetried { .. })).count();
+        assert_eq!(retries, 2);
+
+        // Exhausting the budget marks the unit failed with the last error.
+        let cfg = RunnerConfig { max_retries: 1, retry_backoff_ms: 0, ..RunnerConfig::serial() };
+        let always =
+            |_: &UnitCtx| -> UnitVerdict<u64> { UnitVerdict::Retryable("still down".into()) };
+        let report = run_units(1, &keys, &cfg, &ChaosOptions::default(), always).unwrap();
+        assert_eq!(report.records[0].status, RunStatus::Failed);
+        assert_eq!(report.records[0].attempts, 2);
+        assert_eq!(report.records[0].error.as_deref(), Some("still down"));
+    }
+
+    #[test]
+    fn fatal_failures_do_not_retry() {
+        let keys = keys(1);
+        let cfg = RunnerConfig { max_retries: 5, retry_backoff_ms: 0, ..RunnerConfig::serial() };
+        let exec = |_: &UnitCtx| -> UnitVerdict<u64> { UnitVerdict::Fatal("bad config".into()) };
+        let report = run_units(1, &keys, &cfg, &ChaosOptions::default(), exec).unwrap();
+        assert_eq!(report.records[0].status, RunStatus::Failed);
+        assert_eq!(report.records[0].attempts, 1);
+    }
+
+    #[test]
+    fn unit_cap_skips_the_tail_in_order() {
+        let keys = keys(5);
+        let cfg = RunnerConfig { max_units: Some(2), ..RunnerConfig::serial() };
+        let report = run_units(1, &keys, &cfg, &ChaosOptions::default(), ok_exec).unwrap();
+        let statuses: Vec<RunStatus> = report.records.iter().map(|r| r.status).collect();
+        assert_eq!(
+            statuses,
+            [
+                RunStatus::Ok,
+                RunStatus::Ok,
+                RunStatus::Skipped,
+                RunStatus::Skipped,
+                RunStatus::Skipped
+            ]
+        );
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn journal_roundtrip_and_resume_merge_identically() {
+        let dir = std::env::temp_dir().join("intellinoc-runner-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("grid.jsonl");
+        let _ = std::fs::remove_file(&journal);
+        let keys = keys(6);
+
+        // Uninterrupted reference run.
+        let clean = run_units(5, &keys, &RunnerConfig::serial(), &ChaosOptions::default(), ok_exec)
+            .unwrap();
+
+        // Interrupted run: journal on, capped at 3 units.
+        let cfg = RunnerConfig {
+            journal: Some(journal.clone()),
+            max_units: Some(3),
+            ..RunnerConfig::serial()
+        };
+        let partial = run_units(5, &keys, &cfg, &ChaosOptions::default(), ok_exec).unwrap();
+        assert_eq!(partial.counts().ok, 3);
+        assert_eq!(partial.counts().skipped, 3);
+
+        // Resume: remaining units run, journaled units are reused.
+        let cfg =
+            RunnerConfig { journal: Some(journal.clone()), resume: true, ..RunnerConfig::serial() };
+        let resumed = run_units(5, &keys, &cfg, &ChaosOptions::default(), ok_exec).unwrap();
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            serde_json::to_string(&clean).unwrap(),
+            "resumed merge must be byte-identical to the uninterrupted run"
+        );
+        let reused = resumed.records.iter().filter(|r| r.from_journal).count();
+        assert_eq!(reused, 3);
+        let resumes =
+            resumed.events.iter().filter(|e| matches!(e, RunnerEvent::UnitResumed { .. })).count();
+        assert_eq!(resumes, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_journal() {
+        let dir = std::env::temp_dir().join("intellinoc-runner-mismatch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("grid.jsonl");
+        let keys_a = keys(3);
+        let cfg = RunnerConfig { journal: Some(journal.clone()), ..RunnerConfig::serial() };
+        run_units(5, &keys_a, &cfg, &ChaosOptions::default(), ok_exec).unwrap();
+
+        // Different seed → different header → hard error.
+        let cfg =
+            RunnerConfig { journal: Some(journal.clone()), resume: true, ..RunnerConfig::serial() };
+        let err = run_units(6, &keys_a, &cfg, &ChaosOptions::default(), ok_exec).unwrap_err();
+        assert!(err.contains("different grid"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_journal_line_is_tolerated() {
+        let dir = std::env::temp_dir().join("intellinoc-runner-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("grid.jsonl");
+        let keys = keys(4);
+        let cfg = RunnerConfig {
+            journal: Some(journal.clone()),
+            max_units: Some(2),
+            ..RunnerConfig::serial()
+        };
+        run_units(5, &keys, &cfg, &ChaosOptions::default(), ok_exec).unwrap();
+        // Simulate a kill mid-append.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&journal).unwrap();
+        write!(f, "{{\"key\":\"unit/2\",\"status\":\"o").unwrap();
+        drop(f);
+
+        let cfg =
+            RunnerConfig { journal: Some(journal.clone()), resume: true, ..RunnerConfig::serial() };
+        let report = run_units(5, &keys, &cfg, &ChaosOptions::default(), ok_exec).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.records.iter().filter(|r| r.from_journal).count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn classify_timeout_covers_stall_budget_and_clean() {
+        let mut report = RunReport {
+            exec_cycles: 10,
+            stats: NetworkStats::default(),
+            power: noc_power::PowerReport { static_mw: 0.0, dynamic_mw: 0.0, exec_cycles: 10 },
+            mttf_hours: None,
+            mean_temp_c: 0.0,
+            max_temp_c: 0.0,
+            mean_aging_factor: 1.0,
+            injected_bit_flips: 0,
+            faulty_flit_traversals: 0,
+            stall: None,
+        };
+        report.stats.packets_injected = 100;
+        report.stats.packets_delivered = 100;
+        report.stats.cycles = 5_000;
+        assert!(classify_timeout(&report, 4_000).is_none(), "complete runs never time out");
+
+        // Budget exhaustion with traffic still in flight.
+        report.stats.packets_delivered = 60;
+        report.stats.packets_dropped = 10;
+        let t = classify_timeout(&report, 5_000).expect("budget timeout");
+        assert_eq!(t.in_flight, 30);
+        assert!(t.stall.is_none());
+        assert_eq!(t.deadline_cycles, 5_000);
+
+        // Stall watchdog abort: the StallReport rides along even below the
+        // deadline.
+        report.stats.cycles = 1_000;
+        report.stall = Some(StallReport {
+            cycle: 900,
+            window: 500,
+            in_flight: 30,
+            blocked: vec!["flit 7 at router 3".into()],
+            dump: "vc dump".into(),
+        });
+        let t = classify_timeout(&report, 5_000).expect("stall timeout");
+        let stall = t.stall.expect("stall report attached");
+        assert_eq!(stall.cycle, 900);
+        assert_eq!(stall.blocked.len(), 1);
+    }
+
+    #[test]
+    fn profiler_rows_cover_executed_units_only() {
+        let keys = keys(3);
+        let cfg = RunnerConfig { max_units: Some(2), ..RunnerConfig::serial() };
+        let report = run_units(1, &keys, &cfg, &ChaosOptions::default(), ok_exec).unwrap();
+        let mut prof = Profiler::new();
+        report.fill_profiler(&mut prof);
+        assert_eq!(prof.runs().len(), 2, "skipped units carry no wall-clock row");
+        assert!(prof.section("runner.unit").is_some());
+        assert!(prof.table().contains("per-run wall clock"));
+    }
+}

@@ -5,6 +5,9 @@
 use crate::controller::{intellinoc_rl_config, RewardKind};
 use crate::designs::Design;
 use crate::experiment::{pretrain_intellinoc, run_experiment, ExperimentConfig};
+use crate::runner::{
+    classify_timeout, run_units, ChaosOptions, RunnerConfig, RunnerReport, UnitCtx, UnitVerdict,
+};
 use noc_rl::QLearningConfig;
 use noc_traffic::{ParsecBenchmark, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -141,6 +144,71 @@ pub fn epsilon_sweep(epsilons: &[f64], ppn: u64, seed: u64, episodes: u32) -> Ve
         .collect()
 }
 
+/// One point of a latency-vs-load sweep (the `intellinoc sweep` CLI), as
+/// produced per unit by the `noc-runner` execution engine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Injection rate (packets/node/cycle).
+    pub rate: f64,
+    /// Execution time in cycles.
+    pub exec_cycles: u64,
+    /// Mean end-to-end latency (cycles).
+    pub avg_latency: f64,
+    /// 99th-percentile latency (cycles).
+    pub p99_latency: f64,
+    /// delivered / injected.
+    pub delivery_rate: f64,
+    /// Total average power (mW).
+    pub power_mw: f64,
+}
+
+/// The sweep's canonical run keys: `sweep/<design>/r<rate>` per point.
+pub fn load_sweep_keys(design: Design, rates: &[f64]) -> Vec<String> {
+    rates.iter().map(|r| format!("sweep/{}/r{r}", design.label())).collect()
+}
+
+/// Runs a latency-vs-load sweep through the `noc-runner` engine: one
+/// experiment unit per injection rate, each seeded from `(master_seed, run
+/// key)`, executed per `rcfg` (workers, deadline, retry, journal/resume)
+/// with `chaos` failure injection for robustness testing.
+///
+/// # Errors
+///
+/// Propagates engine-level errors (duplicate rates produce duplicate keys;
+/// journal mismatch or I/O); unit-level failures are contained per point.
+pub fn run_load_sweep(
+    design: Design,
+    rates: &[f64],
+    ppn: u64,
+    master_seed: u64,
+    rcfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+) -> Result<RunnerReport<LoadPoint>, String> {
+    let keys = load_sweep_keys(design, rates);
+    run_units(master_seed, &keys, rcfg, chaos, |ctx: &UnitCtx| {
+        let idx = keys.iter().position(|k| k == ctx.key).expect("key from supplied list");
+        let rate = rates[idx];
+        let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, ppn))
+            .with_seed(ctx.seed)
+            .with_deadline(ctx.deadline_cycles);
+        let budget = cfg.max_cycles;
+        let o = run_experiment(cfg);
+        let r = &o.report;
+        let point = LoadPoint {
+            rate,
+            exec_cycles: r.exec_cycles,
+            avg_latency: r.avg_latency(),
+            p99_latency: r.stats.latency_percentile(0.99),
+            delivery_rate: r.stats.delivery_ratio(),
+            power_mw: r.power.total_mw(),
+        };
+        match classify_timeout(r, budget) {
+            Some(report) => UnitVerdict::TimedOut { partial: Some(point), report },
+            None => UnitVerdict::Ok(point),
+        }
+    })
+}
+
 /// One point of the mesh-scaling study (not a paper figure; 8×8 is the
 /// paper's only configuration, but a framework a downstream user adopts
 /// must work beyond it).
@@ -209,5 +277,51 @@ mod tests {
         assert_eq!(pts.len(), 2);
         assert_eq!(pts[0].x, 500.0);
         assert!(pts.iter().all(|p| p.latency_ratio > 0.0));
+    }
+
+    #[test]
+    fn load_sweep_is_parallel_serial_identical() {
+        let rates = [0.01, 0.02];
+        let serial = run_load_sweep(
+            Design::Secded,
+            &rates,
+            4,
+            7,
+            &RunnerConfig::serial(),
+            &ChaosOptions::default(),
+        )
+        .unwrap();
+        let parallel = run_load_sweep(
+            Design::Secded,
+            &rates,
+            4,
+            7,
+            &RunnerConfig::serial().with_jobs(2),
+            &ChaosOptions::default(),
+        )
+        .unwrap();
+        assert!(serial.is_clean());
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&parallel).unwrap()
+        );
+        let points: Vec<&LoadPoint> = serial.ok_payloads().collect();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].rate, 0.01);
+        assert!(points.iter().all(|p| p.delivery_rate > 0.999 && p.power_mw > 0.0));
+    }
+
+    #[test]
+    fn duplicate_sweep_rates_are_rejected() {
+        let err = run_load_sweep(
+            Design::Secded,
+            &[0.01, 0.01],
+            3,
+            1,
+            &RunnerConfig::serial(),
+            &ChaosOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
     }
 }

@@ -53,8 +53,9 @@ pub use noc_fault::{HardFault, HardFaultKind, HardFaultScenario, HardFaultTarget
 // Telemetry surface, re-exported so simulator users can install tracers and
 // profilers without depending on `noc-telemetry` directly.
 pub use noc_telemetry::{
-    link_stats_csv, AttributionArtifacts, ConvergenceSample, DecisionLog, DecisionRecord, Event,
-    EventKind, GateEdge, HeatGrid, LatencyBreakdown, LatencyComponents, LinkStat, PacketLatency,
-    PairBreakdown, PhaseCounters, Profiler, RetxScope, RunTimeline, SectionStats, TimelineSample,
-    TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+    link_stats_csv, runner_events_jsonl, AttributionArtifacts, ConvergenceSample, DecisionLog,
+    DecisionRecord, Event, EventKind, GateEdge, HeatGrid, LatencyBreakdown, LatencyComponents,
+    LinkStat, PacketLatency, PairBreakdown, PhaseCounters, Profiler, RetxScope, RunRow,
+    RunTimeline, RunnerEvent, SectionStats, TimelineSample, TraceFilter, Tracer,
+    DEFAULT_TRACE_CAPACITY,
 };

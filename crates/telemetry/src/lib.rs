@@ -25,6 +25,7 @@
 mod event;
 mod inspect;
 mod profiler;
+mod runner;
 mod timeline;
 mod tracer;
 
@@ -33,6 +34,7 @@ pub use inspect::{
     link_stats_csv, AttributionArtifacts, ConvergenceSample, DecisionLog, DecisionRecord, HeatGrid,
     LatencyBreakdown, LatencyComponents, LinkStat, PacketLatency, PairBreakdown,
 };
-pub use profiler::{PhaseCounters, Profiler, SectionStats};
+pub use profiler::{PhaseCounters, Profiler, RunRow, SectionStats};
+pub use runner::{runner_events_jsonl, RunnerEvent};
 pub use timeline::{RunTimeline, TimelineSample};
 pub use tracer::{TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY};

@@ -27,6 +27,21 @@ pub struct SectionStats {
     pub calls: u64,
 }
 
+/// Wall-clock accounting for one experiment unit executed by the runner
+/// (`noc-runner`): how long the unit took end to end, across how many
+/// attempts, and how it terminated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRow {
+    /// Stable run key of the unit.
+    pub key: String,
+    /// Terminal status label (`ok`, `failed`, `timed-out`, `skipped`).
+    pub status: &'static str,
+    /// Attempts consumed (1 when the first try succeeded).
+    pub attempts: u32,
+    /// Total wall-clock milliseconds across all attempts.
+    pub millis: f64,
+}
+
 /// Collects section timings and phase counters for the end-of-run
 /// self-profile table. Wall-clock values are nondeterministic, so the
 /// profile is reported separately and never included in the
@@ -38,6 +53,8 @@ pub struct Profiler {
     pub phases: PhaseCounters,
     /// Events the tracer's ring buffer evicted, when a tracer ran alongside.
     trace_drops: Option<u64>,
+    /// Per-unit wall-clock rows recorded by the execution engine.
+    runs: Vec<RunRow>,
 }
 
 impl Profiler {
@@ -85,6 +102,22 @@ impl Profiler {
         self.trace_drops
     }
 
+    /// Records the wall-clock accounting of one runner-executed unit.
+    pub fn add_run(
+        &mut self,
+        key: impl Into<String>,
+        status: &'static str,
+        attempts: u32,
+        millis: f64,
+    ) {
+        self.runs.push(RunRow { key: key.into(), status, attempts, millis });
+    }
+
+    /// Per-unit wall-clock rows, in insertion (completion) order.
+    pub fn runs(&self) -> &[RunRow] {
+        &self.runs
+    }
+
     /// Renders the self-profile table shown at run end.
     #[must_use]
     pub fn table(&self) -> String {
@@ -104,6 +137,21 @@ impl Profiler {
         );
         if let Some(dropped) = self.trace_drops {
             let _ = writeln!(out, "  trace ring drops: {dropped}");
+        }
+        if !self.runs.is_empty() {
+            out.push_str("  per-run wall clock\n");
+            out.push_str(
+                "  run key                                    status    attempts      ms\n",
+            );
+            let mut rows: Vec<&RunRow> = self.runs.iter().collect();
+            rows.sort_by(|a, b| a.key.cmp(&b.key));
+            for r in rows {
+                let _ = writeln!(
+                    out,
+                    "  {:<42} {:<9} {:>8} {:>9.1}",
+                    r.key, r.status, r.attempts, r.millis
+                );
+            }
         }
         out
     }
@@ -137,5 +185,20 @@ mod tests {
         p.set_trace_drops(17);
         assert_eq!(p.trace_drops(), Some(17));
         assert!(p.table().contains("trace ring drops: 17"));
+    }
+
+    #[test]
+    fn run_rows_render_sorted_by_key() {
+        let mut p = Profiler::new();
+        assert!(!p.table().contains("per-run wall clock"));
+        p.add_run("campaign/b/Secded", "ok", 1, 12.5);
+        p.add_run("campaign/a/Secded", "timed-out", 2, 900.0);
+        assert_eq!(p.runs().len(), 2);
+        let table = p.table();
+        assert!(table.contains("per-run wall clock"));
+        let a = table.find("campaign/a/Secded").unwrap();
+        let b = table.find("campaign/b/Secded").unwrap();
+        assert!(a < b, "rows must be sorted by key");
+        assert!(table.contains("timed-out"));
     }
 }

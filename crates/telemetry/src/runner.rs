@@ -1,0 +1,176 @@
+//! Runner-level telemetry: lifecycle events of the host-side execution
+//! engine (`noc-runner`), one structured record per experiment-unit state
+//! transition.
+//!
+//! These events describe the *harness*, not the simulated mesh, so they are
+//! kept apart from the simulator's [`crate::Event`] stream: they have no
+//! cycle timestamps, they are emitted from worker threads in completion
+//! order (nondeterministic under `--jobs N`), and they never enter the
+//! determinism-checked run artifacts.
+
+use std::fmt::Write as _;
+
+/// One execution-engine lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerEvent {
+    /// A unit began an attempt on a worker.
+    UnitStarted {
+        /// Stable run key.
+        key: String,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// A unit reached a terminal state.
+    UnitFinished {
+        /// Stable run key.
+        key: String,
+        /// Terminal status label (`ok`, `failed`, `timed-out`).
+        status: &'static str,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// A retryable failure triggered another attempt.
+    UnitRetried {
+        /// Stable run key.
+        key: String,
+        /// The attempt that failed.
+        attempt: u32,
+        /// The failure message.
+        error: String,
+    },
+    /// A journaled result was reused instead of re-running the unit.
+    UnitResumed {
+        /// Stable run key.
+        key: String,
+        /// Journaled status label.
+        status: &'static str,
+    },
+    /// A unit was not dispatched (unit cap / interrupted run).
+    UnitSkipped {
+        /// Stable run key.
+        key: String,
+        /// Why the unit was skipped.
+        reason: String,
+    },
+}
+
+impl RunnerEvent {
+    /// Event kind label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunnerEvent::UnitStarted { .. } => "unit-started",
+            RunnerEvent::UnitFinished { .. } => "unit-finished",
+            RunnerEvent::UnitRetried { .. } => "unit-retried",
+            RunnerEvent::UnitResumed { .. } => "unit-resumed",
+            RunnerEvent::UnitSkipped { .. } => "unit-skipped",
+        }
+    }
+
+    /// The run key the event concerns.
+    pub fn key(&self) -> &str {
+        match self {
+            RunnerEvent::UnitStarted { key, .. }
+            | RunnerEvent::UnitFinished { key, .. }
+            | RunnerEvent::UnitRetried { key, .. }
+            | RunnerEvent::UnitResumed { key, .. }
+            | RunnerEvent::UnitSkipped { key, .. } => key,
+        }
+    }
+
+    /// Renders the event as one JSON object (JSONL line body).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"event\":\"{}\",\"key\":{}", self.kind(), json_str(self.key()));
+        match self {
+            RunnerEvent::UnitStarted { attempt, .. } => {
+                let _ = write!(s, ",\"attempt\":{attempt}");
+            }
+            RunnerEvent::UnitFinished { status, attempts, .. } => {
+                let _ = write!(s, ",\"status\":\"{status}\",\"attempts\":{attempts}");
+            }
+            RunnerEvent::UnitRetried { attempt, error, .. } => {
+                let _ = write!(s, ",\"attempt\":{attempt},\"error\":{}", json_str(error));
+            }
+            RunnerEvent::UnitResumed { status, .. } => {
+                let _ = write!(s, ",\"status\":\"{status}\"");
+            }
+            RunnerEvent::UnitSkipped { reason, .. } => {
+                let _ = write!(s, ",\"reason\":{}", json_str(reason));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Renders a batch of runner events as JSONL (one event per line).
+#[must_use]
+pub fn runner_events_jsonl(events: &[RunnerEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_jsonl() {
+        let events = vec![
+            RunnerEvent::UnitStarted { key: "a/b".into(), attempt: 1 },
+            RunnerEvent::UnitRetried { key: "a/b".into(), attempt: 1, error: "boom \"q\"".into() },
+            RunnerEvent::UnitFinished { key: "a/b".into(), status: "ok", attempts: 2 },
+            RunnerEvent::UnitResumed { key: "a/c".into(), status: "failed" },
+            RunnerEvent::UnitSkipped { key: "a/d".into(), reason: "unit cap".into() },
+        ];
+        let jsonl = runner_events_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), 5);
+        assert!(jsonl.contains(r#""event":"unit-retried""#));
+        assert!(jsonl.contains(r#""error":"boom \"q\"""#));
+        for line in jsonl.lines() {
+            let v: serde::Content = serde_json::from_str(line).expect("valid JSON");
+            assert!(v.get("key").is_some());
+        }
+    }
+
+    #[test]
+    fn kind_and_key_accessors() {
+        let e = RunnerEvent::UnitFinished { key: "x".into(), status: "timed-out", attempts: 1 };
+        assert_eq!(e.kind(), "unit-finished");
+        assert_eq!(e.key(), "x");
+        assert!(e.to_json().contains("timed-out"));
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let e = RunnerEvent::UnitSkipped { key: "k".into(), reason: "a\u{1}b\nc".into() };
+        let v: serde::Content = serde_json::from_str(&e.to_json()).unwrap();
+        assert_eq!(v.get("reason").and_then(serde::Content::as_str), Some("a\u{1}b\nc"));
+    }
+}
