@@ -1,0 +1,53 @@
+//! Microbenchmarks for the PR 5 metrics layer: exporting simulator state
+//! into the labeled registry, rendering Prometheus text exposition, and
+//! re-parsing it. The export+render pair is what `run_experiment_instrumented`
+//! pays once per control step when `--metrics-out`/`--metrics-addr` is on,
+//! so these numbers bound the live-exposition overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use noc_sim::{declare_network_metrics, export_network_metrics, Network, SimConfig};
+use noc_telemetry::{parse_exposition, registry_samples, render_exposition, MetricsRegistry};
+use noc_traffic::WorkloadSpec;
+
+/// A network with enough delivered traffic that every metric family has
+/// non-trivial values (latency histogram populated, retx counters moving).
+fn warmed_network() -> Network {
+    let cfg = SimConfig { seed: 11, ..SimConfig::default() };
+    let mut net = Network::new(cfg, WorkloadSpec::uniform(0.05, 60), 11);
+    net.run_cycles(4_000);
+    net
+}
+
+fn warmed_registry() -> MetricsRegistry {
+    let net = warmed_network();
+    let mut reg = MetricsRegistry::new();
+    declare_network_metrics(&mut reg).expect("declare");
+    let labels = [("design", "IntelliNoC"), ("workload", "uniform")];
+    export_network_metrics(&mut reg, &net, &labels).expect("export");
+    reg
+}
+
+fn bench_metrics_layer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics_exposition");
+
+    let net = warmed_network();
+    let mut reg = MetricsRegistry::new();
+    declare_network_metrics(&mut reg).expect("declare");
+    let labels = [("design", "IntelliNoC"), ("workload", "uniform")];
+    g.bench_function("export_network_metrics", |b| {
+        b.iter(|| export_network_metrics(&mut reg, black_box(&net), &labels).expect("export"))
+    });
+
+    let reg = warmed_registry();
+    g.bench_function("render_exposition", |b| b.iter(|| render_exposition(black_box(&reg))));
+    g.bench_function("registry_samples", |b| b.iter(|| registry_samples(black_box(&reg))));
+
+    let text = render_exposition(&reg);
+    g.bench_function("parse_exposition", |b| {
+        b.iter(|| parse_exposition(black_box(&text)).expect("parse"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_metrics_layer);
+criterion_main!(benches);

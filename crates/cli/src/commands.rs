@@ -2,19 +2,23 @@
 
 use crate::args::Args;
 use intellinoc::{
-    compare as compare_outcomes, intellinoc_rl_config, pretrain_intellinoc, render_inspect_report,
-    run_campaign_runner, run_experiment, run_experiment_instrumented, run_load_sweep,
-    CampaignConfig, ChaosOptions, Design, ExperimentConfig, ExperimentOutcome, RewardKind,
-    RunnerConfig, RunnerReport, TelemetryArtifacts, TelemetryOptions,
+    compare as compare_outcomes, compare_bench, intellinoc_rl_config, pretrain_intellinoc,
+    record_bench, render_inspect_report, run_campaign_runner, run_experiment,
+    run_experiment_instrumented, run_load_sweep, BenchBaseline, BenchSpec, CampaignConfig,
+    ChaosOptions, Design, ExperimentConfig, ExperimentOutcome, GateOptions, MetricsOptions,
+    RewardKind, RunnerConfig, RunnerReport, TelemetryArtifacts, TelemetryOptions,
 };
 use noc_power::AreaModel;
-use noc_sim::{runner_events_jsonl, EventKind, Network, Profiler, TraceFilter};
+use noc_sim::{
+    runner_events_jsonl, EventKind, MetricsHub, MetricsServer, Network, Profiler, TraceFilter,
+};
 use noc_traffic::{
     capture_trace, read_trace, write_trace, ParsecBenchmark, TraceReplay, WorkloadSpec,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Terminal disposition of a subcommand, mapped to a process exit code by
 /// `main`: `Done` → 0, `Partial` → 2 (and `Err` → 1).
@@ -186,6 +190,11 @@ pub fn telemetry_from(args: &Args) -> Result<TelemetryOptions, String> {
         profile: args.has_flag("profile"),
         attribution: args.has_flag("attribution"),
         decisions: args.has_flag("decisions"),
+        metrics: MetricsOptions {
+            hub: None,
+            file: args.get("metrics-out").map(str::to_owned),
+            every_steps: args.get_or("metrics-every", 1u64)?,
+        },
     })
 }
 
@@ -221,7 +230,11 @@ fn emit_telemetry(args: &Args, artifacts: &TelemetryArtifacts) -> Result<(), Str
         }
     }
     if let (Some(path), Some(timeline)) = (args.get("timeline-out"), &artifacts.timeline) {
-        let body = serde_json::to_string_pretty(timeline).map_err(|e| e.to_string())?;
+        let body = if path.ends_with(".csv") {
+            timeline.to_csv()
+        } else {
+            serde_json::to_string_pretty(timeline).map_err(|e| e.to_string())?
+        };
         std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("timeline: {} samples written to {path}", timeline.len());
     }
@@ -244,6 +257,17 @@ pub fn run(args: &Args) -> CmdResult {
             Some(r.parse().map_err(|_| format!("invalid --error-rate: {r}"))?);
     }
     cfg.telemetry = telemetry_from(args)?;
+    // Live scrape endpoint: serving happens on a separate thread that only
+    // reads published snapshots, so it cannot perturb the simulation.
+    let mut server = None;
+    if let Some(addr) = args.get("metrics-addr") {
+        let hub = Arc::new(MetricsHub::new());
+        let s = MetricsServer::bind(addr, Arc::clone(&hub))
+            .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+        eprintln!("metrics: serving Prometheus exposition on http://{}/metrics", s.local_addr());
+        cfg.telemetry.metrics.hub = Some(hub);
+        server = Some(s);
+    }
     if !cfg.telemetry.any() {
         let outcome = run_experiment(cfg);
         print_outcome(&outcome, args.has_flag("json"))?;
@@ -252,6 +276,7 @@ pub fn run(args: &Args) -> CmdResult {
     let (outcome, _, artifacts) = run_experiment_instrumented(cfg);
     print_outcome(&outcome, args.has_flag("json"))?;
     emit_telemetry(args, &artifacts)?;
+    drop(server);
     Ok(CmdOutcome::Done)
 }
 
@@ -546,6 +571,106 @@ pub fn campaign(args: &Args) -> CmdResult {
     }
     emit_runner(args, "campaign", &report.runner)?;
     Ok(if report.runner.is_clean() { CmdOutcome::Done } else { CmdOutcome::Partial })
+}
+
+/// Builds the bench grid spec from the command line: a named preset
+/// (`--grid designs|ci`) optionally overridden field by field.
+fn bench_spec_from(args: &Args) -> Result<BenchSpec, String> {
+    let mut spec = match args.get("grid").unwrap_or("designs") {
+        "designs" => BenchSpec::designs_grid(),
+        "ci" => BenchSpec::ci_grid(),
+        other => return Err(format!("unknown --grid preset: {other} (try designs|ci)")),
+    };
+    if let Some(designs) = args.get("designs") {
+        spec.designs =
+            designs.split(',').map(|d| parse_design(d.trim())).collect::<Result<_, _>>()?;
+    }
+    if let Some(rates) = args.get("rates") {
+        spec.rates = rates
+            .split(',')
+            .map(|r| r.trim().parse().map_err(|_| format!("invalid rate: {r}")))
+            .collect::<Result<_, _>>()?;
+    }
+    spec.seeds = args.get_or("seeds", spec.seeds)?;
+    spec.ppn = args.get_or("ppn", spec.ppn)?;
+    spec.master_seed = args.get_or("seed", spec.master_seed)?;
+    Ok(spec)
+}
+
+/// `intellinoc bench record` — run the grid and write `BENCH_<name>.json`.
+fn bench_record_cmd(args: &Args) -> CmdResult {
+    let name = args.get("name").unwrap_or("designs").to_owned();
+    let spec = bench_spec_from(args)?;
+    let (rcfg, chaos) = runner_config_from(args)?;
+    let units = spec.keys().len();
+    eprintln!(
+        "bench record: {} designs x {} rates x {} seeds = {units} units",
+        spec.designs.len(),
+        spec.rates.len(),
+        spec.seeds
+    );
+    let baseline = record_bench(&name, &spec, &rcfg, &chaos)?;
+    let out = args.get("out").map(str::to_owned).unwrap_or_else(|| format!("BENCH_{name}.json"));
+    std::fs::write(&out, baseline.to_json()?).map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("bench record: {} cells written to {out}", baseline.cells.len());
+    println!(
+        "{:<24} {:>12} {:>12} {:>14} {:>12}",
+        "cell", "avg_lat", "p99_lat", "energy_pJ/flit", "kcyc/s"
+    );
+    for c in &baseline.cells {
+        println!(
+            "{:<24} {:>7.2}±{:<4.2} {:>7.2}±{:<4.2} {:>9.3}±{:<4.3} {:>12.2}",
+            c.id(),
+            c.avg_latency.mean,
+            c.avg_latency.ci95,
+            c.p99_latency.mean,
+            c.p99_latency.ci95,
+            c.energy_per_flit_pj.mean,
+            c.energy_per_flit_pj.ci95,
+            c.cycles_per_sec.mean / 1e3,
+        );
+    }
+    Ok(CmdOutcome::Done)
+}
+
+/// `intellinoc bench compare` — re-run the baseline's grid and gate with
+/// the CI-separation rule. Exit 0 pass, 1 error, 2 regression.
+fn bench_compare_cmd(args: &Args) -> CmdResult {
+    let path = args.get("baseline").ok_or("need --baseline BENCH_<name>.json")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let baseline = BenchBaseline::from_json(&json)?;
+    let (rcfg, chaos) = runner_config_from(args)?;
+    eprintln!(
+        "bench compare: re-running `{}` ({} units) against {path}",
+        baseline.name,
+        baseline.spec.keys().len()
+    );
+    let fresh = record_bench(&baseline.name, &baseline.spec, &rcfg, &chaos)?;
+    if let Some(out) = args.get("fresh-out") {
+        std::fs::write(out, fresh.to_json()?).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("bench compare: fresh recording written to {out}");
+    }
+    let opts = GateOptions {
+        gate_throughput: args.has_flag("gate-throughput"),
+        force_regress: args.has_flag("force-regress"),
+    };
+    let cmp = compare_bench(&baseline, &fresh, &opts)?;
+    if args.has_flag("json") {
+        let s = serde_json::to_string_pretty(&cmp).map_err(|e| e.to_string())?;
+        println!("{s}");
+    } else {
+        print!("{}", cmp.table());
+    }
+    Ok(if cmp.has_regressions() { CmdOutcome::Partial } else { CmdOutcome::Done })
+}
+
+/// `intellinoc bench <record|compare>`.
+pub fn bench(args: &Args) -> CmdResult {
+    match args.positional.first().map(String::as_str) {
+        Some("record") => bench_record_cmd(args),
+        Some("compare") => bench_compare_cmd(args),
+        _ => Err("usage: intellinoc bench <record|compare> [options]".into()),
+    }
 }
 
 /// `intellinoc area`.

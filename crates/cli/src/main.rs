@@ -10,6 +10,8 @@
 //! intellinoc campaign --dead-links 0,1,2,4,8 [--no-reroute] [--csv-out camp.csv]
 //!                     [--jobs 4] [--journal camp.jsonl [--resume]]
 //!                     [--deadline-cycles N] [--max-retries N]
+//! intellinoc bench record  [--grid designs|ci] [--seeds N] [--out BENCH_x.json]
+//! intellinoc bench compare --baseline BENCH_x.json [--force-regress]
 //! intellinoc area
 //! intellinoc list
 //! ```
@@ -29,6 +31,7 @@ fn main() {
         Some("sweep") => commands::sweep(&args),
         Some("trace") => commands::trace(&args),
         Some("campaign") => commands::campaign(&args),
+        Some("bench") => commands::bench(&args),
         Some("area") => commands::area(),
         Some("list") => commands::list(),
         Some(other) => {
@@ -65,7 +68,8 @@ fn usage() {
     eprintln!("           --benchmark <name> | --rate <packets/node/cycle>");
     eprintln!("           [--ppn N] [--seed S] [--error-rate R] [--time-step T] [--json]");
     eprintln!("           [--trace] [--trace-out F.jsonl|F.csv] [--trace-filter router=N,kind=K]");
-    eprintln!("           [--trace-capacity N] [--timeline-out F.json] [--profile]");
+    eprintln!("           [--trace-capacity N] [--timeline-out F.json|F.csv] [--profile]");
+    eprintln!("           [--metrics-out F.prom|-] [--metrics-every N] [--metrics-addr H:P]");
     eprintln!("  inspect  run with full attribution and render a trace-analysis report");
     eprintln!("           --benchmark <name> | --rate R  [--design <d>] [--ppn N] [--seed S]");
     eprintln!("           [--report-out F.md] [--heatmap-dir DIR] [--decisions-out F.jsonl]");
@@ -80,6 +84,12 @@ fn usage() {
     eprintln!("           [--router-fail CYCLE | --no-router-fail] [--flapping N]");
     eprintln!("           [--no-reroute] [--max-cycles N] [--json] [--csv-out F.csv]");
     eprintln!("           [--assert-delivery T] [+ runner options]");
+    eprintln!("  bench    multi-seed baseline recording and regression gating");
+    eprintln!("           record  [--grid designs|ci] [--designs d1,d2] [--rates r1,r2]");
+    eprintln!("                   [--seeds N] [--ppn N] [--seed S] [--name X] [--out F.json]");
+    eprintln!("           compare --baseline BENCH_X.json [--fresh-out F.json] [--json]");
+    eprintln!("                   [--gate-throughput] [--force-regress (chaos: prove the gate)]");
+    eprintln!("           both accept runner options; compare exits 2 on regression");
     eprintln!("  area     Table 2 per-router area comparison");
     eprintln!("  list     known designs and benchmarks");
     eprintln!();

@@ -1,0 +1,643 @@
+//! Multi-seed baseline recording and noise-aware regression gating — the
+//! quantitative memory behind `intellinoc bench record` / `bench compare`.
+//!
+//! `record` runs an N-seed × design × injection-rate grid through the
+//! `noc-runner` engine and aggregates each cell's metrics (avg/p99
+//! latency, energy per flit, the retired-flit MTTF proxy, wall-clock
+//! cycles/sec) into mean, sample stddev, and a 95% confidence interval,
+//! serialized as a canonical `BENCH_<name>.json`. `compare` re-runs the
+//! same grid (seeds derive from `(master_seed, key)` alone, so a re-run is
+//! bit-identical) and gates with the CI-separation rule: a metric
+//! regresses only when the fresh interval lies strictly on the worse side
+//! of the baseline interval *and* the relative delta clears a float-noise
+//! epsilon. Wall-clock throughput is recorded but machine-dependent, so it
+//! gates only behind an explicit opt-in.
+
+use crate::designs::Design;
+use crate::experiment::ExperimentConfig;
+use crate::runner::{
+    classify_timeout, run_units, ChaosOptions, RunnerConfig, UnitCtx, UnitVerdict,
+};
+use noc_sim::FLITS_PER_PACKET;
+use noc_traffic::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// Serialized baseline format version (bumped on incompatible changes).
+pub const BENCH_FORMAT_VERSION: u32 = 1;
+
+/// Relative-delta floor below which a CI separation is attributed to float
+/// noise rather than a real shift (deterministic re-runs give exactly
+/// equal means, so this only matters for near-degenerate intervals).
+pub const REL_EPSILON: f64 = 1e-6;
+
+/// The grid a baseline was recorded over. Stored inside the baseline so
+/// `compare` can re-run exactly the same units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSpec {
+    /// Designs under test, in figure order.
+    pub designs: Vec<Design>,
+    /// Uniform-traffic injection rates (packets/node/cycle).
+    pub rates: Vec<f64>,
+    /// Seeds per (design, rate) cell.
+    pub seeds: u32,
+    /// Packets per node per run.
+    pub ppn: u64,
+    /// Master seed; unit seeds derive from `(master_seed, key)`.
+    pub master_seed: u64,
+}
+
+impl BenchSpec {
+    /// The committed-baseline grid: all five designs at the 0.1/0.3/0.5
+    /// injection rates, five seeds per cell. The per-node packet budget
+    /// keeps every run well past several 250-cycle power epochs, so the
+    /// energy-per-flit stats are settled, not zero-sampled.
+    #[must_use]
+    pub fn designs_grid() -> Self {
+        BenchSpec {
+            designs: Design::ALL.to_vec(),
+            rates: vec![0.1, 0.3, 0.5],
+            seeds: 5,
+            ppn: 64,
+            master_seed: 2019,
+        }
+    }
+
+    /// A 2-seed small grid for CI gate smoke runs (still multi-epoch so
+    /// the energy gate exercises real numbers).
+    #[must_use]
+    pub fn ci_grid() -> Self {
+        BenchSpec {
+            designs: vec![Design::Secded, Design::IntelliNoc],
+            rates: vec![0.1],
+            seeds: 2,
+            ppn: 32,
+            master_seed: 2019,
+        }
+    }
+
+    /// Stable unit keys, in canonical (design-major, rate, seed) order.
+    #[must_use]
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys =
+            Vec::with_capacity(self.designs.len() * self.rates.len() * self.seeds as usize);
+        for design in &self.designs {
+            for rate in &self.rates {
+                for s in 0..self.seeds {
+                    keys.push(format!("bench/{}/r{rate}/s{s}", design.label()));
+                }
+            }
+        }
+        keys
+    }
+
+    /// Decodes a canonical key index back into `(design, rate)`.
+    fn cell_of(&self, idx: usize) -> (Design, f64) {
+        let per_cell = self.seeds as usize;
+        let cell = idx / per_cell;
+        let design = self.designs[cell / self.rates.len()];
+        let rate = self.rates[cell % self.rates.len()];
+        (design, rate)
+    }
+}
+
+/// The metrics of one simulation run (one seed of one cell).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRunMetrics {
+    /// Mean end-to-end packet latency (cycles).
+    pub avg_latency: f64,
+    /// 99th-percentile packet latency (cycles).
+    pub p99_latency: f64,
+    /// Total energy divided by retired (delivered) flits (pJ/flit).
+    pub energy_per_flit_pj: f64,
+    /// Retired-flit MTTF proxy: extrapolated network MTTF in hours
+    /// (0 when no router aged during the run).
+    pub mttf_hours: f64,
+    /// Execution time in simulated cycles.
+    pub exec_cycles: u64,
+}
+
+/// Mean / sample stddev / 95% CI of one metric over a cell's seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub stddev: f64,
+    /// Half-width of the 95% confidence interval (`1.96·sd/√n`).
+    pub ci95: f64,
+    /// Sample count.
+    pub n: u32,
+}
+
+impl MetricStats {
+    /// Aggregates raw samples.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let n = samples.len();
+        if n == 0 {
+            return MetricStats { mean: 0.0, stddev: 0.0, ci95: 0.0, n: 0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var =
+                samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n as f64 - 1.0);
+            var.sqrt()
+        };
+        let ci95 = 1.96 * stddev / (n as f64).sqrt();
+        MetricStats { mean, stddev, ci95, n: n as u32 }
+    }
+}
+
+/// Aggregated metrics of one (design, rate) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchCell {
+    /// Design figure label.
+    pub design: String,
+    /// Injection rate (packets/node/cycle).
+    pub rate: f64,
+    /// Mean end-to-end latency (cycles).
+    pub avg_latency: MetricStats,
+    /// p99 end-to-end latency (cycles).
+    pub p99_latency: MetricStats,
+    /// Energy per retired flit (pJ).
+    pub energy_per_flit_pj: MetricStats,
+    /// Retired-flit MTTF proxy (hours; 0 = no aging observed).
+    pub mttf_hours: MetricStats,
+    /// Simulated cycles per wall-clock second (machine-dependent; gated
+    /// only behind `--gate-throughput`).
+    pub cycles_per_sec: MetricStats,
+}
+
+/// The gated metrics: `(field name, higher is worse, always gated)`.
+/// Throughput is the one opt-in: wall-clock speed is machine-dependent.
+pub const GATED_METRICS: &[(&str, bool, bool)] = &[
+    ("avg_latency", true, true),
+    ("p99_latency", true, true),
+    ("energy_per_flit_pj", true, true),
+    ("mttf_hours", false, true),
+    ("cycles_per_sec", false, false),
+];
+
+impl BenchCell {
+    /// Cell identity, e.g. `IntelliNoC@0.3`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!("{}@{}", self.design, self.rate)
+    }
+
+    /// The stats of a gated metric by field name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a name outside [`GATED_METRICS`].
+    #[must_use]
+    pub fn metric(&self, name: &str) -> &MetricStats {
+        match name {
+            "avg_latency" => &self.avg_latency,
+            "p99_latency" => &self.p99_latency,
+            "energy_per_flit_pj" => &self.energy_per_flit_pj,
+            "mttf_hours" => &self.mttf_hours,
+            "cycles_per_sec" => &self.cycles_per_sec,
+            _ => panic!("unknown bench metric `{name}`"),
+        }
+    }
+}
+
+/// A recorded baseline: the grid spec plus one aggregated cell per
+/// (design, rate), serialized as canonical `BENCH_<name>.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// Baseline name (the `<name>` of `BENCH_<name>.json`).
+    pub name: String,
+    /// Serialized format version.
+    pub format_version: u32,
+    /// The grid this baseline was recorded over.
+    pub spec: BenchSpec,
+    /// Aggregated cells in canonical (design-major, rate) order.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchBaseline {
+    /// Serializes to pretty JSON (the on-disk `BENCH_<name>.json` format).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Parses and version-checks a serialized baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed JSON or a format-version mismatch.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let b: BenchBaseline =
+            serde_json::from_str(json).map_err(|e| format!("malformed baseline: {e}"))?;
+        if b.format_version != BENCH_FORMAT_VERSION {
+            return Err(format!(
+                "baseline format version {} (tool expects {}); re-record the baseline",
+                b.format_version, BENCH_FORMAT_VERSION
+            ));
+        }
+        Ok(b)
+    }
+}
+
+/// Runs the grid and aggregates per-cell statistics.
+///
+/// # Errors
+///
+/// Returns an error when the engine fails (duplicate keys, journal I/O) or
+/// when any unit does not finish `ok` — a baseline must never be recorded
+/// over failed or timed-out cells.
+pub fn record_bench(
+    name: &str,
+    spec: &BenchSpec,
+    rcfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+) -> Result<BenchBaseline, String> {
+    if spec.designs.is_empty() || spec.rates.is_empty() || spec.seeds == 0 {
+        return Err("bench grid is empty (need ≥1 design, ≥1 rate, ≥1 seed)".to_owned());
+    }
+    let keys = spec.keys();
+    let report = run_units(spec.master_seed, &keys, rcfg, chaos, |ctx: &UnitCtx| {
+        let idx = keys.iter().position(|k| k == ctx.key).expect("key from supplied list");
+        let (design, rate) = spec.cell_of(idx);
+        let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, spec.ppn))
+            .with_seed(ctx.seed)
+            .with_deadline(ctx.deadline_cycles);
+        let budget = cfg.max_cycles;
+        let o = crate::experiment::run_experiment(cfg);
+        let r = &o.report;
+        let flits = (r.stats.packets_delivered * FLITS_PER_PACKET as u64).max(1);
+        let m = BenchRunMetrics {
+            avg_latency: r.avg_latency(),
+            p99_latency: r.stats.latency_percentile(0.99),
+            energy_per_flit_pj: r.power.total_energy_pj() / flits as f64,
+            mttf_hours: r.mttf_hours.unwrap_or(0.0),
+            exec_cycles: r.exec_cycles,
+        };
+        match classify_timeout(r, budget) {
+            Some(report) => UnitVerdict::TimedOut { partial: Some(m), report },
+            None => UnitVerdict::Ok(m),
+        }
+    })?;
+    if !report.is_clean() {
+        return Err(format!("bench grid not clean ({}); refusing to record", report.summary()));
+    }
+
+    let per_cell = spec.seeds as usize;
+    let cells = report
+        .records
+        .chunks(per_cell)
+        .enumerate()
+        .map(|(cell_idx, chunk)| {
+            let (design, rate) = spec.cell_of(cell_idx * per_cell);
+            let pick = |f: &dyn Fn(&BenchRunMetrics) -> f64| -> Vec<f64> {
+                chunk.iter().filter_map(|r| r.payload.as_ref()).map(f).collect()
+            };
+            // Simulated cycles per wall second; journal-resumed records
+            // carry no wall time and contribute 0 (documented caveat).
+            let throughput: Vec<f64> = chunk
+                .iter()
+                .filter_map(|r| r.payload.as_ref().map(|p| (p, r.wall_ms)))
+                .map(|(p, ms)| if ms > 0.0 { p.exec_cycles as f64 / (ms / 1e3) } else { 0.0 })
+                .collect();
+            BenchCell {
+                design: design.label().to_owned(),
+                rate,
+                avg_latency: MetricStats::from_samples(&pick(&|m| m.avg_latency)),
+                p99_latency: MetricStats::from_samples(&pick(&|m| m.p99_latency)),
+                energy_per_flit_pj: MetricStats::from_samples(&pick(&|m| m.energy_per_flit_pj)),
+                mttf_hours: MetricStats::from_samples(&pick(&|m| m.mttf_hours)),
+                cycles_per_sec: MetricStats::from_samples(&throughput),
+            }
+        })
+        .collect();
+
+    Ok(BenchBaseline {
+        name: name.to_owned(),
+        format_version: BENCH_FORMAT_VERSION,
+        spec: spec.clone(),
+        cells,
+    })
+}
+
+/// Gating switches for [`compare_bench`].
+#[derive(Debug, Clone, Default)]
+pub struct GateOptions {
+    /// Also gate wall-clock throughput (off by default: machine-dependent).
+    pub gate_throughput: bool,
+    /// Chaos switch: perturb the fresh latency metrics by +25% before
+    /// gating, to prove the gate fires (CI exercises this, expecting the
+    /// regression exit code).
+    pub force_regress: bool,
+}
+
+/// Verdict of one (cell, metric) comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GateVerdict {
+    /// Intervals overlap (or the delta is float noise): no change proven.
+    Pass,
+    /// Fresh interval strictly on the worse side of the baseline interval.
+    Regressed,
+    /// Fresh interval strictly on the better side.
+    Improved,
+}
+
+/// One (cell, metric) comparison row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompareRow {
+    /// Cell identity (`design@rate`).
+    pub cell: String,
+    /// Metric field name.
+    pub metric: String,
+    /// Baseline mean.
+    pub base_mean: f64,
+    /// Baseline CI half-width.
+    pub base_ci95: f64,
+    /// Fresh mean.
+    pub new_mean: f64,
+    /// Fresh CI half-width.
+    pub new_ci95: f64,
+    /// Relative change of the mean (`(new − base) / |base|`).
+    pub rel_delta: f64,
+    /// The gate's verdict.
+    pub verdict: GateVerdict,
+}
+
+/// The full result of one `bench compare`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchComparison {
+    /// Every gated (cell, metric) row, in canonical order.
+    pub rows: Vec<CompareRow>,
+    /// Number of regressed rows.
+    pub regressions: usize,
+    /// Number of improved rows.
+    pub improvements: usize,
+}
+
+impl BenchComparison {
+    /// Whether the gate should fail the build.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        self.regressions > 0
+    }
+
+    /// Renders the comparison table (regressions and improvements first,
+    /// then a one-line tally).
+    #[must_use]
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str(
+            "cell                     metric                verdict     base_mean       new_mean    delta%\n",
+        );
+        for r in &self.rows {
+            let verdict = match r.verdict {
+                GateVerdict::Pass => "pass",
+                GateVerdict::Regressed => "REGRESSED",
+                GateVerdict::Improved => "improved",
+            };
+            let _ = writeln!(
+                out,
+                "{:<24} {:<21} {:<9} {:>13.4} {:>14.4} {:>+8.3}",
+                r.cell,
+                r.metric,
+                verdict,
+                r.base_mean,
+                r.new_mean,
+                r.rel_delta * 100.0,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} rows: {} regressed, {} improved, {} unchanged",
+            self.rows.len(),
+            self.regressions,
+            self.improvements,
+            self.rows.len() - self.regressions - self.improvements,
+        );
+        out
+    }
+}
+
+/// The CI-separation gate for one metric.
+fn gate(base: &MetricStats, new: &MetricStats, higher_is_worse: bool) -> (GateVerdict, f64) {
+    let rel_delta = if base.mean.abs() > f64::EPSILON {
+        (new.mean - base.mean) / base.mean.abs()
+    } else if new.mean.abs() > f64::EPSILON {
+        if new.mean > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        0.0
+    };
+    let base_lo = base.mean - base.ci95;
+    let base_hi = base.mean + base.ci95;
+    let new_lo = new.mean - new.ci95;
+    let new_hi = new.mean + new.ci95;
+    let (worse, better) = if higher_is_worse {
+        (new_lo > base_hi, new_hi < base_lo)
+    } else {
+        (new_hi < base_lo, new_lo > base_hi)
+    };
+    let verdict = if worse && rel_delta.abs() > REL_EPSILON {
+        GateVerdict::Regressed
+    } else if better && rel_delta.abs() > REL_EPSILON {
+        GateVerdict::Improved
+    } else {
+        GateVerdict::Pass
+    };
+    (verdict, rel_delta)
+}
+
+/// Diffs a fresh recording against a baseline with the CI-separation rule.
+///
+/// # Errors
+///
+/// Returns an error when the two recordings cover different grids — a
+/// comparison across grids would be statistically meaningless.
+pub fn compare_bench(
+    base: &BenchBaseline,
+    fresh: &BenchBaseline,
+    opts: &GateOptions,
+) -> Result<BenchComparison, String> {
+    if base.spec != fresh.spec {
+        return Err(format!(
+            "grid mismatch: baseline `{}` was recorded over a different spec than the fresh run \
+             (designs/rates/seeds/ppn/master_seed must all match); re-record the baseline",
+            base.name
+        ));
+    }
+    let mut rows = Vec::new();
+    let mut regressions = 0;
+    let mut improvements = 0;
+    for (b, f) in base.cells.iter().zip(&fresh.cells) {
+        if b.design != f.design || b.rate != f.rate {
+            return Err(format!("cell order mismatch: {} vs {}", b.id(), f.id()));
+        }
+        for &(name, higher_is_worse, always) in GATED_METRICS {
+            if !always && !opts.gate_throughput {
+                continue;
+            }
+            let base_m = b.metric(name);
+            let mut new_m = f.metric(name).clone();
+            if opts.force_regress && (name == "avg_latency" || name == "p99_latency") {
+                new_m.mean *= 1.25;
+            }
+            let (verdict, rel_delta) = gate(base_m, &new_m, higher_is_worse);
+            match verdict {
+                GateVerdict::Regressed => regressions += 1,
+                GateVerdict::Improved => improvements += 1,
+                GateVerdict::Pass => {}
+            }
+            rows.push(CompareRow {
+                cell: b.id(),
+                metric: name.to_owned(),
+                base_mean: base_m.mean,
+                base_ci95: base_m.ci95,
+                new_mean: new_m.mean,
+                new_ci95: new_m.ci95,
+                rel_delta,
+                verdict,
+            });
+        }
+    }
+    Ok(BenchComparison { rows, regressions, improvements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> BenchSpec {
+        BenchSpec {
+            designs: vec![Design::Secded],
+            rates: vec![0.02],
+            seeds: 2,
+            ppn: 4,
+            master_seed: 7,
+        }
+    }
+
+    #[test]
+    fn metric_stats_mean_stddev_ci() {
+        let s = MetricStats::from_samples(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.mean, 4.0);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert!((s.ci95 - 1.96 * 2.0 / 3f64.sqrt()).abs() < 1e-12);
+        assert_eq!(s.n, 3);
+        let single = MetricStats::from_samples(&[5.0]);
+        assert_eq!(single.stddev, 0.0);
+        assert_eq!(single.ci95, 0.0);
+        assert_eq!(MetricStats::from_samples(&[]).n, 0);
+    }
+
+    #[test]
+    fn keys_are_canonical_and_unique() {
+        let spec = BenchSpec::designs_grid();
+        let keys = spec.keys();
+        assert_eq!(keys.len(), 5 * 3 * 5);
+        let unique: std::collections::HashSet<&String> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len());
+        assert_eq!(keys[0], "bench/SECDED/r0.1/s0");
+        for (i, key) in keys.iter().enumerate() {
+            let (d, r) = spec.cell_of(i);
+            assert!(key.contains(d.label()) && key.contains(&format!("r{r}")), "{key}");
+        }
+    }
+
+    #[test]
+    fn gate_separates_only_disjoint_intervals() {
+        let base = MetricStats { mean: 100.0, stddev: 5.0, ci95: 4.0, n: 5 };
+        // Overlapping: 103 − 2 < 100 + 4 → pass.
+        let close = MetricStats { mean: 103.0, stddev: 2.0, ci95: 2.0, n: 5 };
+        assert_eq!(gate(&base, &close, true).0, GateVerdict::Pass);
+        // Disjoint upward on a higher-is-worse metric → regression.
+        let worse = MetricStats { mean: 110.0, stddev: 2.0, ci95: 2.0, n: 5 };
+        assert_eq!(gate(&base, &worse, true).0, GateVerdict::Regressed);
+        // Same shift on a lower-is-worse metric → improvement.
+        assert_eq!(gate(&base, &worse, false).0, GateVerdict::Improved);
+        // Disjoint downward on higher-is-worse → improvement.
+        let better = MetricStats { mean: 90.0, stddev: 2.0, ci95: 2.0, n: 5 };
+        assert_eq!(gate(&base, &better, true).0, GateVerdict::Improved);
+        // Equal degenerate intervals (deterministic re-run) → pass.
+        let exact = MetricStats { mean: 100.0, stddev: 0.0, ci95: 0.0, n: 5 };
+        assert_eq!(gate(&exact, &exact, true).0, GateVerdict::Pass);
+        // Both-zero (e.g. MTTF proxy with no aging) → pass.
+        let zero = MetricStats { mean: 0.0, stddev: 0.0, ci95: 0.0, n: 5 };
+        assert_eq!(gate(&zero, &zero, false).0, GateVerdict::Pass);
+    }
+
+    #[test]
+    fn record_then_self_compare_passes_and_chaos_regresses() {
+        let spec = tiny_spec();
+        let rcfg = RunnerConfig::serial();
+        let chaos = ChaosOptions::default();
+        let base = record_bench("tiny", &spec, &rcfg, &chaos).unwrap();
+        assert_eq!(base.cells.len(), 1);
+        assert!(base.cells[0].avg_latency.mean > 0.0);
+
+        let fresh = record_bench("tiny", &spec, &rcfg, &chaos).unwrap();
+        let cmp = compare_bench(&base, &fresh, &GateOptions::default()).unwrap();
+        assert!(!cmp.has_regressions(), "{}", cmp.table());
+        // Deterministic re-run: every gated mean is exactly equal.
+        assert!(cmp.rows.iter().all(|r| r.base_mean == r.new_mean), "{}", cmp.table());
+
+        let forced = GateOptions { force_regress: true, ..GateOptions::default() };
+        let cmp = compare_bench(&base, &fresh, &forced).unwrap();
+        assert!(cmp.has_regressions(), "--force-regress must fire:\n{}", cmp.table());
+        assert!(cmp.table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn baseline_json_roundtrip_and_version_check() {
+        let spec = tiny_spec();
+        let base =
+            record_bench("tiny", &spec, &RunnerConfig::serial(), &ChaosOptions::default()).unwrap();
+        let json = base.to_json().unwrap();
+        let back = BenchBaseline::from_json(&json).unwrap();
+        assert_eq!(back, base);
+
+        let bad = json.replace(
+            &format!("\"format_version\": {BENCH_FORMAT_VERSION}"),
+            "\"format_version\": 999",
+        );
+        let err = BenchBaseline::from_json(&bad).unwrap_err();
+        assert!(err.contains("format version"), "{err}");
+    }
+
+    #[test]
+    fn deterministic_metrics_are_identical_across_recordings() {
+        let spec = tiny_spec();
+        let a =
+            record_bench("a", &spec, &RunnerConfig::serial(), &ChaosOptions::default()).unwrap();
+        let b =
+            record_bench("b", &spec, &RunnerConfig::serial(), &ChaosOptions::default()).unwrap();
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            // Everything but wall-clock throughput is bit-deterministic.
+            assert_eq!(ca.avg_latency, cb.avg_latency);
+            assert_eq!(ca.p99_latency, cb.p99_latency);
+            assert_eq!(ca.energy_per_flit_pj, cb.energy_per_flit_pj);
+            assert_eq!(ca.mttf_hours, cb.mttf_hours);
+        }
+    }
+
+    #[test]
+    fn compare_rejects_mismatched_grids() {
+        let spec = tiny_spec();
+        let base =
+            record_bench("tiny", &spec, &RunnerConfig::serial(), &ChaosOptions::default()).unwrap();
+        let mut other = base.clone();
+        other.spec.master_seed = 8;
+        let err = compare_bench(&base, &other, &GateOptions::default()).unwrap_err();
+        assert!(err.contains("grid mismatch"), "{err}");
+    }
+}

@@ -8,11 +8,14 @@ use crate::controller::{intellinoc_rl_config, ControlPolicy, RewardKind, RlContr
 use crate::designs::Design;
 use noc_rl::{QLearningConfig, QTable};
 use noc_sim::{
-    AttributionArtifacts, DecisionLog, HardFaultScenario, Network, Profiler, RouterObservation,
-    RunReport, RunTimeline, SimConfig, TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+    declare_network_metrics, export_network_metrics, render_exposition, AttributionArtifacts,
+    DecisionLog, HardFaultScenario, MetricsHub, MetricsRegistry, Network, Profiler,
+    RouterObservation, RunReport, RunTimeline, SimConfig, TimelineSample, TraceFilter, Tracer,
+    DEFAULT_TRACE_CAPACITY,
 };
 use noc_traffic::{ParsecBenchmark, WorkloadSpec};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The paper's default RL control time step in cycles (§6.3).
@@ -70,12 +73,60 @@ pub struct TelemetryOptions {
     pub attribution: bool,
     /// Record per-decision RL introspection (IntelliNoC only).
     pub decisions: bool,
+    /// Live metrics exposition (registry sampled each control step).
+    pub metrics: MetricsOptions,
 }
 
 impl TelemetryOptions {
     /// Whether any facility is enabled.
     pub fn any(&self) -> bool {
-        self.trace || self.timeline || self.profile || self.attribution || self.decisions
+        self.trace
+            || self.timeline
+            || self.profile
+            || self.attribution
+            || self.decisions
+            || self.metrics.enabled()
+    }
+}
+
+/// Live metrics exposition settings for one run.
+///
+/// The registry is sampled at the end of every `every_steps`-th control
+/// step (and once more at run end) and rendered to Prometheus text
+/// exposition. Snapshots are *published* — into a [`MetricsHub`] (which a
+/// [`MetricsServer`](noc_sim::MetricsServer) may be serving live) and/or a
+/// file — strictly outside simulation state, so enabling exposition never
+/// changes simulated behavior.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsOptions {
+    /// Publish snapshots into this hub (live TCP scraping, tests).
+    pub hub: Option<Arc<MetricsHub>>,
+    /// Overwrite this file with the latest snapshot each interval
+    /// (`-` writes to stdout instead).
+    pub file: Option<String>,
+    /// Snapshot interval in control steps (0 behaves as 1: every step).
+    pub every_steps: u64,
+}
+
+impl MetricsOptions {
+    /// Whether any exposition sink is configured.
+    pub fn enabled(&self) -> bool {
+        self.hub.is_some() || self.file.is_some()
+    }
+}
+
+/// Renders the registry and pushes the snapshot to the configured sinks.
+fn publish_metrics(opts: &MetricsOptions, reg: &MetricsRegistry) {
+    let text = render_exposition(reg);
+    if let Some(file) = &opts.file {
+        if file == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(file, &text) {
+            eprintln!("metrics: cannot write {file}: {e}");
+        }
+    }
+    if let Some(hub) = &opts.hub {
+        hub.publish(text);
     }
 }
 
@@ -93,6 +144,8 @@ pub struct TelemetryArtifacts {
     pub attribution: Option<AttributionArtifacts>,
     /// RL per-decision records and convergence samples.
     pub decisions: Option<DecisionLog>,
+    /// Final Prometheus exposition snapshot (metrics exposition was on).
+    pub exposition: Option<String>,
 }
 
 impl ExperimentConfig {
@@ -191,6 +244,7 @@ struct StepBase {
     injected_bits: u64,
     hop_retx: u64,
     e2e_retx: u64,
+    trace_drops: u64,
     modes: [u64; 5],
 }
 
@@ -212,6 +266,7 @@ fn sample_timeline(
     for (d, (&now, &before)) in mode_delta.iter_mut().zip(modes.iter().zip(&prev.modes)) {
         *d = now - before;
     }
+    let trace_drops = net.tracer().map(Tracer::evicted).unwrap_or(0);
     let sample = TimelineSample {
         cycle: net.now(),
         avg_latency: s.avg_latency(),
@@ -230,6 +285,7 @@ fn sample_timeline(
         packets_dropped: s.packets_dropped - prev.dropped,
         reroutes: s.reroutes - prev.reroutes,
         injected_bits: report.injected_bit_flips - prev.injected_bits,
+        trace_drops: trace_drops - prev.trace_drops,
     };
     *prev = StepBase {
         injected: s.packets_injected,
@@ -239,6 +295,7 @@ fn sample_timeline(
         injected_bits: report.injected_bit_flips,
         hop_retx: s.hop_retx_events,
         e2e_retx: s.e2e_retx_packets,
+        trace_drops,
         modes,
     };
     sample
@@ -284,6 +341,18 @@ pub fn run_experiment_instrumented(
     let profile = cfg.telemetry.profile;
     let mut timeline = if cfg.telemetry.timeline { Some(RunTimeline::new()) } else { None };
     let mut base = StepBase::default();
+    let metrics_opts = cfg.telemetry.metrics.clone();
+    let mut metrics_reg = if metrics_opts.enabled() {
+        let mut reg = MetricsRegistry::new();
+        declare_network_metrics(&mut reg).expect("static metric declarations are valid");
+        Some(reg)
+    } else {
+        None
+    };
+    let metrics_every = metrics_opts.every_steps.max(1);
+    let metric_labels: [(&str, &str); 2] =
+        [("design", cfg.design.label()), ("workload", &workload_name)];
+    let mut step_idx: u64 = 0;
 
     let mut policy = match cfg.design {
         Design::IntelliNoc => {
@@ -320,11 +389,24 @@ pub fn run_experiment_instrumented(
         if let Some(tl) = timeline.as_mut() {
             tl.push(sample_timeline(&net, &obs, &policy, &mut base));
         }
+        step_idx += 1;
+        if let Some(reg) = metrics_reg.as_mut() {
+            if step_idx.is_multiple_of(metrics_every) {
+                export_network_metrics(reg, &net, &metric_labels)
+                    .expect("static metric names are valid");
+                publish_metrics(&metrics_opts, reg);
+            }
+        }
     }
     // Close the timeline with the final (possibly partial) step.
     if let Some(tl) = timeline.as_mut() {
         let obs = net.observations();
         tl.push(sample_timeline(&net, &obs, &policy, &mut base));
+    }
+    // Close the exposition with the final network state.
+    if let Some(reg) = metrics_reg.as_mut() {
+        export_network_metrics(reg, &net, &metric_labels).expect("static metric names are valid");
+        publish_metrics(&metrics_opts, reg);
     }
 
     let report = net.report();
@@ -348,6 +430,7 @@ pub fn run_experiment_instrumented(
         profiler: net.take_profiler(),
         attribution: net.take_attribution(),
         decisions,
+        exposition: metrics_reg.as_ref().map(render_exposition),
     };
     (
         ExperimentOutcome {

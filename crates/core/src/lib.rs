@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bench;
 mod campaign;
 mod controller;
 mod designs;
@@ -49,6 +50,11 @@ mod modes;
 mod runner;
 mod sweeps;
 
+pub use bench::{
+    compare_bench, record_bench, BenchBaseline, BenchCell, BenchComparison, BenchRunMetrics,
+    BenchSpec, CompareRow, GateOptions, GateVerdict, MetricStats, BENCH_FORMAT_VERSION,
+    GATED_METRICS, REL_EPSILON,
+};
 pub use campaign::{
     campaign_scenarios, campaign_unit_keys, run_campaign, run_campaign_runner, CampaignConfig,
     CampaignReport, CampaignRow, CampaignRunReport,
@@ -57,8 +63,8 @@ pub use controller::{cpd_decide, intellinoc_rl_config, ControlPolicy, RewardKind
 pub use designs::Design;
 pub use experiment::{
     pretrain_intellinoc, run_experiment, run_experiment_instrumented,
-    run_experiment_keeping_policy, ExperimentConfig, ExperimentOutcome, TelemetryArtifacts,
-    TelemetryOptions, DEFAULT_TIME_STEP,
+    run_experiment_keeping_policy, ExperimentConfig, ExperimentOutcome, MetricsOptions,
+    TelemetryArtifacts, TelemetryOptions, DEFAULT_TIME_STEP,
 };
 pub use expert::{expert_decide, ExpertThresholds};
 pub use inspect::render_inspect_report;

@@ -34,6 +34,12 @@ const BUCKETS: usize = 64;
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,
+    /// Smallest recorded sample (`u64::MAX` when empty). Percentiles clamp
+    /// to `[min_sample, max_sample]` so sparse histograms return observed
+    /// latencies instead of bucket edges.
+    min_sample: u64,
+    /// Largest recorded sample (0 when empty).
+    max_sample: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -58,13 +64,15 @@ fn bucket_of(latency: u64) -> usize {
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { counts: vec![0; BUCKETS], total: 0 }
+        LatencyHistogram { counts: vec![0; BUCKETS], total: 0, min_sample: u64::MAX, max_sample: 0 }
     }
 
     /// Records one packet latency (cycles).
     pub fn record(&mut self, latency: u64) {
         self.counts[bucket_of(latency)] += 1;
         self.total += 1;
+        self.min_sample = self.min_sample.min(latency);
+        self.max_sample = self.max_sample.max(latency);
     }
 
     /// Number of recorded samples.
@@ -75,6 +83,10 @@ impl LatencyHistogram {
     /// Approximate latency (cycles) at quantile `q ∈ [0, 1]`, with linear
     /// interpolation inside the target bucket. Returns 0 when empty.
     ///
+    /// The interpolated value is clamped to the observed sample range, so
+    /// degenerate distributions answer exactly: the p99 of a single-sample
+    /// histogram is that sample, not the upper edge of its log₂ bucket.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -83,6 +95,7 @@ impl LatencyHistogram {
         if self.total == 0 {
             return 0.0;
         }
+        let clamp = |v: f64| v.clamp(self.min_sample as f64, self.max_sample as f64);
         let target = q * self.total as f64;
         let mut seen = 0.0;
         for (i, &c) in self.counts.iter().enumerate() {
@@ -94,11 +107,11 @@ impl LatencyHistogram {
                 let lo = bucket_edge(i);
                 let hi = bucket_edge(i + 1);
                 let frac = if c > 0 { ((target - seen) / c as f64).clamp(0.0, 1.0) } else { 0.0 };
-                return lo + (hi - lo) * frac;
+                return clamp(lo + (hi - lo) * frac);
             }
             seen = next;
         }
-        bucket_edge(BUCKETS)
+        clamp(bucket_edge(BUCKETS))
     }
 
     /// Median latency (cycles).
@@ -112,11 +125,32 @@ impl LatencyHistogram {
             *a += b;
         }
         self.total += other.total;
+        self.min_sample = self.min_sample.min(other.min_sample);
+        self.max_sample = self.max_sample.max(other.max_sample);
     }
 
     /// Non-empty `(bucket_lower_edge, count)` pairs, for reporting.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (bucket_edge(i), c))
+    }
+
+    /// Upper edges of every bucket, in order — the fixed bounds a
+    /// Prometheus-style exporter declares once.
+    pub fn exposition_bounds() -> Vec<f64> {
+        (0..BUCKETS).map(|i| bucket_edge(i + 1)).collect()
+    }
+
+    /// Cumulative sample counts at each of [`Self::exposition_bounds`]
+    /// (count of samples whose bucket upper edge is ≤ the bound).
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut cum = 0;
+        self.counts
+            .iter()
+            .map(|&c| {
+                cum += c;
+                cum
+            })
+            .collect()
     }
 }
 
@@ -257,5 +291,58 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn quantile_above_one_panics() {
         LatencyHistogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn single_sample_percentiles_return_the_sample_exactly() {
+        // Regression pin: every quantile of a one-sample histogram is that
+        // sample — not the upper edge of its log₂ bucket (100 lives in
+        // [90.5, 107.6), so the old interpolation answered ~107.6 for p99).
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 100.0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn percentiles_never_leave_observed_sample_range() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        h.record(500);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert!((10.0..=500.0).contains(&p), "p({q}) = {p} escaped [10, 500]");
+        }
+        assert_eq!(h.percentile(0.0), 10.0);
+        assert_eq!(h.percentile(1.0), 500.0);
+    }
+
+    #[test]
+    fn merge_carries_sample_range() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.percentile(0.0), 3.0);
+        assert_eq!(a.percentile(1.0), 100.0);
+    }
+
+    #[test]
+    fn cumulative_counts_match_bounds() {
+        let mut h = LatencyHistogram::new();
+        h.record(5);
+        h.record(5);
+        h.record(600);
+        let bounds = LatencyHistogram::exposition_bounds();
+        let cum = h.cumulative_counts();
+        assert_eq!(bounds.len(), cum.len());
+        assert_eq!(*cum.last().unwrap(), 3);
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "cumulative must be non-decreasing");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        // Two samples of 5 sit below the first bound ≥ 5's bucket edge.
+        let idx = bounds.iter().position(|&b| b > 5.0).unwrap();
+        assert_eq!(cum[idx], 2);
     }
 }

@@ -1,0 +1,394 @@
+//! Prometheus text exposition (version 0.0.4): rendering, escaping, and a
+//! round-trip parser.
+//!
+//! Rendering is byte-deterministic: families and series iterate in sorted
+//! order and values print with Rust's shortest-round-trip float formatting,
+//! so the same registry always renders the same bytes. The parser exists
+//! for round-trip testing and for downstream tools that want to diff two
+//! scrapes without a Prometheus server.
+
+use crate::metrics::{MetricsRegistry, SeriesValue};
+use std::fmt::Write as _;
+
+/// One flat sample: what a scraper sees after parsing. Histograms flatten
+/// into `_bucket` / `_sum` / `_count` samples exactly as exposed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (family name, possibly with a histogram suffix).
+    pub name: String,
+    /// Sorted label pairs (including the histogram `le` label).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Escapes a label value for exposition (`\` → `\\`, `"` → `\"`,
+/// newline → `\n`).
+#[must_use]
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_label_value`].
+///
+/// # Errors
+///
+/// Returns an error on a dangling or unknown escape sequence.
+pub fn unescape_label_value(v: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => return Err(format!("unknown escape `\\{other}` in label value")),
+            None => return Err("dangling `\\` at end of label value".into()),
+        }
+    }
+    Ok(out)
+}
+
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a sample value (or `le` bound): `+Inf` / `-Inf` / `NaN`,
+/// otherwise Rust's shortest round-trip representation.
+#[must_use]
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => s.parse().map_err(|_| format!("bad sample value `{s}`")),
+    }
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+}
+
+/// Renders a registry to Prometheus text exposition format.
+#[must_use]
+pub fn render_exposition(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, fam) in reg.families() {
+        if fam.series.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(&fam.help));
+        let _ = writeln!(out, "# TYPE {name} {}", fam.kind.keyword());
+        for (labels, value) in &fam.series {
+            match value {
+                SeriesValue::Counter(v) | SeriesValue::Gauge(v) => {
+                    out.push_str(name);
+                    render_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {}", format_value(*v));
+                }
+                SeriesValue::Histogram { cum, sum, count } => {
+                    for (c, b) in cum.iter().zip(&fam.bounds) {
+                        let _ = write!(out, "{name}_bucket");
+                        render_labels(&mut out, labels, Some(("le", &format_value(*b))));
+                        let _ = writeln!(out, " {c}");
+                    }
+                    let _ = write!(out, "{name}_bucket");
+                    render_labels(&mut out, labels, Some(("le", "+Inf")));
+                    let _ = writeln!(out, " {count}");
+                    let _ = write!(out, "{name}_sum");
+                    render_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {}", format_value(*sum));
+                    let _ = write!(out, "{name}_count");
+                    render_labels(&mut out, labels, None);
+                    let _ = writeln!(out, " {count}");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flattens a registry into the [`Sample`]s its exposition exposes, in
+/// exposition order (histograms become `_bucket`/`_sum`/`_count` samples
+/// with the `le` label merged in sorted position).
+#[must_use]
+pub fn registry_samples(reg: &MetricsRegistry) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for (name, fam) in reg.families() {
+        for (labels, value) in &fam.series {
+            match value {
+                SeriesValue::Counter(v) | SeriesValue::Gauge(v) => {
+                    out.push(Sample { name: name.to_owned(), labels: labels.clone(), value: *v });
+                }
+                SeriesValue::Histogram { cum, sum, count } => {
+                    let with_le = |bound: &str| {
+                        let mut l = labels.clone();
+                        l.push(("le".to_owned(), bound.to_owned()));
+                        l.sort();
+                        l
+                    };
+                    for (c, b) in cum.iter().zip(&fam.bounds) {
+                        out.push(Sample {
+                            name: format!("{name}_bucket"),
+                            labels: with_le(&format_value(*b)),
+                            value: *c as f64,
+                        });
+                    }
+                    out.push(Sample {
+                        name: format!("{name}_bucket"),
+                        labels: with_le("+Inf"),
+                        value: *count as f64,
+                    });
+                    out.push(Sample {
+                        name: format!("{name}_sum"),
+                        labels: labels.clone(),
+                        value: *sum,
+                    });
+                    out.push(Sample {
+                        name: format!("{name}_count"),
+                        labels: labels.clone(),
+                        value: *count as f64,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Byte index of the `}` closing the label block, skipping braces that
+/// appear inside quoted (possibly escaped) label values.
+fn closing_brace(line: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if in_quotes && c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            in_quotes = !in_quotes;
+        } else if c == '}' && !in_quotes {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn parse_label_block(block: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label pair without `=` in `{rest}`"))?;
+        let key = rest[..eq].trim().to_owned();
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("line {line_no}: label value must be quoted"))?;
+        // Find the closing quote, skipping escaped characters.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        let value =
+            unescape_label_value(&rest[..end]).map_err(|e| format!("line {line_no}: {e}"))?;
+        labels.push((key, value));
+        rest = &rest[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    labels.sort();
+    Ok(labels)
+}
+
+/// Parses exposition text back into flat [`Sample`]s (comments and blank
+/// lines are skipped; labels come back sorted and unescaped).
+///
+/// # Errors
+///
+/// Returns an error naming the offending line for any malformed sample.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_labels, value_str) = if line.contains('{') {
+            // Labeled sample: the value follows the closing brace. The
+            // brace must be found with a quote-aware scan — label values
+            // may contain literal `}` characters inside their quotes.
+            let close = closing_brace(line)
+                .ok_or_else(|| format!("line {line_no}: unterminated label block"))?;
+            let (head, tail) = line.split_at(close + 1);
+            (head, tail.trim())
+        } else {
+            let sp = line
+                .find(char::is_whitespace)
+                .ok_or_else(|| format!("line {line_no}: sample without a value"))?;
+            (&line[..sp], line[sp..].trim())
+        };
+        let (name, labels) = match name_labels.find('{') {
+            Some(open) => {
+                let name = name_labels[..open].trim();
+                let block = name_labels[open + 1..name_labels.len() - 1].trim();
+                (name, parse_label_block(block, line_no)?)
+            }
+            None => (name_labels.trim(), Vec::new()),
+        };
+        if name.is_empty() {
+            return Err(format!("line {line_no}: empty sample name"));
+        }
+        let value = parse_value(value_str).map_err(|e| format!("line {line_no}: {e}"))?;
+        out.push(Sample { name: name.to_owned(), labels, value });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.declare_counter("noc_packets_total", "Packets by event.").unwrap();
+        reg.counter_set("noc_packets_total", &[("event", "delivered")], 640.0).unwrap();
+        reg.counter_set("noc_packets_total", &[("event", "dropped")], 2.0).unwrap();
+        reg.declare_gauge("noc_temp_c", "Die temperature.").unwrap();
+        reg.gauge_set("noc_temp_c", &[("stat", "max")], 61.25).unwrap();
+        reg.declare_histogram("noc_latency_cycles", "Latency.", &[16.0, 64.0, 256.0]).unwrap();
+        reg.histogram_set("noc_latency_cycles", &[], &[10, 50, 90], 5000.0, 100).unwrap();
+        reg
+    }
+
+    #[test]
+    fn render_is_deterministic_and_well_formed() {
+        let reg = registry();
+        let a = render_exposition(&reg);
+        let b = render_exposition(&reg);
+        assert_eq!(a, b);
+        assert!(a.contains("# TYPE noc_packets_total counter"));
+        assert!(a.contains("noc_packets_total{event=\"delivered\"} 640"));
+        assert!(a.contains("noc_latency_cycles_bucket{le=\"16\"} 10"));
+        assert!(a.contains("noc_latency_cycles_bucket{le=\"+Inf\"} 100"));
+        assert!(a.contains("noc_latency_cycles_sum 5000"));
+        assert!(a.contains("noc_latency_cycles_count 100"));
+        assert!(a.contains("noc_temp_c{stat=\"max\"} 61.25"));
+    }
+
+    #[test]
+    fn parse_round_trips_the_registry() {
+        let reg = registry();
+        let parsed = parse_exposition(&render_exposition(&reg)).unwrap();
+        assert_eq!(parsed, registry_samples(&reg));
+    }
+
+    #[test]
+    fn escaping_round_trips_hostile_values() {
+        for v in ["plain", "w\"quote", "back\\slash", "new\nline", "mix\\\"\n\\n", "", "héllo🚀"]
+        {
+            let escaped = escape_label_value(v);
+            assert!(!escaped.contains('\n'), "escaped value must be single-line");
+            assert_eq!(unescape_label_value(&escaped).unwrap(), v);
+        }
+        assert!(unescape_label_value("dangling\\").is_err());
+        assert!(unescape_label_value("bad\\q").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_exposition("name_only").is_err());
+        assert!(parse_exposition("m{k=\"v} 1").is_err());
+        assert!(parse_exposition("m{k=v\"} 1").is_err());
+        assert!(parse_exposition("m 12abc").is_err());
+        let err = parse_exposition("m{k=\"v\"} x").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn parse_handles_special_values_and_comments() {
+        let text = "# HELP m help\n# TYPE m gauge\nm +Inf\nm2 -Inf\nm3 NaN\n\nm4 1e-9\n";
+        let samples = parse_exposition(text).unwrap();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].value, f64::INFINITY);
+        assert_eq!(samples[1].value, f64::NEG_INFINITY);
+        assert!(samples[2].value.is_nan());
+        assert_eq!(samples[3].value, 1e-9);
+    }
+
+    #[test]
+    fn empty_families_are_omitted() {
+        let mut reg = MetricsRegistry::new();
+        reg.declare_counter("declared_but_never_set", "x").unwrap();
+        assert_eq!(render_exposition(&reg), "");
+    }
+
+    #[test]
+    fn format_value_round_trips_through_parse() {
+        for v in [0.0, -1.5, 1e300, 1e-300, 123456789.123456, f64::MAX, f64::MIN_POSITIVE] {
+            let s = format_value(v);
+            assert_eq!(parse_value(&s).unwrap(), v, "value {v} via `{s}`");
+        }
+    }
+}

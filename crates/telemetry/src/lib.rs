@@ -19,22 +19,40 @@
 //! On top of the event stream sits an *analysis* layer (the `inspect`
 //! module): per-packet [`LatencyBreakdown`]s, spatial [`HeatGrid`]s, and RL
 //! [`DecisionLog`]s, all plain data with byte-deterministic renderers.
+//!
+//! PR 5 adds the *metrics* layer: a labeled [`MetricsRegistry`] (counters,
+//! gauges, fixed-bucket histograms) rendered to Prometheus text exposition
+//! ([`render_exposition`]) and optionally served live over a std-only TCP
+//! endpoint ([`MetricsServer`]) that only ever reads published snapshots —
+//! scraping a run can never perturb simulation state.
 
 #![forbid(unsafe_code)]
 
 mod event;
+mod exposition;
 mod inspect;
+mod metrics;
 mod profiler;
 mod runner;
+mod serve;
 mod timeline;
 mod tracer;
 
 pub use event::{Event, EventKind, GateEdge, RetxScope};
+pub use exposition::{
+    escape_label_value, format_value, parse_exposition, registry_samples, render_exposition,
+    unescape_label_value, Sample,
+};
 pub use inspect::{
     link_stats_csv, AttributionArtifacts, ConvergenceSample, DecisionLog, DecisionRecord, HeatGrid,
     LatencyBreakdown, LatencyComponents, LinkStat, PacketLatency, PairBreakdown,
 };
+pub use metrics::{
+    is_valid_label_name, is_valid_metric_name, LabelSet, MetricFamily, MetricKind, MetricsRegistry,
+    SeriesValue,
+};
 pub use profiler::{PhaseCounters, Profiler, RunRow, SectionStats};
 pub use runner::{runner_events_jsonl, RunnerEvent};
+pub use serve::{MetricsHub, MetricsServer};
 pub use timeline::{RunTimeline, TimelineSample};
 pub use tracer::{TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY};

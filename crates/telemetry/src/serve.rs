@@ -1,0 +1,195 @@
+//! Live metrics serving: a shared snapshot hub plus an optional std-only
+//! TCP endpoint.
+//!
+//! Determinism contract: the simulation thread *publishes* rendered
+//! exposition text into a [`MetricsHub`] at points it fully controls (once
+//! per control step). Serving — the TCP accept loop, response writing,
+//! wall-clock pacing of scrapers — happens on a separate thread that only
+//! ever *reads* the latest snapshot. Nothing on the serving side can feed
+//! back into simulation state, so enabling `--metrics-addr` cannot change
+//! a single simulated byte (pinned by same-seed byte-identity tests).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Shared holder of the most recent rendered exposition snapshot.
+///
+/// Cheap to clone behind an [`Arc`]; the publisher replaces the whole
+/// snapshot string atomically under a mutex held only for the swap.
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    snapshot: Mutex<String>,
+    version: AtomicU64,
+}
+
+impl MetricsHub {
+    /// A hub with an empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsHub::default()
+    }
+
+    /// Replaces the current snapshot with freshly rendered exposition text.
+    pub fn publish(&self, exposition: String) {
+        *self.snapshot.lock().expect("metrics hub poisoned") = exposition;
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The latest published exposition text (empty before first publish).
+    #[must_use]
+    pub fn snapshot(&self) -> String {
+        self.snapshot.lock().expect("metrics hub poisoned").clone()
+    }
+
+    /// How many times [`MetricsHub::publish`] has run — lets tests and
+    /// scrapers detect staleness without comparing bodies.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+/// A minimal HTTP/1.0 endpoint serving the hub's latest snapshot.
+///
+/// Every connection gets one `200 OK` response carrying the current
+/// exposition text, then the socket closes — exactly what a Prometheus
+/// scraper or `curl` needs, with no HTTP library dependency.
+pub struct MetricsServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9606`, or port `0` for an ephemeral
+    /// port) and starts the accept thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn bind(addr: &str, hub: Arc<MetricsHub>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("noc-metrics-serve".into())
+            .spawn(move || accept_loop(&listener, &hub, &thread_stop))?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port `0` to the actual ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and waits for it to exit.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Wake the blocking accept() with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, hub: &MetricsHub, stop: &AtomicBool) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else { continue };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Serve inline: scrape traffic is a single client at low frequency,
+        // and one thread keeps shutdown trivially race-free.
+        let _ = serve_one(stream, hub);
+    }
+}
+
+fn serve_one(mut stream: TcpStream, hub: &MetricsHub) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    // Drain the request head; the path is irrelevant — every request gets
+    // the metrics page.
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if head.len() > 16 * 1024 {
+            break; // refuse to buffer absurd request heads
+        }
+    }
+    let body = hub.snapshot();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: std::net::SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn hub_publishes_and_versions() {
+        let hub = MetricsHub::new();
+        assert_eq!(hub.snapshot(), "");
+        assert_eq!(hub.version(), 0);
+        hub.publish("a 1\n".into());
+        hub.publish("a 2\n".into());
+        assert_eq!(hub.snapshot(), "a 2\n");
+        assert_eq!(hub.version(), 2);
+    }
+
+    #[test]
+    fn server_serves_latest_snapshot() {
+        let hub = Arc::new(MetricsHub::new());
+        hub.publish("noc_up 1\n".into());
+        let mut server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let first = scrape(server.local_addr());
+        assert!(first.starts_with("HTTP/1.0 200 OK"), "{first}");
+        assert!(first.contains("text/plain; version=0.0.4"));
+        assert!(first.ends_with("noc_up 1\n"), "{first}");
+
+        hub.publish("noc_up 2\n".into());
+        let second = scrape(server.local_addr());
+        assert!(second.ends_with("noc_up 2\n"), "{second}");
+
+        server.shutdown();
+        // Idempotent: a second shutdown (and the eventual Drop) are no-ops.
+        server.shutdown();
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the Prometheus exposition layer: escaping is lossless,
+//! rendering an arbitrary registry and re-parsing it reproduces the flat
+//! sample snapshot byte-for-byte, and malformed names are rejected with an
+//! error that names the offender.
+//!
+//! The vendored proptest has no string strategies, so names and label
+//! values are built from index vectors over explicit char palettes.
+
+use noc_telemetry::{
+    escape_label_value, parse_exposition, registry_samples, render_exposition,
+    unescape_label_value, MetricsRegistry,
+};
+use proptest::prelude::*;
+
+/// Valid first characters of a metric name (`[a-zA-Z_:]`).
+const NAME_FIRST: &[char] = &['a', 'q', 'z', 'A', 'Z', '_', ':'];
+/// Valid non-first metric-name characters (`[a-zA-Z0-9_:]`).
+const NAME_REST: &[char] = &['a', 'f', 'z', 'B', '0', '7', '9', '_', ':'];
+/// Valid label-name characters after the first (`[a-zA-Z0-9_]`).
+const LABEL_REST: &[char] = &['a', 'e', 'x', 'D', '0', '5', '_'];
+/// Label-value palette: includes every escaped character plus the
+/// exposition-format delimiters that must survive inside quotes.
+const VALUE_CHARS: &[char] =
+    &['a', 'Z', '0', ' ', '"', '\\', '\n', '{', '}', '=', ',', '#', 'é', '試'];
+/// Characters that can never appear in a metric or label name.
+const BAD_NAME_CHARS: &[char] = &['-', ' ', '.', '{', '"', '\n', '%'];
+
+fn pick(palette: &[char], idxs: &[usize]) -> String {
+    idxs.iter().map(|&i| palette[i % palette.len()]).collect()
+}
+
+fn metric_name() -> impl Strategy<Value = String> {
+    (0usize..NAME_FIRST.len(), prop::collection::vec(0usize..NAME_REST.len(), 0..10)).prop_map(
+        |(first, rest)| {
+            let mut s = String::new();
+            s.push(NAME_FIRST[first]);
+            s.push_str(&pick(NAME_REST, &rest));
+            s
+        },
+    )
+}
+
+fn label_name() -> impl Strategy<Value = String> {
+    (0usize..NAME_FIRST.len() - 1, prop::collection::vec(0usize..LABEL_REST.len(), 0..8)).prop_map(
+        |(first, rest)| {
+            let mut s = String::new();
+            s.push(NAME_FIRST[first]); // skip ':' (index len-1): labels exclude it
+            s.push_str(&pick(LABEL_REST, &rest));
+            s
+        },
+    )
+}
+
+fn label_value() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..VALUE_CHARS.len(), 0..12).prop_map(|is| pick(VALUE_CHARS, &is))
+}
+
+proptest! {
+    /// Escaping then unescaping any label value is the identity, and the
+    /// escaped form never contains a raw quote or newline (so it can sit
+    /// inside the `name{label="..."}` quoting).
+    #[test]
+    fn escape_round_trips_any_label_value(v in label_value()) {
+        let escaped = escape_label_value(&v);
+        prop_assert!(!escaped.contains('\n'));
+        prop_assert!(!escaped.replace("\\\\", "").replace("\\\"", "").contains('"'));
+        prop_assert_eq!(unescape_label_value(&escaped).unwrap(), v);
+    }
+
+    /// A dangling backslash appended to any escaped value is rejected.
+    #[test]
+    fn dangling_escape_is_rejected(v in label_value()) {
+        let mut escaped = escape_label_value(&v);
+        escaped.push('\\');
+        prop_assert!(unescape_label_value(&escaped).is_err());
+    }
+
+    /// Rendering an arbitrary registry of counters and gauges with
+    /// arbitrary (escapable) label values, then parsing the text back,
+    /// reproduces the registry's flat sample snapshot exactly.
+    #[test]
+    fn render_parse_round_trips_counters_and_gauges(
+        counter in metric_name(),
+        gauge in metric_name(),
+        key in label_name(),
+        series in prop::collection::vec((label_value(), 0f64..1e12), 1..6),
+        gauge_value in -1e12f64..1e12,
+    ) {
+        prop_assume!(counter != gauge);
+        let mut reg = MetricsRegistry::new();
+        reg.declare_counter(&counter, "prop counter").unwrap();
+        reg.declare_gauge(&gauge, "prop gauge").unwrap();
+        for (value, total) in &series {
+            reg.counter_set(&counter, &[(key.as_str(), value.as_str())], *total).unwrap();
+        }
+        reg.gauge_set(&gauge, &[], gauge_value).unwrap();
+
+        let text = render_exposition(&reg);
+        let parsed = parse_exposition(&text).unwrap();
+        prop_assert_eq!(parsed, registry_samples(&reg));
+    }
+
+    /// Histogram families (bucket/sum/count flattening plus the implicit
+    /// `+Inf` bucket) also survive the render→parse round trip.
+    #[test]
+    fn render_parse_round_trips_histograms(
+        name in metric_name(),
+        value in label_value(),
+        obs in prop::collection::vec(0f64..20.0, 1..40),
+    ) {
+        let mut reg = MetricsRegistry::new();
+        reg.declare_histogram(&name, "prop histogram", &[1.0, 4.0, 16.0]).unwrap();
+        for o in &obs {
+            reg.observe(&name, &[("w", value.as_str())], *o).unwrap();
+        }
+        let parsed = parse_exposition(&render_exposition(&reg)).unwrap();
+        prop_assert_eq!(parsed, registry_samples(&reg));
+    }
+
+    /// Declaring a metric whose name contains an illegal character fails,
+    /// and the error message names the offending metric.
+    #[test]
+    fn malformed_metric_name_is_rejected_by_name(
+        good in metric_name(),
+        bad_idx in 0usize..BAD_NAME_CHARS.len(),
+        at in 0usize..8,
+    ) {
+        let mut name: Vec<char> = good.chars().collect();
+        name.insert(at.min(name.len()), BAD_NAME_CHARS[bad_idx]);
+        let name: String = name.into_iter().collect();
+        let mut reg = MetricsRegistry::new();
+        let err = reg.declare_counter(&name, "bad").unwrap_err();
+        prop_assert!(err.contains(&format!("`{name}`")), "error `{}` must name `{}`", err, name);
+    }
+
+    /// Setting a series under a malformed label name fails, and the error
+    /// names the offending label.
+    #[test]
+    fn malformed_label_name_is_rejected_by_name(
+        metric in metric_name(),
+        good in label_name(),
+        bad_idx in 0usize..BAD_NAME_CHARS.len(),
+    ) {
+        let bad = format!("{good}{}", BAD_NAME_CHARS[bad_idx]);
+        let mut reg = MetricsRegistry::new();
+        reg.declare_counter(&metric, "ok").unwrap();
+        let err = reg.counter_set(&metric, &[(bad.as_str(), "v")], 1.0).unwrap_err();
+        prop_assert!(err.contains(&format!("`{bad}`")), "error `{}` must name `{}`", err, bad);
+    }
+}
