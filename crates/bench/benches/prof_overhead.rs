@@ -1,0 +1,73 @@
+//! Microbenchmark for the span-profiler cost model: `step_cycle` with no
+//! profiler installed (every span hook is one `Option` discriminant check —
+//! the <1% disabled-overhead claim), with the full span stack recording,
+//! and the span-tree aggregation path in isolation (enter/count/exit per
+//! synthetic cycle, no simulator).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use noc_sim::{Network, SimConfig};
+use noc_telemetry::Profiler;
+use noc_traffic::WorkloadSpec;
+
+const CYCLES: u64 = 20_000;
+
+fn make_network() -> Network {
+    let cfg = SimConfig { seed: 7, ..SimConfig::default() };
+    Network::new(cfg, WorkloadSpec::uniform(0.03, 200), 7)
+}
+
+fn bench_prof_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prof_overhead_20k");
+    g.sample_size(10);
+
+    g.bench_function("profiling_disabled", |b| {
+        b.iter_batched(
+            make_network,
+            |mut net| {
+                net.run_cycles(CYCLES);
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("span_profiling_enabled", |b| {
+        b.iter_batched(
+            || {
+                let mut net = make_network();
+                net.install_profiler(Profiler::new());
+                net
+            },
+            |mut net| {
+                net.run_cycles(CYCLES);
+                net
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("span_stack_only", |b| {
+        b.iter_batched(
+            Profiler::new,
+            |mut prof| {
+                for _ in 0..CYCLES {
+                    prof.span_enter("step_cycle");
+                    prof.span_enter("alloc.vc_sa");
+                    prof.span_count(1, 1);
+                    prof.span_exit();
+                    prof.span_enter("link.traverse");
+                    prof.span_count(2, 0);
+                    prof.span_exit();
+                    prof.span_exit();
+                }
+                prof
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_prof_overhead);
+criterion_main!(benches);

@@ -2,15 +2,18 @@
 
 use crate::args::Args;
 use intellinoc::{
-    compare as compare_outcomes, compare_bench, intellinoc_rl_config, pretrain_intellinoc,
-    record_bench, render_inspect_report, run_campaign_runner, run_experiment,
-    run_experiment_instrumented, run_load_sweep, BenchBaseline, BenchSpec, CampaignConfig,
-    ChaosOptions, Design, ExperimentConfig, ExperimentOutcome, GateOptions, MetricsOptions,
-    RewardKind, RunnerConfig, RunnerReport, TelemetryArtifacts, TelemetryOptions,
+    classify_timeout, compare as compare_outcomes, compare_bench, intellinoc_rl_config,
+    pretrain_intellinoc, record_bench_profiled, render_inspect_report,
+    run_campaign_runner_profiled, run_experiment, run_experiment_instrumented,
+    run_experiment_profiled, run_load_sweep_profiled, run_units, BenchBaseline, BenchSpec,
+    CampaignConfig, ChaosOptions, Design, ExperimentConfig, ExperimentOutcome, FleetObserver,
+    FleetProgress, GateOptions, MetricsOptions, RewardKind, RunnerConfig, RunnerReport,
+    TelemetryArtifacts, TelemetryOptions, UnitCtx, UnitVerdict,
 };
 use noc_power::AreaModel;
 use noc_sim::{
-    runner_events_jsonl, EventKind, MetricsHub, MetricsServer, Network, Profiler, TraceFilter,
+    render_exposition, runner_events_jsonl, EventKind, MetricsHub, MetricsRegistry, MetricsServer,
+    Network, Profiler, RunnerEvent, TraceFilter,
 };
 use noc_traffic::{
     capture_trace, read_trace, write_trace, ParsecBenchmark, TraceReplay, WorkloadSpec,
@@ -18,7 +21,7 @@ use noc_traffic::{
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Terminal disposition of a subcommand, mapped to a process exit code by
 /// `main`: `Done` → 0, `Partial` → 2 (and `Err` → 1).
@@ -96,6 +99,7 @@ pub fn runner_config_from(args: &Args) -> Result<(RunnerConfig, ChaosOptions), S
             Some(v) => Some(v.parse().map_err(|_| format!("invalid --max-units: {v}"))?),
             None => None,
         },
+        observer: None,
     };
     if cfg.resume && cfg.journal.is_none() {
         return Err("--resume requires --journal <path>".into());
@@ -107,19 +111,145 @@ pub fn runner_config_from(args: &Args) -> Result<(RunnerConfig, ChaosOptions), S
     Ok((cfg, chaos))
 }
 
-/// Emits the runner-level artifacts shared by the grid commands: the
-/// lifecycle-event JSONL (`--runner-log`), the per-run wall-clock profile
-/// (`--profile`), and the status summary line.
-fn emit_runner<T>(args: &Args, label: &str, report: &RunnerReport<T>) -> Result<(), String> {
-    if let Some(path) = args.get("runner-log") {
-        std::fs::write(path, runner_events_jsonl(&report.events))
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("{label}: {} runner events written to {path}", report.events.len());
+/// Whether the command line asks for span profiling, and the fleet-wide
+/// sink the grid's units merge their span trees into when it does.
+fn prof_sink_from(args: &Args) -> Option<Mutex<Profiler>> {
+    let wanted = args.has_flag("profile")
+        || args.get("profile-out").is_some()
+        || args.get("prof-out").is_some()
+        || args.get("flame-out").is_some();
+    wanted.then(|| Mutex::new(Profiler::new()))
+}
+
+/// Drains a fleet profiler sink and writes the span-tree artifacts: the
+/// deterministic cycle-domain table (`--prof-out`) and the collapsed-stack
+/// flamegraph (`--flame-out`, inferno/speedscope-loadable).
+fn emit_fleet_profile(
+    args: &Args,
+    label: &str,
+    sink: Option<Mutex<Profiler>>,
+) -> Result<Option<Profiler>, String> {
+    let Some(sink) = sink else { return Ok(None) };
+    let prof = sink.into_inner().expect("profiler sink lock");
+    let tree = prof.span_tree();
+    if let Some(path) = args.get("prof-out") {
+        std::fs::write(path, tree.tree_table()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("{label}: cycle-domain span table ({} spans) written to {path}", tree.len());
     }
-    if args.has_flag("profile") {
-        let mut prof = Profiler::new();
-        report.fill_profiler(&mut prof);
-        print!("{}", prof.table());
+    if let Some(path) = args.get("flame-out") {
+        std::fs::write(path, tree.flamegraph()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("{label}: collapsed-stack flamegraph ({} stacks) written to {path}", tree.len());
+    }
+    Ok(Some(prof))
+}
+
+/// Declares the `noc_runner_*` fleet-progress gauge families.
+fn declare_fleet_metrics(reg: &mut MetricsRegistry) -> Result<(), String> {
+    reg.declare_gauge("noc_runner_units_done", "Units finished so far in this grid invocation.")?;
+    reg.declare_gauge("noc_runner_units_total", "Units dispatched in this grid invocation.")?;
+    reg.declare_gauge("noc_runner_unit_wall_ms", "Unit wall-clock percentile so far (ms).")?;
+    reg.declare_gauge("noc_runner_eta_seconds", "Estimated seconds until the grid completes.")?;
+    reg.declare_counter("noc_runner_worker_units_total", "Units completed, per worker.")?;
+    reg.declare_gauge(
+        "noc_runner_worker_last_unit_wall_ms",
+        "Wall-clock of the last unit each worker completed (ms).",
+    )?;
+    Ok(())
+}
+
+/// Builds the fleet observer from `--progress` (live progress/ETA lines on
+/// stderr) and `--metrics-addr` (per-worker `noc_runner_*` gauges served as
+/// Prometheus exposition), installing it into `rcfg`. Returns the metrics
+/// server handle, which must stay alive for the duration of the grid.
+fn attach_fleet_observer(
+    args: &Args,
+    label: &'static str,
+    rcfg: &mut RunnerConfig,
+) -> Result<Option<MetricsServer>, String> {
+    let progress = args.has_flag("progress");
+    let mut hub = None;
+    let mut server = None;
+    if let Some(addr) = args.get("metrics-addr") {
+        let h = Arc::new(MetricsHub::new());
+        let s = MetricsServer::bind(addr, Arc::clone(&h))
+            .map_err(|e| format!("binding metrics endpoint {addr}: {e}"))?;
+        eprintln!("{label}: serving fleet progress on http://{}/metrics", s.local_addr());
+        hub = Some(h);
+        server = Some(s);
+    }
+    if !progress && hub.is_none() {
+        return Ok(None);
+    }
+    let mut reg = MetricsRegistry::new();
+    declare_fleet_metrics(&mut reg)?;
+    let reg = Mutex::new(reg);
+    let observer: FleetObserver =
+        Arc::new(move |p: &FleetProgress| {
+            if progress {
+                eprintln!(
+                "{label}: {}/{} done ({}) key={} wall={:.0}ms p50={:.0}ms p95={:.0}ms eta={:.1}s",
+                p.done, p.total, p.status.label(), p.key, p.wall_ms, p.p50_ms, p.p95_ms, p.eta_s
+            );
+            }
+            if let Some(hub) = &hub {
+                let mut reg = reg.lock().expect("fleet metrics registry lock");
+                let worker = p.worker.to_string();
+                let wl = [("worker", worker.as_str())];
+                let set = |reg: &mut MetricsRegistry| -> Result<(), String> {
+                    reg.gauge_set("noc_runner_units_done", &[], p.done as f64)?;
+                    reg.gauge_set("noc_runner_units_total", &[], p.total as f64)?;
+                    reg.gauge_set("noc_runner_unit_wall_ms", &[("quantile", "0.5")], p.p50_ms)?;
+                    reg.gauge_set("noc_runner_unit_wall_ms", &[("quantile", "0.95")], p.p95_ms)?;
+                    reg.gauge_set("noc_runner_eta_seconds", &[], p.eta_s)?;
+                    reg.counter_add("noc_runner_worker_units_total", &wl, 1.0)?;
+                    reg.gauge_set("noc_runner_worker_last_unit_wall_ms", &wl, p.wall_ms)?;
+                    Ok(())
+                };
+                set(&mut reg).expect("fleet gauge names are static and valid");
+                hub.publish(render_exposition(&reg));
+            }
+        });
+    rcfg.observer = Some(observer);
+    Ok(server)
+}
+
+/// Emits the runner-level artifacts shared by the grid commands: the
+/// lifecycle-event JSONL (`--runner-log`, with a trailing profile health
+/// note when profiling ran), the wall-clock profile table (`--profile` to
+/// stdout, `--profile-out` to a file), and the status summary line.
+fn emit_runner<T>(
+    args: &Args,
+    label: &str,
+    report: &RunnerReport<T>,
+    prof: Option<&Profiler>,
+) -> Result<(), String> {
+    if let Some(path) = args.get("runner-log") {
+        let mut events = report.events.clone();
+        if let Some(p) = prof {
+            events.push(RunnerEvent::ProfileNote {
+                key: label.to_owned(),
+                trace_drops: p.trace_drops().unwrap_or(0),
+                span_truncations: p.span_tree().truncated_enters(),
+                unbalanced_exits: p.span_tree().unbalanced_exits(),
+            });
+        }
+        std::fs::write(path, runner_events_jsonl(&events))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("{label}: {} runner events written to {path}", events.len());
+    }
+    if args.has_flag("profile") || args.get("profile-out").is_some() {
+        let mut wall = Profiler::new();
+        report.fill_profiler(&mut wall);
+        if let Some(p) = prof {
+            wall.merge(p);
+        }
+        match args.get("profile-out") {
+            Some(path) => {
+                std::fs::write(path, wall.table()).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("{label}: profile table written to {path}");
+            }
+            None => print!("{}", wall.table()),
+        }
     }
     eprintln!("{label}: {}", report.summary());
     Ok(())
@@ -187,7 +317,10 @@ pub fn telemetry_from(args: &Args) -> Result<TelemetryOptions, String> {
         trace_filter,
         trace_capacity: args.get_or("trace-capacity", 0usize)?,
         timeline: args.get("timeline-out").is_some(),
-        profile: args.has_flag("profile"),
+        profile: args.has_flag("profile")
+            || args.get("profile-out").is_some()
+            || args.get("prof-out").is_some()
+            || args.get("flame-out").is_some(),
         attribution: args.has_flag("attribution"),
         decisions: args.has_flag("decisions"),
         metrics: MetricsOptions {
@@ -239,7 +372,23 @@ fn emit_telemetry(args: &Args, artifacts: &TelemetryArtifacts) -> Result<(), Str
         eprintln!("timeline: {} samples written to {path}", timeline.len());
     }
     if let Some(profiler) = &artifacts.profiler {
-        print!("{}", profiler.table());
+        match args.get("profile-out") {
+            Some(path) => {
+                std::fs::write(path, profiler.table())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("profile: table written to {path}");
+            }
+            None => print!("{}", profiler.table()),
+        }
+        let tree = profiler.span_tree();
+        if let Some(path) = args.get("prof-out") {
+            std::fs::write(path, tree.tree_table()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("profile: cycle-domain span table ({} spans) written to {path}", tree.len());
+        }
+        if let Some(path) = args.get("flame-out") {
+            std::fs::write(path, tree.flamegraph()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("profile: flamegraph ({} stacks) written to {path}", tree.len());
+        }
     }
     Ok(())
 }
@@ -392,8 +541,18 @@ pub fn sweep(args: &Args) -> CmdResult {
         .map(|r| r.trim().parse().map_err(|_| format!("invalid rate: {r}")))
         .collect::<Result<_, _>>()?;
     let ppn = args.get_or("ppn", 100u64)?;
-    let (rcfg, chaos) = runner_config_from(args)?;
-    let report = run_load_sweep(design, &rates, ppn, args.get_or("seed", 1u64)?, &rcfg, &chaos)?;
+    let (mut rcfg, chaos) = runner_config_from(args)?;
+    let server = attach_fleet_observer(args, "sweep", &mut rcfg)?;
+    let sink = prof_sink_from(args);
+    let report = run_load_sweep_profiled(
+        design,
+        &rates,
+        ppn,
+        args.get_or("seed", 1u64)?,
+        &rcfg,
+        &chaos,
+        sink.as_ref(),
+    )?;
     println!(
         "{:>8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>4}",
         "rate", "exec_cyc", "avg_lat", "p99_lat", "deliv%", "power_mW", "status", "try"
@@ -428,7 +587,9 @@ pub fn sweep(args: &Args) -> CmdResult {
             }
         }
     }
-    emit_runner(args, "sweep", &report)?;
+    let prof = emit_fleet_profile(args, "sweep", sink)?;
+    emit_runner(args, "sweep", &report, prof.as_ref())?;
+    drop(server);
     Ok(if report.is_clean() { CmdOutcome::Done } else { CmdOutcome::Partial })
 }
 
@@ -492,9 +653,11 @@ pub fn campaign(args: &Args) -> CmdResult {
         None => cfg.router_fail_at,
     };
     cfg.flapping = args.get_or("flapping", cfg.flapping)?;
-    let (rcfg, chaos) = runner_config_from(args)?;
+    let (mut rcfg, chaos) = runner_config_from(args)?;
+    let server = attach_fleet_observer(args, "campaign", &mut rcfg)?;
+    let sink = prof_sink_from(args);
 
-    let report = run_campaign_runner(&cfg, &rcfg, &chaos)?;
+    let report = run_campaign_runner_profiled(&cfg, &rcfg, &chaos, sink.as_ref())?;
     if args.has_flag("json") {
         let s = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         println!("{s}");
@@ -569,7 +732,9 @@ pub fn campaign(args: &Args) -> CmdResult {
         }
         eprintln!("campaign: min delivery rate {min:.4} >= {threshold:.4}");
     }
-    emit_runner(args, "campaign", &report.runner)?;
+    let prof = emit_fleet_profile(args, "campaign", sink)?;
+    emit_runner(args, "campaign", &report.runner, prof.as_ref())?;
+    drop(server);
     Ok(if report.runner.is_clean() { CmdOutcome::Done } else { CmdOutcome::Partial })
 }
 
@@ -601,7 +766,9 @@ fn bench_spec_from(args: &Args) -> Result<BenchSpec, String> {
 fn bench_record_cmd(args: &Args) -> CmdResult {
     let name = args.get("name").unwrap_or("designs").to_owned();
     let spec = bench_spec_from(args)?;
-    let (rcfg, chaos) = runner_config_from(args)?;
+    let (mut rcfg, chaos) = runner_config_from(args)?;
+    let server = attach_fleet_observer(args, "bench", &mut rcfg)?;
+    let sink = prof_sink_from(args);
     let units = spec.keys().len();
     eprintln!(
         "bench record: {} designs x {} rates x {} seeds = {units} units",
@@ -609,7 +776,18 @@ fn bench_record_cmd(args: &Args) -> CmdResult {
         spec.rates.len(),
         spec.seeds
     );
-    let baseline = record_bench(&name, &spec, &rcfg, &chaos)?;
+    let baseline = record_bench_profiled(&name, &spec, &rcfg, &chaos, sink.as_ref())?;
+    if let Some(prof) = emit_fleet_profile(args, "bench", sink)? {
+        match args.get("profile-out") {
+            Some(path) => {
+                std::fs::write(path, prof.table()).map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("bench: profile table written to {path}");
+            }
+            None if args.has_flag("profile") => print!("{}", prof.table()),
+            None => {}
+        }
+    }
+    drop(server);
     let out = args.get("out").map(str::to_owned).unwrap_or_else(|| format!("BENCH_{name}.json"));
     std::fs::write(&out, baseline.to_json()?).map_err(|e| format!("writing {out}: {e}"))?;
     eprintln!("bench record: {} cells written to {out}", baseline.cells.len());
@@ -645,7 +823,7 @@ fn bench_compare_cmd(args: &Args) -> CmdResult {
         baseline.name,
         baseline.spec.keys().len()
     );
-    let fresh = record_bench(&baseline.name, &baseline.spec, &rcfg, &chaos)?;
+    let fresh = record_bench_profiled(&baseline.name, &baseline.spec, &rcfg, &chaos, None)?;
     if let Some(out) = args.get("fresh-out") {
         std::fs::write(out, fresh.to_json()?).map_err(|e| format!("writing {out}: {e}"))?;
         eprintln!("bench compare: fresh recording written to {out}");
@@ -671,6 +849,80 @@ pub fn bench(args: &Args) -> CmdResult {
         Some("compare") => bench_compare_cmd(args),
         _ => Err("usage: intellinoc bench <record|compare> [options]".into()),
     }
+}
+
+/// `intellinoc profile` — run a bench grid with span profiling enabled on
+/// every unit, merge the per-unit span trees across workers, and report
+/// where `step_cycle` spends its time: the deterministic cycle-domain tree,
+/// the top-N spans by self wall-clock, and the flamegraph/table artifacts.
+pub fn profile(args: &Args) -> CmdResult {
+    let spec = bench_spec_from(args)?;
+    let (mut rcfg, chaos) = runner_config_from(args)?;
+    let server = attach_fleet_observer(args, "profile", &mut rcfg)?;
+    let sink = Mutex::new(Profiler::new());
+    let keys = spec.keys();
+    eprintln!(
+        "profile: {} designs x {} rates x {} seeds = {} units",
+        spec.designs.len(),
+        spec.rates.len(),
+        spec.seeds,
+        keys.len()
+    );
+    let report = run_units(spec.master_seed, &keys, &rcfg, &chaos, |ctx: &UnitCtx| {
+        let idx = keys.iter().position(|k| k == ctx.key).expect("key from supplied list");
+        let (design, rate) = spec.cell_of(idx);
+        let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, spec.ppn))
+            .with_seed(ctx.seed)
+            .with_deadline(ctx.deadline_cycles);
+        let budget = cfg.max_cycles;
+        let o = run_experiment_profiled(cfg, Some(&sink));
+        match classify_timeout(&o.report, budget) {
+            Some(timeout) => UnitVerdict::TimedOut { partial: Some(()), report: timeout },
+            None => UnitVerdict::Ok(()),
+        }
+    })?;
+    let prof = sink.into_inner().expect("profiler sink lock");
+    let tree = prof.span_tree();
+    print!("{}", tree.tree_table());
+    let top_n = args.get_or("top", 10usize)?;
+    println!();
+    println!("top {top_n} spans by self wall-clock (nondeterministic):");
+    for (path, self_ns, s) in tree.top_self(top_n) {
+        println!(
+            "  {:<44} {:>12.3} ms {:>10} calls {:>12} flits",
+            path,
+            self_ns as f64 / 1e6,
+            s.calls,
+            s.flits
+        );
+    }
+    if let Some(path) = args.get("prof-out") {
+        std::fs::write(path, tree.tree_table()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("profile: cycle-domain span table ({} spans) written to {path}", tree.len());
+    }
+    if let Some(path) = args.get("flame-out") {
+        std::fs::write(path, tree.flamegraph()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("profile: collapsed-stack flamegraph ({} stacks) written to {path}", tree.len());
+    }
+    if let Some(path) = args.get("profile-out") {
+        std::fs::write(path, prof.table()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("profile: profile table written to {path}");
+    }
+    if let Some(path) = args.get("runner-log") {
+        let mut events = report.events.clone();
+        events.push(RunnerEvent::ProfileNote {
+            key: "profile".to_owned(),
+            trace_drops: prof.trace_drops().unwrap_or(0),
+            span_truncations: tree.truncated_enters(),
+            unbalanced_exits: tree.unbalanced_exits(),
+        });
+        std::fs::write(path, runner_events_jsonl(&events))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("profile: {} runner events written to {path}", events.len());
+    }
+    eprintln!("profile: {}", report.summary());
+    drop(server);
+    Ok(if report.is_clean() { CmdOutcome::Done } else { CmdOutcome::Partial })
 }
 
 /// `intellinoc area`.

@@ -12,6 +12,8 @@
 //!                     [--deadline-cycles N] [--max-retries N]
 //! intellinoc bench record  [--grid designs|ci] [--seeds N] [--out BENCH_x.json]
 //! intellinoc bench compare --baseline BENCH_x.json [--force-regress]
+//! intellinoc profile  [--grid designs|ci] [--top N] [--prof-out F.txt]
+//!                     [--flame-out F.folded] [--profile-out F.txt]
 //! intellinoc area
 //! intellinoc list
 //! ```
@@ -32,6 +34,7 @@ fn main() {
         Some("trace") => commands::trace(&args),
         Some("campaign") => commands::campaign(&args),
         Some("bench") => commands::bench(&args),
+        Some("profile") => commands::profile(&args),
         Some("area") => commands::area(),
         Some("list") => commands::list(),
         Some(other) => {
@@ -90,10 +93,15 @@ fn usage() {
     eprintln!("           compare --baseline BENCH_X.json [--fresh-out F.json] [--json]");
     eprintln!("                   [--gate-throughput] [--force-regress (chaos: prove the gate)]");
     eprintln!("           both accept runner options; compare exits 2 on regression");
+    eprintln!("  profile  run a bench grid with span profiling, merge span trees fleet-wide");
+    eprintln!("           [--grid designs|ci] [--designs d1,d2] [--rates r1,r2] [--seeds N]");
+    eprintln!("           [--top N] [--prof-out F.txt (deterministic cycle-domain table)]");
+    eprintln!("           [--flame-out F.folded (inferno/speedscope collapsed stacks)]");
+    eprintln!("           [--profile-out F.txt (full wall-clock profile table)]");
     eprintln!("  area     Table 2 per-router area comparison");
     eprintln!("  list     known designs and benchmarks");
     eprintln!();
-    eprintln!("RUNNER OPTIONS (campaign, sweep — the noc-runner execution engine):");
+    eprintln!("RUNNER OPTIONS (campaign, sweep, bench, profile — the noc-runner engine):");
     eprintln!("  --jobs N              worker threads (default 1; results identical at any N)");
     eprintln!("  --deadline-cycles N   per-unit simulated-cycle deadline (timed-out status)");
     eprintln!("  --max-retries N       retry retryable failures up to N times");
@@ -101,8 +109,13 @@ fn usage() {
     eprintln!("  --journal F.jsonl     journal terminal unit records (enables --resume)");
     eprintln!("  --resume              reuse journaled records, run only the rest");
     eprintln!("  --max-units N         dispatch at most N units, skip the tail");
-    eprintln!("  --runner-log F.jsonl  write runner lifecycle events");
+    eprintln!("  --runner-log F.jsonl  write runner lifecycle events (+ profile health note)");
     eprintln!("  --force-panic M / --force-timeout M   chaos-test units whose key contains M");
+    eprintln!("  --progress            live per-unit progress lines with p50/p95/ETA");
+    eprintln!("  --metrics-addr H:P    serve noc_runner_* fleet gauges as Prometheus text");
+    eprintln!("  --profile             per-run wall-clock + span profile to stdout");
+    eprintln!("  --profile-out F.txt / --prof-out F.txt / --flame-out F.folded");
+    eprintln!("                        profile artifacts (see `profile` command)");
     eprintln!();
     eprintln!("EXIT CODES: 0 clean, 1 usage/config error, 2 partial results");
 }

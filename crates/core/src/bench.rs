@@ -91,7 +91,8 @@ impl BenchSpec {
     }
 
     /// Decodes a canonical key index back into `(design, rate)`.
-    fn cell_of(&self, idx: usize) -> (Design, f64) {
+    #[must_use]
+    pub fn cell_of(&self, idx: usize) -> (Design, f64) {
         let per_cell = self.seeds as usize;
         let cell = idx / per_cell;
         let design = self.designs[cell / self.rates.len()];
@@ -260,6 +261,25 @@ pub fn record_bench(
     rcfg: &RunnerConfig,
     chaos: &ChaosOptions,
 ) -> Result<BenchBaseline, String> {
+    record_bench_profiled(name, spec, rcfg, chaos, None)
+}
+
+/// [`record_bench`] with an optional fleet profiler sink: when `prof` is
+/// given, every cell runs with span profiling enabled and merges its span
+/// tree into the sink. The recorded baseline's cycle-domain fields stay
+/// byte-identical either way (only the wall-clock throughput samples move,
+/// and those are machine-dependent by definition).
+///
+/// # Errors
+///
+/// Same as [`record_bench`].
+pub fn record_bench_profiled(
+    name: &str,
+    spec: &BenchSpec,
+    rcfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+    prof: crate::experiment::ProfSink<'_>,
+) -> Result<BenchBaseline, String> {
     if spec.designs.is_empty() || spec.rates.is_empty() || spec.seeds == 0 {
         return Err("bench grid is empty (need ≥1 design, ≥1 rate, ≥1 seed)".to_owned());
     }
@@ -271,7 +291,7 @@ pub fn record_bench(
             .with_seed(ctx.seed)
             .with_deadline(ctx.deadline_cycles);
         let budget = cfg.max_cycles;
-        let o = crate::experiment::run_experiment(cfg);
+        let o = crate::experiment::run_experiment_profiled(cfg, prof);
         let r = &o.report;
         let flits = (r.stats.packets_delivered * FLITS_PER_PACKET as u64).max(1);
         let m = BenchRunMetrics {

@@ -15,7 +15,7 @@
 //! producing merged reports byte-identical to a serial run.
 
 use crate::designs::Design;
-use crate::experiment::{run_experiment, ExperimentConfig};
+use crate::experiment::{run_experiment_profiled, ExperimentConfig, ProfSink};
 use crate::runner::{
     classify_timeout, run_units, ChaosOptions, RunnerConfig, RunnerReport, UnitCtx, UnitVerdict,
 };
@@ -196,6 +196,7 @@ fn run_campaign_cell(
     scenario: &HardFaultScenario,
     design: Design,
     ctx: &UnitCtx,
+    prof: ProfSink<'_>,
 ) -> UnitVerdict<CampaignRow> {
     let workload = WorkloadSpec::uniform(cfg.rate, cfg.ppn);
     let mut ecfg =
@@ -205,7 +206,7 @@ fn run_campaign_cell(
     let budget = ecfg.max_cycles;
     ecfg.hard_faults = scenario.clone();
     ecfg.fault_aware_routing = cfg.fault_aware_routing;
-    let o = run_experiment(ecfg);
+    let o = run_experiment_profiled(ecfg, prof);
     let s = &o.report.stats;
     let row = CampaignRow {
         design: design.label().to_owned(),
@@ -320,6 +321,23 @@ pub fn run_campaign_runner(
     rcfg: &RunnerConfig,
     chaos: &ChaosOptions,
 ) -> Result<CampaignRunReport, String> {
+    run_campaign_runner_profiled(cfg, rcfg, chaos, None)
+}
+
+/// [`run_campaign_runner`] with an optional fleet profiler sink: when
+/// `prof` is given, every cell runs with span profiling enabled and merges
+/// its span tree into the sink. The report stays byte-identical either way
+/// (cycle-domain behavior is unaffected by profiling).
+///
+/// # Errors
+///
+/// Propagates engine-level errors (journal mismatch or I/O).
+pub fn run_campaign_runner_profiled(
+    cfg: &CampaignConfig,
+    rcfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+    prof: ProfSink<'_>,
+) -> Result<CampaignRunReport, String> {
     let scenarios = campaign_scenarios(cfg);
     let units = campaign_unit_keys(cfg);
     let keys: Vec<String> = units.iter().map(|(k, _, _)| k.clone()).collect();
@@ -329,7 +347,7 @@ pub fn run_campaign_runner(
             .find(|(k, _, _)| k == ctx.key)
             .expect("runner only executes supplied keys");
         let (name, scenario) = &scenarios[*si];
-        run_campaign_cell(cfg, name, scenario, *design, ctx)
+        run_campaign_cell(cfg, name, scenario, *design, ctx, prof)
     })?;
     Ok(CampaignRunReport { config: cfg.clone(), runner })
 }

@@ -8,10 +8,10 @@ use crate::controller::{intellinoc_rl_config, ControlPolicy, RewardKind, RlContr
 use crate::designs::Design;
 use noc_rl::{QLearningConfig, QTable};
 use noc_sim::{
-    declare_network_metrics, export_network_metrics, render_exposition, AttributionArtifacts,
-    DecisionLog, HardFaultScenario, MetricsHub, MetricsRegistry, Network, Profiler,
-    RouterObservation, RunReport, RunTimeline, SimConfig, TimelineSample, TraceFilter, Tracer,
-    DEFAULT_TRACE_CAPACITY,
+    declare_network_metrics, declare_runtime_metrics, export_network_metrics, export_prof_metrics,
+    export_runtime_metrics, render_exposition, AttributionArtifacts, DecisionLog,
+    HardFaultScenario, MetricsHub, MetricsRegistry, Network, Profiler, RouterObservation,
+    RunReport, RunTimeline, SimConfig, TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
 };
 use noc_traffic::{ParsecBenchmark, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -116,7 +116,11 @@ impl MetricsOptions {
 }
 
 /// Renders the registry and pushes the snapshot to the configured sinks.
-fn publish_metrics(opts: &MetricsOptions, reg: &MetricsRegistry) {
+///
+/// `live` carries the wall-clock runtime gauges (`noc_sim_cycles_per_sec`,
+/// `noc_sim_wall_seconds`): appended to the *hub* snapshot only, never to
+/// the `--metrics-out` file, which must stay byte-deterministic per seed.
+fn publish_metrics(opts: &MetricsOptions, reg: &MetricsRegistry, live: Option<&MetricsRegistry>) {
     let text = render_exposition(reg);
     if let Some(file) = &opts.file {
         if file == "-" {
@@ -126,7 +130,11 @@ fn publish_metrics(opts: &MetricsOptions, reg: &MetricsRegistry) {
         }
     }
     if let Some(hub) = &opts.hub {
-        hub.publish(text);
+        let mut snapshot = text;
+        if let Some(live) = live {
+            snapshot.push_str(&render_exposition(live));
+        }
+        hub.publish(snapshot);
     }
 }
 
@@ -225,6 +233,28 @@ impl ExperimentOutcome {
 pub fn run_experiment(cfg: ExperimentConfig) -> ExperimentOutcome {
     let (outcome, _) = run_experiment_keeping_policy(cfg);
     outcome
+}
+
+/// A fleet-level profiler sink: units run with span profiling enabled and
+/// merge their trees into it on completion. `None` disables profiling.
+pub type ProfSink<'a> = Option<&'a std::sync::Mutex<Profiler>>;
+
+/// Runs one experiment, with span profiling enabled iff `sink` is given;
+/// the unit's profiler merges into the sink at run end. Cycle-domain
+/// behavior — and therefore the outcome — is byte-identical either way
+/// (pinned by integration tests).
+pub fn run_experiment_profiled(mut cfg: ExperimentConfig, sink: ProfSink<'_>) -> ExperimentOutcome {
+    match sink {
+        None => run_experiment(cfg),
+        Some(sink) => {
+            cfg.telemetry.profile = true;
+            let (outcome, _, artifacts) = run_experiment_instrumented(cfg);
+            if let Some(prof) = artifacts.profiler {
+                sink.lock().expect("profiler sink lock").merge(&prof);
+            }
+            outcome
+        }
+    }
 }
 
 /// Runs one experiment and returns the control policy as well (to extract
@@ -353,6 +383,16 @@ pub fn run_experiment_instrumented(
     let metric_labels: [(&str, &str); 2] =
         [("design", cfg.design.label()), ("workload", &workload_name)];
     let mut step_idx: u64 = 0;
+    // Wall-clock runtime gauges: live hub snapshots only (nondeterministic
+    // by nature, they must never reach the deterministic metrics file).
+    let run_t0 = Instant::now();
+    let mut runtime_reg = if metrics_opts.hub.is_some() {
+        let mut reg = MetricsRegistry::new();
+        declare_runtime_metrics(&mut reg).expect("static runtime declarations are valid");
+        Some(reg)
+    } else {
+        None
+    };
 
     let mut policy = match cfg.design {
         Design::IntelliNoc => {
@@ -381,7 +421,9 @@ pub fn run_experiment_instrumented(
         let t0 = if profile { Some(Instant::now()) } else { None };
         let directives = policy.decide_traced(&obs, net.now(), net.tracer_mut());
         if let (Some(t0), Some(prof)) = (t0, net.profiler_mut()) {
-            prof.add("rl.decide", t0.elapsed());
+            let elapsed = t0.elapsed();
+            prof.add("rl.decide", elapsed);
+            prof.span_leaf("rl.decide", elapsed, 0, 0);
         }
         if let Some(directives) = directives {
             net.apply_directives(&directives);
@@ -394,9 +436,18 @@ pub fn run_experiment_instrumented(
             if step_idx.is_multiple_of(metrics_every) {
                 export_network_metrics(reg, &net, &metric_labels)
                     .expect("static metric names are valid");
-                publish_metrics(&metrics_opts, reg);
+                if let Some(live) = runtime_reg.as_mut() {
+                    export_runtime_metrics(live, net.now(), run_t0.elapsed(), &metric_labels)
+                        .expect("static runtime names are valid");
+                }
+                publish_metrics(&metrics_opts, reg, runtime_reg.as_ref());
             }
         }
+    }
+    // Close any span left open by an aborted cycle loop (stall watchdog),
+    // then fold the cycle-domain span counters into the exposition.
+    if let Some(prof) = net.profiler_mut() {
+        prof.close_open_spans();
     }
     // Close the timeline with the final (possibly partial) step.
     if let Some(tl) = timeline.as_mut() {
@@ -406,7 +457,16 @@ pub fn run_experiment_instrumented(
     // Close the exposition with the final network state.
     if let Some(reg) = metrics_reg.as_mut() {
         export_network_metrics(reg, &net, &metric_labels).expect("static metric names are valid");
-        publish_metrics(&metrics_opts, reg);
+        // The span tree's cycle-domain counters are deterministic per seed,
+        // so the `noc_prof_*` families may join the deterministic snapshot.
+        if let Some(prof) = net.profiler() {
+            export_prof_metrics(reg, prof.span_tree()).expect("static prof names are valid");
+        }
+        if let Some(live) = runtime_reg.as_mut() {
+            export_runtime_metrics(live, net.now(), run_t0.elapsed(), &metric_labels)
+                .expect("static runtime names are valid");
+        }
+        publish_metrics(&metrics_opts, reg, runtime_reg.as_ref());
     }
 
     let report = net.report();

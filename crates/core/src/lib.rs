@@ -51,30 +51,31 @@ mod runner;
 mod sweeps;
 
 pub use bench::{
-    compare_bench, record_bench, BenchBaseline, BenchCell, BenchComparison, BenchRunMetrics,
-    BenchSpec, CompareRow, GateOptions, GateVerdict, MetricStats, BENCH_FORMAT_VERSION,
-    GATED_METRICS, REL_EPSILON,
+    compare_bench, record_bench, record_bench_profiled, BenchBaseline, BenchCell, BenchComparison,
+    BenchRunMetrics, BenchSpec, CompareRow, GateOptions, GateVerdict, MetricStats,
+    BENCH_FORMAT_VERSION, GATED_METRICS, REL_EPSILON,
 };
 pub use campaign::{
-    campaign_scenarios, campaign_unit_keys, run_campaign, run_campaign_runner, CampaignConfig,
-    CampaignReport, CampaignRow, CampaignRunReport,
+    campaign_scenarios, campaign_unit_keys, run_campaign, run_campaign_runner,
+    run_campaign_runner_profiled, CampaignConfig, CampaignReport, CampaignRow, CampaignRunReport,
 };
 pub use controller::{cpd_decide, intellinoc_rl_config, ControlPolicy, RewardKind, RlControl};
 pub use designs::Design;
 pub use experiment::{
     pretrain_intellinoc, run_experiment, run_experiment_instrumented,
-    run_experiment_keeping_policy, ExperimentConfig, ExperimentOutcome, MetricsOptions,
-    TelemetryArtifacts, TelemetryOptions, DEFAULT_TIME_STEP,
+    run_experiment_keeping_policy, run_experiment_profiled, ExperimentConfig, ExperimentOutcome,
+    MetricsOptions, ProfSink, TelemetryArtifacts, TelemetryOptions, DEFAULT_TIME_STEP,
 };
 pub use expert::{expert_decide, ExpertThresholds};
 pub use inspect::render_inspect_report;
 pub use metrics::{compare, geomean, normalize, ComparisonRow, NormalizedMetrics};
 pub use modes::OperationMode;
 pub use runner::{
-    classify_timeout, derive_seed, run_units, ChaosOptions, RunStatus, RunnerConfig, RunnerReport,
-    StatusCounts, TimeoutReport, UnitCtx, UnitRecord, UnitVerdict, CHAOS_DEADLINE_CYCLES,
+    classify_timeout, derive_seed, run_units, ChaosOptions, FleetObserver, FleetProgress,
+    RunStatus, RunnerConfig, RunnerReport, StatusCounts, TimeoutReport, UnitCtx, UnitRecord,
+    UnitVerdict, CHAOS_DEADLINE_CYCLES,
 };
 pub use sweeps::{
     epsilon_sweep, error_rate_sweep, gamma_sweep, load_sweep_keys, mesh_scaling, run_load_sweep,
-    time_step_sweep, HyperPoint, LoadPoint, ScalePoint, SweepPoint,
+    run_load_sweep_profiled, time_step_sweep, HyperPoint, LoadPoint, ScalePoint, SweepPoint,
 };

@@ -56,8 +56,43 @@ pub fn derive_seed(master: u64, key: &str) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Execution-engine configuration, shared by every grid kind.
+/// Live fleet-progress snapshot handed to a [`FleetObserver`] each time a
+/// unit reaches a terminal state.
+///
+/// All values are wall-clock-derived and completion-ordered, so they are
+/// nondeterministic by nature — observers feed progress lines and live
+/// gauges, never the deterministic merged reports.
 #[derive(Debug, Clone)]
+pub struct FleetProgress {
+    /// Units finished so far this invocation (resumed units excluded).
+    pub done: usize,
+    /// Units dispatched this invocation.
+    pub total: usize,
+    /// Key of the unit that just finished.
+    pub key: String,
+    /// Its terminal status.
+    pub status: RunStatus,
+    /// Wall-clock milliseconds the unit took across its attempts.
+    pub wall_ms: f64,
+    /// 0-based index of the worker that ran it.
+    pub worker: usize,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Median unit wall-clock so far (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile unit wall-clock so far (ms).
+    pub p95_ms: f64,
+    /// Estimated seconds until the grid finishes (mean unit wall-clock ×
+    /// remaining units ÷ workers).
+    pub eta_s: f64,
+}
+
+/// Callback invoked (outside the runner's state lock) after every terminal
+/// unit record, for progress lines and live `noc_runner_*` gauges.
+pub type FleetObserver = std::sync::Arc<dyn Fn(&FleetProgress) + Send + Sync>;
+
+/// Execution-engine configuration, shared by every grid kind.
+#[derive(Clone)]
 pub struct RunnerConfig {
     /// Worker threads. `0` or `1` runs serially (but still with panic
     /// isolation, deadlines, retry, and journaling).
@@ -77,6 +112,23 @@ pub struct RunnerConfig {
     /// Dispatch at most this many units this invocation; the rest are
     /// reported `skipped` (interruption testing, sharded execution).
     pub max_units: Option<usize>,
+    /// Fleet-progress observer, invoked after every terminal unit record.
+    pub observer: Option<FleetObserver>,
+}
+
+impl std::fmt::Debug for RunnerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunnerConfig")
+            .field("jobs", &self.jobs)
+            .field("max_retries", &self.max_retries)
+            .field("retry_backoff_ms", &self.retry_backoff_ms)
+            .field("deadline_cycles", &self.deadline_cycles)
+            .field("journal", &self.journal)
+            .field("resume", &self.resume)
+            .field("max_units", &self.max_units)
+            .field("observer", &self.observer.as_ref().map(|_| "Fn(&FleetProgress)"))
+            .finish()
+    }
 }
 
 impl Default for RunnerConfig {
@@ -89,6 +141,7 @@ impl Default for RunnerConfig {
             journal: None,
             resume: false,
             max_units: None,
+            observer: None,
         }
     }
 }
@@ -632,7 +685,25 @@ where
     }
 }
 
-fn finish_record<T: Serialize>(idx: usize, rec: UnitRecord<T>, shared: &Mutex<Shared<T>>) {
+/// Sorted-sample percentile (nearest-rank on a rounded index).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let i = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[i.min(sorted.len() - 1)]
+}
+
+fn finish_record<T: Serialize>(
+    idx: usize,
+    rec: UnitRecord<T>,
+    shared: &Mutex<Shared<T>>,
+    observer: Option<&FleetObserver>,
+    total: usize,
+    worker: usize,
+    workers: usize,
+) {
+    let (key, status, wall_ms) = (rec.key.clone(), rec.status, rec.wall_ms);
     let mut s = shared.lock().expect("runner state lock");
     s.events.push(RunnerEvent::UnitFinished {
         key: rec.key.clone(),
@@ -649,6 +720,31 @@ fn finish_record<T: Serialize>(idx: usize, rec: UnitRecord<T>, shared: &Mutex<Sh
         }
     }
     s.done.push((idx, rec));
+    // Snapshot fleet progress under the lock, but call the observer after
+    // releasing it so a slow observer never serializes the worker pool.
+    let progress = observer.map(|_| {
+        let mut walls: Vec<f64> = s.done.iter().map(|(_, r)| r.wall_ms).collect();
+        walls.sort_by(f64::total_cmp);
+        let done = s.done.len();
+        let mean_ms = walls.iter().sum::<f64>() / walls.len().max(1) as f64;
+        let eta_s = mean_ms * total.saturating_sub(done) as f64 / workers.max(1) as f64 / 1e3;
+        FleetProgress {
+            done,
+            total,
+            key,
+            status,
+            wall_ms,
+            worker,
+            workers,
+            p50_ms: percentile(&walls, 0.5),
+            p95_ms: percentile(&walls, 0.95),
+            eta_s,
+        }
+    });
+    drop(s);
+    if let (Some(obs), Some(p)) = (observer, progress) {
+        obs(&p);
+    }
 }
 
 /// Executes the grid described by `keys` through `exec` under the engine's
@@ -734,22 +830,26 @@ where
     });
 
     let workers = cfg.jobs.max(1).min(dispatch.len().max(1));
+    let observer = cfg.observer.as_ref();
+    let total = dispatch.len();
     if workers <= 1 {
         for &i in dispatch {
             let rec = run_one(&keys[i], master_seed, cfg, chaos, &exec, &shared);
-            finish_record(i, rec, &shared);
+            finish_record(i, rec, &shared, observer, total, 0, 1);
         }
     } else {
         let cursor = AtomicUsize::new(0);
+        let cursor_ref = &cursor;
         let exec_ref = &exec;
         let shared_ref = &shared;
+        let keys_ref = keys;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+            for w in 0..workers {
+                scope.spawn(move || loop {
+                    let slot = cursor_ref.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = dispatch.get(slot) else { break };
-                    let rec = run_one(&keys[i], master_seed, cfg, chaos, exec_ref, shared_ref);
-                    finish_record(i, rec, shared_ref);
+                    let rec = run_one(&keys_ref[i], master_seed, cfg, chaos, exec_ref, shared_ref);
+                    finish_record(i, rec, shared_ref, observer, total, w, workers);
                 });
             }
         });
@@ -1060,6 +1160,54 @@ mod tests {
         let stall = t.stall.expect("stall report attached");
         assert_eq!(stall.cycle, 900);
         assert_eq!(stall.blocked.len(), 1);
+    }
+
+    #[test]
+    fn fleet_observer_sees_every_terminal_unit() {
+        for jobs in [1, 3] {
+            let seen = std::sync::Arc::new(Mutex::new(Vec::<FleetProgress>::new()));
+            let sink = std::sync::Arc::clone(&seen);
+            let cfg = RunnerConfig {
+                jobs,
+                observer: Some(std::sync::Arc::new(move |p: &FleetProgress| {
+                    sink.lock().unwrap().push(p.clone());
+                })),
+                ..RunnerConfig::serial()
+            };
+            let report = run_units(3, &keys(7), &cfg, &ChaosOptions::default(), ok_exec).unwrap();
+            assert!(report.is_clean());
+            let snaps = seen.lock().unwrap();
+            assert_eq!(snaps.len(), 7, "jobs={jobs}");
+            // `done` counts monotonically up to the dispatch total; the
+            // final snapshot reports a drained fleet.
+            let dones: Vec<usize> = snaps.iter().map(|p| p.done).collect();
+            let mut sorted = dones.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (1..=7).collect::<Vec<_>>());
+            let last = snaps.iter().find(|p| p.done == 7).unwrap();
+            assert_eq!(last.total, 7);
+            assert_eq!(last.eta_s, 0.0);
+            assert!(last.p50_ms <= last.p95_ms);
+            assert!(snaps.iter().all(|p| p.worker < p.workers));
+            assert!(snaps.iter().all(|p| p.status == RunStatus::Ok));
+        }
+        // The observer field renders in Debug without being callable there.
+        let cfg = RunnerConfig {
+            observer: Some(std::sync::Arc::new(|_: &FleetProgress| {})),
+            ..RunnerConfig::serial()
+        };
+        assert!(format!("{cfg:?}").contains("Fn(&FleetProgress)"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.95), 3.0);
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        // Index (len-1)*q rounds half away from zero: (9)*0.5 = 4.5 → [5].
+        assert_eq!(percentile(&v, 0.5), 6.0);
+        assert_eq!(percentile(&v, 0.95), 10.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
     }
 
     #[test]

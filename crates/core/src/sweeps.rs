@@ -4,7 +4,9 @@
 
 use crate::controller::{intellinoc_rl_config, RewardKind};
 use crate::designs::Design;
-use crate::experiment::{pretrain_intellinoc, run_experiment, ExperimentConfig};
+use crate::experiment::{
+    pretrain_intellinoc, run_experiment, run_experiment_profiled, ExperimentConfig, ProfSink,
+};
 use crate::runner::{
     classify_timeout, run_units, ChaosOptions, RunnerConfig, RunnerReport, UnitCtx, UnitVerdict,
 };
@@ -184,6 +186,26 @@ pub fn run_load_sweep(
     rcfg: &RunnerConfig,
     chaos: &ChaosOptions,
 ) -> Result<RunnerReport<LoadPoint>, String> {
+    run_load_sweep_profiled(design, rates, ppn, master_seed, rcfg, chaos, None)
+}
+
+/// [`run_load_sweep`] with an optional fleet profiler sink: when `prof` is
+/// given, every point runs with span profiling enabled and merges its span
+/// tree into the sink. The report stays byte-identical either way.
+///
+/// # Errors
+///
+/// Same as [`run_load_sweep`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_load_sweep_profiled(
+    design: Design,
+    rates: &[f64],
+    ppn: u64,
+    master_seed: u64,
+    rcfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+    prof: ProfSink<'_>,
+) -> Result<RunnerReport<LoadPoint>, String> {
     let keys = load_sweep_keys(design, rates);
     run_units(master_seed, &keys, rcfg, chaos, |ctx: &UnitCtx| {
         let idx = keys.iter().position(|k| k == ctx.key).expect("key from supplied list");
@@ -192,7 +214,7 @@ pub fn run_load_sweep(
             .with_seed(ctx.seed)
             .with_deadline(ctx.deadline_cycles);
         let budget = cfg.max_cycles;
-        let o = run_experiment(cfg);
+        let o = run_experiment_profiled(cfg, prof);
         let r = &o.report;
         let point = LoadPoint {
             rate,

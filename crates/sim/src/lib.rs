@@ -43,7 +43,10 @@ pub use config::{RouterDirective, SimConfig};
 pub use flit::{make_packet, Cycle, Flit, FlitKind, FLITS_PER_PACKET, NO_VC};
 pub use health::HealthRouter;
 pub use latency::LatencyHistogram;
-pub use metrics_export::{declare_network_metrics, export_network_metrics, NETWORK_METRICS};
+pub use metrics_export::{
+    declare_network_metrics, declare_runtime_metrics, export_network_metrics,
+    export_runtime_metrics, NETWORK_METRICS, RUNTIME_METRICS,
+};
 pub use network::Network;
 pub use router::{GateState, InputPort, InputVc, Router, StepStats};
 pub use stats::{NetworkStats, RouterObservation, RunReport, StallReport};
@@ -55,9 +58,10 @@ pub use noc_fault::{HardFault, HardFaultKind, HardFaultScenario, HardFaultTarget
 // Telemetry surface, re-exported so simulator users can install tracers and
 // profilers without depending on `noc-telemetry` directly.
 pub use noc_telemetry::{
-    link_stats_csv, render_exposition, runner_events_jsonl, AttributionArtifacts,
-    ConvergenceSample, DecisionLog, DecisionRecord, Event, EventKind, GateEdge, HeatGrid,
-    LatencyBreakdown, LatencyComponents, LinkStat, MetricsHub, MetricsRegistry, MetricsServer,
-    PacketLatency, PairBreakdown, PhaseCounters, Profiler, RetxScope, RunRow, RunTimeline,
-    RunnerEvent, SectionStats, TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+    export_prof_metrics, link_stats_csv, render_exposition, runner_events_jsonl,
+    AttributionArtifacts, ConvergenceSample, DecisionLog, DecisionRecord, Event, EventKind,
+    GateEdge, HeatGrid, LatencyBreakdown, LatencyComponents, LinkStat, MetricsHub, MetricsRegistry,
+    MetricsServer, PacketLatency, PairBreakdown, PhaseCounters, Profiler, RetxScope, RunRow,
+    RunTimeline, RunnerEvent, SectionStats, SpanStats, SpanTree, TimelineSample, TraceFilter,
+    Tracer, DEFAULT_TRACE_CAPACITY, MAX_SPAN_DEPTH,
 };

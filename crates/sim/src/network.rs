@@ -229,6 +229,11 @@ impl Network {
         self.profiler = Some(profiler);
     }
 
+    /// Shared access to the installed profiler (e.g. to read the span tree).
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
     /// Mutable access to the installed profiler.
     pub fn profiler_mut(&mut self) -> Option<&mut Profiler> {
         self.profiler.as_mut()
@@ -265,8 +270,53 @@ impl Network {
         }
     }
 
+    /// Opens a profiling span when a profiler is installed; otherwise a
+    /// single branch (the zero-cost disabled mode of `noc-prof`).
+    #[inline]
+    fn span_enter(&mut self, name: &'static str) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.span_enter(name);
+        }
+    }
+
+    /// Closes the innermost profiling span; single branch when disabled.
+    #[inline]
+    fn span_exit(&mut self) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.span_exit();
+        }
+    }
+
+    /// Charges cycle-domain counts to the innermost open span.
+    #[inline]
+    fn span_count(&mut self, flits: u64, allocs: u64) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.span_count(flits, allocs);
+        }
+    }
+
+    /// A timestamp for a leaf span, taken only when profiling is enabled —
+    /// pair with [`Network::span_leaf`].
+    #[inline]
+    fn prof_now(&self) -> Option<Instant> {
+        if self.profiler.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Records one completed leaf span under the current path, using a
+    /// timestamp from [`Network::prof_now`]; no-op when profiling is off.
+    #[inline]
+    fn span_leaf(&mut self, name: &'static str, t0: Option<Instant>, flits: u64) {
+        if let (Some(t0), Some(p)) = (t0, self.profiler.as_mut()) {
+            p.span_leaf(name, t0.elapsed(), flits, 0);
+        }
+    }
+
     /// Samples link bit flips, charging the time to the `fault.inject`
-    /// profile section when profiling is enabled.
+    /// profile section (and leaf span) when profiling is enabled.
     #[inline]
     fn sample_flips(&mut self, bits: usize, re: f64) -> u32 {
         if self.profiler.is_none() {
@@ -274,8 +324,10 @@ impl Network {
         }
         let t0 = Instant::now();
         let k = self.injector.sample_flip_count(bits, re);
+        let elapsed = t0.elapsed();
         let prof = self.profiler.as_mut().expect("profiler checked above");
-        prof.add("fault.inject", t0.elapsed());
+        prof.add("fault.inject", elapsed);
+        prof.span_leaf("fault.inject", elapsed, 1, 0);
         k
     }
 
@@ -752,6 +804,9 @@ impl Network {
                 if is_head && dvc != NO_VC {
                     prof.phases.va += 1; // head won a downstream VC
                 }
+                // Span counting hook: one flit granted; a downstream VC
+                // reservation counts as an allocation.
+                prof.span_count(1, u64::from(is_head && dvc != NO_VC));
             }
             // Commit the downstream VC reservation for head flits.
             if is_head && dvc != NO_VC {
@@ -1118,7 +1173,10 @@ impl Network {
                         .vcs()
                         .iter()
                         .any(|vc| vc.packet() == Some(head.packet_id));
-                let route = match self.route_via(v, head.dest as usize, dir.opposite()) {
+                let t_rc = self.prof_now();
+                let routed = self.route_via(v, head.dest as usize, dir.opposite());
+                self.span_leaf("route.compute", t_rc, 0);
+                let route = match routed {
                     Some(route) => route,
                     None if bound_body => Port::Local, // unused: follows the VC binding
                     None => continue,
@@ -1148,12 +1206,16 @@ impl Network {
                 if k > 0 {
                     if scheme.is_per_hop() {
                         let payload = head.payload();
+                        let t_enc = self.prof_now();
                         let mut cw = self.suite.encode(scheme, payload);
+                        self.span_leaf("ecc.encode", t_enc, 1);
                         let k = k.min(bits as u32);
                         for pos in self.injector.choose_positions(bits, k) {
                             cw.flip_bit(pos);
                         }
+                        let t_dec = self.prof_now();
                         let (data, status) = self.suite.decode(scheme, &cw);
+                        self.span_leaf("ecc.decode", t_dec, 1);
                         match status {
                             DecodeStatus::Clean => extra_flips = k as u16,
                             DecodeStatus::Corrected(_) => {
@@ -1170,12 +1232,14 @@ impl Network {
                                 }
                             }
                             DecodeStatus::Detected => {
+                                let t_retx = self.prof_now();
                                 if self.cfg.max_retx > 0
                                     && u32::from(head.retx) >= self.cfg.max_retx
                                 {
                                     // Hop-retry budget exhausted: escalate to
                                     // end-to-end recovery (or accounted drop).
                                     self.salvage_or_drop(head);
+                                    self.span_leaf("retx.ladder", t_retx, 1);
                                     continue;
                                 }
                                 // NACK: the stored copy re-traverses the link.
@@ -1205,6 +1269,7 @@ impl Network {
                                 } else {
                                     up.counters.buffer_reads += 1;
                                 }
+                                self.span_leaf("retx.ladder", t_retx, 1);
                                 continue;
                             }
                         }
@@ -1271,6 +1336,7 @@ impl Network {
                         let router = &mut self.routers[v];
                         router.counters.buffer_writes += 1;
                         router.input_mut(in_port).enqueue(vc, flit, route, ready);
+                        self.span_count(1, 1); // buffered into an input VC
                     }
                     None => {
                         // BST continuation: forward latch-to-channel.
@@ -1295,6 +1361,7 @@ impl Network {
                                 .as_mut()
                                 .expect("route stays on the mesh")
                                 .push(flit, now);
+                            self.span_count(1, 0); // latch-to-channel, no buffer
                         }
                     }
                 }
@@ -1317,7 +1384,10 @@ impl Network {
             if !head.is_head() && !bound {
                 // BST continuation: the packet's head was injected through
                 // the bypass while the router was gated.
-                let Some(route) = self.route_via(r, head.dest as usize, Port::Local) else {
+                let t_rc = self.prof_now();
+                let routed = self.route_via(r, head.dest as usize, Port::Local);
+                self.span_leaf("route.compute", t_rc, 0);
+                let Some(route) = routed else {
                     continue; // no live route right now: wait in the NI
                 };
                 if route == Port::Local || !self.health.usable(r, route) {
@@ -1348,7 +1418,10 @@ impl Network {
             let Some(vc) = self.routers[r].inputs()[in_port].accept_target(&head) else {
                 continue;
             };
-            let Some(route) = self.route_via(r, head.dest as usize, Port::Local) else {
+            let t_rc = self.prof_now();
+            let routed = self.route_via(r, head.dest as usize, Port::Local);
+            self.span_leaf("route.compute", t_rc, 0);
+            let Some(route) = routed else {
                 continue; // destination unreachable right now: wait
             };
             let flit = self.nis[r].inject.pop_front().expect("checked nonempty");
@@ -1378,6 +1451,7 @@ impl Network {
             router.counters.buffer_writes += 1;
             router.step.in_flits[in_port] += 1;
             router.input_mut(in_port).enqueue(vc, flit, route, ready);
+            self.span_count(1, 1); // injected into an input VC buffer
         }
     }
 
@@ -1385,7 +1459,15 @@ impl Network {
     // Ejection / packet completion
     // ------------------------------------------------------------------
 
-    fn eject(&mut self, r: usize, mut flit: Flit) {
+    /// Ejects `flit` at its destination NI, recorded as an `eject` leaf
+    /// span under whichever phase delivered it.
+    fn eject(&mut self, r: usize, flit: Flit) {
+        let t0 = self.prof_now();
+        self.eject_inner(r, flit);
+        self.span_leaf("eject", t0, 1);
+    }
+
+    fn eject_inner(&mut self, r: usize, mut flit: Flit) {
         debug_assert_eq!(flit.dest as usize, r, "flit ejected at wrong node");
         if flit.is_head() {
             if let Some(att) = self.attribution.as_mut() {
@@ -1731,29 +1813,52 @@ impl Network {
     // ------------------------------------------------------------------
 
     /// Advances the simulation by one cycle.
+    ///
+    /// When a profiler is installed, the cycle decomposes into the
+    /// `noc-prof` span hierarchy (`step_cycle` → `fault.hard`,
+    /// `alloc.vc_sa`, `router.bypass`, `link.traverse` with its
+    /// `route.compute`/`ecc.*`/`retx.ladder`/`fault.inject`/`eject`
+    /// leaves, `power.gating`, `workload.inject`, `epoch.update`);
+    /// disabled, each guard is a single branch.
     pub fn step_cycle(&mut self) {
+        self.span_enter("step_cycle");
+        self.span_enter("fault.hard");
         self.apply_hard_faults();
+        self.span_exit();
         for r in 0..self.mesh.nodes() {
             if !self.health.router_up(r) {
                 continue; // dead routers do no work at all
             }
             if self.routers[r].is_on() {
+                self.span_enter("alloc.vc_sa");
                 self.sa_phase(r);
+                self.span_exit();
             } else if self.cfg.bypass_enabled {
                 let waking = matches!(self.routers[r].gate, GateState::Waking(_));
                 if !waking || self.cfg.bypass_during_wake {
+                    self.span_enter("router.bypass");
                     self.bypass_phase(r);
+                    self.span_exit();
                 }
             }
         }
+        self.span_enter("link.traverse");
         self.delivery_phase();
+        self.span_exit();
+        self.span_enter("power.gating");
         self.gating_phase();
+        self.span_exit();
+        self.span_enter("workload.inject");
         self.workload_phase();
+        self.span_exit();
         self.now += 1;
         self.stats.cycles = self.now;
         if self.now.is_multiple_of(self.cfg.epoch_cycles) {
+            self.span_enter("epoch.update");
             self.epoch_phase();
+            self.span_exit();
         }
+        self.span_exit();
     }
 
     /// Runs `n` cycles (or fewer if the workload completes); returns whether

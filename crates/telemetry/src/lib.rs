@@ -15,6 +15,12 @@
 //!    regenerated from a single run.
 //! 3. [`Profiler`] — wall-clock section timers plus per-pipeline-phase
 //!    (RC/VA/SA/ST) counters, rendered as a self-profile table at run end.
+//!    PR 6 grows it into `noc-prof`: a nestable span stack aggregated into
+//!    a [`SpanTree`] that records wall-clock time *and* deterministic
+//!    cycle-domain counters (calls, flits handled, allocations), exported
+//!    as a deterministic tree table, collapsed-stack flamegraph text
+//!    (inferno/speedscope-loadable), and `noc_prof_*` metric families
+//!    ([`export_prof_metrics`]).
 //!
 //! On top of the event stream sits an *analysis* layer (the `inspect`
 //! module): per-packet [`LatencyBreakdown`]s, spatial [`HeatGrid`]s, and RL
@@ -32,6 +38,7 @@ mod event;
 mod exposition;
 mod inspect;
 mod metrics;
+mod prof;
 mod profiler;
 mod runner;
 mod serve;
@@ -51,6 +58,7 @@ pub use metrics::{
     is_valid_label_name, is_valid_metric_name, LabelSet, MetricFamily, MetricKind, MetricsRegistry,
     SeriesValue,
 };
+pub use prof::{export_prof_metrics, SpanStats, SpanTree, MAX_SPAN_DEPTH};
 pub use profiler::{PhaseCounters, Profiler, RunRow, SectionStats};
 pub use runner::{runner_events_jsonl, RunnerEvent};
 pub use serve::{MetricsHub, MetricsServer};

@@ -1,9 +1,11 @@
-//! Simulator self-profiling: wall-clock section timers and pipeline-phase
-//! counters.
+//! Simulator self-profiling: wall-clock section timers, pipeline-phase
+//! counters, and the hierarchical span stack feeding
+//! [`SpanTree`](crate::SpanTree) (`noc-prof`).
 
+use crate::prof::{SpanStats, SpanTree, MAX_SPAN_DEPTH};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Event counts for the four canonical router pipeline phases.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,10 +44,23 @@ pub struct RunRow {
     pub millis: f64,
 }
 
+/// One open frame on the span stack: name, entry time, and the
+/// cycle-domain counts charged while it was innermost.
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    name: &'static str,
+    t0: Instant,
+    flits: u64,
+    allocs: u64,
+}
+
 /// Collects section timings and phase counters for the end-of-run
-/// self-profile table. Wall-clock values are nondeterministic, so the
-/// profile is reported separately and never included in the
-/// determinism-checked run artifacts.
+/// self-profile table, plus the hierarchical span stack aggregated into a
+/// [`SpanTree`]. Wall-clock values are nondeterministic, so the profile is
+/// reported separately and never included in the determinism-checked run
+/// artifacts; the span tree's cycle-domain counters (calls/flits/allocs)
+/// *are* deterministic and render separately via
+/// [`SpanTree::tree_table`].
 #[derive(Debug, Clone, Default)]
 pub struct Profiler {
     sections: BTreeMap<&'static str, SectionStats>,
@@ -55,6 +70,10 @@ pub struct Profiler {
     trace_drops: Option<u64>,
     /// Per-unit wall-clock rows recorded by the execution engine.
     runs: Vec<RunRow>,
+    /// Aggregated span hierarchy.
+    spans: SpanTree,
+    /// Currently open spans, innermost last.
+    stack: Vec<OpenSpan>,
 }
 
 impl Profiler {
@@ -79,6 +98,105 @@ impl Profiler {
         let s = self.sections.entry(section).or_default();
         s.nanos += elapsed.as_nanos();
         s.calls += calls;
+    }
+
+    /// Opens a nested span. Spans past [`MAX_SPAN_DEPTH`] still balance
+    /// their exits but aggregate into the depth-cap ancestor (counted as a
+    /// truncation warning).
+    #[inline]
+    pub fn span_enter(&mut self, name: &'static str) {
+        if self.stack.len() >= MAX_SPAN_DEPTH {
+            self.spans.note_truncated_enter();
+        }
+        self.stack.push(OpenSpan { name, t0: Instant::now(), flits: 0, allocs: 0 });
+    }
+
+    /// Charges `flits` handled and `allocs` buffer allocations to the
+    /// innermost open span (the counting hook). No-op outside any span.
+    #[inline]
+    pub fn span_count(&mut self, flits: u64, allocs: u64) {
+        if let Some(top) = self.stack.last_mut() {
+            top.flits += flits;
+            top.allocs += allocs;
+        }
+    }
+
+    /// Closes the innermost open span, aggregating it into the tree.
+    ///
+    /// An exit without a matching enter is a caller bug: debug builds
+    /// assert, release builds count it (surfaced as a table warning) and
+    /// keep going.
+    #[inline]
+    pub fn span_exit(&mut self) {
+        let Some(top) = self.stack.pop() else {
+            self.spans.note_unbalanced_exit();
+            debug_assert!(false, "span_exit without a matching span_enter");
+            return;
+        };
+        let mut path: Vec<&'static str> = self.stack.iter().map(|f| f.name).collect();
+        path.push(top.name);
+        self.spans.record(
+            &path,
+            SpanStats {
+                nanos: top.t0.elapsed().as_nanos(),
+                calls: 1,
+                flits: top.flits,
+                allocs: top.allocs,
+            },
+        );
+    }
+
+    /// Records one completed child span of the current path directly, with
+    /// an externally measured duration — the cheap variant for hot leaf
+    /// sites that already hold a timer and never nest further.
+    #[inline]
+    pub fn span_leaf(&mut self, name: &'static str, elapsed: Duration, flits: u64, allocs: u64) {
+        let mut path: Vec<&'static str> = self.stack.iter().map(|f| f.name).collect();
+        path.push(name);
+        self.spans.record(&path, SpanStats { nanos: elapsed.as_nanos(), calls: 1, flits, allocs });
+    }
+
+    /// Closes every still-open span (graceful shutdown of an interrupted
+    /// run); afterwards the stack is empty.
+    pub fn close_open_spans(&mut self) {
+        while !self.stack.is_empty() {
+            self.span_exit();
+        }
+    }
+
+    /// The aggregated span hierarchy.
+    #[must_use]
+    pub fn span_tree(&self) -> &SpanTree {
+        &self.spans
+    }
+
+    /// Current open-span depth (0 outside any span).
+    #[must_use]
+    pub fn span_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Folds another profiler's aggregates into this one: sections, span
+    /// tree, phase counters, warning counters, trace drops, and run rows.
+    /// Open frames on `other`'s stack are not merged — close them first
+    /// (see [`Profiler::close_open_spans`]). Per-key addition keeps the
+    /// merge associative and commutative, so fleet aggregation across
+    /// workers is independent of completion order.
+    pub fn merge(&mut self, other: &Profiler) {
+        for (name, s) in &other.sections {
+            let dst = self.sections.entry(name).or_default();
+            dst.nanos += s.nanos;
+            dst.calls += s.calls;
+        }
+        self.spans.merge(&other.spans);
+        self.phases.rc += other.phases.rc;
+        self.phases.va += other.phases.va;
+        self.phases.sa += other.phases.sa;
+        self.phases.st += other.phases.st;
+        if let Some(dropped) = other.trace_drops {
+            self.trace_drops = Some(self.trace_drops.unwrap_or(0) + dropped);
+        }
+        self.runs.extend(other.runs.iter().cloned());
     }
 
     /// The recorded sections, sorted by name.
@@ -138,6 +256,23 @@ impl Profiler {
         if let Some(dropped) = self.trace_drops {
             let _ = writeln!(out, "  trace ring drops: {dropped}");
         }
+        if self.spans.truncated_enters() > 0 {
+            let _ = writeln!(
+                out,
+                "  WARNING: {} span enter(s) past depth {MAX_SPAN_DEPTH} folded into ancestor",
+                self.spans.truncated_enters()
+            );
+        }
+        if self.spans.unbalanced_exits() > 0 {
+            let _ = writeln!(
+                out,
+                "  WARNING: {} unbalanced span exit(s) ignored",
+                self.spans.unbalanced_exits()
+            );
+        }
+        if !self.spans.is_empty() {
+            out.push_str(&self.spans.wall_table());
+        }
         if !self.runs.is_empty() {
             out.push_str("  per-run wall clock\n");
             out.push_str(
@@ -185,6 +320,135 @@ mod tests {
         p.set_trace_drops(17);
         assert_eq!(p.trace_drops(), Some(17));
         assert!(p.table().contains("trace ring drops: 17"));
+    }
+
+    #[test]
+    fn span_stack_builds_hierarchy_with_counts() {
+        let mut p = Profiler::new();
+        p.span_enter("step_cycle");
+        p.span_enter("link.traverse");
+        p.span_count(3, 1);
+        p.span_exit();
+        p.span_enter("link.traverse");
+        p.span_count(2, 0);
+        p.span_exit();
+        p.span_exit();
+        assert_eq!(p.span_depth(), 0);
+        let tree = p.span_tree();
+        let leaf = tree.get(&["step_cycle", "link.traverse"]).unwrap();
+        assert_eq!(leaf.calls, 2);
+        assert_eq!(leaf.flits, 5);
+        assert_eq!(leaf.allocs, 1);
+        assert_eq!(tree.get(&["step_cycle"]).unwrap().calls, 1);
+        let table = p.table();
+        assert!(table.contains("span tree (wall clock)"), "{table}");
+        assert!(table.contains("link.traverse"));
+    }
+
+    #[test]
+    fn span_leaf_records_under_current_path() {
+        let mut p = Profiler::new();
+        p.span_enter("step_cycle");
+        p.span_leaf("ecc.decode", Duration::from_nanos(40), 1, 0);
+        p.span_leaf("ecc.decode", Duration::from_nanos(60), 1, 0);
+        p.span_exit();
+        let s = p.span_tree().get(&["step_cycle", "ecc.decode"]).unwrap();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.nanos, 100);
+        assert_eq!(s.flits, 2);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_counted_gracefully_in_release() {
+        // Debug builds assert; in either build the counter must advance and
+        // the profiler must stay usable.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut p = Profiler::new();
+            p.span_exit();
+            p
+        }));
+        if cfg!(debug_assertions) {
+            assert!(result.is_err(), "debug builds must assert on unbalanced exit");
+        } else {
+            let mut p = result.expect("release builds must not panic");
+            assert_eq!(p.span_tree().unbalanced_exits(), 1);
+            assert!(p.table().contains("unbalanced span exit"));
+            p.span_enter("still.works");
+            p.span_exit();
+            assert_eq!(p.span_tree().get(&["still.works"]).unwrap().calls, 1);
+        }
+    }
+
+    #[test]
+    fn zero_duration_span_still_counts_calls() {
+        let mut p = Profiler::new();
+        p.span_leaf("instant", Duration::ZERO, 0, 0);
+        let s = p.span_tree().get(&["instant"]).unwrap();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.nanos, 0);
+        // Zero-weight frames are fine in the flamegraph (weight 0 lines are
+        // legal collapsed-stack, and inferno ignores them).
+        assert!(p.span_tree().flamegraph().contains("instant 0"));
+    }
+
+    #[test]
+    fn deep_nesting_folds_past_cap_and_balances() {
+        let mut p = Profiler::new();
+        for _ in 0..(MAX_SPAN_DEPTH + 5) {
+            p.span_enter("deep");
+        }
+        assert_eq!(p.span_tree().truncated_enters(), 5);
+        for _ in 0..(MAX_SPAN_DEPTH + 5) {
+            p.span_exit();
+        }
+        assert_eq!(p.span_depth(), 0);
+        assert_eq!(p.span_tree().unbalanced_exits(), 0);
+        // The 5 over-deep frames fold into the depth-cap node: 6 calls there.
+        let cap_path: Vec<&'static str> = vec!["deep"; MAX_SPAN_DEPTH];
+        assert_eq!(p.span_tree().get(&cap_path).unwrap().calls, 6);
+        assert!(p.table().contains("folded into ancestor"));
+    }
+
+    #[test]
+    fn close_open_spans_drains_interrupted_stack() {
+        let mut p = Profiler::new();
+        p.span_enter("a");
+        p.span_enter("b");
+        p.close_open_spans();
+        assert_eq!(p.span_depth(), 0);
+        assert_eq!(p.span_tree().get(&["a", "b"]).unwrap().calls, 1);
+        assert_eq!(p.span_tree().get(&["a"]).unwrap().calls, 1);
+    }
+
+    #[test]
+    fn merge_is_order_independent_across_workers() {
+        let make = |n: u64| {
+            let mut p = Profiler::new();
+            p.add("sim.step_cycle", Duration::from_nanos(n));
+            p.phases.st = n;
+            p.span_enter("step_cycle");
+            p.span_count(n, 0);
+            p.span_exit();
+            p.set_trace_drops(n);
+            p
+        };
+        let (a, b, c) = (make(1), make(2), make(4));
+        let mut left = Profiler::new();
+        left.merge(&a);
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = Profiler::new();
+        right.merge(&c);
+        right.merge(&a);
+        right.merge(&b);
+        assert_eq!(left.section("sim.step_cycle"), right.section("sim.step_cycle"));
+        assert_eq!(left.section("sim.step_cycle").unwrap().nanos, 7);
+        assert_eq!(left.phases.st, 7);
+        assert_eq!(left.trace_drops(), Some(7));
+        let (ls, rs) = (left.span_tree(), right.span_tree());
+        assert_eq!(ls.get(&["step_cycle"]), rs.get(&["step_cycle"]));
+        assert_eq!(ls.get(&["step_cycle"]).unwrap().flits, 7);
+        assert_eq!(ls.get(&["step_cycle"]).unwrap().calls, 3);
     }
 
     #[test]

@@ -52,6 +52,19 @@ pub enum RunnerEvent {
         /// Why the unit was skipped.
         reason: String,
     },
+    /// End-of-run profiler health note: trace-ring evictions and span-stack
+    /// warning counters, so profile truncation is visible in the JSONL log
+    /// and not just the terminal table.
+    ProfileNote {
+        /// Scope of the note (run key, or a fleet label like `fleet`).
+        key: String,
+        /// Events the tracer's ring buffer evicted.
+        trace_drops: u64,
+        /// Span entries folded at the depth cap.
+        span_truncations: u64,
+        /// Unmatched `span_exit` calls observed.
+        unbalanced_exits: u64,
+    },
 }
 
 impl RunnerEvent {
@@ -63,6 +76,7 @@ impl RunnerEvent {
             RunnerEvent::UnitRetried { .. } => "unit-retried",
             RunnerEvent::UnitResumed { .. } => "unit-resumed",
             RunnerEvent::UnitSkipped { .. } => "unit-skipped",
+            RunnerEvent::ProfileNote { .. } => "profile-note",
         }
     }
 
@@ -73,7 +87,8 @@ impl RunnerEvent {
             | RunnerEvent::UnitFinished { key, .. }
             | RunnerEvent::UnitRetried { key, .. }
             | RunnerEvent::UnitResumed { key, .. }
-            | RunnerEvent::UnitSkipped { key, .. } => key,
+            | RunnerEvent::UnitSkipped { key, .. }
+            | RunnerEvent::ProfileNote { key, .. } => key,
         }
     }
 
@@ -97,6 +112,15 @@ impl RunnerEvent {
             }
             RunnerEvent::UnitSkipped { reason, .. } => {
                 let _ = write!(s, ",\"reason\":{}", json_str(reason));
+            }
+            RunnerEvent::ProfileNote {
+                trace_drops, span_truncations, unbalanced_exits, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"trace_drops\":{trace_drops},\"span_truncations\":{span_truncations},\
+                     \"unbalanced_exits\":{unbalanced_exits}"
+                );
             }
         }
         s.push('}');
@@ -148,9 +172,18 @@ mod tests {
             RunnerEvent::UnitFinished { key: "a/b".into(), status: "ok", attempts: 2 },
             RunnerEvent::UnitResumed { key: "a/c".into(), status: "failed" },
             RunnerEvent::UnitSkipped { key: "a/d".into(), reason: "unit cap".into() },
+            RunnerEvent::ProfileNote {
+                key: "fleet".into(),
+                trace_drops: 3,
+                span_truncations: 1,
+                unbalanced_exits: 0,
+            },
         ];
         let jsonl = runner_events_jsonl(&events);
-        assert_eq!(jsonl.lines().count(), 5);
+        assert_eq!(jsonl.lines().count(), 6);
+        assert!(jsonl.contains(r#""event":"profile-note""#));
+        assert!(jsonl.contains(r#""trace_drops":3"#));
+        assert!(jsonl.contains(r#""span_truncations":1"#));
         assert!(jsonl.contains(r#""event":"unit-retried""#));
         assert!(jsonl.contains(r#""error":"boom \"q\"""#));
         for line in jsonl.lines() {

@@ -41,12 +41,19 @@ fn exposition_on_vs_off_is_byte_identical() {
     let b = serde_json::to_string(&instrumented.report).unwrap();
     assert_eq!(a, b, "metrics exposition changed the simulation outcome");
 
-    // The hub saw one snapshot per control step plus the closing one.
+    // The hub saw one snapshot per control step plus the closing one. The
+    // snapshot embeds the deterministic exposition verbatim, followed by
+    // the wall-clock runtime gauges (hub-only: they never enter the
+    // deterministic artifact).
     assert!(hub.version() > 1, "hub must have received per-step snapshots");
-    assert_eq!(
-        hub.snapshot(),
-        artifacts.exposition.expect("exposition artifact present"),
-        "final hub snapshot must equal the exposition artifact"
+    let expo = artifacts.exposition.expect("exposition artifact present");
+    let snap = hub.snapshot();
+    assert!(snap.starts_with(&expo), "hub snapshot must embed the deterministic exposition");
+    assert!(snap.contains("noc_sim_cycles_per_sec"), "hub snapshot carries throughput gauge");
+    assert!(snap.contains("noc_sim_wall_seconds"), "hub snapshot carries wall-clock gauge");
+    assert!(
+        !expo.contains("noc_sim_cycles_per_sec"),
+        "runtime gauges must stay out of the deterministic exposition"
     );
 }
 
