@@ -4,11 +4,12 @@ use crate::args::Args;
 use intellinoc::{
     classify_timeout, compare as compare_outcomes, compare_bench, intellinoc_rl_config,
     pretrain_intellinoc, record_bench_profiled, render_inspect_report,
-    run_campaign_runner_profiled, run_experiment, run_experiment_instrumented,
-    run_experiment_profiled, run_load_sweep_profiled, run_units, BenchBaseline, BenchSpec,
-    CampaignConfig, ChaosOptions, Design, ExperimentConfig, ExperimentOutcome, FleetObserver,
-    FleetProgress, GateOptions, MetricsOptions, RewardKind, RunnerConfig, RunnerReport,
-    TelemetryArtifacts, TelemetryOptions, UnitCtx, UnitVerdict,
+    run_campaign_runner_profiled, run_chaos_harness, run_experiment, run_experiment_instrumented,
+    run_experiment_profiled, run_load_sweep_profiled, run_units, BackoffPolicy, BenchBaseline,
+    BenchSpec, CampaignConfig, ChaosHarnessConfig, ChaosKill, ChaosOptions, Daemon, Design,
+    ExperimentConfig, ExperimentOutcome, FleetObserver, FleetProgress, GateOptions, MetricsOptions,
+    RewardKind, RunnerConfig, RunnerReport, ServeConfig, TelemetryArtifacts, TelemetryOptions,
+    UnitCtx, UnitVerdict,
 };
 use noc_power::AreaModel;
 use noc_sim::{
@@ -43,14 +44,7 @@ pub type CmdResult = Result<CmdOutcome, String>;
 ///
 /// Returns a message naming the unknown design.
 pub fn parse_design(s: &str) -> Result<Design, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "secded" | "baseline" => Ok(Design::Secded),
-        "eb" => Ok(Design::Eb),
-        "cp" => Ok(Design::Cp),
-        "cpd" => Ok(Design::Cpd),
-        "intellinoc" => Ok(Design::IntelliNoc),
-        other => Err(format!("unknown design: {other} (try `intellinoc list`)")),
-    }
+    Design::parse(s)
 }
 
 /// Parses a benchmark by full name or figure label.
@@ -85,10 +79,18 @@ fn workload_from(args: &Args, ppn: u64) -> Result<WorkloadSpec, String> {
 /// Returns a message naming the malformed option, or `--resume` without a
 /// `--journal` path.
 pub fn runner_config_from(args: &Args) -> Result<(RunnerConfig, ChaosOptions), String> {
+    let backoff = match args.get("retry-backoff").unwrap_or("linear") {
+        "linear" => BackoffPolicy::Linear,
+        "exp" | "exponential" => {
+            BackoffPolicy::Exponential { cap_ms: args.get_or("retry-backoff-cap-ms", 10_000u64)? }
+        }
+        other => return Err(format!("invalid --retry-backoff: {other} (try linear|exp)")),
+    };
     let cfg = RunnerConfig {
         jobs: args.get_or("jobs", 1usize)?,
         max_retries: args.get_or("max-retries", 0u32)?,
         retry_backoff_ms: args.get_or("retry-backoff-ms", 25u64)?,
+        backoff,
         deadline_cycles: match args.get("deadline-cycles") {
             Some(v) => Some(v.parse().map_err(|_| format!("invalid --deadline-cycles: {v}"))?),
             None => None,
@@ -947,5 +949,69 @@ pub fn list() -> CmdResult {
     for b in ParsecBenchmark::TEST_SET.into_iter().chain([ParsecBenchmark::Blackscholes]) {
         println!("  {} ({})", b.name(), b.label());
     }
+    Ok(CmdOutcome::Done)
+}
+
+/// `intellinoc serve` — the crash-survivable experiment daemon
+/// (DESIGN.md §14), plus the `--chaos N` harness driver that kills real
+/// daemon processes at randomized points and asserts lossless recovery.
+pub fn serve(args: &Args) -> CmdResult {
+    // Harness driver mode: compute the uninterrupted reference in-process,
+    // then loop kill/restart iterations against child daemons.
+    if let Some(iters) = args.get("chaos") {
+        let iterations: u32 =
+            iters.parse().map_err(|_| format!("invalid value for --chaos: {iters}"))?;
+        let exe = std::env::current_exe().map_err(|e| format!("resolve own binary: {e}"))?;
+        let state_root = PathBuf::from(args.get("state-dir").unwrap_or("target/serve-chaos"));
+        let mut hcfg = ChaosHarnessConfig::new(exe, state_root);
+        hcfg.iterations = iterations;
+        hcfg.seed = args.get_or("chaos-seed", hcfg.seed)?;
+        hcfg.jobs_per_iteration = args.get_or("chaos-jobs", hcfg.jobs_per_iteration)?;
+        let summary = run_chaos_harness(&hcfg)?;
+        let killed = summary.iterations.iter().filter(|i| i.killed).count();
+        println!(
+            "chaos: {} iterations survived ({} kill -9, {} in-process pool panics); \
+             all reports byte-identical, no submissions lost",
+            summary.iterations.len(),
+            killed,
+            summary.iterations.len() - killed
+        );
+        return Ok(CmdOutcome::Done);
+    }
+
+    let state_dir = PathBuf::from(args.get("state-dir").ok_or("need --state-dir")?);
+    let wal_exists = state_dir.join("wal.jsonl").exists();
+    if wal_exists && !args.has_flag("resume") && args.get("chaos-kill").is_none() {
+        return Err(format!(
+            "state dir {} already has a WAL; pass --resume to recover it",
+            state_dir.display()
+        ));
+    }
+    let chaos = match args.get("chaos-kill") {
+        Some(s) => Some(Arc::new(ChaosKill::parse(s)?)),
+        None => None,
+    };
+    let cfg = ServeConfig {
+        state_dir,
+        addr: args.get("addr").unwrap_or("127.0.0.1:9900").to_owned(),
+        jobs: args.get_or("jobs", 0usize)?,
+        tenant_quota: args.get_or("tenant-quota", intellinoc::DEFAULT_TENANT_QUOTA)?,
+        chunk_units: args.get_or("chunk-units", intellinoc::DEFAULT_CHUNK_UNITS)?,
+        drain_deadline_ms: args.get_or("drain-deadline-ms", 10_000u64)?,
+        chaos,
+    };
+    let daemon = Daemon::start(cfg)?;
+    let addr = daemon.local_addr();
+    if let Some(port_file) = args.get("port-file") {
+        // tmp + rename so watchers never read a half-written address.
+        let tmp = format!("{port_file}.tmp");
+        std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, port_file))
+            .map_err(|e| format!("write {port_file}: {e}"))?;
+    }
+    eprintln!("serve: listening on {addr} (drain with POST /api/drain; kill -9 is recoverable)");
+    // Block until a drain completes. Pure std cannot observe SIGTERM, so
+    // the drain endpoint is the graceful path and the WAL covers the rest.
+    while !daemon.wait_until_drained(std::time::Duration::from_secs(3600)) {}
     Ok(CmdOutcome::Done)
 }

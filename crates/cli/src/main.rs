@@ -14,6 +14,9 @@
 //! intellinoc bench compare --baseline BENCH_x.json [--force-regress]
 //! intellinoc profile  [--grid designs|ci] [--top N] [--prof-out F.txt]
 //!                     [--flame-out F.folded] [--profile-out F.txt]
+//! intellinoc serve    --state-dir DIR [--addr H:P] [--port-file F] [--resume]
+//!                     [--jobs N] [--tenant-quota N] [--chunk-units N]
+//! intellinoc serve    --chaos 25 [--chaos-seed S] [--state-dir DIR]
 //! intellinoc area
 //! intellinoc list
 //! ```
@@ -35,6 +38,7 @@ fn main() {
         Some("campaign") => commands::campaign(&args),
         Some("bench") => commands::bench(&args),
         Some("profile") => commands::profile(&args),
+        Some("serve") => commands::serve(&args),
         Some("area") => commands::area(),
         Some("list") => commands::list(),
         Some(other) => {
@@ -98,6 +102,15 @@ fn usage() {
     eprintln!("           [--top N] [--prof-out F.txt (deterministic cycle-domain table)]");
     eprintln!("           [--flame-out F.folded (inferno/speedscope collapsed stacks)]");
     eprintln!("           [--profile-out F.txt (full wall-clock profile table)]");
+    eprintln!("  serve    crash-survivable multi-tenant experiment daemon (DESIGN.md \u{a7}14)");
+    eprintln!("           --state-dir DIR (WAL + journals + reports; --resume to recover)");
+    eprintln!("           [--addr H:P (default 127.0.0.1:9900)] [--port-file F]");
+    eprintln!("           [--jobs N] [--tenant-quota N (429 + Retry-After beyond it)]");
+    eprintln!("           [--chunk-units N (cancel/pause granularity)]");
+    eprintln!("           [--drain-deadline-ms N] [--chaos-kill point:k (test abort)]");
+    eprintln!("           --chaos N  harness: N randomized kill -9 points against real");
+    eprintln!("                      daemons, asserting byte-identical lossless recovery");
+    eprintln!("                      [--chaos-seed S] [--chaos-jobs J]");
     eprintln!("  area     Table 2 per-router area comparison");
     eprintln!("  list     known designs and benchmarks");
     eprintln!();
@@ -105,7 +118,9 @@ fn usage() {
     eprintln!("  --jobs N              worker threads (default 1; results identical at any N)");
     eprintln!("  --deadline-cycles N   per-unit simulated-cycle deadline (timed-out status)");
     eprintln!("  --max-retries N       retry retryable failures up to N times");
-    eprintln!("  --retry-backoff-ms M  linear retry backoff base (default 25)");
+    eprintln!("  --retry-backoff-ms M  retry backoff base (default 25)");
+    eprintln!("  --retry-backoff P     linear (default) | exp: capped exponential with");
+    eprintln!("                        deterministic per-key jitter [--retry-backoff-cap-ms C]");
     eprintln!("  --journal F.jsonl     journal terminal unit records (enables --resume)");
     eprintln!("  --resume              reuse journaled records, run only the rest");
     eprintln!("  --max-units N         dispatch at most N units, skip the tail");

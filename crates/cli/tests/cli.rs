@@ -147,3 +147,141 @@ fn trace_capture_then_replay() {
     assert!(intellinoc_cli::commands::trace(&rep).is_ok());
     let _ = std::fs::remove_file(path);
 }
+
+/// Kills the spawned daemon on drop so a failing test leaves no orphan.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_serve(
+    state_dir: &std::path::Path,
+    port_file: &std::path::Path,
+    resume: bool,
+) -> KillOnDrop {
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_intellinoc"));
+    cmd.arg("serve")
+        .arg("--state-dir")
+        .arg(state_dir)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--port-file")
+        .arg(port_file)
+        .arg("--chunk-units")
+        .arg("1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    if resume {
+        cmd.arg("--resume");
+    }
+    KillOnDrop(cmd.spawn().expect("spawn intellinoc serve"))
+}
+
+fn wait_port_file(path: &std::path::Path) -> String {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(path) {
+            let addr = addr.trim().to_owned();
+            if !addr.is_empty() {
+                return addr;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "daemon never wrote {path:?}");
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn serve_survives_kill_nine_and_resumes_to_reference_report() {
+    use intellinoc::{http_request, reference_report_csv, JobSpec, JobStatus, SubmitRequest};
+
+    let dir = std::env::temp_dir().join(format!("intellinoc-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = dir.join("state");
+    let port_file = dir.join("port");
+
+    let spec = JobSpec {
+        name: "kill9".to_owned(),
+        designs: vec!["secded".to_owned(), "eb".to_owned()],
+        rates: vec![0.005, 0.01],
+        ppn: 2,
+        seed: 7,
+        max_cycles: 50_000,
+    };
+
+    let child = spawn_serve(&state, &port_file, false);
+    let addr = wait_port_file(&port_file);
+    let body = serde_json::to_string(&SubmitRequest {
+        tenant: "alice".to_owned(),
+        priority: 0,
+        paused: false,
+        spec: spec.clone(),
+    })
+    .unwrap();
+    let (code, resp) = http_request(&addr, "POST", "/api/jobs", Some(&body)).unwrap();
+    assert_eq!(code, 202, "{resp}");
+    let id = serde_json::from_str::<intellinoc::SubmitResponse>(&resp).unwrap().id;
+
+    // Let the job start making progress, then kill -9 mid-flight.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        if let Ok((200, body)) = http_request(&addr, "GET", &format!("/api/jobs/{id}"), None) {
+            let status: JobStatus = serde_json::from_str(&body).unwrap();
+            if status.units_done >= 1 {
+                break;
+            }
+        }
+        assert!(std::time::Instant::now() < deadline, "job made no progress");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    drop(child); // SIGKILL — no destructors, no graceful shutdown
+
+    // Restart over the same state dir: the WAL replays the accepted job
+    // and the journal resumes it to a byte-identical report.
+    let _ = std::fs::remove_file(&port_file);
+    let child = spawn_serve(&state, &port_file, true);
+    let addr = wait_port_file(&port_file);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        if let Ok((200, body)) = http_request(&addr, "GET", &format!("/api/jobs/{id}"), None) {
+            let status: JobStatus = serde_json::from_str(&body).unwrap();
+            if status.state == "done" {
+                break;
+            }
+            assert_ne!(status.state, "failed", "{status:?}");
+        }
+        assert!(std::time::Instant::now() < deadline, "resumed job never finished");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let (code, csv) = http_request(&addr, "GET", &format!("/api/jobs/{id}/report"), None).unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(csv, reference_report_csv(&spec).unwrap());
+
+    let (code, _) = http_request(&addr, "POST", "/api/drain", None).unwrap();
+    assert_eq!(code, 200);
+    drop(child);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_chaos_harness_smoke() {
+    let dir = std::env::temp_dir().join(format!("intellinoc-cli-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_intellinoc"))
+        .args(["serve", "--chaos", "2", "--chaos-seed", "5"])
+        .arg("--state-dir")
+        .arg(&dir)
+        .output()
+        .expect("run chaos harness");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "chaos harness failed:\n{stdout}\n{stderr}");
+    assert!(stdout.contains("iterations survived"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -54,6 +54,24 @@ impl Design {
         }
     }
 
+    /// Parses a design from its case-insensitive keyword (`secded` /
+    /// `baseline`, `eb`, `cp`, `cpd`, `intellinoc`), as accepted by the CLI
+    /// and the serve-mode job API.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown design.
+    pub fn parse(s: &str) -> Result<Design, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "secded" | "baseline" => Ok(Design::Secded),
+            "eb" => Ok(Design::Eb),
+            "cp" => Ok(Design::Cp),
+            "cpd" => Ok(Design::Cpd),
+            "intellinoc" => Ok(Design::IntelliNoc),
+            other => Err(format!("unknown design: {other} (try `intellinoc list`)")),
+        }
+    }
+
     /// Whether this design's per-router operation is chosen by the RL policy.
     pub fn uses_rl(self) -> bool {
         matches!(self, Design::IntelliNoc)

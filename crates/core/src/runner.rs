@@ -30,7 +30,7 @@
 use noc_sim::{Profiler, RunReport, RunnerEvent, StallReport};
 use serde::{Content, Deserialize, Serialize};
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -54,6 +54,46 @@ pub fn derive_seed(master: u64, key: &str) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Retry-delay shape applied between attempts of a retryable unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackoffPolicy {
+    /// Attempt `n` sleeps `n * base` milliseconds (the original engine
+    /// behavior, and still the default).
+    #[default]
+    Linear,
+    /// Attempt `n` sleeps `min(base * 2^(n-1), cap)` milliseconds plus a
+    /// deterministic jitter of up to half the delay, derived from the
+    /// unit's run key — so a grid of units failing together fans its
+    /// retries out instead of re-synchronizing into a retry storm, and the
+    /// schedule is still reproducible per unit.
+    Exponential {
+        /// Upper bound on the un-jittered delay (milliseconds).
+        cap_ms: u64,
+    },
+}
+
+/// The delay before retry number `attempt` (1-based: the sleep after the
+/// first failed attempt passes `attempt = 1`) of the unit with run key
+/// `key`, under `policy` with base delay `base_ms`.
+///
+/// Deterministic: depends only on `(policy, base_ms, key, attempt)`.
+#[must_use]
+pub fn retry_delay_ms(policy: BackoffPolicy, base_ms: u64, key: &str, attempt: u32) -> u64 {
+    match policy {
+        BackoffPolicy::Linear => base_ms.saturating_mul(u64::from(attempt)),
+        BackoffPolicy::Exponential { cap_ms } => {
+            let doublings = attempt.saturating_sub(1).min(20);
+            let raw = base_ms.saturating_mul(1u64 << doublings).min(cap_ms);
+            // Jitter in [0, raw/2], keyed so two units with the same
+            // attempt number desynchronize but a unit's own schedule is
+            // stable across runs.
+            let jitter_span = raw / 2 + 1;
+            let jitter = derive_seed(u64::from(attempt), key) % jitter_span;
+            raw.saturating_add(jitter)
+        }
+    }
 }
 
 /// Live fleet-progress snapshot handed to a [`FleetObserver`] each time a
@@ -99,9 +139,10 @@ pub struct RunnerConfig {
     pub jobs: usize,
     /// Extra attempts after a retryable failure (0 = fail immediately).
     pub max_retries: u32,
-    /// Linear backoff base in milliseconds: attempt `n` sleeps `n * base`
-    /// before retrying.
+    /// Retry backoff base in milliseconds (see [`BackoffPolicy`]).
     pub retry_backoff_ms: u64,
+    /// Shape of the retry delay schedule (default linear).
+    pub backoff: BackoffPolicy,
     /// Per-unit simulated-cycle deadline, clamped onto the unit's
     /// `max_cycles` budget. `None` leaves the unit's own budget in place.
     pub deadline_cycles: Option<u64>,
@@ -122,6 +163,7 @@ impl std::fmt::Debug for RunnerConfig {
             .field("jobs", &self.jobs)
             .field("max_retries", &self.max_retries)
             .field("retry_backoff_ms", &self.retry_backoff_ms)
+            .field("backoff", &self.backoff)
             .field("deadline_cycles", &self.deadline_cycles)
             .field("journal", &self.journal)
             .field("resume", &self.resume)
@@ -137,6 +179,7 @@ impl Default for RunnerConfig {
             jobs: 1,
             max_retries: 0,
             retry_backoff_ms: 25,
+            backoff: BackoffPolicy::Linear,
             deadline_cycles: None,
             journal: None,
             resume: false,
@@ -493,19 +536,56 @@ fn grid_fingerprint(keys: &[String]) -> u64 {
 
 /// Reads a journal back: header check, then one [`UnitRecord`] per line.
 /// A torn trailing line (interrupted process mid-write) is tolerated and
-/// ignored; corruption anywhere else is an error.
+/// ignored; corruption anywhere else is an error. Any bytes after the
+/// final newline are treated as torn even if they happen to parse — the
+/// `\n` is the commit marker, and appending after an uncommitted tail
+/// would splice two records onto one line.
+///
+/// The second return value is `true` when the file must be recreated
+/// rather than appended to: an empty file or a torn header line with no
+/// records after it — both what a `kill -9` during journal creation
+/// leaves behind. A broken header *followed by* records is still a hard
+/// error (append-only writes cannot produce that shape).
+///
+/// The third return value is the byte length of the valid prefix (header
+/// plus every kept record line, newlines included). Resuming truncates
+/// the file to this length before appending so a torn tail can never
+/// corrupt the record that follows it.
+/// What [`read_journal`] recovers: the records keyed by unit, whether the
+/// file must be recreated, and the byte length of the valid prefix.
+type JournalScan<T> = (HashMap<String, UnitRecord<T>>, bool, u64);
+
 fn read_journal<T: Deserialize>(
     path: &PathBuf,
     expected: &JournalHeader,
-) -> Result<HashMap<String, UnitRecord<T>>, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("opening journal {path:?}: {e}"))?;
-    let mut lines = BufReader::new(file).lines();
-    let header_line = match lines.next() {
-        Some(l) => l.map_err(|e| format!("reading journal {path:?}: {e}"))?,
-        None => return Ok(HashMap::new()),
+) -> Result<JournalScan<T>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading journal {path:?}: {e}"))?;
+    // Lossy decoding keeps a tear inside a multi-byte sequence confined to
+    // the tail line, which is dropped below anyway.
+    let content = String::from_utf8_lossy(&bytes);
+    // Split into newline-committed lines plus an optional torn tail.
+    let (committed, tail): (Vec<&str>, Option<&str>) = match content.rfind('\n') {
+        Some(pos) => (
+            content[..pos].split('\n').collect(),
+            (pos + 1 < content.len()).then(|| &content[pos + 1..]),
+        ),
+        None => (Vec::new(), (!content.is_empty()).then_some(&content[..])),
     };
-    let header: JournalHeader = serde_json::from_str(&header_line)
-        .map_err(|e| format!("journal {path:?} has an unreadable header: {e}"))?;
+    let Some(header_line) = committed.first() else {
+        // Empty file, or only a torn header line: recreate.
+        return Ok((HashMap::new(), true, 0));
+    };
+    let header: JournalHeader = match serde_json::from_str(header_line) {
+        Ok(h) => h,
+        Err(e) => {
+            let has_records =
+                committed[1..].iter().copied().chain(tail).any(|l| !l.trim().is_empty());
+            if has_records {
+                return Err(format!("journal {path:?} has an unreadable header: {e}"));
+            }
+            return Ok((HashMap::new(), true, 0));
+        }
+    };
     if header != *expected {
         return Err(format!(
             "journal {path:?} belongs to a different grid \
@@ -514,16 +594,19 @@ fn read_journal<T: Deserialize>(
             header.master_seed, header.fingerprint, expected.master_seed, expected.fingerprint
         ));
     }
-    let mut records = HashMap::new();
-    let mut pending: Vec<String> =
-        lines.collect::<Result<_, _>>().map_err(|e| format!("reading journal {path:?}: {e}"))?;
-    // Only the final line may be torn (append + flush per record).
-    let last_torn =
-        pending.last().is_some_and(|l| serde_json::from_str::<UnitRecord<T>>(l).is_err());
+    let mut pending = committed[1..].to_vec();
+    // Only the final line may be torn (append + flush per record); a torn
+    // tail after the last newline was dropped by the split above.
+    let last_torn = pending
+        .last()
+        .is_some_and(|l| !l.trim().is_empty() && serde_json::from_str::<UnitRecord<T>>(l).is_err());
     if last_torn {
         pending.pop();
     }
+    let mut records = HashMap::new();
+    let mut valid_len = header_line.len() as u64 + 1;
     for (i, line) in pending.iter().enumerate() {
+        valid_len += line.len() as u64 + 1;
         if line.trim().is_empty() {
             continue;
         }
@@ -533,7 +616,7 @@ fn read_journal<T: Deserialize>(
         // Last write wins (a record may be re-journaled by a later run).
         records.insert(rec.key.clone(), rec);
     }
-    Ok(records)
+    Ok((records, false, valid_len))
 }
 
 /// Append-mode journal writer, flushed after every record so an
@@ -553,11 +636,14 @@ impl JournalWriter {
         Ok(JournalWriter { file, path: path.clone() })
     }
 
-    fn append(path: &PathBuf) -> Result<Self, String> {
+    /// Opens for append, first truncating to `valid_len` — the end of the
+    /// last committed line — so records are never spliced onto a torn tail.
+    fn append(path: &PathBuf, valid_len: u64) -> Result<Self, String> {
         let file = std::fs::OpenOptions::new()
             .append(true)
             .open(path)
             .map_err(|e| format!("opening journal {path:?} for append: {e}"))?;
+        file.set_len(valid_len).map_err(|e| format!("truncating journal {path:?}: {e}"))?;
         Ok(JournalWriter { file, path: path.clone() })
     }
 
@@ -679,9 +765,12 @@ where
                 error: retry_error,
             });
         }
-        std::thread::sleep(std::time::Duration::from_millis(
-            cfg.retry_backoff_ms.saturating_mul(u64::from(attempt)),
-        ));
+        std::thread::sleep(std::time::Duration::from_millis(retry_delay_ms(
+            cfg.backoff,
+            cfg.retry_backoff_ms,
+            key,
+            attempt,
+        )));
     }
 }
 
@@ -785,20 +874,27 @@ where
         fingerprint: grid_fingerprint(keys),
     };
 
-    // Resume: reload terminal records for keys we already ran.
+    // Resume: reload terminal records for keys we already ran. A journal
+    // torn during creation (empty file / partial header, the `kill -9`
+    // shapes) yields no records and is recreated below instead of being
+    // appended to headerless.
     let mut resumed: HashMap<String, UnitRecord<T>> = HashMap::new();
+    let mut recreate_journal = false;
+    let mut journal_valid_len = 0u64;
     if cfg.resume {
         let path = cfg
             .journal
             .as_ref()
             .ok_or("resume requires a journal path (set RunnerConfig::journal)")?;
         if path.exists() {
-            resumed = read_journal(path, &header)?;
+            (resumed, recreate_journal, journal_valid_len) = read_journal(path, &header)?;
         }
     }
 
     let journal = match &cfg.journal {
-        Some(path) if cfg.resume && path.exists() => Some(JournalWriter::append(path)?),
+        Some(path) if cfg.resume && path.exists() && !recreate_journal => {
+            Some(JournalWriter::append(path, journal_valid_len)?)
+        }
         Some(path) => Some(JournalWriter::create(path, &header)?),
         None => None,
     };
@@ -1116,6 +1212,66 @@ mod tests {
         let report = run_units(5, &keys, &cfg, &ChaosOptions::default(), ok_exec).unwrap();
         assert!(report.is_clean());
         assert_eq!(report.records.iter().filter(|r| r.from_journal).count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exponential_backoff_caps_and_jitters_deterministically() {
+        let exp = BackoffPolicy::Exponential { cap_ms: 400 };
+        // Un-jittered ladder: 25, 50, 100, 200, 400, 400, ... with jitter
+        // bounded by half the raw delay.
+        for (attempt, raw) in [(1u32, 25u64), (2, 50), (3, 100), (4, 200), (5, 400), (9, 400)] {
+            let d = retry_delay_ms(exp, 25, "unit/a", attempt);
+            assert!(d >= raw && d <= raw + raw / 2, "attempt {attempt}: {d} vs raw {raw}");
+            // Deterministic per (key, attempt).
+            assert_eq!(d, retry_delay_ms(exp, 25, "unit/a", attempt));
+        }
+        // Different keys desynchronize at the same attempt number (the
+        // anti-retry-storm property) — check across a small key family.
+        let delays: std::collections::HashSet<u64> =
+            (0..16).map(|i| retry_delay_ms(exp, 25, &format!("unit/{i}"), 3)).collect();
+        assert!(delays.len() > 8, "jitter should spread: {delays:?}");
+        // Linear stays the legacy schedule.
+        assert_eq!(retry_delay_ms(BackoffPolicy::Linear, 25, "unit/a", 3), 75);
+        // Overflow-safe at absurd attempt counts.
+        let _ = retry_delay_ms(exp, u64::MAX, "unit/a", u32::MAX);
+    }
+
+    #[test]
+    fn torn_or_empty_journal_header_is_recreated_on_resume() {
+        let dir = std::env::temp_dir().join("intellinoc-runner-torn-header-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let keys = keys(3);
+        let clean = run_units(5, &keys, &RunnerConfig::serial(), &ChaosOptions::default(), ok_exec)
+            .unwrap();
+        // kill -9 mid-header-write leaves a partial first line; resume must
+        // treat the journal as empty and recreate it, not hard-error.
+        for torn in ["", "{\"journal\":\"intellinoc-run", "{\"journal\":\"intellinoc-run\n"] {
+            let journal = dir.join("grid.jsonl");
+            std::fs::write(&journal, torn).unwrap();
+            let cfg = RunnerConfig {
+                journal: Some(journal.clone()),
+                resume: true,
+                ..RunnerConfig::serial()
+            };
+            let report = run_units(5, &keys, &cfg, &ChaosOptions::default(), ok_exec).unwrap();
+            assert!(report.is_clean(), "torn={torn:?}");
+            assert_eq!(
+                serde_json::to_string(&report).unwrap(),
+                serde_json::to_string(&clean).unwrap()
+            );
+            // The recreated journal resumes cleanly a second time.
+            let again = run_units(5, &keys, &cfg, &ChaosOptions::default(), ok_exec).unwrap();
+            assert_eq!(again.records.iter().filter(|r| r.from_journal).count(), 3);
+        }
+        // A broken header *followed by* records is real corruption.
+        let journal = dir.join("grid.jsonl");
+        std::fs::write(&journal, "not json\n{\"key\":\"unit/0\"}\n").unwrap();
+        let cfg =
+            RunnerConfig { journal: Some(journal.clone()), resume: true, ..RunnerConfig::serial() };
+        let err =
+            run_units::<u64, _>(5, &keys, &cfg, &ChaosOptions::default(), ok_exec).unwrap_err();
+        assert!(err.contains("unreadable header"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

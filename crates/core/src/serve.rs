@@ -1,0 +1,2289 @@
+//! Serve mode (DESIGN.md §14): a crash-survivable, multi-tenant experiment
+//! daemon.
+//!
+//! `intellinoc serve` accepts experiment grids as JSON over the std-only
+//! HTTP server from `noc-telemetry`, schedules them onto the `noc-runner`
+//! worker pool, and streams per-run Prometheus metrics plus per-job JSONL
+//! journals. The design goal is *crash-survivability*: a `kill -9` at any
+//! point loses no accepted job and never double-counts a unit.
+//!
+//! Mechanisms, in dependency order:
+//!
+//! 1. **Write-ahead submission log** (`wal.jsonl`): every accepted
+//!    submission and every lifecycle transition (cancel / pause / resume /
+//!    terminal) is appended and `fsync`'d *before* the HTTP response is
+//!    written. Torn trailing lines (a crash mid-append) are tolerated on
+//!    replay, exactly like the runner journal.
+//! 2. **Chunked execution**: a job's grid runs through [`run_units`] in
+//!    small `max_units` chunks against the job's journal with `resume`
+//!    enabled. Between chunks the worker observes cancel / pause / drain.
+//!    Because the runner merges resumed and fresh records in canonical key
+//!    order, the final merged report is byte-identical no matter how many
+//!    times the daemon crashed and resumed in between.
+//! 3. **Recovery**: on start the WAL is replayed (last record wins), each
+//!    non-terminal job's journal is scanned to classify it as
+//!    done / resumed / queued, and execution picks up where it stopped. A
+//!    crash between the report write and the terminal WAL record re-runs a
+//!    fully-journaled job, which rewrites the same report bytes.
+//! 4. **Supervision**: a supervisor thread restarts the scheduler if it
+//!    dies (e.g. a panic outside the per-job isolation), requeueing any
+//!    job stuck in `running`.
+//! 5. **Chaos points** ([`ChaosKill`]): test-only `process::abort()` sites
+//!    (accept, mid-unit, mid-WAL-append, mid-response, pool-panic) driven
+//!    by the [`run_chaos_harness`] loop, which asserts the recovery
+//!    invariants across randomized kill points.
+//!
+//! Pure-std constraint: the daemon cannot catch SIGTERM, so graceful
+//! shutdown is an HTTP endpoint (`POST /api/drain`); `kill -9` is the
+//! crash path the WAL exists for.
+
+use crate::designs::Design;
+use crate::experiment::{run_experiment, ExperimentConfig};
+use crate::runner::{
+    classify_timeout, run_units, ChaosOptions, RunStatus, RunnerConfig, RunnerReport, UnitCtx,
+    UnitVerdict,
+};
+use noc_sim::{
+    render_exposition, HttpRequest, HttpResponse, HttpServer, MetricsHub, MetricsRegistry,
+};
+use noc_traffic::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Maximum units a single job may expand to (designs × rates).
+pub const MAX_JOB_UNITS: usize = 4096;
+
+/// Default per-tenant cap on outstanding (non-terminal) jobs.
+pub const DEFAULT_TENANT_QUOTA: usize = 8;
+
+/// Default units dispatched per scheduler chunk (the cancel / pause /
+/// crash-recovery granularity).
+pub const DEFAULT_CHUNK_UNITS: usize = 2;
+
+// ---------------------------------------------------------------------------
+// Chaos kill points
+// ---------------------------------------------------------------------------
+
+/// A named `process::abort()` site inside the daemon, used by the chaos
+/// harness to emulate `kill -9` at adversarial moments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosPoint {
+    /// In the submit handler, before the WAL append (job lost; client
+    /// must retry).
+    Accept,
+    /// Inside a unit executor, before the experiment runs.
+    MidUnit,
+    /// Mid-WAL-append: half the record's bytes reach the file, then abort
+    /// (exercises torn-line tolerance).
+    MidWal,
+    /// After the WAL append but before the HTTP response (job accepted;
+    /// client sees a dead connection and must retry idempotently).
+    MidResponse,
+    /// A panic on the scheduler thread outside per-job isolation (the
+    /// supervisor must restart the pool; the process survives).
+    PoolPanic,
+}
+
+impl ChaosPoint {
+    /// Every kill point, for harness sampling.
+    pub const ALL: [ChaosPoint; 5] = [
+        ChaosPoint::Accept,
+        ChaosPoint::MidUnit,
+        ChaosPoint::MidWal,
+        ChaosPoint::MidResponse,
+        ChaosPoint::PoolPanic,
+    ];
+
+    /// Stable CLI label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ChaosPoint::Accept => "accept",
+            ChaosPoint::MidUnit => "mid-unit",
+            ChaosPoint::MidWal => "mid-wal",
+            ChaosPoint::MidResponse => "mid-response",
+            ChaosPoint::PoolPanic => "pool-panic",
+        }
+    }
+
+    /// Parses a CLI label.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid labels.
+    pub fn parse(s: &str) -> Result<ChaosPoint, String> {
+        ChaosPoint::ALL
+            .into_iter()
+            .find(|p| p.label() == s)
+            .ok_or_else(|| format!("unknown chaos point: {s} (try accept, mid-unit, mid-wal, mid-response, pool-panic)"))
+    }
+}
+
+/// Arms one [`ChaosPoint`] to fire on its `after`-th hit.
+#[derive(Debug)]
+pub struct ChaosKill {
+    point: ChaosPoint,
+    after: u32,
+    hits: AtomicU32,
+}
+
+impl ChaosKill {
+    /// Arms `point` to fire on its `after`-th hit (1-based).
+    #[must_use]
+    pub fn new(point: ChaosPoint, after: u32) -> ChaosKill {
+        ChaosKill { point, after: after.max(1), hits: AtomicU32::new(0) }
+    }
+
+    /// Parses the CLI form `point:occurrence`, e.g. `mid-wal:2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the expected form.
+    pub fn parse(s: &str) -> Result<ChaosKill, String> {
+        let (point, after) = s
+            .split_once(':')
+            .ok_or_else(|| format!("chaos kill must be point:occurrence, got `{s}`"))?;
+        let after: u32 = after
+            .parse()
+            .map_err(|_| format!("chaos occurrence must be a positive integer, got `{after}`"))?;
+        if after == 0 {
+            return Err("chaos occurrence is 1-based; 0 is invalid".into());
+        }
+        Ok(ChaosKill::new(ChaosPoint::parse(point)?, after))
+    }
+
+    /// Whether this hit of `point` is the armed one (counts only matching
+    /// points).
+    fn fires(&self, point: ChaosPoint) -> bool {
+        if point != self.point {
+            return false;
+        }
+        self.hits.fetch_add(1, Ordering::SeqCst) + 1 == self.after
+    }
+
+    /// Aborts the process (no destructors — the `kill -9` equivalent) if
+    /// this hit of `point` is the armed one.
+    fn trip(&self, point: ChaosPoint) {
+        if self.fires(point) {
+            eprintln!(
+                "{{\"event\":\"serve-chaos-abort\",\"point\":\"{}\",\"after\":{}}}",
+                point.label(),
+                self.after
+            );
+            let _ = std::io::stderr().flush();
+            std::process::abort();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job specs and validation
+// ---------------------------------------------------------------------------
+
+/// An experiment grid submitted to the daemon: the cross product of
+/// `designs` × `rates`, one uniform-traffic experiment per cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Tenant-unique job name (idempotency key; `[A-Za-z0-9._-]{1,64}`).
+    pub name: String,
+    /// Design keywords (`secded`, `eb`, `cp`, `cpd`, `intellinoc`).
+    pub designs: Vec<String>,
+    /// Injection rates (packets/node/cycle), each in `(0, 1]`.
+    pub rates: Vec<f64>,
+    /// Packets per node.
+    pub ppn: u64,
+    /// Master seed; unit seeds derive from `(seed, unit key)`.
+    pub seed: u64,
+    /// Per-unit cycle budget (0 = the experiment default).
+    pub max_cycles: u64,
+}
+
+/// Whether `s` is a safe identifier token (tenant names, job names).
+#[must_use]
+pub fn token_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// One grid cell: the design, its injection rate, and the stable unit key.
+#[derive(Debug, Clone)]
+struct JobUnit {
+    key: String,
+    design: Design,
+    rate: f64,
+}
+
+/// Expands and validates a spec into its unit list.
+///
+/// # Errors
+///
+/// Rejects malformed names, unknown designs, out-of-range rates, empty or
+/// oversized grids, and duplicate cells.
+fn job_units(spec: &JobSpec) -> Result<Vec<JobUnit>, String> {
+    if !token_ok(&spec.name) {
+        return Err(format!("job name must match [A-Za-z0-9._-]{{1,64}}, got `{}`", spec.name));
+    }
+    if spec.designs.is_empty() || spec.rates.is_empty() {
+        return Err("job needs at least one design and one rate".into());
+    }
+    if spec.ppn == 0 {
+        return Err("ppn must be >= 1".into());
+    }
+    let mut units = Vec::new();
+    let mut seen = BTreeSet::new();
+    for d in &spec.designs {
+        let design = Design::parse(d)?;
+        for &rate in &spec.rates {
+            if !rate.is_finite() || rate <= 0.0 || rate > 1.0 {
+                return Err(format!("rate must be finite in (0, 1], got {rate}"));
+            }
+            let key = format!("serve/{}/r{rate}", design.label());
+            if !seen.insert(key.clone()) {
+                return Err(format!("duplicate grid cell: {key}"));
+            }
+            units.push(JobUnit { key, design, rate });
+        }
+    }
+    if units.len() > MAX_JOB_UNITS {
+        return Err(format!("grid has {} units; the cap is {MAX_JOB_UNITS}", units.len()));
+    }
+    Ok(units)
+}
+
+/// One executed grid cell, as journaled and reported by serve mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServePoint {
+    /// Execution time in cycles.
+    pub exec_cycles: u64,
+    /// Mean end-to-end latency (cycles).
+    pub avg_latency: f64,
+    /// 99th-percentile latency (cycles).
+    pub p99_latency: f64,
+    /// delivered / injected.
+    pub delivery_rate: f64,
+    /// Total average power (mW).
+    pub power_mw: f64,
+}
+
+/// Runs (a chunk of) a spec's grid through the runner engine.
+///
+/// # Errors
+///
+/// Propagates engine-level errors (journal mismatch or I/O).
+fn run_spec_units(
+    spec: &JobSpec,
+    rcfg: &RunnerConfig,
+    chaos: Option<&Arc<ChaosKill>>,
+) -> Result<RunnerReport<ServePoint>, String> {
+    let units = job_units(spec)?;
+    let keys: Vec<String> = units.iter().map(|u| u.key.clone()).collect();
+    run_units(spec.seed, &keys, rcfg, &ChaosOptions::default(), |ctx: &UnitCtx| {
+        if let Some(k) = chaos {
+            k.trip(ChaosPoint::MidUnit);
+        }
+        let unit = units.iter().find(|u| u.key == ctx.key).expect("key from supplied list");
+        let mut cfg =
+            ExperimentConfig::new(unit.design, WorkloadSpec::uniform(unit.rate, spec.ppn))
+                .with_seed(ctx.seed)
+                .with_deadline(ctx.deadline_cycles);
+        if spec.max_cycles > 0 {
+            cfg.max_cycles = spec.max_cycles;
+        }
+        let budget = cfg.max_cycles;
+        let o = run_experiment(cfg);
+        let r = &o.report;
+        let point = ServePoint {
+            exec_cycles: r.exec_cycles,
+            avg_latency: r.avg_latency(),
+            p99_latency: r.stats.latency_percentile(0.99),
+            delivery_rate: r.stats.delivery_ratio(),
+            power_mw: r.power.total_mw(),
+        };
+        match classify_timeout(r, budget) {
+            Some(report) => UnitVerdict::TimedOut { partial: Some(point), report },
+            None => UnitVerdict::Ok(point),
+        }
+    })
+}
+
+/// Renders a merged grid report as deterministic CSV (the serve-mode
+/// report artifact; byte-identical across crashes and resumes).
+#[must_use]
+pub fn serve_report_csv(report: &RunnerReport<ServePoint>) -> String {
+    let mut out = String::from(
+        "key,status,attempts,exec_cycles,avg_latency,p99_latency,delivery_rate,power_mw\n",
+    );
+    for rec in &report.records {
+        out.push_str(&rec.key);
+        out.push(',');
+        out.push_str(rec.status.label());
+        out.push_str(&format!(",{}", rec.attempts));
+        match &rec.payload {
+            Some(p) => out.push_str(&format!(
+                ",{},{:.3},{:.3},{:.6},{:.3}\n",
+                p.exec_cycles, p.avg_latency, p.p99_latency, p.delivery_rate, p.power_mw
+            )),
+            None => out.push_str(",,,,,\n"),
+        }
+    }
+    out
+}
+
+/// Computes the reference report for `spec` in-process (serial, no
+/// journal): what an uninterrupted daemon run must byte-match.
+///
+/// # Errors
+///
+/// Propagates spec validation and engine errors.
+pub fn reference_report_csv(spec: &JobSpec) -> Result<String, String> {
+    let report = run_spec_units(spec, &RunnerConfig::serial(), None)?;
+    Ok(serve_report_csv(&report))
+}
+
+// ---------------------------------------------------------------------------
+// Job lifecycle
+// ---------------------------------------------------------------------------
+
+/// A job's lifecycle state: `queued → running → done | failed | cancelled`
+/// (`paused` is an orthogonal flag on a queued/running job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for the scheduler (also the post-crash state of
+    /// interrupted jobs until their journal is resumed).
+    Queued,
+    /// The scheduler is executing its grid.
+    Running,
+    /// Every unit terminal, none failed; report written.
+    Done,
+    /// Spec rejected at execution, engine error, or >= 1 failed unit.
+    Failed,
+    /// Cancelled before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable wire label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a wire label.
+    fn parse(s: &str) -> Result<JobState, String> {
+        match s {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            "failed" => Ok(JobState::Failed),
+            "cancelled" => Ok(JobState::Cancelled),
+            other => Err(format!("unknown job state: {other}")),
+        }
+    }
+
+    /// Whether the job can never run again.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// One tracked job.
+#[derive(Debug, Clone)]
+struct Job {
+    id: String,
+    tenant: String,
+    priority: i64,
+    seq: u64,
+    spec: JobSpec,
+    state: JobState,
+    paused: bool,
+    cancel_requested: bool,
+    units_total: usize,
+    units_done: usize,
+    error: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead log
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WalHeader {
+    wal: String,
+    version: u64,
+}
+
+impl WalHeader {
+    fn expected() -> WalHeader {
+        WalHeader { wal: "intellinoc-serve".to_owned(), version: 1 }
+    }
+}
+
+/// One WAL record. `action` is `submit` / `cancel` / `pause` / `resume` /
+/// `terminal`; `spec` rides on `submit`, `state` and `error` on `terminal`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WalRecord {
+    action: String,
+    id: String,
+    tenant: String,
+    priority: i64,
+    spec: Option<JobSpec>,
+    state: Option<String>,
+    error: Option<String>,
+}
+
+/// Reads a WAL tolerantly: a torn trailing line (crash mid-append) is
+/// dropped; an unreadable header with no records behind it (crash during
+/// WAL creation) yields an empty log flagged for re-creation.
+///
+/// # Errors
+///
+/// An unreadable header *with* records behind it, an unreadable
+/// non-trailing record, or I/O failure.
+fn read_wal(path: &Path) -> Result<(Vec<WalRecord>, bool), String> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), true)),
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    };
+    let mut lines = text.lines();
+    let Some(header_line) = lines.next() else {
+        return Ok((Vec::new(), true));
+    };
+    let rest: Vec<&str> = lines.filter(|l| !l.trim().is_empty()).collect();
+    match serde_json::from_str::<WalHeader>(header_line) {
+        Ok(h) if h.wal == "intellinoc-serve" && h.version == 1 => {}
+        Ok(h) => return Err(format!("WAL {} has wrong header {h:?}", path.display())),
+        Err(_) if rest.is_empty() => return Ok((Vec::new(), true)),
+        Err(e) => return Err(format!("WAL {} has unreadable header: {e}", path.display())),
+    }
+    let mut records = Vec::new();
+    for (i, line) in rest.iter().enumerate() {
+        match serde_json::from_str::<WalRecord>(line) {
+            Ok(rec) => records.push(rec),
+            // A torn *trailing* record is an interrupted append: the
+            // response for it was never written, so dropping it is safe.
+            Err(_) if i + 1 == rest.len() => break,
+            Err(e) => {
+                return Err(format!("WAL {} record {} unreadable: {e}", path.display(), i + 1))
+            }
+        }
+    }
+    Ok((records, false))
+}
+
+/// Appends fsync'd records to the WAL. Every append reaches the disk
+/// before the caller proceeds (the "write-ahead" in write-ahead log).
+struct WalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl WalWriter {
+    fn create(path: &Path) -> Result<WalWriter, String> {
+        let mut file = File::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+        let header = serde_json::to_string(&WalHeader::expected())
+            .map_err(|e| format!("encode WAL header: {e}"))?;
+        file.write_all(header.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .and_then(|()| file.sync_data())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        Ok(WalWriter { file, path: path.to_path_buf() })
+    }
+
+    fn append(path: &Path) -> Result<WalWriter, String> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("open {}: {e}", path.display()))?;
+        Ok(WalWriter { file, path: path.to_path_buf() })
+    }
+
+    fn log(&mut self, rec: &WalRecord, chaos: Option<&Arc<ChaosKill>>) -> Result<(), String> {
+        let line = serde_json::to_string(rec).map_err(|e| format!("encode WAL record: {e}"))?;
+        if let Some(k) = chaos {
+            if k.fires(ChaosPoint::MidWal) {
+                // Torn append: half the record reaches the disk, then the
+                // process dies with no destructors.
+                let half = &line.as_bytes()[..line.len() / 2];
+                let _ = self.file.write_all(half);
+                let _ = self.file.sync_data();
+                eprintln!("{{\"event\":\"serve-chaos-abort\",\"point\":\"mid-wal\"}}");
+                let _ = std::io::stderr().flush();
+                std::process::abort();
+            }
+        }
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.write_all(b"\n"))
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| format!("append {}: {e}", self.path.display()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon configuration and shared state
+// ---------------------------------------------------------------------------
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// State directory: `wal.jsonl`, `journals/<id>.jsonl`,
+    /// `reports/<id>.csv`.
+    pub state_dir: PathBuf,
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads per job chunk (0/1 = serial).
+    pub jobs: usize,
+    /// Per-tenant cap on outstanding (non-terminal) jobs; beyond it
+    /// submissions get HTTP 429 + `Retry-After`.
+    pub tenant_quota: usize,
+    /// Units dispatched per scheduler chunk (cancel/pause granularity).
+    pub chunk_units: usize,
+    /// Default drain deadline when `POST /api/drain` names none.
+    pub drain_deadline_ms: u64,
+    /// Armed chaos kill point (tests only).
+    pub chaos: Option<Arc<ChaosKill>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            state_dir: PathBuf::from("serve-state"),
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: 0,
+            tenant_quota: DEFAULT_TENANT_QUOTA,
+            chunk_units: DEFAULT_CHUNK_UNITS,
+            drain_deadline_ms: 10_000,
+            chaos: None,
+        }
+    }
+}
+
+/// Mutex-guarded daemon core: the job table and the WAL writer (WAL
+/// appends are serialized by this lock).
+struct Core {
+    jobs: BTreeMap<String, Job>,
+    wal: Option<WalWriter>,
+    next_seq: u64,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    drained: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    core: Mutex<Core>,
+    wake: Condvar,
+    hub: Arc<MetricsHub>,
+    restarts: AtomicU64,
+    http_requests: AtomicU64,
+    recovery_ms: AtomicU64,
+}
+
+/// Locks the core, recovering from poisoning (a panicking worker must
+/// never wedge the daemon).
+fn lock_core(shared: &Shared) -> MutexGuard<'_, Core> {
+    shared.core.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn wait_core<'a>(shared: &'a Shared, guard: MutexGuard<'a, Core>, ms: u64) -> MutexGuard<'a, Core> {
+    match shared.wake.wait_timeout(guard, Duration::from_millis(ms)) {
+        Ok((g, _)) => g,
+        Err(p) => p.into_inner().0,
+    }
+}
+
+fn wal_path(state_dir: &Path) -> PathBuf {
+    state_dir.join("wal.jsonl")
+}
+
+fn journal_path(state_dir: &Path, id: &str) -> PathBuf {
+    state_dir.join("journals").join(format!("{id}.jsonl"))
+}
+
+fn report_path(state_dir: &Path, id: &str) -> PathBuf {
+    state_dir.join("reports").join(format!("{id}.csv"))
+}
+
+/// Counts terminal (non-skipped) unit records in a job journal,
+/// tolerating a torn trailing line. Returns 0 for a missing journal.
+fn journal_done_count(path: &Path) -> usize {
+    let Ok(text) = fs::read_to_string(path) else { return 0 };
+    let mut keys = BTreeSet::new();
+    for line in text.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(content) = serde_json::from_str::<serde::Content>(line) else { break };
+        let status: Result<RunStatus, _> = serde::field(&content, "status");
+        let key: Result<String, _> = serde::field(&content, "key");
+        match (key, status) {
+            (Ok(k), Ok(s)) if s != RunStatus::Skipped => {
+                keys.insert(k);
+            }
+            _ => break,
+        }
+    }
+    keys.len()
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Builds the `noc_serve_*` exposition from the current core state and
+/// publishes it to the hub (scrapes only ever see published snapshots).
+fn publish_metrics(shared: &Shared, core: &Core) {
+    let mut reg = MetricsRegistry::new();
+    let _ = reg.declare_gauge("noc_serve_jobs", "Jobs by lifecycle state.");
+    let _ =
+        reg.declare_gauge("noc_serve_queue_depth", "Outstanding (non-terminal) jobs per tenant.");
+    let _ = reg.declare_gauge("noc_serve_tenant_quota", "Per-tenant cap on outstanding jobs.");
+    let _ = reg.declare_counter(
+        "noc_serve_accepted_total",
+        "Submissions accepted (WAL'd) since the state dir was created.",
+    );
+    let _ =
+        reg.declare_counter("noc_serve_units_done_total", "Terminal grid units across all jobs.");
+    let _ =
+        reg.declare_counter("noc_serve_restarts_total", "Worker-pool restarts by the supervisor.");
+    let _ = reg.declare_counter("noc_serve_http_requests_total", "HTTP requests handled.");
+    let _ = reg.declare_gauge(
+        "noc_serve_recovery_seconds",
+        "Wall-clock spent replaying the WAL at the last start.",
+    );
+    let _ = reg.declare_gauge("noc_serve_draining", "1 while a drain is in progress.");
+
+    let mut by_state: BTreeMap<&str, f64> = BTreeMap::new();
+    for s in
+        [JobState::Queued, JobState::Running, JobState::Done, JobState::Failed, JobState::Cancelled]
+    {
+        by_state.insert(s.label(), 0.0);
+    }
+    let mut by_tenant: BTreeMap<String, f64> = BTreeMap::new();
+    let mut units_done = 0usize;
+    for job in core.jobs.values() {
+        *by_state.entry(job.state.label()).or_insert(0.0) += 1.0;
+        if !job.state.is_terminal() {
+            *by_tenant.entry(job.tenant.clone()).or_insert(0.0) += 1.0;
+        }
+        units_done += job.units_done;
+    }
+    for (state, n) in &by_state {
+        let _ = reg.gauge_set("noc_serve_jobs", &[("state", state)], *n);
+    }
+    for (tenant, n) in &by_tenant {
+        let _ = reg.gauge_set("noc_serve_queue_depth", &[("tenant", tenant)], *n);
+    }
+    let _ = reg.gauge_set("noc_serve_tenant_quota", &[], shared.cfg.tenant_quota as f64);
+    let _ = reg.counter_set("noc_serve_accepted_total", &[], core.next_seq as f64);
+    let _ = reg.counter_set("noc_serve_units_done_total", &[], units_done as f64);
+    let _ = reg.counter_set(
+        "noc_serve_restarts_total",
+        &[],
+        shared.restarts.load(Ordering::SeqCst) as f64,
+    );
+    let _ = reg.counter_set(
+        "noc_serve_http_requests_total",
+        &[],
+        shared.http_requests.load(Ordering::SeqCst) as f64,
+    );
+    let _ = reg.gauge_set(
+        "noc_serve_recovery_seconds",
+        &[],
+        shared.recovery_ms.load(Ordering::SeqCst) as f64 / 1_000.0,
+    );
+    let _ = reg.gauge_set("noc_serve_draining", &[], f64::from(u8::from(core.draining)));
+    shared.hub.publish(render_exposition(&reg));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler and supervisor
+// ---------------------------------------------------------------------------
+
+/// Highest-priority runnable job, FIFO within a priority tier.
+fn pick_runnable(core: &Core) -> Option<String> {
+    core.jobs
+        .values()
+        .filter(|j| j.state == JobState::Queued && !j.paused && !j.cancel_requested)
+        .max_by_key(|j| (j.priority, std::cmp::Reverse(j.seq)))
+        .map(|j| j.id.clone())
+}
+
+fn running_count(core: &Core) -> usize {
+    core.jobs.values().filter(|j| j.state == JobState::Running).count()
+}
+
+/// Marks a job terminal: WAL `terminal` record (fsync'd), state change,
+/// metrics, wakeups. A WAL append failure is logged but does not block the
+/// in-memory transition — on restart the job simply re-runs and rewrites
+/// the same report bytes.
+fn finalize_job(shared: &Shared, id: &str, state: JobState, error: Option<String>) {
+    let mut core = lock_core(shared);
+    let Some(job) = core.jobs.get(id) else { return };
+    if job.state.is_terminal() {
+        return;
+    }
+    let rec = WalRecord {
+        action: "terminal".to_owned(),
+        id: id.to_owned(),
+        tenant: job.tenant.clone(),
+        priority: job.priority,
+        spec: None,
+        state: Some(state.label().to_owned()),
+        error: error.clone(),
+    };
+    let chaos = shared.cfg.chaos.clone();
+    if let Some(wal) = core.wal.as_mut() {
+        if let Err(e) = wal.log(&rec, chaos.as_ref()) {
+            eprintln!("{{\"event\":\"serve-wal-error\",\"error\":{}}}", json_str(&e));
+        }
+    }
+    if let Some(job) = core.jobs.get_mut(id) {
+        job.state = state;
+        job.error = error;
+        if state == JobState::Done {
+            job.units_done = job.units_total;
+        }
+    }
+    publish_metrics(shared, &core);
+    shared.wake.notify_all();
+}
+
+enum Gate {
+    Proceed,
+    Cancelled,
+    Requeue,
+}
+
+/// Observes control flags between chunks: cancel wins, drain requeues,
+/// pause blocks (still subject to cancel and drain).
+fn control_gate(shared: &Shared, id: &str) -> Gate {
+    let mut core = lock_core(shared);
+    loop {
+        if core.draining {
+            if let Some(job) = core.jobs.get_mut(id) {
+                job.state = JobState::Queued;
+            }
+            shared.wake.notify_all();
+            return Gate::Requeue;
+        }
+        let Some(job) = core.jobs.get(id) else { return Gate::Requeue };
+        if job.cancel_requested {
+            return Gate::Cancelled;
+        }
+        if !job.paused {
+            return Gate::Proceed;
+        }
+        core = wait_core(shared, core, 200);
+    }
+}
+
+/// Executes one job to a terminal state (or requeues it on drain), in
+/// `chunk_units` steps against its resumable journal.
+fn execute_job(shared: &Shared, id: &str) {
+    let spec = {
+        let core = lock_core(shared);
+        match core.jobs.get(id) {
+            Some(job) => job.spec.clone(),
+            None => return,
+        }
+    };
+    let jpath = journal_path(&shared.cfg.state_dir, id);
+    loop {
+        match control_gate(shared, id) {
+            Gate::Requeue => return,
+            Gate::Cancelled => {
+                finalize_job(shared, id, JobState::Cancelled, None);
+                return;
+            }
+            Gate::Proceed => {}
+        }
+        let rcfg = RunnerConfig {
+            jobs: shared.cfg.jobs,
+            journal: Some(jpath.clone()),
+            resume: true,
+            max_units: Some(shared.cfg.chunk_units.max(1)),
+            ..RunnerConfig::default()
+        };
+        match run_spec_units(&spec, &rcfg, shared.cfg.chaos.as_ref()) {
+            Err(e) => {
+                finalize_job(shared, id, JobState::Failed, Some(e));
+                return;
+            }
+            Ok(report) => {
+                let counts = report.counts();
+                let done = report.records.len() - counts.skipped;
+                {
+                    let mut core = lock_core(shared);
+                    if let Some(job) = core.jobs.get_mut(id) {
+                        job.units_done = done;
+                    }
+                    publish_metrics(shared, &core);
+                }
+                if counts.skipped == 0 {
+                    let csv = serve_report_csv(&report);
+                    if let Err(e) =
+                        write_report_atomic(&report_path(&shared.cfg.state_dir, id), &csv)
+                    {
+                        finalize_job(shared, id, JobState::Failed, Some(e));
+                        return;
+                    }
+                    let (state, error) = if counts.failed == 0 {
+                        (JobState::Done, None)
+                    } else {
+                        (JobState::Failed, Some(format!("{} unit(s) failed", counts.failed)))
+                    };
+                    finalize_job(shared, id, state, error);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Writes the report via tmp + rename so a crash never leaves a torn
+/// report behind.
+fn write_report_atomic(path: &Path, csv: &str) -> Result<(), String> {
+    let tmp = path.with_extension("csv.tmp");
+    let mut f = File::create(&tmp).map_err(|e| format!("create {}: {e}", tmp.display()))?;
+    f.write_all(csv.as_bytes())
+        .and_then(|()| f.sync_data())
+        .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| format!("rename {}: {e}", path.display()))
+}
+
+/// The scheduler: one job at a time (intra-job parallelism comes from the
+/// runner's worker pool), per-job panic isolation, drain-aware.
+fn scheduler_loop(shared: &Arc<Shared>) {
+    loop {
+        let picked = {
+            let mut core = lock_core(shared);
+            loop {
+                if let Some(id) = pick_runnable(&core) {
+                    if let Some(job) = core.jobs.get_mut(&id) {
+                        job.state = JobState::Running;
+                    }
+                    publish_metrics(shared, &core);
+                    break Some(id);
+                }
+                if core.draining && running_count(&core) == 0 {
+                    core.drained = true;
+                    publish_metrics(shared, &core);
+                    shared.wake.notify_all();
+                    break None;
+                }
+                core = wait_core(shared, core, 200);
+            }
+        };
+        let Some(id) = picked else { return };
+        // The armed pool-panic fires here, outside the per-job isolation
+        // below and outside the core lock (no poisoned daemon state): the
+        // scheduler thread dies and the supervisor must recover.
+        if let Some(k) = &shared.cfg.chaos {
+            if k.fires(ChaosPoint::PoolPanic) {
+                panic!("chaos: worker pool panic");
+            }
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(shared, &id);
+        }));
+        if let Err(payload) = result {
+            finalize_job(
+                shared,
+                &id,
+                JobState::Failed,
+                Some(format!("worker panic: {}", panic_text(&payload))),
+            );
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// The supervisor: restarts a dead scheduler (requeueing `running` jobs),
+/// and enforces the drain deadline by abandoning a wedged chunk.
+fn supervisor_loop(shared: &Arc<Shared>, mut scheduler: thread::JoinHandle<()>) {
+    loop {
+        thread::sleep(Duration::from_millis(25));
+        if scheduler.is_finished() {
+            let _ = scheduler.join();
+            let draining = lock_core(shared).draining;
+            if draining {
+                let mut core = lock_core(shared);
+                core.drained = true;
+                publish_metrics(shared, &core);
+                shared.wake.notify_all();
+                return;
+            }
+            shared.restarts.fetch_add(1, Ordering::SeqCst);
+            eprintln!(
+                "{{\"event\":\"serve-pool-restart\",\"restarts\":{}}}",
+                shared.restarts.load(Ordering::SeqCst)
+            );
+            {
+                let mut core = lock_core(shared);
+                for job in core.jobs.values_mut() {
+                    if job.state == JobState::Running {
+                        job.state = JobState::Queued;
+                    }
+                }
+                publish_metrics(shared, &core);
+            }
+            let respawn = Arc::clone(shared);
+            scheduler = thread::spawn(move || scheduler_loop(&respawn));
+        } else {
+            let mut core = lock_core(shared);
+            if core.drained {
+                return;
+            }
+            if core.draining {
+                if let Some(deadline) = core.drain_deadline {
+                    if Instant::now() >= deadline {
+                        // Deadline passed with a chunk still running:
+                        // abandon it (its journal keeps the finished
+                        // units; the job resumes on the next start).
+                        core.drained = true;
+                        publish_metrics(shared, &core);
+                        shared.wake.notify_all();
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire types (also used by the harness and tests to parse responses)
+// ---------------------------------------------------------------------------
+
+/// `POST /api/jobs` request body. All fields are required.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitRequest {
+    /// Tenant identifier (`[A-Za-z0-9._-]{1,64}`); quotas are per tenant.
+    pub tenant: String,
+    /// Scheduling priority (higher runs sooner; FIFO within a tier).
+    pub priority: i64,
+    /// Submit in the paused state (the job holds until
+    /// `POST /api/jobs/<id>/resume`).
+    pub paused: bool,
+    /// The experiment grid.
+    pub spec: JobSpec,
+}
+
+/// `POST /api/jobs` response body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitResponse {
+    /// Assigned (or, for a duplicate, existing) job id.
+    pub id: String,
+    /// Job state at response time.
+    pub state: String,
+    /// Whether `(tenant, spec.name)` matched an already-accepted job.
+    pub duplicate: bool,
+    /// Grid size.
+    pub units: u64,
+}
+
+/// One job, as reported by `GET /api/jobs[/id]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Job id (`j-000001`-style, monotone in acceptance order).
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Job name (idempotency key within the tenant).
+    pub name: String,
+    /// Scheduling priority.
+    pub priority: i64,
+    /// Lifecycle state label.
+    pub state: String,
+    /// Whether the job is paused.
+    pub paused: bool,
+    /// Grid size.
+    pub units_total: u64,
+    /// Terminal units so far.
+    pub units_done: u64,
+    /// Failure description, if any.
+    pub error: Option<String>,
+}
+
+/// `GET /api/jobs` response body: global accounting plus every job.
+/// Invariant once idle: `done + failed + cancelled == accepted`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobsSummary {
+    /// Submissions ever accepted (WAL'd) in this state dir.
+    pub accepted: u64,
+    /// Jobs currently queued.
+    pub queued: u64,
+    /// Jobs currently running.
+    pub running: u64,
+    /// Jobs done.
+    pub done: u64,
+    /// Jobs failed.
+    pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Whether a drain is in progress.
+    pub draining: bool,
+    /// Every tracked job.
+    pub jobs: Vec<JobStatus>,
+}
+
+/// JSON-escapes a string (for hand-built error bodies and log lines).
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s.to_owned()).unwrap_or_else(|_| "\"?\"".to_owned())
+}
+
+fn error_body(status: u16, msg: &str) -> HttpResponse {
+    HttpResponse::json(status, format!("{{\"error\":{}}}", json_str(msg)))
+}
+
+fn job_status(job: &Job) -> JobStatus {
+    JobStatus {
+        id: job.id.clone(),
+        tenant: job.tenant.clone(),
+        name: job.spec.name.clone(),
+        priority: job.priority,
+        state: job.state.label().to_owned(),
+        paused: job.paused,
+        units_total: job.units_total as u64,
+        units_done: job.units_done as u64,
+        error: job.error.clone(),
+    }
+}
+
+fn ok_json<T: Serialize>(status: u16, value: &T) -> HttpResponse {
+    match serde_json::to_string(value) {
+        Ok(body) => HttpResponse::json(status, body),
+        Err(e) => error_body(500, &format!("encode response: {e}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handler
+// ---------------------------------------------------------------------------
+
+fn handle(shared: &Arc<Shared>, req: &HttpRequest) -> HttpResponse {
+    shared.http_requests.fetch_add(1, Ordering::SeqCst);
+    let path = req.path.split('?').next().unwrap_or("");
+    let parts: Vec<&str> = path.trim_matches('/').split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), parts.as_slice()) {
+        ("GET", ["healthz"]) => HttpResponse::text(200, "ok\n"),
+        ("GET", ["metrics"]) => HttpResponse::text(200, shared.hub.snapshot()),
+        ("POST", ["api", "jobs"]) => submit(shared, req),
+        ("GET", ["api", "jobs"]) => list_jobs(shared),
+        ("GET", ["api", "jobs", id]) => get_job(shared, id),
+        ("GET", ["api", "jobs", id, "report"]) => get_report(shared, id),
+        ("POST", ["api", "jobs", id, "cancel"]) => cancel_job(shared, id),
+        ("POST", ["api", "jobs", id, "pause"]) => set_paused(shared, id, true),
+        ("POST", ["api", "jobs", id, "resume"]) => set_paused(shared, id, false),
+        ("POST", ["api", "drain"]) => drain_request(shared, req),
+        (_, ["healthz" | "metrics"]) | (_, ["api", ..]) => error_body(405, "method not allowed"),
+        _ => error_body(404, "not found"),
+    }
+}
+
+fn submit(shared: &Arc<Shared>, req: &HttpRequest) -> HttpResponse {
+    if let Some(k) = &shared.cfg.chaos {
+        k.trip(ChaosPoint::Accept);
+    }
+    let body = req.body_string();
+    let sub: SubmitRequest = match serde_json::from_str(&body) {
+        Ok(s) => s,
+        Err(e) => return error_body(400, &format!("bad submission: {e}")),
+    };
+    if !token_ok(&sub.tenant) {
+        return error_body(400, "tenant must match [A-Za-z0-9._-]{1,64}");
+    }
+    let units = match job_units(&sub.spec) {
+        Ok(u) => u,
+        Err(e) => return error_body(400, &e),
+    };
+    let mut core = lock_core(shared);
+    if core.draining {
+        return error_body(503, "draining");
+    }
+    if let Some(existing) =
+        core.jobs.values().find(|j| j.tenant == sub.tenant && j.spec.name == sub.spec.name)
+    {
+        return ok_json(
+            200,
+            &SubmitResponse {
+                id: existing.id.clone(),
+                state: existing.state.label().to_owned(),
+                duplicate: true,
+                units: existing.units_total as u64,
+            },
+        );
+    }
+    let outstanding =
+        core.jobs.values().filter(|j| j.tenant == sub.tenant && !j.state.is_terminal()).count();
+    if outstanding >= shared.cfg.tenant_quota {
+        return error_body(
+            429,
+            &format!(
+                "tenant {} has {outstanding} outstanding jobs (quota {})",
+                sub.tenant, shared.cfg.tenant_quota
+            ),
+        )
+        .with_header("Retry-After", "1");
+    }
+    let seq = core.next_seq + 1;
+    let id = format!("j-{seq:06}");
+    let rec = WalRecord {
+        action: "submit".to_owned(),
+        id: id.clone(),
+        tenant: sub.tenant.clone(),
+        priority: sub.priority,
+        spec: Some(sub.spec.clone()),
+        state: None,
+        error: None,
+    };
+    let chaos = shared.cfg.chaos.clone();
+    if let Some(wal) = core.wal.as_mut() {
+        // Write-ahead: the record is on disk (fsync'd) before the job is
+        // visible or the response is written. A crash after this point
+        // cannot lose the job.
+        if let Err(e) = wal.log(&rec, chaos.as_ref()) {
+            return error_body(500, &format!("WAL append failed: {e}"));
+        }
+        if sub.paused {
+            // A paused submission is two WAL records so replay re-derives
+            // the paused flag the same way a live pause does.
+            let pause = WalRecord { action: "pause".to_owned(), spec: None, ..rec.clone() };
+            if let Err(e) = wal.log(&pause, chaos.as_ref()) {
+                return error_body(500, &format!("WAL append failed: {e}"));
+            }
+        }
+    }
+    core.next_seq = seq;
+    core.jobs.insert(
+        id.clone(),
+        Job {
+            id: id.clone(),
+            tenant: sub.tenant,
+            priority: sub.priority,
+            seq,
+            spec: sub.spec,
+            state: JobState::Queued,
+            paused: sub.paused,
+            cancel_requested: false,
+            units_total: units.len(),
+            units_done: 0,
+            error: None,
+        },
+    );
+    publish_metrics(shared, &core);
+    shared.wake.notify_all();
+    if let Some(k) = &chaos {
+        // Accepted but unacknowledged: the client must retry and hit the
+        // duplicate path.
+        k.trip(ChaosPoint::MidResponse);
+    }
+    ok_json(
+        202,
+        &SubmitResponse {
+            id,
+            state: JobState::Queued.label().to_owned(),
+            duplicate: false,
+            units: units.len() as u64,
+        },
+    )
+}
+
+fn list_jobs(shared: &Arc<Shared>) -> HttpResponse {
+    let core = lock_core(shared);
+    let mut summary = JobsSummary {
+        accepted: core.next_seq,
+        queued: 0,
+        running: 0,
+        done: 0,
+        failed: 0,
+        cancelled: 0,
+        draining: core.draining,
+        jobs: Vec::new(),
+    };
+    for job in core.jobs.values() {
+        match job.state {
+            JobState::Queued => summary.queued += 1,
+            JobState::Running => summary.running += 1,
+            JobState::Done => summary.done += 1,
+            JobState::Failed => summary.failed += 1,
+            JobState::Cancelled => summary.cancelled += 1,
+        }
+        summary.jobs.push(job_status(job));
+    }
+    ok_json(200, &summary)
+}
+
+fn get_job(shared: &Arc<Shared>, id: &str) -> HttpResponse {
+    let core = lock_core(shared);
+    match core.jobs.get(id) {
+        Some(job) => ok_json(200, &job_status(job)),
+        None => error_body(404, &format!("no such job: {id}")),
+    }
+}
+
+fn get_report(shared: &Arc<Shared>, id: &str) -> HttpResponse {
+    let ready = {
+        let core = lock_core(shared);
+        match core.jobs.get(id) {
+            Some(job) => matches!(job.state, JobState::Done | JobState::Failed),
+            None => return error_body(404, &format!("no such job: {id}")),
+        }
+    };
+    if !ready {
+        return error_body(409, "report not ready (job not terminal)");
+    }
+    match fs::read_to_string(report_path(&shared.cfg.state_dir, id)) {
+        Ok(csv) => HttpResponse::text(200, csv).with_header("X-Report-Format", "csv"),
+        Err(e) => error_body(409, &format!("report unavailable: {e}")),
+    }
+}
+
+/// Cancels a job. A queued job finalizes synchronously; a running one is
+/// flagged and finalizes at its next chunk boundary.
+fn cancel_job(shared: &Arc<Shared>, id: &str) -> HttpResponse {
+    let mut core = lock_core(shared);
+    let Some(job) = core.jobs.get(id) else {
+        return error_body(404, &format!("no such job: {id}"));
+    };
+    if job.state.is_terminal() {
+        return error_body(409, &format!("job is already {}", job.state.label()));
+    }
+    let rec = WalRecord {
+        action: "cancel".to_owned(),
+        id: id.to_owned(),
+        tenant: job.tenant.clone(),
+        priority: job.priority,
+        spec: None,
+        state: None,
+        error: None,
+    };
+    let was_queued = job.state == JobState::Queued;
+    let chaos = shared.cfg.chaos.clone();
+    if let Some(wal) = core.wal.as_mut() {
+        if let Err(e) = wal.log(&rec, chaos.as_ref()) {
+            return error_body(500, &format!("WAL append failed: {e}"));
+        }
+    }
+    if let Some(job) = core.jobs.get_mut(id) {
+        job.cancel_requested = true;
+    }
+    if was_queued {
+        drop(core);
+        finalize_job(shared, id, JobState::Cancelled, None);
+        let core = lock_core(shared);
+        return match core.jobs.get(id) {
+            Some(job) => ok_json(200, &job_status(job)),
+            None => error_body(404, "job vanished"),
+        };
+    }
+    publish_metrics(shared, &core);
+    shared.wake.notify_all();
+    match core.jobs.get(id) {
+        Some(job) => ok_json(202, &job_status(job)),
+        None => error_body(404, "job vanished"),
+    }
+}
+
+fn set_paused(shared: &Arc<Shared>, id: &str, paused: bool) -> HttpResponse {
+    let mut core = lock_core(shared);
+    let Some(job) = core.jobs.get(id) else {
+        return error_body(404, &format!("no such job: {id}"));
+    };
+    if job.state.is_terminal() {
+        return error_body(409, &format!("job is already {}", job.state.label()));
+    }
+    let rec = WalRecord {
+        action: if paused { "pause" } else { "resume" }.to_owned(),
+        id: id.to_owned(),
+        tenant: job.tenant.clone(),
+        priority: job.priority,
+        spec: None,
+        state: None,
+        error: None,
+    };
+    let chaos = shared.cfg.chaos.clone();
+    if let Some(wal) = core.wal.as_mut() {
+        if let Err(e) = wal.log(&rec, chaos.as_ref()) {
+            return error_body(500, &format!("WAL append failed: {e}"));
+        }
+    }
+    if let Some(job) = core.jobs.get_mut(id) {
+        job.paused = paused;
+    }
+    publish_metrics(shared, &core);
+    shared.wake.notify_all();
+    match core.jobs.get(id) {
+        Some(job) => ok_json(200, &job_status(job)),
+        None => error_body(404, "job vanished"),
+    }
+}
+
+fn drain_request(shared: &Arc<Shared>, req: &HttpRequest) -> HttpResponse {
+    let mut deadline_ms = shared.cfg.drain_deadline_ms;
+    let body = req.body_string();
+    if !body.trim().is_empty() {
+        match serde_json::from_str::<serde::Content>(&body) {
+            Ok(content) => {
+                if let Ok(ms) = serde::field::<u64>(&content, "deadline_ms") {
+                    deadline_ms = ms;
+                }
+            }
+            Err(e) => return error_body(400, &format!("bad drain body: {e}")),
+        }
+    }
+    let mut core = lock_core(shared);
+    core.draining = true;
+    core.drain_deadline = Some(Instant::now() + Duration::from_millis(deadline_ms));
+    publish_metrics(shared, &core);
+    shared.wake.notify_all();
+    HttpResponse::json(200, format!("{{\"draining\":true,\"deadline_ms\":{deadline_ms}}}"))
+}
+
+// ---------------------------------------------------------------------------
+// Daemon
+// ---------------------------------------------------------------------------
+
+/// Classes of recovered jobs, for the post-replay report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Jobs already terminal in the WAL.
+    pub done: usize,
+    /// Interrupted jobs with journaled units (resume mid-grid).
+    pub resumed: usize,
+    /// Accepted jobs that never dispatched a unit.
+    pub queued: usize,
+}
+
+/// The running daemon: HTTP endpoint + scheduler + supervisor over a
+/// crash-safe state directory.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    http: HttpServer,
+    supervisor: Option<thread::JoinHandle<()>>,
+    recovery: RecoverySummary,
+}
+
+impl Daemon {
+    /// Starts (or restarts) a daemon over `cfg.state_dir`: replays the
+    /// WAL, classifies jobs, binds the HTTP endpoint, and spawns the
+    /// scheduler and supervisor threads.
+    ///
+    /// # Errors
+    ///
+    /// State-directory I/O, an unreadable WAL, or a failed bind.
+    pub fn start(cfg: ServeConfig) -> Result<Daemon, String> {
+        let t0 = Instant::now();
+        fs::create_dir_all(cfg.state_dir.join("journals"))
+            .and_then(|()| fs::create_dir_all(cfg.state_dir.join("reports")))
+            .map_err(|e| format!("create state dir {}: {e}", cfg.state_dir.display()))?;
+        let wal_p = wal_path(&cfg.state_dir);
+        let (records, recreate) = read_wal(&wal_p)?;
+
+        // Replay: fold the log in order; the job table is exactly the
+        // fold of its WAL.
+        let mut jobs: BTreeMap<String, Job> = BTreeMap::new();
+        let mut next_seq = 0u64;
+        for rec in records {
+            match rec.action.as_str() {
+                "submit" => {
+                    let Some(spec) = rec.spec else { continue };
+                    let units_total = job_units(&spec).map(|u| u.len()).unwrap_or(0);
+                    let seq =
+                        rec.id.trim_start_matches("j-").parse::<u64>().unwrap_or(next_seq + 1);
+                    next_seq = next_seq.max(seq);
+                    jobs.insert(
+                        rec.id.clone(),
+                        Job {
+                            id: rec.id,
+                            tenant: rec.tenant,
+                            priority: rec.priority,
+                            seq,
+                            spec,
+                            state: JobState::Queued,
+                            paused: false,
+                            cancel_requested: false,
+                            units_total,
+                            units_done: 0,
+                            error: None,
+                        },
+                    );
+                }
+                "cancel" => {
+                    if let Some(job) = jobs.get_mut(&rec.id) {
+                        job.cancel_requested = true;
+                    }
+                }
+                "pause" => {
+                    if let Some(job) = jobs.get_mut(&rec.id) {
+                        job.paused = true;
+                    }
+                }
+                "resume" => {
+                    if let Some(job) = jobs.get_mut(&rec.id) {
+                        job.paused = false;
+                    }
+                }
+                "terminal" => {
+                    if let Some(job) = jobs.get_mut(&rec.id) {
+                        if let Some(state) =
+                            rec.state.as_deref().and_then(|s| JobState::parse(s).ok())
+                        {
+                            job.state = state;
+                            job.error = rec.error;
+                            if state == JobState::Done {
+                                job.units_done = job.units_total;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Classify survivors: terminal jobs are done; interrupted jobs
+        // resume from their journal fingerprint (done-unit count), the
+        // rest re-queue from scratch.
+        let mut recovery = RecoverySummary::default();
+        for job in jobs.values_mut() {
+            if job.state.is_terminal() {
+                recovery.done += 1;
+            } else {
+                job.state = JobState::Queued;
+                job.units_done = journal_done_count(&journal_path(&cfg.state_dir, &job.id));
+                if job.units_done > 0 {
+                    recovery.resumed += 1;
+                } else {
+                    recovery.queued += 1;
+                }
+            }
+        }
+
+        let wal = if recreate { WalWriter::create(&wal_p)? } else { WalWriter::append(&wal_p)? };
+        let shared = Arc::new(Shared {
+            cfg,
+            core: Mutex::new(Core {
+                jobs,
+                wal: Some(wal),
+                next_seq,
+                draining: false,
+                drain_deadline: None,
+                drained: false,
+            }),
+            wake: Condvar::new(),
+            hub: Arc::new(MetricsHub::new()),
+            restarts: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            recovery_ms: AtomicU64::new(0),
+        });
+
+        let handler_shared = Arc::clone(&shared);
+        let http = HttpServer::bind(
+            &shared.cfg.addr,
+            Arc::new(move |req: &HttpRequest| handle(&handler_shared, req)),
+        )
+        .map_err(|e| format!("bind {}: {e}", shared.cfg.addr))?;
+
+        let sched_shared = Arc::clone(&shared);
+        let scheduler = thread::spawn(move || scheduler_loop(&sched_shared));
+        let sup_shared = Arc::clone(&shared);
+        let supervisor = thread::spawn(move || supervisor_loop(&sup_shared, scheduler));
+
+        let elapsed_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+        shared.recovery_ms.store(elapsed_ms, Ordering::SeqCst);
+        {
+            let core = lock_core(&shared);
+            publish_metrics(&shared, &core);
+        }
+        eprintln!(
+            "{{\"event\":\"serve-recovered\",\"jobs\":{},\"done\":{},\"resumed\":{},\"queued\":{},\"ms\":{}}}",
+            recovery.done + recovery.resumed + recovery.queued,
+            recovery.done,
+            recovery.resumed,
+            recovery.queued,
+            elapsed_ms
+        );
+        Ok(Daemon { shared, http, supervisor: Some(supervisor), recovery })
+    }
+
+    /// The bound HTTP address.
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.http.local_addr()
+    }
+
+    /// The metrics hub serving `GET /metrics`.
+    #[must_use]
+    pub fn hub(&self) -> Arc<MetricsHub> {
+        Arc::clone(&self.shared.hub)
+    }
+
+    /// What the WAL replay found at start.
+    #[must_use]
+    pub fn recovery(&self) -> RecoverySummary {
+        self.recovery
+    }
+
+    /// Worker-pool restarts performed by the supervisor.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Requests a drain (programmatic `POST /api/drain`).
+    pub fn drain(&self, deadline: Duration) {
+        let mut core = lock_core(&self.shared);
+        core.draining = true;
+        core.drain_deadline = Some(Instant::now() + deadline);
+        publish_metrics(&self.shared, &core);
+        self.shared.wake.notify_all();
+    }
+
+    /// Blocks until the drain completes (or `timeout` passes). Returns
+    /// whether the daemon fully drained.
+    pub fn wait_until_drained(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut core = lock_core(&self.shared);
+        while !core.drained {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            core = wait_core(&self.shared, core, 100);
+        }
+        true
+    }
+
+    /// Drains with `deadline`, waits it out, stops the HTTP endpoint, and
+    /// joins the supervisor. Returns whether the drain was clean.
+    pub fn shutdown(mut self, deadline: Duration) -> bool {
+        self.drain(deadline);
+        let clean = self.wait_until_drained(deadline + Duration::from_secs(2));
+        self.http.shutdown();
+        if let Some(handle) = self.supervisor.take() {
+            // The supervisor exits once drained is set (it set it); a
+            // wedged chunk past the deadline leaves the thread detached.
+            let patience = Instant::now() + Duration::from_secs(2);
+            while !handle.is_finished() && Instant::now() < patience {
+                thread::sleep(Duration::from_millis(10));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+        }
+        clean
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal std HTTP client (harness, CLI, tests)
+// ---------------------------------------------------------------------------
+
+/// Sends one HTTP/1.0 request and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Connection, timeout, or malformed-response errors (a chaos-killed
+/// daemon surfaces here as a connect/EOF failure the caller retries).
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let (status, _, body) = http_request_full(addr, method, path, body)?;
+    Ok((status, body))
+}
+
+/// [`http_request`] variant that also returns the response headers
+/// (lowercased names), for callers asserting on `Retry-After` etc.
+///
+/// # Errors
+///
+/// Same as [`http_request`].
+#[allow(clippy::type_complexity)] // (status, headers, body) — a wire triple, not a domain type
+pub fn http_request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, Vec<(String, String)>, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let timeout = Some(Duration::from_secs(30));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    let payload = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.0\r\nHost: intellinoc\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(req.as_bytes()).map_err(|e| format!("send {path}: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("read {path}: {e}"))?;
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let (head, response_body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response for {path} ({} bytes)", raw.len()))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    Ok((status, headers, response_body.to_owned()))
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness
+// ---------------------------------------------------------------------------
+
+/// Chaos-harness configuration: kill a real daemon process at randomized
+/// points and assert the recovery invariants.
+#[derive(Debug, Clone)]
+pub struct ChaosHarnessConfig {
+    /// The `intellinoc` CLI binary to spawn as the daemon.
+    pub exe: PathBuf,
+    /// Scratch root; one state dir per iteration (removed on success).
+    pub state_root: PathBuf,
+    /// Randomized kill iterations.
+    pub iterations: u32,
+    /// Kill-point sampling seed (the harness is fully deterministic).
+    pub seed: u64,
+    /// Jobs submitted per iteration (tenants alternate `alice` / `bob`).
+    pub jobs_per_iteration: u32,
+    /// Grid template; per-job names get an index suffix.
+    pub spec: JobSpec,
+}
+
+impl ChaosHarnessConfig {
+    /// A small fast grid (8 units/iteration) for CI-bounded chaos loops.
+    #[must_use]
+    pub fn new(exe: PathBuf, state_root: PathBuf) -> ChaosHarnessConfig {
+        ChaosHarnessConfig {
+            exe,
+            state_root,
+            iterations: 5,
+            seed: 0x1de1_1a0c,
+            jobs_per_iteration: 2,
+            spec: JobSpec {
+                name: "chaos".to_owned(),
+                designs: vec!["secded".to_owned(), "eb".to_owned()],
+                rates: vec![0.005, 0.01],
+                ppn: 2,
+                seed: 7,
+                max_cycles: 50_000,
+            },
+        }
+    }
+}
+
+/// One chaos iteration's outcome.
+#[derive(Debug, Clone)]
+pub struct ChaosIteration {
+    /// The sampled kill point.
+    pub point: String,
+    /// Its armed occurrence.
+    pub after: u32,
+    /// Whether the daemon process died (pool-panic survives in-process).
+    pub killed: bool,
+}
+
+/// The harness verdict: every iteration recovered with byte-identical
+/// reports and `done + failed + cancelled == accepted`.
+#[derive(Debug, Clone)]
+pub struct ChaosSummary {
+    /// Per-iteration outcomes, in order.
+    pub iterations: Vec<ChaosIteration>,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Kills the child on drop so failed iterations never leak daemons.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_daemon(
+    cfg: &ChaosHarnessConfig,
+    state_dir: &Path,
+    port_file: &Path,
+    chaos: Option<(ChaosPoint, u32)>,
+    resume: bool,
+    log_name: &str,
+) -> Result<ChildGuard, String> {
+    let log =
+        File::create(state_dir.join(log_name)).map_err(|e| format!("create daemon log: {e}"))?;
+    let log2 = log.try_clone().map_err(|e| format!("clone daemon log: {e}"))?;
+    let mut cmd = Command::new(&cfg.exe);
+    cmd.arg("serve")
+        .arg("--state-dir")
+        .arg(state_dir)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--port-file")
+        .arg(port_file)
+        .arg("--chunk-units")
+        .arg("1")
+        .stdin(Stdio::null())
+        .stdout(Stdio::from(log))
+        .stderr(Stdio::from(log2));
+    if resume {
+        cmd.arg("--resume");
+    }
+    if let Some((point, after)) = chaos {
+        cmd.arg("--chaos-kill").arg(format!("{}:{after}", point.label()));
+    }
+    cmd.spawn().map(ChildGuard).map_err(|e| format!("spawn {}: {e}", cfg.exe.display()))
+}
+
+fn wait_port_file(
+    path: &Path,
+    child: &mut ChildGuard,
+    timeout: Duration,
+) -> Result<String, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(text) = fs::read_to_string(path) {
+            let addr = text.trim();
+            if !addr.is_empty() {
+                return Ok(addr.to_owned());
+            }
+        }
+        if let Ok(Some(status)) = child.0.try_wait() {
+            return Err(format!("daemon exited before binding: {status}"));
+        }
+        if Instant::now() >= deadline {
+            return Err("daemon never wrote its port file".into());
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Submits every job; returns `false` the moment the daemon's death shows
+/// through the socket (the caller then restarts and retries idempotently).
+fn submit_all(addr: &str, cfg: &ChaosHarnessConfig) -> Result<bool, String> {
+    for j in 0..cfg.jobs_per_iteration {
+        let mut spec = cfg.spec.clone();
+        spec.name = format!("{}-{j}", spec.name);
+        let tenant = if j % 2 == 0 { "alice" } else { "bob" };
+        let body = serde_json::to_string(&SubmitRequest {
+            tenant: tenant.to_owned(),
+            priority: i64::from(j),
+            paused: false,
+            spec,
+        })
+        .map_err(|e| format!("encode submission: {e}"))?;
+        match http_request(addr, "POST", "/api/jobs", Some(&body)) {
+            Ok((202 | 200, _)) => {}
+            Ok((code, resp)) => return Err(format!("submission rejected: HTTP {code}: {resp}")),
+            Err(_) => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+fn poll_all_terminal(
+    addr: &str,
+    expected_accepted: u64,
+    timeout: Duration,
+) -> Result<JobsSummary, String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match http_request(addr, "GET", "/api/jobs", None) {
+            Ok((200, body)) => {
+                let summary: JobsSummary =
+                    serde_json::from_str(&body).map_err(|e| format!("parse jobs summary: {e}"))?;
+                if summary.accepted == expected_accepted
+                    && summary.queued == 0
+                    && summary.running == 0
+                {
+                    return Ok(summary);
+                }
+            }
+            Ok((code, resp)) => return Err(format!("GET /api/jobs: HTTP {code}: {resp}")),
+            Err(e) => return Err(format!("GET /api/jobs: {e}")),
+        }
+        if Instant::now() >= deadline {
+            return Err("jobs never reached terminal states".into());
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The recovery invariants: no lost or double-counted submissions, every
+/// job done, every report byte-identical to the uninterrupted reference.
+fn verify_iteration(addr: &str, summary: &JobsSummary, reference: &str) -> Result<(), String> {
+    if summary.done + summary.failed + summary.cancelled != summary.accepted {
+        return Err(format!(
+            "accounting broken: done {} + failed {} + cancelled {} != accepted {}",
+            summary.done, summary.failed, summary.cancelled, summary.accepted
+        ));
+    }
+    for job in &summary.jobs {
+        if job.state != "done" {
+            return Err(format!(
+                "job {} ({}) ended {} with error {:?}",
+                job.id, job.name, job.state, job.error
+            ));
+        }
+        let (code, csv) = http_request(addr, "GET", &format!("/api/jobs/{}/report", job.id), None)?;
+        if code != 200 {
+            return Err(format!("report for {}: HTTP {code}: {csv}", job.id));
+        }
+        if csv != reference {
+            return Err(format!(
+                "report for {} diverged from the uninterrupted reference:\n--- got\n{csv}\n--- want\n{reference}",
+                job.id
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn wait_child_exit(child: &mut ChildGuard, timeout: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(Some(_)) = child.0.try_wait() {
+            return Ok(());
+        }
+        if Instant::now() >= deadline {
+            return Err("daemon outlived its chaos kill point".into());
+        }
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn metric_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+fn run_chaos_iteration(
+    cfg: &ChaosHarnessConfig,
+    dir: &Path,
+    point: ChaosPoint,
+    after: u32,
+    reference: &str,
+) -> Result<ChaosIteration, String> {
+    let expected = u64::from(cfg.jobs_per_iteration);
+    let per_phase = Duration::from_secs(120);
+    let port1 = dir.join("port-1");
+    let mut child = spawn_daemon(cfg, dir, &port1, Some((point, after)), false, "daemon-1.log")?;
+    let addr = wait_port_file(&port1, &mut child, Duration::from_secs(10))?;
+    let submitted_clean = submit_all(&addr, cfg)?;
+
+    if point == ChaosPoint::PoolPanic {
+        // The process survives a pool panic: the supervisor must restart
+        // the scheduler and finish every job in-process.
+        if !submitted_clean {
+            return Err("daemon died on a pool-panic iteration".into());
+        }
+        let summary = poll_all_terminal(&addr, expected, per_phase)?;
+        let (_, metrics) = http_request(&addr, "GET", "/metrics", None)?;
+        let restarts = metric_value(&metrics, "noc_serve_restarts_total").unwrap_or(0.0);
+        if restarts < 1.0 {
+            return Err("pool panic fired but noc_serve_restarts_total stayed 0".into());
+        }
+        verify_iteration(&addr, &summary, reference)?;
+        let _ = http_request(&addr, "POST", "/api/drain", Some("{\"deadline_ms\":30000}"));
+        wait_child_exit(&mut child, per_phase)?;
+        return Ok(ChaosIteration { point: point.label().to_owned(), after, killed: false });
+    }
+
+    // Death points: wait out the abort, restart over the same state dir,
+    // retry every submission (idempotent), and require full recovery.
+    wait_child_exit(&mut child, per_phase)?;
+    drop(child);
+    let port2 = dir.join("port-2");
+    let mut child = spawn_daemon(cfg, dir, &port2, None, true, "daemon-2.log")?;
+    let addr = wait_port_file(&port2, &mut child, Duration::from_secs(10))?;
+    if !submit_all(&addr, cfg)? {
+        return Err("chaos-free daemon dropped a connection".into());
+    }
+    let summary = poll_all_terminal(&addr, expected, per_phase)?;
+    verify_iteration(&addr, &summary, reference)?;
+    let _ = http_request(&addr, "POST", "/api/drain", Some("{\"deadline_ms\":30000}"));
+    wait_child_exit(&mut child, per_phase)?;
+    Ok(ChaosIteration { point: point.label().to_owned(), after, killed: true })
+}
+
+/// Runs `cfg.iterations` randomized kill-9 iterations against real daemon
+/// processes, asserting after each that recovery is lossless and
+/// byte-identical. See [`ChaosHarnessConfig`].
+///
+/// # Errors
+///
+/// The first violated invariant, with the iteration and kill point named.
+pub fn run_chaos_harness(cfg: &ChaosHarnessConfig) -> Result<ChaosSummary, String> {
+    let reference = reference_report_csv(&cfg.spec)?;
+    let mut rng = cfg.seed | 1;
+    let mut iterations = Vec::new();
+    for i in 0..cfg.iterations {
+        let point = ChaosPoint::ALL[(splitmix(&mut rng) % 5) as usize];
+        let after = 1 + (splitmix(&mut rng) % 2) as u32;
+        let dir = cfg.state_root.join(format!("iter-{i:03}"));
+        fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        eprintln!(
+            "{{\"event\":\"serve-chaos-iteration\",\"iteration\":{i},\"point\":\"{}\",\"after\":{after}}}",
+            point.label()
+        );
+        let outcome = run_chaos_iteration(cfg, &dir, point, after, &reference)
+            .map_err(|e| format!("chaos iteration {i} ({}:{after}): {e}", point.label()))?;
+        iterations.push(outcome);
+        let _ = fs::remove_dir_all(&dir);
+    }
+    Ok(ChaosSummary { iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("intellinoc-serve-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn tiny_spec(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.to_owned(),
+            designs: vec!["secded".to_owned()],
+            rates: vec![0.005],
+            ppn: 1,
+            seed: 11,
+            max_cycles: 50_000,
+        }
+    }
+
+    #[test]
+    fn tokens_and_specs_are_validated() {
+        assert!(token_ok("alice-1.2_x"));
+        assert!(!token_ok(""));
+        assert!(!token_ok("has space"));
+        assert!(!token_ok(&"x".repeat(65)));
+
+        assert!(job_units(&tiny_spec("ok")).is_ok());
+        let mut bad = tiny_spec("bad design");
+        assert!(job_units(&bad).unwrap_err().contains("name"));
+        bad = tiny_spec("x");
+        bad.designs = vec!["warp-drive".to_owned()];
+        assert!(job_units(&bad).unwrap_err().contains("unknown design"));
+        bad = tiny_spec("x");
+        bad.rates = vec![0.0];
+        assert!(job_units(&bad).unwrap_err().contains("rate"));
+        bad = tiny_spec("x");
+        bad.rates = vec![0.01, 0.01];
+        assert!(job_units(&bad).unwrap_err().contains("duplicate"));
+        bad = tiny_spec("x");
+        bad.designs.clear();
+        assert!(job_units(&bad).is_err());
+    }
+
+    #[test]
+    fn chaos_kill_parses_and_counts_occurrences() {
+        let k = ChaosKill::parse("mid-wal:2").unwrap();
+        assert_eq!(k.point, ChaosPoint::MidWal);
+        assert!(!k.fires(ChaosPoint::Accept), "other points must not count");
+        assert!(!k.fires(ChaosPoint::MidWal), "first hit is not the armed one");
+        assert!(k.fires(ChaosPoint::MidWal), "second hit fires");
+        assert!(ChaosKill::parse("nope:1").is_err());
+        assert!(ChaosKill::parse("accept").is_err());
+        assert!(ChaosKill::parse("accept:0").is_err());
+        for p in ChaosPoint::ALL {
+            assert_eq!(ChaosPoint::parse(p.label()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn wal_replay_tolerates_torn_tails_and_torn_headers() {
+        let dir = tmp_dir("wal");
+        let path = wal_path(&dir);
+
+        // Missing and empty files re-create.
+        assert!(read_wal(&path).unwrap().1);
+        fs::write(&path, "").unwrap();
+        assert!(read_wal(&path).unwrap().1);
+
+        // A full log with a torn trailing record drops only the tear.
+        let mut w = WalWriter::create(&path).unwrap();
+        let rec = WalRecord {
+            action: "submit".to_owned(),
+            id: "j-000001".to_owned(),
+            tenant: "alice".to_owned(),
+            priority: 0,
+            spec: Some(tiny_spec("a")),
+            state: None,
+            error: None,
+        };
+        w.log(&rec, None).unwrap();
+        w.log(
+            &WalRecord {
+                action: "terminal".to_owned(),
+                state: Some("done".to_owned()),
+                ..rec.clone()
+            },
+            None,
+        )
+        .unwrap();
+        drop(w);
+        let intact = fs::read_to_string(&path).unwrap();
+        fs::write(&path, format!("{intact}{{\"action\":\"sub")).unwrap();
+        let (records, recreate) = read_wal(&path).unwrap();
+        assert!(!recreate);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].action, "terminal");
+
+        // A torn header with no records re-creates; with records it is a
+        // hard error (the log is unreadable, not merely torn).
+        fs::write(&path, "{\"wal\":\"intelli").unwrap();
+        assert!(read_wal(&path).unwrap().1);
+        let body = intact.lines().nth(1).unwrap();
+        fs::write(&path, format!("{{\"wal\":\"intelli\n{body}\n")).unwrap();
+        assert!(read_wal(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_csv_is_deterministic_and_reference_matches_engine() {
+        let spec = tiny_spec("csv");
+        let a = reference_report_csv(&spec).unwrap();
+        let b = reference_report_csv(&spec).unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("key,status,attempts,"));
+        assert!(a.contains("serve/SECDED/r0.005,ok,1,"));
+    }
+
+    fn wait_job_status(addr: &str, id: &str) -> JobStatus {
+        let (code, body) = http_request(addr, "GET", &format!("/api/jobs/{id}"), None).unwrap();
+        assert_eq!(code, 200, "{body}");
+        serde_json::from_str(&body).unwrap()
+    }
+
+    fn wait_job_done(addr: &str, id: &str) -> JobStatus {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (code, body) = http_request(addr, "GET", &format!("/api/jobs/{id}"), None).unwrap();
+            assert_eq!(code, 200, "{body}");
+            let status: JobStatus = serde_json::from_str(&body).unwrap();
+            if status.state != "queued" && status.state != "running" {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "job {id} never finished: {body}");
+            thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn daemon_runs_jobs_enforces_quota_and_serves_identical_reports() {
+        let dir = tmp_dir("daemon");
+        let daemon = Daemon::start(ServeConfig {
+            state_dir: dir.clone(),
+            tenant_quota: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = daemon.local_addr().to_string();
+
+        let submit = |spec: JobSpec| {
+            let body = serde_json::to_string(&SubmitRequest {
+                tenant: "alice".to_owned(),
+                priority: 0,
+                paused: false,
+                spec,
+            })
+            .unwrap();
+            http_request(&addr, "POST", "/api/jobs", Some(&body)).unwrap()
+        };
+
+        let (code, body) = submit(tiny_spec("one"));
+        assert_eq!(code, 202, "{body}");
+        let accepted: SubmitResponse = serde_json::from_str(&body).unwrap();
+        assert!(!accepted.duplicate);
+
+        // Quota 1: a second distinct job is backpressured with 429 while
+        // the first is outstanding; the duplicate of the first is not.
+        let (code, body) = submit(tiny_spec("two"));
+        assert_eq!(code, 429, "{body}");
+        let (code, body) = submit(tiny_spec("one"));
+        assert_eq!(code, 200, "{body}");
+        let dup: SubmitResponse = serde_json::from_str(&body).unwrap();
+        assert!(dup.duplicate);
+        assert_eq!(dup.id, accepted.id);
+
+        let done = wait_job_done(&addr, &accepted.id);
+        assert_eq!(done.state, "done", "{done:?}");
+        assert_eq!(done.units_done, done.units_total);
+
+        let (code, csv) =
+            http_request(&addr, "GET", &format!("/api/jobs/{}/report", accepted.id), None).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(csv, reference_report_csv(&tiny_spec("one")).unwrap());
+
+        // After completion the quota frees up.
+        let (code, body) = submit(tiny_spec("two"));
+        assert_eq!(code, 202, "{body}");
+        let second: SubmitResponse = serde_json::from_str(&body).unwrap();
+        wait_job_done(&addr, &second.id);
+
+        let (_, metrics) = http_request(&addr, "GET", "/metrics", None).unwrap();
+        assert!(metrics.contains("noc_serve_jobs"), "{metrics}");
+        assert!(metrics.contains("noc_serve_accepted_total 2"), "{metrics}");
+
+        assert!(daemon.shutdown(Duration::from_secs(10)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_pause_resume_and_drain_reject_invalid_transitions() {
+        let dir = tmp_dir("lifecycle");
+        let daemon =
+            Daemon::start(ServeConfig { state_dir: dir.clone(), ..ServeConfig::default() })
+                .unwrap();
+        let addr = daemon.local_addr().to_string();
+
+        // Submit paused so the scheduler cannot start the job, then
+        // cancel it: the cancel must win and finalize `cancelled`.
+        let body = serde_json::to_string(&SubmitRequest {
+            tenant: "bob".to_owned(),
+            priority: 0,
+            paused: true,
+            spec: tiny_spec("paused"),
+        })
+        .unwrap();
+        let (code, resp) = http_request(&addr, "POST", "/api/jobs", Some(&body)).unwrap();
+        assert_eq!(code, 202, "{resp}");
+        let sub: SubmitResponse = serde_json::from_str(&resp).unwrap();
+        let status = wait_job_status(&addr, &sub.id);
+        assert_eq!(status.state, "queued");
+        assert!(status.paused);
+        let (code, resp) =
+            http_request(&addr, "POST", &format!("/api/jobs/{}/cancel", sub.id), None).unwrap();
+        assert!(code == 200 || code == 202, "{resp}");
+        let done = wait_job_done(&addr, &sub.id);
+        assert_eq!(done.state, "cancelled", "{done:?}");
+
+        // Terminal jobs reject further lifecycle changes and report 409.
+        for op in ["cancel", "pause", "resume"] {
+            let (code, _) =
+                http_request(&addr, "POST", &format!("/api/jobs/{}/{op}", sub.id), None).unwrap();
+            assert_eq!(code, 409, "{op} of a cancelled job must 409");
+        }
+        let (code, _) = http_request(&addr, "GET", "/api/jobs/j-999999/report", None).unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = http_request(&addr, "DELETE", "/api/jobs", None).unwrap();
+        assert_eq!(code, 405);
+
+        // Drain: new submissions bounce with 503 and the daemon settles.
+        let (code, _) = http_request(&addr, "POST", "/api/drain", None).unwrap();
+        assert_eq!(code, 200);
+        let (code, resp) = http_request(&addr, "POST", "/api/jobs", Some(&body)).unwrap();
+        assert_eq!(code, 503, "{resp}");
+        assert!(daemon.wait_until_drained(Duration::from_secs(10)));
+        assert!(daemon.shutdown(Duration::from_secs(5)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_replays_wal_and_resumes_to_identical_reports() {
+        let dir = tmp_dir("restart");
+        let spec = JobSpec {
+            name: "grid".to_owned(),
+            designs: vec!["secded".to_owned()],
+            rates: vec![0.005, 0.01],
+            ppn: 1,
+            seed: 5,
+            max_cycles: 50_000,
+        };
+        let reference = reference_report_csv(&spec).unwrap();
+
+        // Phase 1: accept the job but give the scheduler no chance to
+        // finish it cleanly — drop the daemon immediately after the first
+        // chunk could start. Shutdown-with-drain guarantees the WAL holds
+        // the submission and the journal holds zero or more units.
+        {
+            let daemon = Daemon::start(ServeConfig {
+                state_dir: dir.clone(),
+                chunk_units: 1,
+                ..ServeConfig::default()
+            })
+            .unwrap();
+            let addr = daemon.local_addr().to_string();
+            let body = serde_json::to_string(&SubmitRequest {
+                tenant: "alice".to_owned(),
+                priority: 0,
+                paused: false,
+                spec: spec.clone(),
+            })
+            .unwrap();
+            let (code, resp) = http_request(&addr, "POST", "/api/jobs", Some(&body)).unwrap();
+            assert_eq!(code, 202, "{resp}");
+            daemon.shutdown(Duration::from_secs(10));
+        }
+
+        // Phase 2: a fresh daemon over the same state dir must replay the
+        // WAL, finish the job, and serve the byte-identical report.
+        let daemon =
+            Daemon::start(ServeConfig { state_dir: dir.clone(), ..ServeConfig::default() })
+                .unwrap();
+        let recovered = daemon.recovery();
+        assert_eq!(recovered.done + recovered.resumed + recovered.queued, 1, "{recovered:?}");
+        let addr = daemon.local_addr().to_string();
+        let done = wait_job_done(&addr, "j-000001");
+        assert_eq!(done.state, "done", "{done:?}");
+        let (code, csv) = http_request(&addr, "GET", "/api/jobs/j-000001/report", None).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(csv, reference);
+        assert!(daemon.shutdown(Duration::from_secs(10)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -60,8 +60,9 @@ pub use noc_fault::{HardFault, HardFaultKind, HardFaultScenario, HardFaultTarget
 pub use noc_telemetry::{
     export_prof_metrics, link_stats_csv, render_exposition, runner_events_jsonl,
     AttributionArtifacts, ConvergenceSample, DecisionLog, DecisionRecord, Event, EventKind,
-    GateEdge, HeatGrid, LatencyBreakdown, LatencyComponents, LinkStat, MetricsHub, MetricsRegistry,
-    MetricsServer, PacketLatency, PairBreakdown, PhaseCounters, Profiler, RetxScope, RunRow,
-    RunTimeline, RunnerEvent, SectionStats, SpanStats, SpanTree, TimelineSample, TraceFilter,
-    Tracer, DEFAULT_TRACE_CAPACITY, MAX_SPAN_DEPTH,
+    GateEdge, HeatGrid, HttpHandler, HttpRequest, HttpResponse, HttpServer, LatencyBreakdown,
+    LatencyComponents, LinkStat, MetricsHub, MetricsRegistry, MetricsServer, PacketLatency,
+    PairBreakdown, PhaseCounters, Profiler, RetxScope, RunRow, RunTimeline, RunnerEvent,
+    SectionStats, SpanStats, SpanTree, TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+    MAX_SPAN_DEPTH,
 };

@@ -61,6 +61,9 @@ pub use metrics::{
 pub use prof::{export_prof_metrics, SpanStats, SpanTree, MAX_SPAN_DEPTH};
 pub use profiler::{PhaseCounters, Profiler, RunRow, SectionStats};
 pub use runner::{runner_events_jsonl, RunnerEvent};
-pub use serve::{MetricsHub, MetricsServer};
+pub use serve::{
+    accept_backoff_ms, HttpHandler, HttpRequest, HttpResponse, HttpServer, MetricsHub,
+    MetricsServer, ACCEPT_BACKOFF_BASE_MS, ACCEPT_BACKOFF_CAP_MS,
+};
 pub use timeline::{RunTimeline, TimelineSample};
 pub use tracer::{TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY};

@@ -188,3 +188,61 @@ fn sweep_resumes_from_journal_byte_identically() {
     assert_eq!(serde_json::to_string(&serial).unwrap(), serde_json::to_string(&resumed).unwrap());
     let _ = std::fs::remove_file(&journal);
 }
+
+/// Torn-journal tolerance, exhaustively: `kill -9` can truncate the
+/// journal at ANY byte offset (fsync boundaries are per line, but the test
+/// is stronger). For every prefix of a complete journal — mid-header,
+/// record boundaries, mid-record — a resumed run must succeed, re-run only
+/// what the surviving prefix lacks, and merge to a byte-identical report.
+#[test]
+fn journal_truncated_at_every_byte_offset_resumes_byte_identically() {
+    use intellinoc::{run_units, UnitVerdict};
+
+    let keys: Vec<String> = (0..6).map(|i| format!("torn/u{i}")).collect();
+    let exec = |ctx: &intellinoc::UnitCtx| UnitVerdict::Ok(ctx.seed ^ 0xabc);
+
+    let clean =
+        run_units(9, &keys, &RunnerConfig::serial(), &ChaosOptions::default(), exec).unwrap();
+    let reference = serde_json::to_string(&clean).unwrap();
+
+    // A complete journal of the full grid, as the bytes a crash truncates.
+    let journal = temp_journal("torn-every-offset.jsonl");
+    let journaled = RunnerConfig { journal: Some(journal.clone()), ..RunnerConfig::serial() };
+    run_units(9, &keys, &journaled, &ChaosOptions::default(), exec).unwrap();
+    let bytes = std::fs::read(&journal).unwrap();
+    assert!(bytes.len() > 200, "journal should hold a header plus six records");
+
+    let torn = temp_journal("torn-prefix.jsonl");
+    for offset in 0..=bytes.len() {
+        std::fs::write(&torn, &bytes[..offset]).unwrap();
+        let resume =
+            RunnerConfig { journal: Some(torn.clone()), resume: true, ..RunnerConfig::serial() };
+        let resumed = run_units(9, &keys, &resume, &ChaosOptions::default(), exec)
+            .unwrap_or_else(|e| panic!("resume failed at truncation offset {offset}: {e}"));
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            reference,
+            "merged report diverged at truncation offset {offset}"
+        );
+        // The resume must also have repaired the file (truncating the torn
+        // tail before appending), so a second resume reads it cleanly.
+        let again = run_units(9, &keys, &resume, &ChaosOptions::default(), exec)
+            .unwrap_or_else(|e| panic!("re-resume failed at truncation offset {offset}: {e}"));
+        assert_eq!(
+            serde_json::to_string(&again).unwrap(),
+            reference,
+            "second resume diverged at truncation offset {offset}"
+        );
+    }
+
+    // A torn tail with garbage (a partially flushed record) is equally
+    // survivable as long as it is the trailing line.
+    std::fs::write(&torn, [&bytes[..], b"{\"key\":\"torn/u3\",\"sta"].concat()).unwrap();
+    let resume =
+        RunnerConfig { journal: Some(torn.clone()), resume: true, ..RunnerConfig::serial() };
+    let resumed = run_units(9, &keys, &resume, &ChaosOptions::default(), exec).unwrap();
+    assert_eq!(serde_json::to_string(&resumed).unwrap(), reference);
+
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&torn);
+}

@@ -1,0 +1,233 @@
+//! Integration tests for `intellinoc serve` (DESIGN.md §14): the
+//! crash-survivable multi-tenant experiment daemon, exercised in-process
+//! through its real HTTP surface and its on-disk state directory.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use intellinoc::{
+    http_request, http_request_full, reference_report_csv, Daemon, JobSpec, JobsSummary,
+    ServeConfig, SubmitRequest, SubmitResponse,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("intellinoc-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_spec(name: &str) -> JobSpec {
+    JobSpec {
+        name: name.to_owned(),
+        designs: vec!["secded".to_owned()],
+        rates: vec![0.005],
+        ppn: 1,
+        seed: 11,
+        max_cycles: 50_000,
+    }
+}
+
+fn submit(addr: &str, tenant: &str, priority: i64, paused: bool, spec: JobSpec) -> (u16, String) {
+    let body =
+        serde_json::to_string(&SubmitRequest { tenant: tenant.to_owned(), priority, paused, spec })
+            .unwrap();
+    http_request(addr, "POST", "/api/jobs", Some(&body)).unwrap()
+}
+
+fn jobs_summary(addr: &str) -> JobsSummary {
+    let (code, body) = http_request(addr, "GET", "/api/jobs", None).unwrap();
+    assert_eq!(code, 200, "{body}");
+    serde_json::from_str(&body).unwrap()
+}
+
+/// Polls until no job is queued or running (the daemon is idle).
+fn wait_idle(addr: &str) -> JobsSummary {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let summary = jobs_summary(addr);
+        if summary.queued == 0 && summary.running == 0 {
+            return summary;
+        }
+        assert!(Instant::now() < deadline, "daemon never went idle: {summary:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn fetch_report(addr: &str, id: &str) -> String {
+    let (code, csv) = http_request(addr, "GET", &format!("/api/jobs/{id}/report"), None).unwrap();
+    assert_eq!(code, 200, "{csv}");
+    csv
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+#[test]
+fn multi_tenant_jobs_complete_with_exact_accounting_and_reference_reports() {
+    let dir = tmp_dir("multi");
+    let daemon =
+        Daemon::start(ServeConfig { state_dir: dir.clone(), ..ServeConfig::default() }).unwrap();
+    let addr = daemon.local_addr().to_string();
+
+    // Three jobs across two tenants at mixed priorities.
+    let mut ids = Vec::new();
+    for (tenant, priority, name) in
+        [("alice", 0, "grid-a"), ("bob", 5, "grid-b"), ("alice", 2, "grid-c")]
+    {
+        let (code, body) = submit(&addr, tenant, priority, false, tiny_spec(name));
+        assert_eq!(code, 202, "{body}");
+        let resp: SubmitResponse = serde_json::from_str(&body).unwrap();
+        ids.push((resp.id, name));
+    }
+
+    let summary = wait_idle(&addr);
+    assert_eq!(summary.accepted, 3);
+    assert_eq!(
+        summary.done + summary.failed + summary.cancelled,
+        summary.accepted,
+        "accounting invariant violated: {summary:?}"
+    );
+    assert_eq!(summary.done, 3, "{summary:?}");
+
+    // Every report is byte-identical to an uninterrupted serial run of
+    // the same spec through the engine.
+    for (id, name) in &ids {
+        assert_eq!(fetch_report(&addr, id), reference_report_csv(&tiny_spec(name)).unwrap());
+    }
+
+    let (_, metrics) = http_request(&addr, "GET", "/metrics", None).unwrap();
+    for family in [
+        "noc_serve_jobs",
+        "noc_serve_tenant_quota",
+        "noc_serve_accepted_total 3",
+        "noc_serve_units_done_total 3",
+        "noc_serve_http_requests_total",
+        "noc_serve_draining 0",
+    ] {
+        assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
+    }
+
+    assert!(daemon.shutdown(Duration::from_secs(10)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quota_backpressure_answers_429_with_retry_after_and_per_tenant_depth() {
+    let dir = tmp_dir("quota");
+    let daemon = Daemon::start(ServeConfig {
+        state_dir: dir.clone(),
+        tenant_quota: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = daemon.local_addr().to_string();
+
+    // A paused job pins bob's quota without consuming scheduler time.
+    let (code, body) = submit(&addr, "bob", 0, true, tiny_spec("held"));
+    assert_eq!(code, 202, "{body}");
+    let held: SubmitResponse = serde_json::from_str(&body).unwrap();
+
+    let over = serde_json::to_string(&SubmitRequest {
+        tenant: "bob".to_owned(),
+        priority: 0,
+        paused: false,
+        spec: tiny_spec("overflow"),
+    })
+    .unwrap();
+    let (code, headers, body) = http_request_full(&addr, "POST", "/api/jobs", Some(&over)).unwrap();
+    assert_eq!(code, 429, "{body}");
+    let retry_after = headers.iter().find(|(k, _)| k == "retry-after");
+    assert!(retry_after.is_some(), "429 without Retry-After: {headers:?}");
+
+    // Quotas are per tenant: alice is unaffected by bob's backlog.
+    let (code, body) = submit(&addr, "alice", 0, false, tiny_spec("elsewhere"));
+    assert_eq!(code, 202, "{body}");
+
+    // The outstanding paused job is visible as bob's queue depth.
+    let (_, metrics) = http_request(&addr, "GET", "/metrics", None).unwrap();
+    assert!(metrics.contains("noc_serve_queue_depth{tenant=\"bob\"} 1"), "{metrics}");
+
+    // Cancelling the held job frees the quota.
+    let (code, _) =
+        http_request(&addr, "POST", &format!("/api/jobs/{}/cancel", held.id), None).unwrap();
+    assert_eq!(code, 200);
+    let (code, body) = submit(&addr, "bob", 0, false, tiny_spec("overflow"));
+    assert_eq!(code, 202, "{body}");
+
+    let summary = wait_idle(&addr);
+    assert_eq!(summary.accepted, 3);
+    assert_eq!(summary.done + summary.failed + summary.cancelled, summary.accepted);
+    assert_eq!(summary.cancelled, 1, "{summary:?}");
+
+    assert!(daemon.shutdown(Duration::from_secs(10)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_truncated_at_trailing_offsets_recovers_without_losing_jobs() {
+    // Build a finished state directory: two done jobs, WAL ending in
+    // their terminal records.
+    let dir = tmp_dir("waltorn");
+    let daemon =
+        Daemon::start(ServeConfig { state_dir: dir.clone(), ..ServeConfig::default() }).unwrap();
+    let addr = daemon.local_addr().to_string();
+    for name in ["first", "second"] {
+        let (code, body) = submit(&addr, "alice", 0, false, tiny_spec(name));
+        assert_eq!(code, 202, "{body}");
+    }
+    wait_idle(&addr);
+    assert!(daemon.shutdown(Duration::from_secs(10)));
+
+    let wal = std::fs::read(dir.join("wal.jsonl")).unwrap();
+    let wal_text = String::from_utf8(wal.clone()).unwrap();
+    assert!(wal_text.ends_with('\n'));
+    // Start of the final record: the only tear a fsync-per-record WAL can
+    // physically leave is within its trailing line.
+    let last_start = wal_text[..wal_text.len() - 1].rfind('\n').unwrap() + 1;
+
+    // Truncate at the clean boundary, mid-record, one byte in, and one
+    // byte short of complete.
+    for offset in [last_start, last_start + 1, (last_start + wal.len()) / 2, wal.len() - 1] {
+        let copy = tmp_dir(&format!("waltorn-{offset}"));
+        copy_dir(&dir, &copy);
+        std::fs::write(copy.join("wal.jsonl"), &wal[..offset]).unwrap();
+
+        let daemon =
+            Daemon::start(ServeConfig { state_dir: copy.clone(), ..ServeConfig::default() })
+                .unwrap();
+        let addr = daemon.local_addr().to_string();
+        let summary = wait_idle(&addr);
+        assert_eq!(summary.accepted, 2, "offset {offset}: {summary:?}");
+        assert_eq!(summary.done, 2, "offset {offset}: {summary:?}");
+
+        // Reports converge to the uninterrupted reference bytes even when
+        // the terminal record was torn away and the job re-finalized.
+        let (code, body) = http_request(&addr, "GET", "/api/jobs", None).unwrap();
+        assert_eq!(code, 200);
+        let summary: JobsSummary = serde_json::from_str(&body).unwrap();
+        for job in &summary.jobs {
+            assert_eq!(job.state, "done", "offset {offset}: {job:?}");
+            assert_eq!(
+                fetch_report(&addr, &job.id),
+                reference_report_csv(&tiny_spec(&job.name)).unwrap(),
+                "offset {offset}"
+            );
+        }
+
+        assert!(daemon.shutdown(Duration::from_secs(10)));
+        let _ = std::fs::remove_dir_all(&copy);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
