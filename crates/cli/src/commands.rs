@@ -6,15 +6,17 @@ use intellinoc::{
     pretrain_intellinoc, record_bench_profiled, render_inspect_report,
     run_campaign_runner_profiled, run_chaos_harness, run_experiment, run_experiment_instrumented,
     run_experiment_profiled, run_load_sweep_profiled, run_units, BackoffPolicy, BenchBaseline,
-    BenchSpec, CampaignConfig, ChaosHarnessConfig, ChaosKill, ChaosOptions, Daemon, Design,
-    ExperimentConfig, ExperimentOutcome, FleetObserver, FleetProgress, GateOptions, MetricsOptions,
-    RewardKind, RunnerConfig, RunnerReport, ServeConfig, TelemetryArtifacts, TelemetryOptions,
-    UnitCtx, UnitVerdict,
+    BenchSpec, BlackboxConfig, CampaignConfig, ChaosHarnessConfig, ChaosKill, ChaosOptions, Daemon,
+    Design, ExperimentConfig, ExperimentOutcome, FleetObserver, FleetProgress, GateOptions,
+    MetricsOptions, RewardKind, RunnerConfig, RunnerReport, ServeConfig, TelemetryArtifacts,
+    TelemetryOptions, UnitCtx, UnitVerdict,
 };
 use noc_power::AreaModel;
 use noc_sim::{
-    render_exposition, runner_events_jsonl, EventKind, MetricsHub, MetricsRegistry, MetricsServer,
-    Network, Profiler, RunnerEvent, TraceFilter,
+    bundle_file_name, parse_bundle, parse_rules, render_exposition, render_report,
+    runner_events_jsonl, shared_recorder, AlertEdge, BundleCause, BundleHead, EventKind,
+    MetricsHub, MetricsRegistry, MetricsServer, Network, Profiler, RunnerEvent, SharedRecorder,
+    TraceFilter, DEFAULT_BLACKBOX_CAPACITY,
 };
 use noc_traffic::{
     capture_trace, read_trace, write_trace, ParsecBenchmark, TraceReplay, WorkloadSpec,
@@ -102,6 +104,13 @@ pub fn runner_config_from(args: &Args) -> Result<(RunnerConfig, ChaosOptions), S
             None => None,
         },
         observer: None,
+        blackbox: match args.get("blackbox-dir") {
+            Some(dir) => Some(BlackboxConfig {
+                dir: PathBuf::from(dir),
+                capacity: args.get_or("blackbox-capacity", DEFAULT_BLACKBOX_CAPACITY)?,
+            }),
+            None => None,
+        },
     };
     if cfg.resume && cfg.journal.is_none() {
         return Err("--resume requires --journal <path>".into());
@@ -233,6 +242,7 @@ fn emit_runner<T>(
                 trace_drops: p.trace_drops().unwrap_or(0),
                 span_truncations: p.span_tree().truncated_enters(),
                 unbalanced_exits: p.span_tree().unbalanced_exits(),
+                recorder_drops: report.recorder_drops,
             });
         }
         std::fs::write(path, runner_events_jsonl(&events))
@@ -330,11 +340,48 @@ pub fn telemetry_from(args: &Args) -> Result<TelemetryOptions, String> {
             file: args.get("metrics-out").map(str::to_owned),
             every_steps: args.get_or("metrics-every", 1u64)?,
         },
+        blackbox: None,
+        alert_rules: match args.get("alert-rules") {
+            Some(spec) => parse_rules(spec)?,
+            None => Vec::new(),
+        },
     })
+}
+
+/// Writes one flight-recorder bundle into `dir`, returning its path.
+fn dump_cli_bundle(
+    dir: &std::path::Path,
+    recorder: &SharedRecorder,
+    cause: BundleCause,
+    key: &str,
+    seed: u64,
+    detail: &str,
+    extras: &[(&str, String)],
+) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let text = {
+        let r = recorder.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let head = BundleHead {
+            cause,
+            key: key.to_owned(),
+            seed,
+            cycle: r.last_cycle(),
+            detail: detail.to_owned(),
+        };
+        r.bundle(&head, extras)
+    };
+    let path = dir.join(bundle_file_name(key));
+    std::fs::write(&path, &text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 /// Writes the collected telemetry artifacts to the configured sinks.
 fn emit_telemetry(args: &Args, artifacts: &TelemetryArtifacts) -> Result<(), String> {
+    // Structured alert transitions, one JSONL object per firing/resolved
+    // edge (stderr, like the runner's lifecycle events).
+    for event in &artifacts.alerts {
+        eprintln!("{}", event.to_json());
+    }
     if let Some(tracer) = &artifacts.tracer {
         let body = match args.get("trace-out") {
             Some(path) if path.ends_with(".csv") => Some((path, tracer.to_csv())),
@@ -408,6 +455,14 @@ pub fn run(args: &Args) -> CmdResult {
             Some(r.parse().map_err(|_| format!("invalid --error-rate: {r}"))?);
     }
     cfg.telemetry = telemetry_from(args)?;
+    // The flight recorder: a fixed ring of recent telemetry that becomes a
+    // post-mortem bundle if the run dies (stall) or a critical alert fires.
+    let bb_dir = args.get("blackbox-dir").map(PathBuf::from);
+    if bb_dir.is_some() {
+        cfg.telemetry.blackbox =
+            Some(shared_recorder(args.get_or("blackbox-capacity", DEFAULT_BLACKBOX_CAPACITY)?));
+    }
+    let recorder = cfg.telemetry.blackbox.clone();
     // Live scrape endpoint: serving happens on a separate thread that only
     // reads published snapshots, so it cannot perturb the simulation.
     let mut server = None;
@@ -424,9 +479,28 @@ pub fn run(args: &Args) -> CmdResult {
         print_outcome(&outcome, args.has_flag("json"))?;
         return Ok(CmdOutcome::Done);
     }
+    let seed = cfg.seed;
     let (outcome, _, artifacts) = run_experiment_instrumented(cfg);
     print_outcome(&outcome, args.has_flag("json"))?;
     emit_telemetry(args, &artifacts)?;
+    if let (Some(dir), Some(rec)) = (bb_dir.as_deref(), recorder.as_ref()) {
+        let key = format!("run/{}", design.label());
+        let critical = artifacts.alerts.iter().find(|e| e.critical && e.edge == AlertEdge::Firing);
+        if let Some(ev) = critical {
+            let detail = format!(
+                "critical alert `{}` fired at cycle {} (value {}, threshold {})",
+                ev.rule, ev.cycle, ev.value, ev.threshold
+            );
+            let path = dump_cli_bundle(dir, rec, BundleCause::Alert, &key, seed, &detail, &[])?;
+            eprintln!("blackbox: critical-alert bundle written to {}", path.display());
+        } else if let Some(stall) = &outcome.report.stall {
+            let detail =
+                format!("stall watchdog aborted the run at cycle {}", outcome.report.exec_cycles);
+            let extras = [("stall-report", serde_json::to_string(stall).unwrap_or_default())];
+            let path = dump_cli_bundle(dir, rec, BundleCause::Stall, &key, seed, &detail, &extras)?;
+            eprintln!("blackbox: stall bundle written to {}", path.display());
+        }
+    }
     drop(server);
     Ok(CmdOutcome::Done)
 }
@@ -873,9 +947,10 @@ pub fn profile(args: &Args) -> CmdResult {
     let report = run_units(spec.master_seed, &keys, &rcfg, &chaos, |ctx: &UnitCtx| {
         let idx = keys.iter().position(|k| k == ctx.key).expect("key from supplied list");
         let (design, rate) = spec.cell_of(idx);
-        let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, spec.ppn))
+        let mut cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, spec.ppn))
             .with_seed(ctx.seed)
             .with_deadline(ctx.deadline_cycles);
+        cfg.telemetry.blackbox = ctx.recorder.clone();
         let budget = cfg.max_cycles;
         let o = run_experiment_profiled(cfg, Some(&sink));
         match classify_timeout(&o.report, budget) {
@@ -917,6 +992,7 @@ pub fn profile(args: &Args) -> CmdResult {
             trace_drops: prof.trace_drops().unwrap_or(0),
             span_truncations: tree.truncated_enters(),
             unbalanced_exits: tree.unbalanced_exits(),
+            recorder_drops: report.recorder_drops,
         });
         std::fs::write(path, runner_events_jsonl(&events))
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -925,6 +1001,27 @@ pub fn profile(args: &Args) -> CmdResult {
     eprintln!("profile: {}", report.summary());
     drop(server);
     Ok(if report.is_clean() { CmdOutcome::Done } else { CmdOutcome::Partial })
+}
+
+/// `intellinoc postmortem <bundle.jsonl>` — render a flight-recorder
+/// post-mortem bundle as a deterministic markdown report (byte-identical
+/// across renders of the same bundle).
+pub fn postmortem(args: &Args) -> CmdResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or("usage: intellinoc postmortem <bundle.jsonl> [--out report.md]")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let bundle = parse_bundle(&text)?;
+    let report = render_report(&bundle);
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, &report).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("postmortem: report written to {out}");
+        }
+        None => print!("{report}"),
+    }
+    Ok(CmdOutcome::Done)
 }
 
 /// `intellinoc area`.
@@ -998,6 +1095,10 @@ pub fn serve(args: &Args) -> CmdResult {
         tenant_quota: args.get_or("tenant-quota", intellinoc::DEFAULT_TENANT_QUOTA)?,
         chunk_units: args.get_or("chunk-units", intellinoc::DEFAULT_CHUNK_UNITS)?,
         drain_deadline_ms: args.get_or("drain-deadline-ms", 10_000u64)?,
+        alert_rules: match args.get("alert-rules") {
+            Some(spec) => parse_rules(spec)?,
+            None => Vec::new(),
+        },
         chaos,
     };
     let daemon = Daemon::start(cfg)?;

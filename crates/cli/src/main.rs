@@ -16,7 +16,9 @@
 //!                     [--flame-out F.folded] [--profile-out F.txt]
 //! intellinoc serve    --state-dir DIR [--addr H:P] [--port-file F] [--resume]
 //!                     [--jobs N] [--tenant-quota N] [--chunk-units N]
+//!                     [--alert-rules "noc_serve_queue_depth>=8:for=3"]
 //! intellinoc serve    --chaos 25 [--chaos-seed S] [--state-dir DIR]
+//! intellinoc postmortem <bundle.jsonl> [--out report.md]
 //! intellinoc area
 //! intellinoc list
 //! ```
@@ -39,6 +41,7 @@ fn main() {
         Some("bench") => commands::bench(&args),
         Some("profile") => commands::profile(&args),
         Some("serve") => commands::serve(&args),
+        Some("postmortem") => commands::postmortem(&args),
         Some("area") => commands::area(),
         Some("list") => commands::list(),
         Some(other) => {
@@ -77,6 +80,9 @@ fn usage() {
     eprintln!("           [--trace] [--trace-out F.jsonl|F.csv] [--trace-filter router=N,kind=K]");
     eprintln!("           [--trace-capacity N] [--timeline-out F.json|F.csv] [--profile]");
     eprintln!("           [--metrics-out F.prom|-] [--metrics-every N] [--metrics-addr H:P]");
+    eprintln!("           [--alert-rules \"metric>value[:for=N][:critical];...\"]");
+    eprintln!("           [--blackbox-dir DIR [--blackbox-capacity N] (flight recorder:");
+    eprintln!("            stall / critical-alert post-mortem bundles)]");
     eprintln!("  inspect  run with full attribution and render a trace-analysis report");
     eprintln!("           --benchmark <name> | --rate R  [--design <d>] [--ppn N] [--seed S]");
     eprintln!("           [--report-out F.md] [--heatmap-dir DIR] [--decisions-out F.jsonl]");
@@ -108,9 +114,12 @@ fn usage() {
     eprintln!("           [--jobs N] [--tenant-quota N (429 + Retry-After beyond it)]");
     eprintln!("           [--chunk-units N (cancel/pause granularity)]");
     eprintln!("           [--drain-deadline-ms N] [--chaos-kill point:k (test abort)]");
+    eprintln!("           [--alert-rules SPEC (firing rules in /api/jobs + noc_alert_*)]");
     eprintln!("           --chaos N  harness: N randomized kill -9 points against real");
     eprintln!("                      daemons, asserting byte-identical lossless recovery");
     eprintln!("                      [--chaos-seed S] [--chaos-jobs J]");
+    eprintln!("  postmortem  render a flight-recorder bundle as deterministic markdown");
+    eprintln!("           <bundle.jsonl> [--out report.md]");
     eprintln!("  area     Table 2 per-router area comparison");
     eprintln!("  list     known designs and benchmarks");
     eprintln!();
@@ -125,6 +134,9 @@ fn usage() {
     eprintln!("  --resume              reuse journaled records, run only the rest");
     eprintln!("  --max-units N         dispatch at most N units, skip the tail");
     eprintln!("  --runner-log F.jsonl  write runner lifecycle events (+ profile health note)");
+    eprintln!("  --blackbox-dir DIR    flight recorder: dying units (stall/timeout/panic/");
+    eprintln!("                        retry-exhausted) dump post-mortem bundles here");
+    eprintln!("                        [--blackbox-capacity N ring slots, default 64]");
     eprintln!("  --force-panic M / --force-timeout M   chaos-test units whose key contains M");
     eprintln!("  --progress            live per-unit progress lines with p50/p95/ETA");
     eprintln!("  --metrics-addr H:P    serve noc_runner_* fleet gauges as Prometheus text");

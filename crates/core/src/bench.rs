@@ -287,9 +287,10 @@ pub fn record_bench_profiled(
     let report = run_units(spec.master_seed, &keys, rcfg, chaos, |ctx: &UnitCtx| {
         let idx = keys.iter().position(|k| k == ctx.key).expect("key from supplied list");
         let (design, rate) = spec.cell_of(idx);
-        let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, spec.ppn))
+        let mut cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, spec.ppn))
             .with_seed(ctx.seed)
             .with_deadline(ctx.deadline_cycles);
+        cfg.telemetry.blackbox = ctx.recorder.clone();
         let budget = cfg.max_cycles;
         let o = crate::experiment::run_experiment_profiled(cfg, prof);
         let r = &o.report;
@@ -395,6 +396,10 @@ pub struct CompareRow {
 pub struct BenchComparison {
     /// Every gated (cell, metric) row, in canonical order.
     pub rows: Vec<CompareRow>,
+    /// Ungated informational rows (e.g. `cycles_per_sec` when
+    /// `--gate-throughput` is off): drift is printed but never fails the
+    /// gate and never counts toward the tallies.
+    pub info_rows: Vec<CompareRow>,
     /// Number of regressed rows.
     pub regressions: usize,
     /// Number of improved rows.
@@ -442,6 +447,21 @@ impl BenchComparison {
             self.improvements,
             self.rows.len() - self.regressions - self.improvements,
         );
+        if !self.info_rows.is_empty() {
+            out.push_str("\ninformational (not gated):\n");
+            for r in &self.info_rows {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:<21} {:<9} {:>13.4} {:>14.4} {:>+8.3}",
+                    r.cell,
+                    r.metric,
+                    "info",
+                    r.base_mean,
+                    r.new_mean,
+                    r.rel_delta * 100.0,
+                );
+            }
+        }
         out
     }
 }
@@ -497,6 +517,7 @@ pub fn compare_bench(
         ));
     }
     let mut rows = Vec::new();
+    let mut info_rows = Vec::new();
     let mut regressions = 0;
     let mut improvements = 0;
     for (b, f) in base.cells.iter().zip(&fresh.cells) {
@@ -504,21 +525,14 @@ pub fn compare_bench(
             return Err(format!("cell order mismatch: {} vs {}", b.id(), f.id()));
         }
         for &(name, higher_is_worse, always) in GATED_METRICS {
-            if !always && !opts.gate_throughput {
-                continue;
-            }
+            let gated = always || opts.gate_throughput;
             let base_m = b.metric(name);
             let mut new_m = f.metric(name).clone();
             if opts.force_regress && (name == "avg_latency" || name == "p99_latency") {
                 new_m.mean *= 1.25;
             }
             let (verdict, rel_delta) = gate(base_m, &new_m, higher_is_worse);
-            match verdict {
-                GateVerdict::Regressed => regressions += 1,
-                GateVerdict::Improved => improvements += 1,
-                GateVerdict::Pass => {}
-            }
-            rows.push(CompareRow {
+            let row = CompareRow {
                 cell: b.id(),
                 metric: name.to_owned(),
                 base_mean: base_m.mean,
@@ -527,10 +541,22 @@ pub fn compare_bench(
                 new_ci95: new_m.ci95,
                 rel_delta,
                 verdict,
-            });
+            };
+            if gated {
+                match verdict {
+                    GateVerdict::Regressed => regressions += 1,
+                    GateVerdict::Improved => improvements += 1,
+                    GateVerdict::Pass => {}
+                }
+                rows.push(row);
+            } else {
+                // Ungated drift stays visible (e.g. throughput before it
+                // gates) but cannot fail the build or move the tallies.
+                info_rows.push(row);
+            }
         }
     }
-    Ok(BenchComparison { rows, regressions, improvements })
+    Ok(BenchComparison { rows, info_rows, regressions, improvements })
 }
 
 #[cfg(test)]

@@ -206,6 +206,9 @@ fn run_campaign_cell(
     let budget = ecfg.max_cycles;
     ecfg.hard_faults = scenario.clone();
     ecfg.fault_aware_routing = cfg.fault_aware_routing;
+    // The engine's flight recorder rides along so a dying cell leaves a
+    // post-mortem bundle; recording never changes cycle-domain behavior.
+    ecfg.telemetry.blackbox = ctx.recorder.clone();
     let o = run_experiment_profiled(ecfg, prof);
     let s = &o.report.stats;
     let row = CampaignRow {

@@ -8,10 +8,11 @@ use crate::controller::{intellinoc_rl_config, ControlPolicy, RewardKind, RlContr
 use crate::designs::Design;
 use noc_rl::{QLearningConfig, QTable};
 use noc_sim::{
-    declare_network_metrics, declare_runtime_metrics, export_network_metrics, export_prof_metrics,
-    export_runtime_metrics, render_exposition, AttributionArtifacts, DecisionLog,
-    HardFaultScenario, MetricsHub, MetricsRegistry, Network, Profiler, RouterObservation,
-    RunReport, RunTimeline, SimConfig, TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+    declare_network_metrics, declare_runtime_metrics, export_alert_metrics, export_network_metrics,
+    export_prof_metrics, export_runtime_metrics, render_exposition, AlertEngine, AlertEvent,
+    AlertRule, AttributionArtifacts, DecisionLog, HardFaultScenario, MetricsHub, MetricsRegistry,
+    Network, Profiler, RouterObservation, RunReport, RunTimeline, SharedRecorder, SimConfig,
+    TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
 };
 use noc_traffic::{ParsecBenchmark, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -75,6 +76,15 @@ pub struct TelemetryOptions {
     pub decisions: bool,
     /// Live metrics exposition (registry sampled each control step).
     pub metrics: MetricsOptions,
+    /// Flight recorder (`noc-blackbox`): a shared bounded ring of recent
+    /// timeline samples, trace events, RL convergence samples, and span
+    /// snapshots. The handle is shared with the harness so a post-mortem
+    /// bundle can be dumped even when the run dies (panic, stall, chaos
+    /// kill). Recording never changes cycle-domain behavior.
+    pub blackbox: Option<SharedRecorder>,
+    /// Alert rules evaluated against the metrics registry each metrics
+    /// interval (forces a registry on even without exposition sinks).
+    pub alert_rules: Vec<AlertRule>,
 }
 
 impl TelemetryOptions {
@@ -86,6 +96,8 @@ impl TelemetryOptions {
             || self.attribution
             || self.decisions
             || self.metrics.enabled()
+            || self.blackbox.is_some()
+            || !self.alert_rules.is_empty()
     }
 }
 
@@ -154,6 +166,8 @@ pub struct TelemetryArtifacts {
     pub decisions: Option<DecisionLog>,
     /// Final Prometheus exposition snapshot (metrics exposition was on).
     pub exposition: Option<String>,
+    /// Alert state transitions, in evaluation order (alert rules were on).
+    pub alerts: Vec<AlertEvent>,
 }
 
 impl ExperimentConfig {
@@ -331,6 +345,30 @@ fn sample_timeline(
     sample
 }
 
+/// Feeds the flight recorder one control-step snapshot: a timeline sample,
+/// the latest RL convergence sample (when decision logging is on), and the
+/// current span-tree state (when profiling is on).
+fn feed_recorder(
+    bb: &SharedRecorder,
+    net: &Network,
+    obs: &[RouterObservation],
+    policy: &ControlPolicy,
+    base: &mut StepBase,
+) {
+    let sample = sample_timeline(net, obs, policy, base);
+    let Ok(mut r) = bb.lock() else { return };
+    r.push_timeline(sample);
+    if let ControlPolicy::Rl(rl) = policy {
+        if let Some(c) = rl.decision_log().and_then(|log| log.convergence.last()) {
+            r.push_convergence(*c);
+        }
+    }
+    if let Some(prof) = net.profiler() {
+        let open = prof.open_span_path().iter().map(|s| (*s).to_owned()).collect();
+        r.snapshot_spans(prof.span_tree().tree_table(), open);
+    }
+}
+
 /// Runs one experiment with the configured telemetry enabled, returning the
 /// outcome, the control policy, and the collected telemetry artifacts.
 pub fn run_experiment_instrumented(
@@ -368,11 +406,25 @@ pub fn run_experiment_instrumented(
     if cfg.telemetry.attribution {
         net.install_attribution();
     }
+    let blackbox = cfg.telemetry.blackbox.clone();
+    if let Some(bb) = &blackbox {
+        net.install_blackbox(bb.clone());
+    }
     let profile = cfg.telemetry.profile;
     let mut timeline = if cfg.telemetry.timeline { Some(RunTimeline::new()) } else { None };
     let mut base = StepBase::default();
+    // The recorder keeps its own delta baseline so its samples are
+    // identical whether or not the full timeline is also being collected.
+    let mut bb_base = StepBase::default();
+    let mut alert_engine = if cfg.telemetry.alert_rules.is_empty() {
+        None
+    } else {
+        Some(AlertEngine::new(cfg.telemetry.alert_rules.clone()))
+    };
+    let mut alert_events: Vec<AlertEvent> = Vec::new();
     let metrics_opts = cfg.telemetry.metrics.clone();
-    let mut metrics_reg = if metrics_opts.enabled() {
+    // Alert rules need registry snapshots even without exposition sinks.
+    let mut metrics_reg = if metrics_opts.enabled() || alert_engine.is_some() {
         let mut reg = MetricsRegistry::new();
         declare_network_metrics(&mut reg).expect("static metric declarations are valid");
         Some(reg)
@@ -431,18 +483,33 @@ pub fn run_experiment_instrumented(
         if let Some(tl) = timeline.as_mut() {
             tl.push(sample_timeline(&net, &obs, &policy, &mut base));
         }
+        if let Some(bb) = &blackbox {
+            feed_recorder(bb, &net, &obs, &policy, &mut bb_base);
+        }
         step_idx += 1;
         if let Some(reg) = metrics_reg.as_mut() {
             if step_idx.is_multiple_of(metrics_every) {
                 export_network_metrics(reg, &net, &metric_labels)
                     .expect("static metric names are valid");
+                if let Some(engine) = alert_engine.as_mut() {
+                    alert_events.extend(engine.evaluate(reg, net.now()));
+                    export_alert_metrics(reg, engine).expect("static alert names are valid");
+                }
                 if let Some(live) = runtime_reg.as_mut() {
                     export_runtime_metrics(live, net.now(), run_t0.elapsed(), &metric_labels)
                         .expect("static runtime names are valid");
                 }
-                publish_metrics(&metrics_opts, reg, runtime_reg.as_ref());
+                if metrics_opts.enabled() {
+                    publish_metrics(&metrics_opts, reg, runtime_reg.as_ref());
+                }
             }
         }
+    }
+    // Capture the recorder's final state *before* open spans are closed:
+    // the open span path at death is the post-mortem's "where were we".
+    if let Some(bb) = &blackbox {
+        let obs = net.observations();
+        feed_recorder(bb, &net, &obs, &policy, &mut bb_base);
     }
     // Close any span left open by an aborted cycle loop (stall watchdog),
     // then fold the cycle-domain span counters into the exposition.
@@ -462,11 +529,19 @@ pub fn run_experiment_instrumented(
         if let Some(prof) = net.profiler() {
             export_prof_metrics(reg, prof.span_tree()).expect("static prof names are valid");
         }
+        // Final alert evaluation: rules see the end-of-run state, and the
+        // `noc_alert_*` families (cycle-domain) join the final snapshot.
+        if let Some(engine) = alert_engine.as_mut() {
+            alert_events.extend(engine.evaluate(reg, net.now()));
+            export_alert_metrics(reg, engine).expect("static alert names are valid");
+        }
         if let Some(live) = runtime_reg.as_mut() {
             export_runtime_metrics(live, net.now(), run_t0.elapsed(), &metric_labels)
                 .expect("static runtime names are valid");
         }
-        publish_metrics(&metrics_opts, reg, runtime_reg.as_ref());
+        if metrics_opts.enabled() {
+            publish_metrics(&metrics_opts, reg, runtime_reg.as_ref());
+        }
     }
 
     let report = net.report();
@@ -491,6 +566,7 @@ pub fn run_experiment_instrumented(
         attribution: net.take_attribution(),
         decisions,
         exposition: metrics_reg.as_ref().map(render_exposition),
+        alerts: alert_events,
     };
     (
         ExperimentOutcome {

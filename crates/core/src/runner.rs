@@ -27,7 +27,10 @@
 //! canonical unit order, so serial, parallel, and resumed executions of the
 //! same grid produce byte-identical merged reports.
 
-use noc_sim::{Profiler, RunReport, RunnerEvent, StallReport};
+use noc_sim::{
+    bundle_file_name, shared_recorder, BundleCause, BundleHead, FlightRecorder, Profiler,
+    RunReport, RunnerEvent, SharedRecorder, StallReport,
+};
 use serde::{Content, Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -131,6 +134,20 @@ pub struct FleetProgress {
 /// unit record, for progress lines and live `noc_runner_*` gauges.
 pub type FleetObserver = std::sync::Arc<dyn Fn(&FleetProgress) + Send + Sync>;
 
+/// Flight-recorder settings for the execution engine (`noc-blackbox`).
+///
+/// When set, every unit runs with a [`FlightRecorder`] installed, and a
+/// unit that dies — stall, deadline timeout, panic, or retry exhaustion —
+/// leaves a post-mortem bundle at `dir/postmortem-<key>.jsonl` for
+/// `intellinoc postmortem` to render.
+#[derive(Debug, Clone)]
+pub struct BlackboxConfig {
+    /// Directory bundles are written into (created on first dump).
+    pub dir: PathBuf,
+    /// Recorder ring capacity in control-step samples (`0` = default).
+    pub capacity: usize,
+}
+
 /// Execution-engine configuration, shared by every grid kind.
 #[derive(Clone)]
 pub struct RunnerConfig {
@@ -155,6 +172,8 @@ pub struct RunnerConfig {
     pub max_units: Option<usize>,
     /// Fleet-progress observer, invoked after every terminal unit record.
     pub observer: Option<FleetObserver>,
+    /// Flight-recorder settings; `None` disables the black box entirely.
+    pub blackbox: Option<BlackboxConfig>,
 }
 
 impl std::fmt::Debug for RunnerConfig {
@@ -169,6 +188,7 @@ impl std::fmt::Debug for RunnerConfig {
             .field("resume", &self.resume)
             .field("max_units", &self.max_units)
             .field("observer", &self.observer.as_ref().map(|_| "Fn(&FleetProgress)"))
+            .field("blackbox", &self.blackbox)
             .finish()
     }
 }
@@ -185,6 +205,7 @@ impl Default for RunnerConfig {
             resume: false,
             max_units: None,
             observer: None,
+            blackbox: None,
         }
     }
 }
@@ -241,6 +262,11 @@ pub struct UnitCtx<'a> {
     pub attempt: u32,
     /// Effective simulated-cycle deadline for this unit, if any.
     pub deadline_cycles: Option<u64>,
+    /// Flight recorder for this attempt, when the black box is configured.
+    /// Executors install it into the experiment's telemetry so the engine
+    /// can dump a post-mortem bundle even if the unit panics — the handle
+    /// lives outside the `catch_unwind` boundary.
+    pub recorder: Option<SharedRecorder>,
 }
 
 /// Structured description of a run that exceeded its deadline (cycle
@@ -429,6 +455,9 @@ pub struct RunnerReport<T> {
     /// Runner lifecycle events in completion order (nondeterministic under
     /// parallel execution; excluded from serialized reports).
     pub events: Vec<RunnerEvent>,
+    /// Flight-recorder ring evictions summed across the fleet (black box
+    /// configured only; excluded from serialized reports).
+    pub recorder_drops: u64,
 }
 
 impl<T: Serialize> Serialize for RunnerReport<T> {
@@ -439,7 +468,11 @@ impl<T: Serialize> Serialize for RunnerReport<T> {
 
 impl<T: Deserialize> Deserialize for RunnerReport<T> {
     fn deserialize_content(content: &Content) -> Result<Self, serde::Error> {
-        Ok(RunnerReport { records: serde::field(content, "records")?, events: Vec::new() })
+        Ok(RunnerReport {
+            records: serde::field(content, "records")?,
+            events: Vec::new(),
+            recorder_drops: 0,
+        })
     }
 }
 
@@ -656,6 +689,43 @@ impl JournalWriter {
     }
 }
 
+/// Locks a recorder even when a panicking unit poisoned the mutex — the
+/// post-mortem path must read the ring precisely when the unit crashed.
+fn lock_recorder(rec: &SharedRecorder) -> std::sync::MutexGuard<'_, FlightRecorder> {
+    match rec.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Dumps a post-mortem bundle for a dying unit and returns its path.
+fn dump_bundle(
+    bb: &BlackboxConfig,
+    recorder: &SharedRecorder,
+    cause: BundleCause,
+    key: &str,
+    seed: u64,
+    detail: &str,
+    extras: &[(&str, String)],
+) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(&bb.dir)
+        .map_err(|e| format!("creating blackbox dir {:?}: {e}", bb.dir))?;
+    let text = {
+        let r = lock_recorder(recorder);
+        let head = BundleHead {
+            cause,
+            key: key.to_owned(),
+            seed,
+            cycle: r.last_cycle(),
+            detail: detail.to_owned(),
+        };
+        r.bundle(&head, extras)
+    };
+    let path = bb.dir.join(bundle_file_name(key));
+    std::fs::write(&path, &text).map_err(|e| format!("writing bundle {path:?}: {e}"))?;
+    Ok(path)
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -673,6 +743,9 @@ struct Shared<T> {
     events: Vec<RunnerEvent>,
     done: Vec<(usize, UnitRecord<T>)>,
     first_error: Option<String>,
+    /// Flight-recorder ring evictions summed across attempts (black box
+    /// configured only) — surfaced in the fleet profile note.
+    recorder_drops: u64,
 }
 
 /// Runs one unit to a terminal record: retry loop, panic containment,
@@ -700,11 +773,38 @@ where
             let mut s = shared.lock().expect("runner state lock");
             s.events.push(RunnerEvent::UnitStarted { key: key.to_owned(), attempt });
         }
-        let ctx = UnitCtx { key, seed, attempt, deadline_cycles: deadline };
+        // A fresh recorder per attempt: the ring must describe the dying
+        // attempt, not a blur of every retry before it. The handle stays
+        // out here, across the unwind boundary.
+        let recorder = cfg.blackbox.as_ref().map(|b| shared_recorder(b.capacity));
+        let ctx =
+            UnitCtx { key, seed, attempt, deadline_cycles: deadline, recorder: recorder.clone() };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             assert!(!chaos.panics(key), "chaos: forced panic for unit {key}");
             exec(&ctx)
         }));
+        if let Some(rec) = recorder.as_ref() {
+            let dropped = lock_recorder(rec).counters().dropped_total();
+            if dropped > 0 {
+                shared.lock().expect("runner state lock").recorder_drops += dropped;
+            }
+        }
+        let dump = |cause: BundleCause, detail: &str, extras: &[(&str, String)]| {
+            let (Some(bb), Some(rec)) = (cfg.blackbox.as_ref(), recorder.as_ref()) else {
+                return;
+            };
+            match dump_bundle(bb, rec, cause, key, seed, detail, extras) {
+                Ok(path) => {
+                    let mut s = shared.lock().expect("runner state lock");
+                    s.events.push(RunnerEvent::PostmortemDumped {
+                        key: key.to_owned(),
+                        cause: cause.label(),
+                        path: path.display().to_string(),
+                    });
+                }
+                Err(e) => eprintln!("blackbox: {e}"),
+            }
+        };
         let retry_error = match outcome {
             Ok(UnitVerdict::Ok(payload)) => {
                 return UnitRecord {
@@ -719,6 +819,15 @@ where
                 };
             }
             Ok(UnitVerdict::TimedOut { partial, report }) => {
+                let cause =
+                    if report.stall.is_some() { BundleCause::Stall } else { BundleCause::Timeout };
+                let detail = format!(
+                    "deadline {} cycles, {} simulated, {} packets in flight",
+                    report.deadline_cycles, report.cycles_run, report.in_flight
+                );
+                let extras =
+                    [("timeout-report", serde_json::to_string(&report).unwrap_or_default())];
+                dump(cause, &detail, &extras);
                 return UnitRecord {
                     key: key.to_owned(),
                     status: RunStatus::TimedOut,
@@ -731,6 +840,7 @@ where
                 };
             }
             Ok(UnitVerdict::Fatal(msg)) => {
+                dump(BundleCause::RetryExhausted, &msg, &[]);
                 return UnitRecord {
                     key: key.to_owned(),
                     status: RunStatus::Failed,
@@ -746,6 +856,12 @@ where
             Err(panic) => format!("panic: {}", panic_message(panic.as_ref())),
         };
         if attempt > cfg.max_retries {
+            let cause = if retry_error.starts_with("panic: ") {
+                BundleCause::Panic
+            } else {
+                BundleCause::RetryExhausted
+            };
+            dump(cause, &retry_error, &[]);
             return UnitRecord {
                 key: key.to_owned(),
                 status: RunStatus::Failed,
@@ -923,6 +1039,7 @@ where
         events,
         done: Vec::with_capacity(dispatch.len()),
         first_error: None,
+        recorder_drops: 0,
     });
 
     let workers = cfg.jobs.max(1).min(dispatch.len().max(1));
@@ -977,7 +1094,7 @@ where
             });
         }
     }
-    Ok(RunnerReport { records, events: state.events })
+    Ok(RunnerReport { records, events: state.events, recorder_drops: state.recorder_drops })
 }
 
 #[cfg(test)]

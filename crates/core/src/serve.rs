@@ -40,11 +40,12 @@
 use crate::designs::Design;
 use crate::experiment::{run_experiment, ExperimentConfig};
 use crate::runner::{
-    classify_timeout, run_units, ChaosOptions, RunStatus, RunnerConfig, RunnerReport, UnitCtx,
-    UnitVerdict,
+    classify_timeout, run_units, BlackboxConfig, ChaosOptions, RunStatus, RunnerConfig,
+    RunnerReport, UnitCtx, UnitVerdict,
 };
 use noc_sim::{
-    render_exposition, HttpRequest, HttpResponse, HttpServer, MetricsHub, MetricsRegistry,
+    export_alert_metrics, render_exposition, AlertEngine, AlertRule, HttpRequest, HttpResponse,
+    HttpServer, MetricsHub, MetricsRegistry, DEFAULT_BLACKBOX_CAPACITY,
 };
 use noc_traffic::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -296,6 +297,9 @@ fn run_spec_units(
             ExperimentConfig::new(unit.design, WorkloadSpec::uniform(unit.rate, spec.ppn))
                 .with_seed(ctx.seed)
                 .with_deadline(ctx.deadline_cycles);
+        // Feed the runner's flight recorder (if armed) so a unit that
+        // stalls or times out leaves a post-mortem ring behind.
+        cfg.telemetry.blackbox = ctx.recorder.clone();
         if spec.max_cycles > 0 {
             cfg.max_cycles = spec.max_cycles;
         }
@@ -558,6 +562,10 @@ pub struct ServeConfig {
     pub chunk_units: usize,
     /// Default drain deadline when `POST /api/drain` names none.
     pub drain_deadline_ms: u64,
+    /// Alert rules evaluated against every published `noc_serve_*`
+    /// snapshot; firing rules surface in `GET /api/jobs` and as
+    /// `noc_alert_*` families on `GET /metrics`.
+    pub alert_rules: Vec<AlertRule>,
     /// Armed chaos kill point (tests only).
     pub chaos: Option<Arc<ChaosKill>>,
 }
@@ -571,6 +579,7 @@ impl Default for ServeConfig {
             tenant_quota: DEFAULT_TENANT_QUOTA,
             chunk_units: DEFAULT_CHUNK_UNITS,
             drain_deadline_ms: 10_000,
+            alert_rules: Vec::new(),
             chaos: None,
         }
     }
@@ -592,9 +601,16 @@ struct Shared {
     core: Mutex<Core>,
     wake: Condvar,
     hub: Arc<MetricsHub>,
+    alerts: Mutex<AlertEngine>,
+    started: Instant,
     restarts: AtomicU64,
     http_requests: AtomicU64,
     recovery_ms: AtomicU64,
+}
+
+/// Locks the alert engine, recovering from poisoning.
+fn lock_alerts(shared: &Shared) -> MutexGuard<'_, AlertEngine> {
+    shared.alerts.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Locks the core, recovering from poisoning (a panicking worker must
@@ -620,6 +636,13 @@ fn journal_path(state_dir: &Path, id: &str) -> PathBuf {
 
 fn report_path(state_dir: &Path, id: &str) -> PathBuf {
     state_dir.join("reports").join(format!("{id}.csv"))
+}
+
+/// Per-job post-mortem bundle directory: unit keys repeat across jobs
+/// (`serve/SECDED/r0.005` appears in every grid), so bundles are
+/// namespaced by job id.
+fn postmortem_dir(state_dir: &Path, id: &str) -> PathBuf {
+    state_dir.join("postmortems").join(id)
 }
 
 /// Counts terminal (non-skipped) unit records in a job journal,
@@ -711,6 +734,23 @@ fn publish_metrics(shared: &Shared, core: &Core) {
         shared.recovery_ms.load(Ordering::SeqCst) as f64 / 1_000.0,
     );
     let _ = reg.gauge_set("noc_serve_draining", &[], f64::from(u8::from(core.draining)));
+
+    // Evaluate the daemon's alert rules against the snapshot being
+    // published; firing state joins the exposition as `noc_alert_*` and
+    // edge transitions are logged as structured events. The "cycle" here
+    // is the evaluation ordinal — serve has no simulation clock.
+    {
+        let mut engine = lock_alerts(shared);
+        if !engine.rules().is_empty() {
+            let seq = engine.evaluations();
+            for event in engine.evaluate(&reg, seq) {
+                eprintln!("{}", event.to_json());
+            }
+            if let Err(e) = export_alert_metrics(&mut reg, &engine) {
+                eprintln!("{{\"event\":\"serve-alert-export-error\",\"error\":{}}}", json_str(&e));
+            }
+        }
+    }
     shared.hub.publish(render_exposition(&reg));
 }
 
@@ -821,6 +861,13 @@ fn execute_job(shared: &Shared, id: &str) {
             journal: Some(jpath.clone()),
             resume: true,
             max_units: Some(shared.cfg.chunk_units.max(1)),
+            // Units that die (stall / timeout / panic / retry exhaustion)
+            // leave a post-mortem bundle in the state dir; like journals
+            // and reports it survives `kill -9` and daemon restarts.
+            blackbox: Some(BlackboxConfig {
+                dir: postmortem_dir(&shared.cfg.state_dir, id),
+                capacity: DEFAULT_BLACKBOX_CAPACITY,
+            }),
             ..RunnerConfig::default()
         };
         match run_spec_units(&spec, &rcfg, shared.cfg.chaos.as_ref()) {
@@ -1052,6 +1099,9 @@ pub struct JobsSummary {
     pub cancelled: u64,
     /// Whether a drain is in progress.
     pub draining: bool,
+    /// Names of alert rules currently firing against the daemon's
+    /// metrics snapshot (empty when no rules are configured).
+    pub alerts_firing: Vec<String>,
     /// Every tracked job.
     pub jobs: Vec<JobStatus>,
 }
@@ -1090,6 +1140,12 @@ fn ok_json<T: Serialize>(status: u16, value: &T) -> HttpResponse {
 // HTTP handler
 // ---------------------------------------------------------------------------
 
+/// 405 with the route's correct `Allow` header (RFC 9110 §15.5.6: the
+/// header is mandatory on 405 responses).
+fn method_not_allowed(allow: &str) -> HttpResponse {
+    error_body(405, "method not allowed").with_header("Allow", allow)
+}
+
 fn handle(shared: &Arc<Shared>, req: &HttpRequest) -> HttpResponse {
     shared.http_requests.fetch_add(1, Ordering::SeqCst);
     let path = req.path.split('?').next().unwrap_or("");
@@ -1097,16 +1153,70 @@ fn handle(shared: &Arc<Shared>, req: &HttpRequest) -> HttpResponse {
     match (req.method.as_str(), parts.as_slice()) {
         ("GET", ["healthz"]) => HttpResponse::text(200, "ok\n"),
         ("GET", ["metrics"]) => HttpResponse::text(200, shared.hub.snapshot()),
+        ("GET", ["api", "health"]) => health(shared),
         ("POST", ["api", "jobs"]) => submit(shared, req),
         ("GET", ["api", "jobs"]) => list_jobs(shared),
         ("GET", ["api", "jobs", id]) => get_job(shared, id),
         ("GET", ["api", "jobs", id, "report"]) => get_report(shared, id),
+        ("GET", ["api", "jobs", id, "postmortem"]) => get_postmortem(shared, id),
         ("POST", ["api", "jobs", id, "cancel"]) => cancel_job(shared, id),
         ("POST", ["api", "jobs", id, "pause"]) => set_paused(shared, id, true),
         ("POST", ["api", "jobs", id, "resume"]) => set_paused(shared, id, false),
         ("POST", ["api", "drain"]) => drain_request(shared, req),
-        (_, ["healthz" | "metrics"]) | (_, ["api", ..]) => error_body(405, "method not allowed"),
+        (_, ["healthz" | "metrics"] | ["api", "health"]) => method_not_allowed("GET"),
+        (_, ["api", "jobs"]) => method_not_allowed("GET, POST"),
+        (_, ["api", "jobs", _]) | (_, ["api", "jobs", _, "report" | "postmortem"]) => {
+            method_not_allowed("GET")
+        }
+        (_, ["api", "jobs", _, "cancel" | "pause" | "resume"]) | (_, ["api", "drain"]) => {
+            method_not_allowed("POST")
+        }
         _ => error_body(404, "not found"),
+    }
+}
+
+/// `GET /api/health`: liveness plus restart/recovery accounting.
+fn health(shared: &Arc<Shared>) -> HttpResponse {
+    let uptime_ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    HttpResponse::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"version\":{},\"uptime_ms\":{uptime_ms},\"restarts\":{},\"recovery_ms\":{}}}",
+            json_str(env!("CARGO_PKG_VERSION")),
+            shared.restarts.load(Ordering::SeqCst),
+            shared.recovery_ms.load(Ordering::SeqCst),
+        ),
+    )
+}
+
+/// `GET /api/jobs/<id>/postmortem`: the job's first (lexicographic by
+/// unit key) flight-recorder bundle, as raw JSONL ready for
+/// `intellinoc postmortem`. `X-Postmortem-Bundles` counts how many the
+/// job left behind.
+fn get_postmortem(shared: &Arc<Shared>, id: &str) -> HttpResponse {
+    {
+        let core = lock_core(shared);
+        if !core.jobs.contains_key(id) {
+            return error_body(404, &format!("no such job: {id}"));
+        }
+    }
+    let dir = postmortem_dir(&shared.cfg.state_dir, id);
+    let mut bundles: Vec<PathBuf> = fs::read_dir(&dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+                .collect()
+        })
+        .unwrap_or_default();
+    bundles.sort();
+    let Some(first) = bundles.first() else {
+        return error_body(404, &format!("no postmortem bundle for job {id}"));
+    };
+    match fs::read_to_string(first) {
+        Ok(text) => HttpResponse::text(200, text)
+            .with_header("X-Postmortem-Bundles", &bundles.len().to_string()),
+        Err(e) => error_body(500, &format!("read bundle: {e}")),
     }
 }
 
@@ -1220,6 +1330,8 @@ fn submit(shared: &Arc<Shared>, req: &HttpRequest) -> HttpResponse {
 
 fn list_jobs(shared: &Arc<Shared>) -> HttpResponse {
     let core = lock_core(shared);
+    let alerts_firing =
+        lock_alerts(shared).firing().into_iter().map(str::to_owned).collect::<Vec<_>>();
     let mut summary = JobsSummary {
         accepted: core.next_seq,
         queued: 0,
@@ -1228,6 +1340,7 @@ fn list_jobs(shared: &Arc<Shared>) -> HttpResponse {
         failed: 0,
         cancelled: 0,
         draining: core.draining,
+        alerts_firing,
         jobs: Vec::new(),
     };
     for job in core.jobs.values() {
@@ -1489,6 +1602,7 @@ impl Daemon {
         }
 
         let wal = if recreate { WalWriter::create(&wal_p)? } else { WalWriter::append(&wal_p)? };
+        let alerts = Mutex::new(AlertEngine::new(cfg.alert_rules.clone()));
         let shared = Arc::new(Shared {
             cfg,
             core: Mutex::new(Core {
@@ -1501,6 +1615,8 @@ impl Daemon {
             }),
             wake: Condvar::new(),
             hub: Arc::new(MetricsHub::new()),
+            alerts,
+            started: t0,
             restarts: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
             recovery_ms: AtomicU64::new(0),
@@ -2230,6 +2346,73 @@ mod tests {
         assert_eq!(code, 503, "{resp}");
         assert!(daemon.wait_until_drained(Duration::from_secs(10)));
         assert!(daemon.shutdown(Duration::from_secs(5)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn http_surface_exposes_allow_headers_health_and_alert_state() {
+        let dir = tmp_dir("http-surface");
+        let rules = noc_sim::parse_rules("noc_serve_queue_depth>=1:critical").unwrap();
+        let daemon = Daemon::start(ServeConfig {
+            state_dir: dir.clone(),
+            alert_rules: rules,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = daemon.local_addr().to_string();
+
+        // Every route answers a wrong method with 405 + its Allow header.
+        for (method, path, allow) in [
+            ("POST", "/healthz", "GET"),
+            ("DELETE", "/metrics", "GET"),
+            ("POST", "/api/health", "GET"),
+            ("DELETE", "/api/jobs", "GET, POST"),
+            ("POST", "/api/jobs/j-000001", "GET"),
+            ("POST", "/api/jobs/j-000001/report", "GET"),
+            ("POST", "/api/jobs/j-000001/postmortem", "GET"),
+            ("GET", "/api/jobs/j-000001/cancel", "POST"),
+            ("GET", "/api/drain", "POST"),
+        ] {
+            let (code, headers, body) = http_request_full(&addr, method, path, None).unwrap();
+            assert_eq!(code, 405, "{method} {path}: {body}");
+            let got = headers.iter().find(|(n, _)| n == "allow").map(|(_, v)| v.as_str());
+            assert_eq!(got, Some(allow), "{method} {path}");
+        }
+
+        let (code, body) = http_request(&addr, "GET", "/api/health", None).unwrap();
+        assert_eq!(code, 200, "{body}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))), "{body}");
+        assert!(body.contains("\"uptime_ms\":"), "{body}");
+        assert!(body.contains("\"restarts\":0"), "{body}");
+
+        // A paused submission parks one outstanding job, breaching the
+        // queue-depth rule on the next published snapshot.
+        let body = serde_json::to_string(&SubmitRequest {
+            tenant: "alice".to_owned(),
+            priority: 0,
+            paused: true,
+            spec: tiny_spec("alerting"),
+        })
+        .unwrap();
+        let (code, resp) = http_request(&addr, "POST", "/api/jobs", Some(&body)).unwrap();
+        assert_eq!(code, 202, "{resp}");
+        let (_, jobs) = http_request(&addr, "GET", "/api/jobs", None).unwrap();
+        let summary: JobsSummary = serde_json::from_str(&jobs).unwrap();
+        assert_eq!(summary.alerts_firing, vec!["noc_serve_queue_depth>=1".to_owned()]);
+        let (_, metrics) = http_request(&addr, "GET", "/metrics", None).unwrap();
+        assert!(
+            metrics.contains("noc_alert_firing{rule=\"noc_serve_queue_depth>=1\"} 1"),
+            "{metrics}"
+        );
+
+        // Postmortems: unknown job and bundle-less job both 404.
+        let (code, _) = http_request(&addr, "GET", "/api/jobs/j-999999/postmortem", None).unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = http_request(&addr, "GET", "/api/jobs/j-000001/postmortem", None).unwrap();
+        assert_eq!(code, 404);
+
+        assert!(daemon.shutdown(Duration::from_secs(10)));
         let _ = fs::remove_dir_all(&dir);
     }
 

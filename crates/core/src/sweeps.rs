@@ -210,9 +210,10 @@ pub fn run_load_sweep_profiled(
     run_units(master_seed, &keys, rcfg, chaos, |ctx: &UnitCtx| {
         let idx = keys.iter().position(|k| k == ctx.key).expect("key from supplied list");
         let rate = rates[idx];
-        let cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, ppn))
+        let mut cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, ppn))
             .with_seed(ctx.seed)
             .with_deadline(ctx.deadline_cycles);
+        cfg.telemetry.blackbox = ctx.recorder.clone();
         let budget = cfg.max_cycles;
         let o = run_experiment_profiled(cfg, prof);
         let r = &o.report;

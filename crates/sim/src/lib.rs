@@ -58,11 +58,14 @@ pub use noc_fault::{HardFault, HardFaultKind, HardFaultScenario, HardFaultTarget
 // Telemetry surface, re-exported so simulator users can install tracers and
 // profilers without depending on `noc-telemetry` directly.
 pub use noc_telemetry::{
-    export_prof_metrics, link_stats_csv, render_exposition, runner_events_jsonl,
-    AttributionArtifacts, ConvergenceSample, DecisionLog, DecisionRecord, Event, EventKind,
-    GateEdge, HeatGrid, HttpHandler, HttpRequest, HttpResponse, HttpServer, LatencyBreakdown,
-    LatencyComponents, LinkStat, MetricsHub, MetricsRegistry, MetricsServer, PacketLatency,
-    PairBreakdown, PhaseCounters, Profiler, RetxScope, RunRow, RunTimeline, RunnerEvent,
-    SectionStats, SpanStats, SpanTree, TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
-    MAX_SPAN_DEPTH,
+    bundle_file_name, export_alert_metrics, export_prof_metrics, link_stats_csv, parse_bundle,
+    parse_exposition, parse_rules, render_exposition, render_report, runner_events_jsonl,
+    shared_recorder, AlertCmp, AlertEdge, AlertEngine, AlertEvent, AlertRule, AttributionArtifacts,
+    BundleCause, BundleHead, ConvergenceSample, DecisionLog, DecisionRecord, Event, EventKind,
+    FlightRecorder, GateEdge, HeatGrid, HttpHandler, HttpRequest, HttpResponse, HttpServer,
+    LatencyBreakdown, LatencyComponents, LinkStat, MetricsHub, MetricsRegistry, MetricsServer,
+    PacketLatency, PairBreakdown, ParsedBundle, PhaseCounters, Profiler, RecorderCounters,
+    RetxScope, RunRow, RunTimeline, RunnerEvent, Sample, SectionStats, SharedRecorder, SpanStats,
+    SpanTree, TimelineSample, TraceFilter, Tracer, BLACKBOX_FORMAT_VERSION,
+    DEFAULT_BLACKBOX_CAPACITY, DEFAULT_TRACE_CAPACITY, MAX_SPAN_DEPTH,
 };

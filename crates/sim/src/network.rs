@@ -33,7 +33,9 @@ use crate::topology::{Mesh, Port, DIRS, PORTS};
 use noc_ecc::{DecodeStatus, EccScheme, EccSuite};
 use noc_fault::{network_mttf, AgingState, FaultInjector, HardFaultTarget, ThermalGrid};
 use noc_power::{EnergyLedger, RouterLeakageSpec, CLOCK_PERIOD_NS};
-use noc_telemetry::{AttributionArtifacts, Event, GateEdge, Profiler, RetxScope, Tracer};
+use noc_telemetry::{
+    AttributionArtifacts, Event, GateEdge, Profiler, RetxScope, SharedRecorder, Tracer,
+};
 use noc_traffic::{TrafficGen, Workload, WorkloadSpec};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -109,6 +111,11 @@ pub struct Network {
     last_score: u64,
     /// Set when the stall watchdog aborted the run.
     stall: Option<StallReport>,
+    /// Flight recorder (`noc-blackbox`): a bounded ring of recent events
+    /// shared with the harness so post-mortem bundles survive panics.
+    /// `None` means recording is disabled and every feed site is a single
+    /// branch.
+    blackbox: Option<SharedRecorder>,
 }
 
 impl std::fmt::Debug for Network {
@@ -163,6 +170,7 @@ impl Network {
             last_progress: 0,
             last_score: 0,
             stall: None,
+            blackbox: None,
             mesh,
             now: 0,
             routers,
@@ -262,11 +270,36 @@ impl Network {
         self.attribution.take().map(|a| a.finish(&self.mesh, self.now))
     }
 
+    /// Installs a shared flight recorder; subsequent cycles feed the event
+    /// ring. The handle is shared with the harness (it outlives a panicking
+    /// run), so post-mortem bundles can read back the final moments.
+    pub fn install_blackbox(&mut self, recorder: SharedRecorder) {
+        self.blackbox = Some(recorder);
+    }
+
+    /// The installed flight recorder handle, if any.
+    pub fn blackbox(&self) -> Option<&SharedRecorder> {
+        self.blackbox.as_ref()
+    }
+
+    /// Removes and returns the flight recorder, disabling recording.
+    pub fn take_blackbox(&mut self) -> Option<SharedRecorder> {
+        self.blackbox.take()
+    }
+
     /// Records `event` when tracing is enabled; otherwise a single branch.
+    /// Feeds the flight recorder's event ring on the same path, so the
+    /// recorder sees exactly the tracer's event stream (post-filter sites,
+    /// pre-ring-eviction).
     #[inline]
     fn trace(&mut self, event: Event) {
         if let Some(t) = self.tracer.as_mut() {
             t.record(event);
+        }
+        if let Some(bb) = self.blackbox.as_ref() {
+            if let Ok(mut r) = bb.lock() {
+                r.push_event(event);
+            }
         }
     }
 
@@ -2627,5 +2660,147 @@ mod tests {
         assert_eq!(report.stats.packets_delivered, 64 * 60);
         assert!(report.mttf_hours.is_some());
         assert!(report.power.total_mw() > 0.0);
+    }
+
+    /// Zero progress from cycle 0: one packet stuck behind a dead link with
+    /// rerouting off. The watchdog fires at exactly `cycle == stall_window`
+    /// (progress was never made, so the baseline is cycle 0), and the
+    /// [`StallReport`] fields carry the full diagnostic.
+    #[test]
+    fn watchdog_fires_on_zero_progress_from_cycle_zero() {
+        let mut cfg = quiet_config();
+        cfg.width = 2;
+        cfg.height = 2;
+        cfg.stall_window = 150;
+        // Node 0's eastbound link (dir 0 = X+) is the only XY route to
+        // node 1; kill it from cycle 0 so the hand-injected packet can
+        // never leave its NI.
+        cfg.hard_faults = noc_fault::HardFaultScenario {
+            faults: vec![noc_fault::HardFault {
+                at: 0,
+                target: HardFaultTarget::Link { router: 0, dir: 0 },
+                kind: noc_fault::HardFaultKind::FailStop,
+            }],
+        };
+        let spec = WorkloadSpec { packets_per_node: 0, ..WorkloadSpec::uniform(0.0, 0) };
+        let mut net = Network::new(cfg, spec, 1);
+        net.stats.packets_injected = 1;
+        net.outstanding[0] = 1;
+        net.nis[0].inject.extend(make_packet(0, 0, 0, 1, 0));
+
+        let done = net.run_cycles(10_000);
+        assert!(done, "a stalled run must terminate via the watchdog");
+        let stall = net.stall().expect("watchdog must fire");
+        assert_eq!(stall.cycle, 150, "zero progress since cycle 0 fires at the window edge");
+        assert_eq!(stall.window, 150);
+        assert_eq!(stall.in_flight, 1);
+        assert!(!stall.dump.is_empty(), "state dump attached");
+        assert_eq!(net.stats.cycles, stall.cycle, "the run stops the cycle the watchdog fires");
+        assert_eq!(net.stats.packets_delivered, 0);
+        assert_eq!(net.stats.packets_dropped, 0);
+    }
+
+    /// Progress landing exactly when the window elapses wins over the
+    /// stall: the score check precedes the window check, so a delivery at
+    /// `last_progress + window` resets the baseline instead of firing.
+    #[test]
+    fn watchdog_progress_exactly_at_threshold_resets_the_window() {
+        let mut cfg = quiet_config();
+        cfg.stall_window = 100;
+        let mut net = Network::new(
+            cfg,
+            WorkloadSpec { packets_per_node: 0, ..WorkloadSpec::uniform(0.0, 0) },
+            1,
+        );
+        net.stats.packets_injected = 2;
+
+        // One cycle short of the window: no stall.
+        net.now = 99;
+        assert!(!net.watchdog_check());
+        // A delivery exactly at the window edge resets instead of firing.
+        net.now = 100;
+        net.stats.packets_delivered = 1;
+        assert!(!net.watchdog_check(), "progress at the threshold must win");
+        assert!(net.stall.is_none());
+        assert_eq!(net.last_progress, 100, "baseline resets to the progress cycle");
+        assert_eq!(net.last_score, 1);
+
+        // The next window is measured from the reset point, not cycle 0.
+        net.now = 199;
+        assert!(!net.watchdog_check());
+        net.now = 200;
+        assert!(net.watchdog_check(), "a full silent window after the reset fires");
+        let stall = net.stall().expect("stall armed");
+        assert_eq!(stall.cycle, 200);
+        assert_eq!(stall.window, 100);
+        assert_eq!(stall.in_flight, 1, "injected 2 − delivered 1");
+    }
+
+    /// A drop counts as forward progress exactly like a delivery: the
+    /// score is `delivered + dropped`.
+    #[test]
+    fn watchdog_counts_drops_as_progress() {
+        let mut cfg = quiet_config();
+        cfg.stall_window = 100;
+        let mut net = Network::new(
+            cfg,
+            WorkloadSpec { packets_per_node: 0, ..WorkloadSpec::uniform(0.0, 0) },
+            1,
+        );
+        net.stats.packets_injected = 3;
+        net.now = 100;
+        net.stats.packets_dropped = 1;
+        assert!(!net.watchdog_check(), "a drop is progress");
+        assert_eq!(net.last_score, 1);
+        net.now = 200;
+        assert!(net.watchdog_check());
+        assert_eq!(net.stall().unwrap().in_flight, 2);
+    }
+
+    /// Idle tails — nothing in flight — never trip the watchdog no matter
+    /// how stale the score is, and traffic appearing after a long idle tail
+    /// gets a full fresh window before the watchdog can fire.
+    #[test]
+    fn watchdog_ignores_idle_tails() {
+        let mut cfg = quiet_config();
+        cfg.stall_window = 100;
+        let mut net = Network::new(
+            cfg,
+            WorkloadSpec { packets_per_node: 0, ..WorkloadSpec::uniform(0.0, 0) },
+            1,
+        );
+        net.stats.packets_injected = 5;
+        net.stats.packets_delivered = 3;
+        net.stats.packets_dropped = 2;
+        for now in [50, 150, 100_000, 1_000_000] {
+            net.now = now;
+            assert!(!net.watchdog_check(), "idle tail tripped the watchdog at cycle {now}");
+        }
+        assert!(net.stall().is_none());
+
+        // New traffic after the tail: the baseline is the last idle check,
+        // so the stall needs a full window of in-flight silence from there.
+        net.stats.packets_injected = 6;
+        net.now = 1_000_000 + 99;
+        assert!(!net.watchdog_check());
+        net.now = 1_000_000 + 100;
+        assert!(net.watchdog_check());
+        assert_eq!(net.stall().unwrap().cycle, 1_000_100);
+    }
+
+    /// `stall_window == 0` disables the watchdog entirely.
+    #[test]
+    fn watchdog_disabled_with_zero_window() {
+        let mut cfg = quiet_config();
+        cfg.stall_window = 0;
+        let mut net = Network::new(
+            cfg,
+            WorkloadSpec { packets_per_node: 0, ..WorkloadSpec::uniform(0.0, 0) },
+            1,
+        );
+        net.stats.packets_injected = 1;
+        net.now = 10_000_000;
+        assert!(!net.watchdog_check());
+        assert!(net.stall().is_none());
     }
 }

@@ -34,6 +34,8 @@
 
 #![forbid(unsafe_code)]
 
+mod alerts;
+mod blackbox;
 mod event;
 mod exposition;
 mod inspect;
@@ -45,6 +47,14 @@ mod serve;
 mod timeline;
 mod tracer;
 
+pub use alerts::{
+    export_alert_metrics, parse_rules, AlertCmp, AlertEdge, AlertEngine, AlertEvent, AlertRule,
+};
+pub use blackbox::{
+    bundle_file_name, parse_bundle, render_report, shared_recorder, BundleCause, BundleConvergence,
+    BundleEvent, BundleHead, FlightRecorder, ParsedBundle, RecorderCounters, SharedRecorder,
+    BLACKBOX_FORMAT_VERSION, DEFAULT_BLACKBOX_CAPACITY, EVENT_RING_FACTOR,
+};
 pub use event::{Event, EventKind, GateEdge, RetxScope};
 pub use exposition::{
     escape_label_value, format_value, parse_exposition, registry_samples, render_exposition,

@@ -176,6 +176,13 @@ impl Profiler {
         self.stack.len()
     }
 
+    /// The names of the currently open spans, outermost first — the
+    /// "where were we" path captured into flight-recorder snapshots.
+    #[must_use]
+    pub fn open_span_path(&self) -> Vec<&'static str> {
+        self.stack.iter().map(|f| f.name).collect()
+    }
+
     /// Folds another profiler's aggregates into this one: sections, span
     /// tree, phase counters, warning counters, trace drops, and run rows.
     /// Open frames on `other`'s stack are not merged — close them first

@@ -64,6 +64,18 @@ pub enum RunnerEvent {
         span_truncations: u64,
         /// Unmatched `span_exit` calls observed.
         unbalanced_exits: u64,
+        /// Records the flight recorder's rings evicted (all rings summed);
+        /// non-zero means post-mortem bundles are truncated to ring tails.
+        recorder_drops: u64,
+    },
+    /// A post-mortem bundle was dumped for a dying unit.
+    PostmortemDumped {
+        /// Stable run key.
+        key: String,
+        /// Bundle cause label (`stall`, `timeout`, `panic`, ...).
+        cause: &'static str,
+        /// Filesystem path the bundle was written to.
+        path: String,
     },
 }
 
@@ -77,6 +89,7 @@ impl RunnerEvent {
             RunnerEvent::UnitResumed { .. } => "unit-resumed",
             RunnerEvent::UnitSkipped { .. } => "unit-skipped",
             RunnerEvent::ProfileNote { .. } => "profile-note",
+            RunnerEvent::PostmortemDumped { .. } => "postmortem-dumped",
         }
     }
 
@@ -88,7 +101,8 @@ impl RunnerEvent {
             | RunnerEvent::UnitRetried { key, .. }
             | RunnerEvent::UnitResumed { key, .. }
             | RunnerEvent::UnitSkipped { key, .. }
-            | RunnerEvent::ProfileNote { key, .. } => key,
+            | RunnerEvent::ProfileNote { key, .. }
+            | RunnerEvent::PostmortemDumped { key, .. } => key,
         }
     }
 
@@ -114,13 +128,20 @@ impl RunnerEvent {
                 let _ = write!(s, ",\"reason\":{}", json_str(reason));
             }
             RunnerEvent::ProfileNote {
-                trace_drops, span_truncations, unbalanced_exits, ..
+                trace_drops,
+                span_truncations,
+                unbalanced_exits,
+                recorder_drops,
+                ..
             } => {
                 let _ = write!(
                     s,
                     ",\"trace_drops\":{trace_drops},\"span_truncations\":{span_truncations},\
-                     \"unbalanced_exits\":{unbalanced_exits}"
+                     \"unbalanced_exits\":{unbalanced_exits},\"recorder_drops\":{recorder_drops}"
                 );
+            }
+            RunnerEvent::PostmortemDumped { cause, path, .. } => {
+                let _ = write!(s, ",\"cause\":\"{cause}\",\"path\":{}", json_str(path));
             }
         }
         s.push('}');
@@ -177,13 +198,22 @@ mod tests {
                 trace_drops: 3,
                 span_truncations: 1,
                 unbalanced_exits: 0,
+                recorder_drops: 7,
+            },
+            RunnerEvent::PostmortemDumped {
+                key: "a/b".into(),
+                cause: "stall",
+                path: "/tmp/postmortem-a_b.jsonl".into(),
             },
         ];
         let jsonl = runner_events_jsonl(&events);
-        assert_eq!(jsonl.lines().count(), 6);
+        assert_eq!(jsonl.lines().count(), 7);
         assert!(jsonl.contains(r#""event":"profile-note""#));
         assert!(jsonl.contains(r#""trace_drops":3"#));
         assert!(jsonl.contains(r#""span_truncations":1"#));
+        assert!(jsonl.contains(r#""recorder_drops":7"#));
+        assert!(jsonl.contains(r#""event":"postmortem-dumped""#));
+        assert!(jsonl.contains(r#""cause":"stall""#));
         assert!(jsonl.contains(r#""event":"unit-retried""#));
         assert!(jsonl.contains(r#""error":"boom \"q\"""#));
         for line in jsonl.lines() {

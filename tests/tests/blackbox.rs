@@ -1,0 +1,258 @@
+//! Integration tests for the `noc-blackbox` flight recorder: post-mortem
+//! bundle dumps from the execution engine for every death cause, render
+//! determinism, the recorder's zero-perturbation guarantee, and alert rules
+//! firing end-to-end (structured events, `noc_alert_*` metrics, and the
+//! CLI's critical-alert bundle dump).
+
+use intellinoc::{
+    run_campaign_runner, run_experiment_instrumented, run_units, BlackboxConfig, CampaignConfig,
+    ChaosOptions, Design, ExperimentConfig, RunnerConfig, TelemetryOptions, TimeoutReport, UnitCtx,
+    UnitVerdict,
+};
+use noc_sim::{
+    parse_bundle, parse_rules, render_report, AlertEdge, Event, RunnerEvent, StallReport,
+};
+use noc_traffic::ParsecBenchmark;
+use std::path::PathBuf;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("intellinoc-blackbox-integration").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bundle_files(dir: &PathBuf) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().into_owned()))
+                .filter(|n| n.ends_with(".jsonl"))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    names
+}
+
+/// Every death cause the execution engine knows — deadline timeout, stall
+/// watchdog, panic, retry exhaustion — leaves a post-mortem bundle on disk
+/// plus a `postmortem-dumped` runner event; healthy units leave nothing.
+/// Each bundle parses and renders to byte-identical markdown twice.
+#[test]
+fn dying_units_dump_bundles_for_every_cause() {
+    let dir = temp_dir("causes");
+    let cfg = RunnerConfig {
+        blackbox: Some(BlackboxConfig { dir: dir.clone(), capacity: 8 }),
+        ..RunnerConfig::serial()
+    };
+    let keys: Vec<String> =
+        ["bb/timeout", "bb/stall", "bb/panic", "bb/fatal", "bb/ok"].map(String::from).to_vec();
+    let exec = |ctx: &UnitCtx| -> UnitVerdict<u64> {
+        // Feed the per-attempt recorder so the bundle has ring contents.
+        if let Some(rec) = &ctx.recorder {
+            rec.lock().unwrap().push_event(Event::PacketInjected {
+                cycle: 41,
+                router: 7,
+                packet: 1,
+                dest: 12,
+            });
+        }
+        match ctx.key {
+            k if k.ends_with("timeout") => UnitVerdict::TimedOut {
+                partial: None,
+                report: TimeoutReport {
+                    deadline_cycles: 64,
+                    cycles_run: 64,
+                    in_flight: 3,
+                    stall: None,
+                },
+            },
+            k if k.ends_with("stall") => UnitVerdict::TimedOut {
+                partial: None,
+                report: TimeoutReport {
+                    deadline_cycles: 64,
+                    cycles_run: 50,
+                    in_flight: 2,
+                    stall: Some(StallReport {
+                        cycle: 50,
+                        window: 25,
+                        in_flight: 2,
+                        blocked: vec!["flit 9 at router 3".to_owned()],
+                        dump: "r3: blocked".to_owned(),
+                    }),
+                },
+            },
+            k if k.ends_with("panic") => panic!("forced crash for the recorder"),
+            k if k.ends_with("fatal") => UnitVerdict::Fatal("unfixable config".to_owned()),
+            _ => UnitVerdict::Ok(ctx.seed),
+        }
+    };
+    let report = run_units(5, &keys, &cfg, &ChaosOptions::default(), exec).unwrap();
+
+    // One bundle per dying unit, none for the healthy one.
+    assert_eq!(
+        bundle_files(&dir),
+        vec![
+            "postmortem-bb_fatal.jsonl",
+            "postmortem-bb_panic.jsonl",
+            "postmortem-bb_stall.jsonl",
+            "postmortem-bb_timeout.jsonl",
+        ]
+    );
+
+    // The runner narrates each dump with the cause that triggered it.
+    let mut dumped: Vec<(String, &str)> = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            RunnerEvent::PostmortemDumped { key, cause, .. } => Some((key.clone(), *cause)),
+            _ => None,
+        })
+        .collect();
+    dumped.sort();
+    assert_eq!(
+        dumped,
+        vec![
+            ("bb/fatal".to_owned(), "retry-exhausted"),
+            ("bb/panic".to_owned(), "panic"),
+            ("bb/stall".to_owned(), "stall"),
+            ("bb/timeout".to_owned(), "timeout"),
+        ]
+    );
+
+    // Every bundle parses, and rendering is a pure function of the bytes:
+    // two renders are byte-identical and name the cause and key.
+    for name in bundle_files(&dir) {
+        let text = std::fs::read_to_string(dir.join(&name)).unwrap();
+        let bundle = parse_bundle(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let r1 = render_report(&bundle);
+        let r2 = render_report(&parse_bundle(&text).unwrap());
+        assert_eq!(r1, r2, "{name}: render must be byte-deterministic");
+        assert!(r1.starts_with("# Post-mortem:"), "{name}: {r1}");
+        assert!(r1.contains("bb/"), "{name}: report must name the unit key");
+    }
+}
+
+/// The flight recorder must not perturb the simulation: the same campaign
+/// with and without the black box produces byte-identical merged reports,
+/// and a clean grid dumps no bundles at all.
+#[test]
+fn campaign_reports_identical_with_recorder_on_and_off() {
+    let cfg = CampaignConfig {
+        rate: 0.01,
+        ppn: 4,
+        seed: 3,
+        dead_links: vec![0, 1],
+        router_fail_at: None,
+        flapping: 0,
+        fault_aware_routing: true,
+        max_cycles: 60_000,
+    };
+    let chaos = ChaosOptions::default();
+    let plain = run_campaign_runner(&cfg, &RunnerConfig::serial(), &chaos).unwrap();
+    assert!(plain.runner.is_clean());
+
+    let dir = temp_dir("clean-campaign");
+    let with_bb = RunnerConfig {
+        blackbox: Some(BlackboxConfig { dir: dir.clone(), capacity: 64 }),
+        ..RunnerConfig::serial()
+    };
+    let recorded = run_campaign_runner(&cfg, &with_bb, &chaos).unwrap();
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&recorded).unwrap(),
+        "the flight recorder changed the merged campaign report"
+    );
+    assert_eq!(plain.to_csv(), recorded.to_csv());
+    assert!(bundle_files(&dir).is_empty(), "a clean grid must not dump bundles");
+}
+
+/// Alert rules evaluated inside the instrumented run: a breached rule emits
+/// a structured firing event, the `noc_alert_*` families join the final
+/// exposition, an unbreached rule stays silent — and the evaluation leaves
+/// the simulation outcome untouched.
+#[test]
+fn alert_rules_fire_end_to_end_without_perturbing_the_run() {
+    let workload = ParsecBenchmark::Canneal.workload(10);
+    let mut cfg = ExperimentConfig::new(Design::Secded, workload.clone()).with_seed(11);
+    cfg.telemetry = TelemetryOptions {
+        alert_rules: parse_rules("noc_packets_total>10;noc_packets_total>1e15").unwrap(),
+        ..TelemetryOptions::default()
+    };
+    let (outcome, _, artifacts) = run_experiment_instrumented(cfg);
+
+    // The breached rule fired exactly once (firing edge, no resolve), the
+    // absurd threshold never did.
+    let firing: Vec<_> = artifacts
+        .alerts
+        .iter()
+        .filter(|e| e.edge == AlertEdge::Firing)
+        .map(|e| e.rule.clone())
+        .collect();
+    assert_eq!(firing, vec!["noc_packets_total>10"]);
+    assert!(!artifacts.alerts.iter().any(|e| e.rule == "noc_packets_total>1e15"));
+    assert!(!artifacts.alerts.iter().any(|e| e.edge == AlertEdge::Resolved));
+
+    // The alert families are part of the final exposition snapshot.
+    let expo = artifacts.exposition.expect("alert rules force a registry");
+    assert!(
+        expo.contains("noc_alert_firing{rule=\"noc_packets_total>10\"} 1"),
+        "missing firing gauge in:\n{expo}"
+    );
+    assert!(expo.contains("noc_alert_firing{rule=\"noc_packets_total>1e15\"} 0"));
+    assert!(expo
+        .contains("noc_alert_transitions_total{edge=\"firing\",rule=\"noc_packets_total>10\"} 1"));
+
+    // Zero perturbation: the report equals a run without any alert rules.
+    let plain_cfg = ExperimentConfig::new(Design::Secded, workload).with_seed(11);
+    let (plain, _, _) = run_experiment_instrumented(plain_cfg);
+    assert_eq!(
+        serde_json::to_string(&plain.report).unwrap(),
+        serde_json::to_string(&outcome.report).unwrap(),
+        "alert evaluation changed the simulation outcome"
+    );
+}
+
+/// The CLI `run` path: a critical rule breached mid-run triggers a
+/// flight-recorder bundle dump into `--blackbox-dir`, and the bundle
+/// renders deterministically. A non-critical rule must not dump.
+#[test]
+fn cli_run_dumps_critical_alert_bundle() {
+    use intellinoc_cli::args::Args;
+    use intellinoc_cli::commands;
+
+    let dir = temp_dir("cli-critical");
+    let argv = |rules: &str, dir: &PathBuf| {
+        Args::parse(
+            [
+                "run",
+                "--design",
+                "secded",
+                "--rate",
+                "0.01",
+                "--ppn",
+                "4",
+                "--seed",
+                "3",
+                "--alert-rules",
+                rules,
+                "--blackbox-dir",
+                dir.to_str().unwrap(),
+            ]
+            .map(String::from),
+        )
+    };
+    commands::run(&argv("noc_packets_total>10:critical", &dir)).unwrap();
+    let files = bundle_files(&dir);
+    assert_eq!(files, vec!["postmortem-run_SECDED.jsonl"], "critical alert must dump a bundle");
+    let text = std::fs::read_to_string(dir.join(&files[0])).unwrap();
+    let bundle = parse_bundle(&text).unwrap();
+    let r1 = render_report(&bundle);
+    assert_eq!(r1, render_report(&parse_bundle(&text).unwrap()));
+    assert!(r1.contains("alert"), "bundle cause must be the alert:\n{r1}");
+
+    // The same run with the rule downgraded to advisory leaves no bundle.
+    let quiet = temp_dir("cli-advisory");
+    commands::run(&argv("noc_packets_total>10", &quiet)).unwrap();
+    assert!(bundle_files(&quiet).is_empty(), "non-critical alerts must not dump bundles");
+}
