@@ -19,7 +19,8 @@ use noc_sim::{
     TraceFilter, DEFAULT_BLACKBOX_CAPACITY,
 };
 use noc_traffic::{
-    capture_trace, read_trace, write_trace, ParsecBenchmark, TraceReplay, WorkloadSpec,
+    capture_trace, read_trace, write_trace, ParsecBenchmark, ReqReplySpec, TraceReplay,
+    WorkloadSpec,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -62,12 +63,45 @@ pub fn parse_benchmark(s: &str) -> Result<ParsecBenchmark, String> {
         .ok_or_else(|| format!("unknown benchmark: {s} (try `intellinoc list`)"))
 }
 
+/// Parses the closed-loop request–reply protocol knobs. Returns `Some`
+/// when `--workload reqreply` is selected; each knob defaults to the
+/// [`ReqReplySpec`] default when its flag is absent.
+fn reqreply_from(args: &Args) -> Result<Option<ReqReplySpec>, String> {
+    match args.get("workload") {
+        None | Some("uniform") => Ok(None),
+        Some("reqreply") => {
+            let d = ReqReplySpec::default();
+            Ok(Some(ReqReplySpec {
+                service_latency: args.get_or("service-latency", d.service_latency)?,
+                reply_packets: args.get_or("reply-packets", d.reply_packets)?,
+                reply_timeout: args.get_or("reply-timeout", d.reply_timeout)?,
+                max_retries: args.get_or("max-req-retries", d.max_retries)?,
+                backoff_base: args.get_or("req-backoff-base", d.backoff_base)?,
+                backoff_cap: args.get_or("req-backoff-cap", d.backoff_cap)?,
+                shed_threshold: args.get_or("shed-threshold", d.shed_threshold)?,
+                chaos_orphan: match args.get("chaos-orphan") {
+                    Some(v) => Some(v.parse().map_err(|_| format!("invalid --chaos-orphan: {v}"))?),
+                    None => None,
+                },
+            }))
+        }
+        Some(other) => Err(format!("unknown --workload: {other} (try uniform|reqreply)")),
+    }
+}
+
 fn workload_from(args: &Args, ppn: u64) -> Result<WorkloadSpec, String> {
+    let reqreply = reqreply_from(args)?;
     if let Some(b) = args.get("benchmark") {
+        if reqreply.is_some() {
+            return Err("--workload reqreply drives --rate traffic, not --benchmark".into());
+        }
         Ok(parse_benchmark(b)?.workload(ppn))
     } else if let Some(r) = args.get("rate") {
         let rate: f64 = r.parse().map_err(|_| format!("invalid --rate: {r}"))?;
-        Ok(WorkloadSpec::uniform(rate, ppn))
+        Ok(match reqreply {
+            Some(rr) => WorkloadSpec::reqreply(rate, ppn, rr),
+            None => WorkloadSpec::uniform(rate, ppn),
+        })
     } else {
         Err("need --benchmark <name> or --rate <packets/node/cycle>".into())
     }
@@ -297,6 +331,19 @@ fn print_outcome(o: &ExperimentOutcome, json: bool) -> Result<(), String> {
         "reliability       : {} retx flits, {} corrected bits, {} corrupted pkts",
         r.stats.retransmitted_flits, r.stats.corrected_bits, r.stats.corrupted_packets
     );
+    if let Some(t) = &r.txn {
+        println!(
+            "transactions      : {} issued = {} completed + {} failed + {} shed + {} in-flight",
+            t.issued, t.completed, t.failed, t.shed, t.in_flight
+        );
+        println!(
+            "txn protocol      : {} timeouts, {} retries, {} conservation violations",
+            t.timeouts, t.retries, t.violations
+        );
+        if !t.orphans.is_empty() {
+            println!("ORPHANED TXNS     : {:?}", t.orphans);
+        }
+    }
     println!("thermals          : mean {:.1} C, max {:.1} C", r.mean_temp_c, r.max_temp_c);
     match r.mttf_hours {
         Some(h) => println!("MTTF              : {h:.3e} hours"),
@@ -491,7 +538,19 @@ pub fn run(args: &Args) -> CmdResult {
                 "critical alert `{}` fired at cycle {} (value {}, threshold {})",
                 ev.rule, ev.cycle, ev.value, ev.threshold
             );
-            let path = dump_cli_bundle(dir, rec, BundleCause::Alert, &key, seed, &detail, &[])?;
+            // A conservation-auditor firing names the orphaned transaction
+            // ids in the bundle, so the post-mortem is actionable.
+            let mut extras: Vec<(&str, String)> = Vec::new();
+            if let Some(t) = &outcome.report.txn {
+                extras.push(("txn-summary", serde_json::to_string(t).unwrap_or_default()));
+                if !t.orphans.is_empty() {
+                    extras.push((
+                        "orphaned-txns",
+                        serde_json::to_string(&t.orphans).unwrap_or_default(),
+                    ));
+                }
+            }
+            let path = dump_cli_bundle(dir, rec, BundleCause::Alert, &key, seed, &detail, &extras)?;
             eprintln!("blackbox: critical-alert bundle written to {}", path.display());
         } else if let Some(stall) = &outcome.report.stall {
             let detail =
@@ -617,6 +676,7 @@ pub fn sweep(args: &Args) -> CmdResult {
         .map(|r| r.trim().parse().map_err(|_| format!("invalid rate: {r}")))
         .collect::<Result<_, _>>()?;
     let ppn = args.get_or("ppn", 100u64)?;
+    let reqreply = reqreply_from(args)?;
     let (mut rcfg, chaos) = runner_config_from(args)?;
     let server = attach_fleet_observer(args, "sweep", &mut rcfg)?;
     let sink = prof_sink_from(args);
@@ -627,6 +687,7 @@ pub fn sweep(args: &Args) -> CmdResult {
         args.get_or("seed", 1u64)?,
         &rcfg,
         &chaos,
+        reqreply.as_ref(),
         sink.as_ref(),
     )?;
     println!(
@@ -729,6 +790,7 @@ pub fn campaign(args: &Args) -> CmdResult {
         None => cfg.router_fail_at,
     };
     cfg.flapping = args.get_or("flapping", cfg.flapping)?;
+    cfg.reqreply = reqreply_from(args)?;
     let (mut rcfg, chaos) = runner_config_from(args)?;
     let server = attach_fleet_observer(args, "campaign", &mut rcfg)?;
     let sink = prof_sink_from(args);
@@ -799,6 +861,20 @@ pub fn campaign(args: &Args) -> CmdResult {
         std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("campaign: {} rows written to {path}", report.runner.records.len());
     }
+    // The transaction-conservation auditor is a hard gate: any closed-loop
+    // cell whose books do not balance fails the whole campaign (exit 1),
+    // after the CSV has been written for post-mortem inspection.
+    let violations = report.conservation_violations();
+    if !violations.is_empty() {
+        return Err(format!(
+            "transaction-conservation auditor: issued != completed + failed + shed + in_flight \
+             in {}",
+            violations.join(", ")
+        ));
+    }
+    if cfg.reqreply.is_some() {
+        eprintln!("campaign: transaction-conservation auditor clean");
+    }
     if let Some(threshold) = args.get("assert-delivery") {
         let threshold: f64 =
             threshold.parse().map_err(|_| format!("invalid --assert-delivery: {threshold}"))?;
@@ -835,6 +911,9 @@ fn bench_spec_from(args: &Args) -> Result<BenchSpec, String> {
     spec.seeds = args.get_or("seeds", spec.seeds)?;
     spec.ppn = args.get_or("ppn", spec.ppn)?;
     spec.master_seed = args.get_or("seed", spec.master_seed)?;
+    if let Some(rr) = reqreply_from(args)? {
+        spec.reqreply = Some(rr);
+    }
     Ok(spec)
 }
 

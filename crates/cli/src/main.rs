@@ -83,6 +83,7 @@ fn usage() {
     eprintln!("           [--alert-rules \"metric>value[:for=N][:critical];...\"]");
     eprintln!("           [--blackbox-dir DIR [--blackbox-capacity N] (flight recorder:");
     eprintln!("            stall / critical-alert post-mortem bundles)]");
+    eprintln!("           [+ closed-loop options]");
     eprintln!("  inspect  run with full attribution and render a trace-analysis report");
     eprintln!("           --benchmark <name> | --rate R  [--design <d>] [--ppn N] [--seed S]");
     eprintln!("           [--report-out F.md] [--heatmap-dir DIR] [--decisions-out F.jsonl]");
@@ -96,7 +97,8 @@ fn usage() {
     eprintln!("           [--rate R] [--ppn N] [--seed S] [--dead-links 0,1,2,4,8]");
     eprintln!("           [--router-fail CYCLE | --no-router-fail] [--flapping N]");
     eprintln!("           [--no-reroute] [--max-cycles N] [--json] [--csv-out F.csv]");
-    eprintln!("           [--assert-delivery T] [+ runner options]");
+    eprintln!("           [--assert-delivery T] [+ runner options] [+ closed-loop options]");
+    eprintln!("           closed-loop cells are audited: conservation violations exit 1");
     eprintln!("  bench    multi-seed baseline recording and regression gating");
     eprintln!("           record  [--grid designs|ci] [--designs d1,d2] [--rates r1,r2]");
     eprintln!("                   [--seeds N] [--ppn N] [--seed S] [--name X] [--out F.json]");
@@ -122,6 +124,18 @@ fn usage() {
     eprintln!("           <bundle.jsonl> [--out report.md]");
     eprintln!("  area     Table 2 per-router area comparison");
     eprintln!("  list     known designs and benchmarks");
+    eprintln!();
+    eprintln!("CLOSED-LOOP OPTIONS (run, sweep, campaign, bench — request-reply protocol):");
+    eprintln!("  --workload reqreply   destinations reply; sources gate on completions and");
+    eprintln!("                        the conservation auditor arms (critical alert rule)");
+    eprintln!("  --reply-timeout N     cycles before a client retries its request (2000)");
+    eprintln!("  --max-req-retries N   retry budget per transaction before failed (3)");
+    eprintln!("  --req-backoff-base N / --req-backoff-cap N   capped-exponential retry");
+    eprintln!("                        backoff in cycles (32 / 1024)");
+    eprintln!("  --shed-threshold F    recent-timeout-rate above which sources shed load (0.5)");
+    eprintln!("  --service-latency N   server think time before the reply (8)");
+    eprintln!("  --reply-packets N     reply size in packets (1)");
+    eprintln!("  --chaos-orphan ID     chaos: silently lose txn ID to prove the auditor fires");
     eprintln!();
     eprintln!("RUNNER OPTIONS (campaign, sweep, bench, profile — the noc-runner engine):");
     eprintln!("  --jobs N              worker threads (default 1; results identical at any N)");

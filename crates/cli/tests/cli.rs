@@ -212,6 +212,7 @@ fn serve_survives_kill_nine_and_resumes_to_reference_report() {
         ppn: 2,
         seed: 7,
         max_cycles: 50_000,
+        reqreply: None,
     };
 
     let child = spawn_serve(&state, &port_file, false);

@@ -19,7 +19,7 @@ use crate::runner::{
     classify_timeout, run_units, ChaosOptions, RunnerConfig, UnitCtx, UnitVerdict,
 };
 use noc_sim::FLITS_PER_PACKET;
-use noc_traffic::WorkloadSpec;
+use noc_traffic::{ReqReplySpec, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 /// Serialized baseline format version (bumped on incompatible changes).
@@ -32,7 +32,7 @@ pub const REL_EPSILON: f64 = 1e-6;
 
 /// The grid a baseline was recorded over. Stored inside the baseline so
 /// `compare` can re-run exactly the same units.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BenchSpec {
     /// Designs under test, in figure order.
     pub designs: Vec<Design>,
@@ -44,6 +44,38 @@ pub struct BenchSpec {
     pub ppn: u64,
     /// Master seed; unit seeds derive from `(master_seed, key)`.
     pub master_seed: u64,
+    /// Closed-loop request–reply protocol for every cell; `None` keeps the
+    /// classic open-loop uniform workload.
+    pub reqreply: Option<ReqReplySpec>,
+}
+
+/// Required-field extraction for the hand-rolled [`BenchSpec`] parser.
+fn bench_field<T: Deserialize>(content: &serde::Content, name: &str) -> Result<T, serde::Error> {
+    match content.get(name) {
+        Some(v) => {
+            T::deserialize_content(v).map_err(|e| serde::Error::msg(format!("field `{name}`: {e}")))
+        }
+        None => Err(serde::Error::msg(format!("missing field `{name}`"))),
+    }
+}
+
+// Hand-rolled so baselines recorded before the closed-loop era (no
+// `reqreply` key in their JSON) still parse as open-loop grids.
+impl Deserialize for BenchSpec {
+    fn deserialize_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        Ok(BenchSpec {
+            designs: bench_field(content, "designs")?,
+            rates: bench_field(content, "rates")?,
+            seeds: bench_field(content, "seeds")?,
+            ppn: bench_field(content, "ppn")?,
+            master_seed: bench_field(content, "master_seed")?,
+            reqreply: match content.get("reqreply") {
+                Some(v) => Option::<ReqReplySpec>::deserialize_content(v)
+                    .map_err(|e| serde::Error::msg(format!("field `reqreply`: {e}")))?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl BenchSpec {
@@ -59,6 +91,7 @@ impl BenchSpec {
             seeds: 5,
             ppn: 64,
             master_seed: 2019,
+            reqreply: None,
         }
     }
 
@@ -72,6 +105,7 @@ impl BenchSpec {
             seeds: 2,
             ppn: 32,
             master_seed: 2019,
+            reqreply: None,
         }
     }
 
@@ -287,7 +321,11 @@ pub fn record_bench_profiled(
     let report = run_units(spec.master_seed, &keys, rcfg, chaos, |ctx: &UnitCtx| {
         let idx = keys.iter().position(|k| k == ctx.key).expect("key from supplied list");
         let (design, rate) = spec.cell_of(idx);
-        let mut cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, spec.ppn))
+        let workload = match &spec.reqreply {
+            Some(rr) => WorkloadSpec::reqreply(rate, spec.ppn, rr.clone()),
+            None => WorkloadSpec::uniform(rate, spec.ppn),
+        };
+        let mut cfg = ExperimentConfig::new(design, workload)
             .with_seed(ctx.seed)
             .with_deadline(ctx.deadline_cycles);
         cfg.telemetry.blackbox = ctx.recorder.clone();
@@ -570,6 +608,7 @@ mod tests {
             seeds: 2,
             ppn: 4,
             master_seed: 7,
+            reqreply: None,
         }
     }
 
@@ -674,6 +713,35 @@ mod tests {
             assert_eq!(ca.energy_per_flit_pj, cb.energy_per_flit_pj);
             assert_eq!(ca.mttf_hours, cb.mttf_hours);
         }
+    }
+
+    #[test]
+    fn legacy_baseline_without_reqreply_parses_as_open_loop() {
+        let base =
+            record_bench("tiny", &tiny_spec(), &RunnerConfig::serial(), &ChaosOptions::default())
+                .unwrap();
+        let json = base.to_json().unwrap();
+        // A baseline recorded before the closed-loop era has no `reqreply`
+        // key at all; parsing must fall back to the open-loop default.
+        let legacy = json.replace(",\n    \"reqreply\": null", "");
+        assert_ne!(legacy, json, "pretty spec must carry the reqreply key");
+        let back = BenchBaseline::from_json(&legacy).unwrap();
+        assert_eq!(back.spec.reqreply, None);
+        assert_eq!(back, base);
+    }
+
+    #[test]
+    fn closed_loop_bench_records_and_self_compares_clean() {
+        let mut spec = tiny_spec();
+        spec.reqreply = Some(ReqReplySpec { reply_timeout: 500, ..ReqReplySpec::default() });
+        let rcfg = RunnerConfig::serial();
+        let chaos = ChaosOptions::default();
+        let base = record_bench("cl", &spec, &rcfg, &chaos).unwrap();
+        let fresh = record_bench("cl", &spec, &rcfg, &chaos).unwrap();
+        let cmp = compare_bench(&base, &fresh, &GateOptions::default()).unwrap();
+        assert!(!cmp.has_regressions(), "{}", cmp.table());
+        let back = BenchBaseline::from_json(&base.to_json().unwrap()).unwrap();
+        assert_eq!(back.spec.reqreply, spec.reqreply);
     }
 
     #[test]

@@ -48,6 +48,10 @@ pub struct CampaignConfig {
     pub fault_aware_routing: bool,
     /// Per-run cycle budget.
     pub max_cycles: u64,
+    /// Closed-loop request–reply protocol parameters: when set, every cell
+    /// runs the closed-loop workload (with the conservation auditor armed)
+    /// instead of open-loop uniform injection.
+    pub reqreply: Option<noc_traffic::ReqReplySpec>,
 }
 
 impl Default for CampaignConfig {
@@ -61,6 +65,7 @@ impl Default for CampaignConfig {
             flapping: 2,
             fault_aware_routing: true,
             max_cycles: 400_000,
+            reqreply: None,
         }
     }
 }
@@ -96,6 +101,14 @@ pub struct CampaignRow {
     pub cycles: u64,
     /// Extrapolated network MTTF in hours, if any router aged.
     pub mttf_hours: Option<f64>,
+    /// Transactions that exhausted their retry budget (closed-loop cells
+    /// only; `None` on open-loop cells).
+    pub txn_failed: Option<u64>,
+    /// Transactions shed by admission control (closed-loop cells only).
+    pub txn_shed: Option<u64>,
+    /// Conservation-auditor violation count (closed-loop cells only; any
+    /// nonzero value fails the campaign).
+    pub txn_violations: Option<u64>,
 }
 
 /// The full campaign grid plus the config that produced it.
@@ -120,12 +133,13 @@ impl CampaignReport {
         let mut out = String::with_capacity(self.rows.len() * 96 + 128);
         out.push_str(
             "design,scenario,injected,delivered,dropped,delivery_rate,\
-             avg_latency,p99_latency,reroutes,hop_retx,e2e_retx,stalled,cycles,mttf_hours\n",
+             avg_latency,p99_latency,reroutes,hop_retx,e2e_retx,stalled,cycles,mttf_hours,\
+             txn_failed,txn_shed,txn_violations\n",
         );
         for r in &self.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{:.6},{:.3},{:.1},{},{},{},{},{},{}",
+                "{},{},{},{},{},{:.6},{:.3},{:.1},{},{},{},{},{},{},{},{},{}",
                 r.design,
                 r.scenario,
                 r.injected,
@@ -140,6 +154,9 @@ impl CampaignReport {
                 r.stalled,
                 r.cycles,
                 r.mttf_hours.map_or_else(String::new, |h| format!("{h:.3e}")),
+                r.txn_failed.map_or_else(String::new, |v| v.to_string()),
+                r.txn_shed.map_or_else(String::new, |v| v.to_string()),
+                r.txn_violations.map_or_else(String::new, |v| v.to_string()),
             );
         }
         out
@@ -198,7 +215,10 @@ fn run_campaign_cell(
     ctx: &UnitCtx,
     prof: ProfSink<'_>,
 ) -> UnitVerdict<CampaignRow> {
-    let workload = WorkloadSpec::uniform(cfg.rate, cfg.ppn);
+    let workload = match &cfg.reqreply {
+        Some(rr) => WorkloadSpec::reqreply(cfg.rate, cfg.ppn, rr.clone()),
+        None => WorkloadSpec::uniform(cfg.rate, cfg.ppn),
+    };
     let mut ecfg =
         ExperimentConfig { max_cycles: cfg.max_cycles, ..ExperimentConfig::new(design, workload) }
             .with_seed(ctx.seed)
@@ -226,6 +246,9 @@ fn run_campaign_cell(
         stalled: o.report.stall.is_some(),
         cycles: s.cycles,
         mttf_hours: o.report.mttf_hours,
+        txn_failed: o.report.txn.as_ref().map(|t| t.failed),
+        txn_shed: o.report.txn.as_ref().map(|t| t.shed),
+        txn_violations: o.report.txn.as_ref().map(|t| t.violations),
     };
     match classify_timeout(&o.report, budget) {
         Some(report) => UnitVerdict::TimedOut { partial: Some(row), report },
@@ -249,6 +272,20 @@ impl CampaignRunReport {
         self.runner.ok_payloads().map(|r| r.delivery_rate).fold(1.0, f64::min)
     }
 
+    /// `design/scenario` labels of cells whose conservation auditor found
+    /// violations. Non-empty means leaked transactions — the campaign must
+    /// fail loudly.
+    #[must_use]
+    pub fn conservation_violations(&self) -> Vec<String> {
+        self.runner
+            .records
+            .iter()
+            .filter_map(|rec| rec.payload.as_ref())
+            .filter(|r| r.txn_violations.is_some_and(|v| v > 0))
+            .map(|r| format!("{}/{}", r.design, r.scenario))
+            .collect()
+    }
+
     /// Renders every cell as CSV: the classic campaign columns plus
     /// `status` and `attempts`. Cells without a payload (failed, skipped)
     /// render empty metric fields. Fixed float formatting keeps equal
@@ -259,14 +296,14 @@ impl CampaignRunReport {
         out.push_str(
             "design,scenario,injected,delivered,dropped,delivery_rate,\
              avg_latency,p99_latency,reroutes,hop_retx,e2e_retx,stalled,cycles,mttf_hours,\
-             status,attempts\n",
+             txn_failed,txn_shed,txn_violations,status,attempts\n",
         );
         for rec in &self.runner.records {
             match &rec.payload {
                 Some(r) => {
                     let _ = write!(
                         out,
-                        "{},{},{},{},{},{:.6},{:.3},{:.1},{},{},{},{},{},{}",
+                        "{},{},{},{},{},{:.6},{:.3},{:.1},{},{},{},{},{},{},{},{},{}",
                         r.design,
                         r.scenario,
                         r.injected,
@@ -281,6 +318,9 @@ impl CampaignRunReport {
                         r.stalled,
                         r.cycles,
                         r.mttf_hours.map_or_else(String::new, |h| format!("{h:.3e}")),
+                        r.txn_failed.map_or_else(String::new, |v| v.to_string()),
+                        r.txn_shed.map_or_else(String::new, |v| v.to_string()),
+                        r.txn_violations.map_or_else(String::new, |v| v.to_string()),
                     );
                 }
                 None => {
@@ -289,7 +329,7 @@ impl CampaignRunReport {
                     let _ = parts.next();
                     let scenario = parts.next().unwrap_or("?");
                     let design = parts.next().unwrap_or("?");
-                    let _ = write!(out, "{design},{scenario},,,,,,,,,,,,");
+                    let _ = write!(out, "{design},{scenario},,,,,,,,,,,,,,,");
                 }
             }
             let _ = writeln!(out, ",{},{}", rec.status.label(), rec.attempts);
@@ -380,6 +420,7 @@ mod tests {
             flapping: 0,
             fault_aware_routing: true,
             max_cycles: 60_000,
+            reqreply: None,
         }
     }
 
@@ -459,6 +500,56 @@ mod tests {
         assert!(csv.lines().skip(1).all(|l| l.ends_with(",ok,1")));
         assert!(report.runner.is_clean());
         assert_eq!(report.to_legacy().rows.len(), report.runner.records.len());
+    }
+
+    /// Acceptance: under a fault storm (hard router failure mid-run plus
+    /// flapping links), every design at several seeds keeps the
+    /// transaction-conservation invariant, and serial vs parallel
+    /// executions of the same closed-loop campaign are byte-identical.
+    #[test]
+    fn closed_loop_fault_storm_conserves_across_designs_and_seeds() {
+        for seed in [3, 7, 11] {
+            let cfg = CampaignConfig {
+                rate: 0.02,
+                ppn: 2,
+                seed,
+                dead_links: vec![2],
+                router_fail_at: Some(300),
+                flapping: 1,
+                fault_aware_routing: true,
+                max_cycles: 200_000,
+                reqreply: Some(noc_traffic::ReqReplySpec {
+                    reply_timeout: 400,
+                    max_retries: 2,
+                    backoff_base: 16,
+                    backoff_cap: 128,
+                    ..noc_traffic::ReqReplySpec::default()
+                }),
+            };
+            let serial =
+                run_campaign_runner(&cfg, &RunnerConfig::serial(), &ChaosOptions::default())
+                    .unwrap();
+            assert_eq!(
+                serial.conservation_violations(),
+                Vec::<String>::new(),
+                "seed {seed}: conservation must hold under the fault storm"
+            );
+            for rec in &serial.runner.records {
+                let row = rec.payload.as_ref().expect("every cell produces a row");
+                assert!(row.txn_violations.is_some(), "closed-loop cells carry txn columns");
+            }
+            let parallel = run_campaign_runner(
+                &cfg,
+                &RunnerConfig { jobs: 4, ..RunnerConfig::serial() },
+                &ChaosOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                serial.to_csv(),
+                parallel.to_csv(),
+                "seed {seed}: serial and parallel campaigns must be byte-identical"
+            );
+        }
     }
 
     #[test]

@@ -369,11 +369,28 @@ fn feed_recorder(
     }
 }
 
+/// The conservation auditor's alert rule, auto-installed on every
+/// closed-loop run: any nonzero summed per-node conservation error is a
+/// critical alert (which dumps a post-mortem bundle on the CLI paths).
+pub const CONSERVATION_RULE: &str = "noc_txn_conservation_violations>0:critical";
+
 /// Runs one experiment with the configured telemetry enabled, returning the
 /// outcome, the control policy, and the collected telemetry artifacts.
 pub fn run_experiment_instrumented(
-    cfg: ExperimentConfig,
+    mut cfg: ExperimentConfig,
 ) -> (ExperimentOutcome, ControlPolicy, TelemetryArtifacts) {
+    // Transaction-conservation auditor: closed-loop runs always carry the
+    // critical conservation rule. Pushing it here (rather than at each CLI
+    // entry point) covers every run path — run, campaign, sweep, bench,
+    // serve — and forces the metrics registry + alert engine on.
+    if cfg.workload.reqreply.is_some() {
+        let rule = noc_sim::parse_rules(CONSERVATION_RULE)
+            .expect("static conservation rule is valid")
+            .remove(0);
+        if !cfg.telemetry.alert_rules.contains(&rule) {
+            cfg.telemetry.alert_rules.push(rule);
+        }
+    }
     let mut sim_cfg = cfg.design.sim_config();
     sim_cfg.seed = cfg.seed;
     sim_cfg.max_cycles = cfg.max_cycles;
@@ -697,5 +714,44 @@ mod tests {
         cfg.error_rate_override = Some(1e-4);
         let out = run_experiment(cfg);
         assert!(out.report.stats.faulty_traversals > 0);
+    }
+
+    #[test]
+    fn every_design_completes_a_closed_loop_workload() {
+        for design in Design::ALL {
+            let spec = WorkloadSpec::reqreply(0.03, 4, noc_traffic::ReqReplySpec::default());
+            let cfg = ExperimentConfig::new(design, spec).with_seed(11);
+            let (out, _, art) = run_experiment_instrumented(cfg);
+            let txn = out.report.txn.as_ref().expect("closed-loop summary");
+            assert_eq!(txn.issued, 64 * 4, "{design}");
+            assert_eq!(txn.completed + txn.failed + txn.shed, txn.issued, "{design}");
+            assert_eq!(txn.violations, 0, "{design} broke conservation");
+            assert!(txn.orphans.is_empty(), "{design}");
+            assert!(
+                art.alerts.iter().all(|a| !a.critical),
+                "{design}: conservation alert fired on a clean run"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_orphan_fires_the_conservation_alert() {
+        let rr = noc_traffic::ReqReplySpec {
+            chaos_orphan: Some(3),
+            ..noc_traffic::ReqReplySpec::default()
+        };
+        let cfg =
+            ExperimentConfig::new(Design::Secded, WorkloadSpec::reqreply(0.03, 2, rr)).with_seed(7);
+        let (out, _, art) = run_experiment_instrumented(cfg);
+        let txn = out.report.txn.as_ref().expect("closed-loop summary");
+        assert_eq!(txn.violations, 1);
+        assert_eq!(txn.orphans, vec![3], "the orphaned transaction is named");
+        let fired = art
+            .alerts
+            .iter()
+            .find(|a| a.metric == "noc_txn_conservation_violations")
+            .expect("auto-installed conservation rule must evaluate");
+        assert!(fired.critical, "conservation violations are critical");
+        assert!(matches!(fired.edge, noc_sim::AlertEdge::Firing));
     }
 }

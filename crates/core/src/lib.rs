@@ -65,7 +65,8 @@ pub use designs::Design;
 pub use experiment::{
     pretrain_intellinoc, run_experiment, run_experiment_instrumented,
     run_experiment_keeping_policy, run_experiment_profiled, ExperimentConfig, ExperimentOutcome,
-    MetricsOptions, ProfSink, TelemetryArtifacts, TelemetryOptions, DEFAULT_TIME_STEP,
+    MetricsOptions, ProfSink, TelemetryArtifacts, TelemetryOptions, CONSERVATION_RULE,
+    DEFAULT_TIME_STEP,
 };
 pub use expert::{expert_decide, ExpertThresholds};
 pub use inspect::render_inspect_report;

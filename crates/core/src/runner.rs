@@ -1405,6 +1405,7 @@ mod tests {
             injected_bit_flips: 0,
             faulty_flit_traversals: 0,
             stall: None,
+            txn: None,
         };
         report.stats.packets_injected = 100;
         report.stats.packets_delivered = 100;

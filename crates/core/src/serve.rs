@@ -191,8 +191,9 @@ impl ChaosKill {
 // ---------------------------------------------------------------------------
 
 /// An experiment grid submitted to the daemon: the cross product of
-/// `designs` × `rates`, one uniform-traffic experiment per cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// `designs` × `rates`, one experiment per cell (uniform open-loop by
+/// default, closed-loop request–reply when `reqreply` is set).
+#[derive(Debug, Clone, Serialize)]
 pub struct JobSpec {
     /// Tenant-unique job name (idempotency key; `[A-Za-z0-9._-]{1,64}`).
     pub name: String,
@@ -206,6 +207,39 @@ pub struct JobSpec {
     pub seed: u64,
     /// Per-unit cycle budget (0 = the experiment default).
     pub max_cycles: u64,
+    /// Closed-loop request–reply protocol for every cell (`None` or JSON
+    /// `null` keeps the open-loop uniform workload).
+    pub reqreply: Option<noc_traffic::ReqReplySpec>,
+}
+
+/// Required-field extraction for the hand-rolled [`JobSpec`] parser.
+fn job_field<T: Deserialize>(content: &serde::Content, name: &str) -> Result<T, serde::Error> {
+    match content.get(name) {
+        Some(v) => {
+            T::deserialize_content(v).map_err(|e| serde::Error::msg(format!("field `{name}`: {e}")))
+        }
+        None => Err(serde::Error::msg(format!("missing field `{name}`"))),
+    }
+}
+
+// Hand-rolled so submissions and WAL records written before the
+// closed-loop era (no `reqreply` key) still parse as open-loop grids.
+impl Deserialize for JobSpec {
+    fn deserialize_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        Ok(JobSpec {
+            name: job_field(content, "name")?,
+            designs: job_field(content, "designs")?,
+            rates: job_field(content, "rates")?,
+            ppn: job_field(content, "ppn")?,
+            seed: job_field(content, "seed")?,
+            max_cycles: job_field(content, "max_cycles")?,
+            reqreply: match content.get("reqreply") {
+                Some(v) => Option::<noc_traffic::ReqReplySpec>::deserialize_content(v)
+                    .map_err(|e| serde::Error::msg(format!("field `reqreply`: {e}")))?,
+                None => None,
+            },
+        })
+    }
 }
 
 /// Whether `s` is a safe identifier token (tenant names, job names).
@@ -293,10 +327,13 @@ fn run_spec_units(
             k.trip(ChaosPoint::MidUnit);
         }
         let unit = units.iter().find(|u| u.key == ctx.key).expect("key from supplied list");
-        let mut cfg =
-            ExperimentConfig::new(unit.design, WorkloadSpec::uniform(unit.rate, spec.ppn))
-                .with_seed(ctx.seed)
-                .with_deadline(ctx.deadline_cycles);
+        let workload = match &spec.reqreply {
+            Some(rr) => WorkloadSpec::reqreply(unit.rate, spec.ppn, rr.clone()),
+            None => WorkloadSpec::uniform(unit.rate, spec.ppn),
+        };
+        let mut cfg = ExperimentConfig::new(unit.design, workload)
+            .with_seed(ctx.seed)
+            .with_deadline(ctx.deadline_cycles);
         // Feed the runner's flight recorder (if armed) so a unit that
         // stalls or times out leaves a post-mortem ring behind.
         cfg.telemetry.blackbox = ctx.recorder.clone();
@@ -1822,6 +1859,7 @@ impl ChaosHarnessConfig {
                 ppn: 2,
                 seed: 7,
                 max_cycles: 50_000,
+                reqreply: None,
             },
         }
     }
@@ -2118,7 +2156,36 @@ mod tests {
             ppn: 1,
             seed: 11,
             max_cycles: 50_000,
+            reqreply: None,
         }
+    }
+
+    #[test]
+    fn job_spec_json_tolerates_missing_reqreply_and_accepts_it() {
+        // Pre-closed-loop submissions and WAL records have no `reqreply`
+        // key; they must parse as open-loop grids.
+        let legacy =
+            r#"{"name":"old","designs":["secded"],"rates":[0.01],"ppn":2,"seed":1,"max_cycles":0}"#;
+        let spec: JobSpec = serde_json::from_str(legacy).unwrap();
+        assert!(spec.reqreply.is_none());
+
+        // Partial reqreply objects take the spec defaults field by field.
+        let closed = r#"{"name":"new","designs":["secded"],"rates":[0.01],"ppn":2,"seed":1,"max_cycles":0,"reqreply":{"reply_timeout":500}}"#;
+        let spec: JobSpec = serde_json::from_str(closed).unwrap();
+        let rr = spec.reqreply.unwrap();
+        assert_eq!(rr.reply_timeout, 500);
+        assert_eq!(rr.max_retries, noc_traffic::ReqReplySpec::default().max_retries);
+    }
+
+    #[test]
+    fn closed_loop_job_reports_are_deterministic() {
+        let mut spec = tiny_spec("closed");
+        spec.ppn = 2;
+        spec.reqreply = Some(noc_traffic::ReqReplySpec::default());
+        let a = reference_report_csv(&spec).unwrap();
+        let b = reference_report_csv(&spec).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains(",ok,"), "closed-loop cell must complete: {a}");
     }
 
     #[test]
@@ -2426,6 +2493,7 @@ mod tests {
             ppn: 1,
             seed: 5,
             max_cycles: 50_000,
+            reqreply: None,
         };
         let reference = reference_report_csv(&spec).unwrap();
 

@@ -186,7 +186,7 @@ pub fn run_load_sweep(
     rcfg: &RunnerConfig,
     chaos: &ChaosOptions,
 ) -> Result<RunnerReport<LoadPoint>, String> {
-    run_load_sweep_profiled(design, rates, ppn, master_seed, rcfg, chaos, None)
+    run_load_sweep_profiled(design, rates, ppn, master_seed, rcfg, chaos, None, None)
 }
 
 /// [`run_load_sweep`] with an optional fleet profiler sink: when `prof` is
@@ -204,13 +204,18 @@ pub fn run_load_sweep_profiled(
     master_seed: u64,
     rcfg: &RunnerConfig,
     chaos: &ChaosOptions,
+    reqreply: Option<&noc_traffic::ReqReplySpec>,
     prof: ProfSink<'_>,
 ) -> Result<RunnerReport<LoadPoint>, String> {
     let keys = load_sweep_keys(design, rates);
     run_units(master_seed, &keys, rcfg, chaos, |ctx: &UnitCtx| {
         let idx = keys.iter().position(|k| k == ctx.key).expect("key from supplied list");
         let rate = rates[idx];
-        let mut cfg = ExperimentConfig::new(design, WorkloadSpec::uniform(rate, ppn))
+        let workload = match reqreply {
+            Some(rr) => WorkloadSpec::reqreply(rate, ppn, rr.clone()),
+            None => WorkloadSpec::uniform(rate, ppn),
+        };
+        let mut cfg = ExperimentConfig::new(design, workload)
             .with_seed(ctx.seed)
             .with_deadline(ctx.deadline_cycles);
         cfg.telemetry.blackbox = ctx.recorder.clone();

@@ -44,12 +44,12 @@ pub use flit::{make_packet, Cycle, Flit, FlitKind, FLITS_PER_PACKET, NO_VC};
 pub use health::HealthRouter;
 pub use latency::LatencyHistogram;
 pub use metrics_export::{
-    declare_network_metrics, declare_runtime_metrics, export_network_metrics,
-    export_runtime_metrics, NETWORK_METRICS, RUNTIME_METRICS,
+    declare_network_metrics, declare_runtime_metrics, declare_txn_metrics, export_network_metrics,
+    export_runtime_metrics, NETWORK_METRICS, RUNTIME_METRICS, TXN_METRICS,
 };
 pub use network::Network;
 pub use router::{GateState, InputPort, InputVc, Router, StepStats};
-pub use stats::{NetworkStats, RouterObservation, RunReport, StallReport};
+pub use stats::{NetworkStats, RouterObservation, RunReport, StallReport, TxnSummary};
 pub use topology::{Mesh, Port, DIRS, PORTS};
 
 // Hard-fault scenario types, re-exported for configuration convenience.

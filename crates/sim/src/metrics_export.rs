@@ -33,6 +33,44 @@ pub const NETWORK_METRICS: &[(&str, &str, &str)] = &[
     ("noc_packet_latency_cycles", "histogram", "End-to-end packet latency distribution."),
 ];
 
+/// Transaction-layer families for closed-loop (request–reply) workloads,
+/// kept OUT of [`NETWORK_METRICS`]: they are declared and exported only
+/// when the run actually carries transaction accounting, so open-loop
+/// expositions never render empty `noc_txn_*` families.
+pub const TXN_METRICS: &[(&str, &str, &str)] = &[
+    (
+        "noc_txn_transactions_total",
+        "counter",
+        "Transactions by terminal event (issued/completed/failed/shed).",
+    ),
+    ("noc_txn_timeouts_total", "counter", "Attempt timeouts (several per retried transaction)."),
+    ("noc_txn_retries_total", "counter", "Retry attempts issued after a timeout."),
+    ("noc_txn_in_flight", "gauge", "Transactions currently awaiting their reply."),
+    (
+        "noc_txn_conservation_violations",
+        "gauge",
+        "Summed per-node conservation error |issued - accounted|; nonzero means leaked transactions.",
+    ),
+];
+
+/// Declares the transaction-layer families. Idempotent; called lazily by
+/// [`export_network_metrics`] on the first closed-loop export.
+///
+/// # Errors
+///
+/// Propagates registry validation errors (impossible for the fixed names
+/// unless the registry already holds same-name families of another kind).
+pub fn declare_txn_metrics(reg: &mut MetricsRegistry) -> Result<(), String> {
+    for &(name, kind, help) in TXN_METRICS {
+        match kind {
+            "counter" => reg.declare_counter(name, help)?,
+            "gauge" => reg.declare_gauge(name, help)?,
+            _ => unreachable!("unknown kind keyword in TXN_METRICS"),
+        }
+    }
+    Ok(())
+}
+
 /// Wall-clock runtime families, deliberately kept OUT of
 /// [`NETWORK_METRICS`]: simulation throughput and elapsed time are
 /// machine-dependent, so they are only ever rendered into live (hub)
@@ -164,6 +202,23 @@ pub fn export_network_metrics(
         s.latency_sum as f64,
         h.count(),
     )?;
+
+    if let Some(txn) = &report.txn {
+        declare_txn_metrics(reg)?;
+        let t = |event: &'static str| -> Vec<(&str, &str)> {
+            let mut l = labels.to_vec();
+            l.push(("event", event));
+            l
+        };
+        reg.counter_set("noc_txn_transactions_total", &t("issued"), txn.issued as f64)?;
+        reg.counter_set("noc_txn_transactions_total", &t("completed"), txn.completed as f64)?;
+        reg.counter_set("noc_txn_transactions_total", &t("failed"), txn.failed as f64)?;
+        reg.counter_set("noc_txn_transactions_total", &t("shed"), txn.shed as f64)?;
+        reg.counter_set("noc_txn_timeouts_total", labels, txn.timeouts as f64)?;
+        reg.counter_set("noc_txn_retries_total", labels, txn.retries as f64)?;
+        reg.gauge_set("noc_txn_in_flight", labels, txn.in_flight as f64)?;
+        reg.gauge_set("noc_txn_conservation_violations", labels, txn.violations as f64)?;
+    }
     Ok(())
 }
 
@@ -192,6 +247,33 @@ mod tests {
         }
         assert!(text.contains("noc_packets_total{design=\"baseline\",event=\"delivered\"} 320"));
         assert!(text.contains("noc_packet_latency_cycles_count{design=\"baseline\"} 320"));
+        // Open-loop runs must not leak transaction families into the text.
+        assert!(!text.contains("noc_txn_"), "open-loop exposition carries txn families");
+    }
+
+    #[test]
+    fn closed_loop_export_renders_txn_families() {
+        let mut cfg = crate::SimConfig::default();
+        cfg.varius.base_rate = 0.0;
+        cfg.varius.min_rate = 0.0;
+        cfg.width = 4;
+        cfg.height = 4;
+        let spec = WorkloadSpec::reqreply(0.05, 2, noc_traffic::ReqReplySpec::default());
+        let mut net = Network::new(cfg, spec, 7);
+        assert!(net.run_cycles(500_000), "run did not finish");
+
+        let mut reg = MetricsRegistry::new();
+        declare_network_metrics(&mut reg).unwrap();
+        export_network_metrics(&mut reg, &net, &[("design", "baseline")]).unwrap();
+
+        let text = render_exposition(&reg);
+        for &(name, _, _) in TXN_METRICS {
+            assert!(text.contains(name), "family `{name}` missing from exposition");
+        }
+        assert!(
+            text.contains("noc_txn_transactions_total{design=\"baseline\",event=\"completed\"} 32")
+        );
+        assert!(text.contains("noc_txn_conservation_violations{design=\"baseline\"} 0"));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::config::{RouterDirective, SimConfig};
 use crate::flit::{make_packet, Cycle, Flit, NO_VC};
 use crate::health::HealthRouter;
 use crate::router::{GateState, InputVc, Router};
-use crate::stats::{NetworkStats, RouterObservation, RunReport, StallReport};
+use crate::stats::{NetworkStats, RouterObservation, RunReport, StallReport, TxnSummary};
 use crate::topology::{Mesh, Port, DIRS, PORTS};
 use noc_ecc::{DecodeStatus, EccScheme, EccSuite};
 use noc_fault::{network_mttf, AgingState, FaultInjector, HardFaultTarget, ThermalGrid};
@@ -36,7 +36,7 @@ use noc_power::{EnergyLedger, RouterLeakageSpec, CLOCK_PERIOD_NS};
 use noc_telemetry::{
     AttributionArtifacts, Event, GateEdge, Profiler, RetxScope, SharedRecorder, Tracer,
 };
-use noc_traffic::{TrafficGen, Workload, WorkloadSpec};
+use noc_traffic::{ReqReplyWorkload, TrafficGen, TxnEventKind, TxnStats, Workload, WorkloadSpec};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::collections::{BTreeMap, HashSet};
@@ -134,6 +134,10 @@ impl Network {
     ///
     /// Panics if the configuration is invalid (see [`SimConfig::validate`]).
     pub fn new(cfg: SimConfig, workload: WorkloadSpec, traffic_seed: u64) -> Self {
+        if let Some(rr) = workload.reqreply.clone() {
+            let w = ReqReplyWorkload::new(workload, rr, cfg.width, cfg.height, traffic_seed);
+            return Self::with_workload(cfg, Box::new(w));
+        }
         let gen = TrafficGen::new(workload, cfg.width, cfg.height, traffic_seed);
         Self::with_workload(cfg, Box::new(gen))
     }
@@ -213,6 +217,7 @@ impl Network {
     /// Installs a structured event tracer; subsequent cycles emit events.
     pub fn install_tracer(&mut self, tracer: Tracer) {
         self.tracer = Some(tracer);
+        self.traffic.set_txn_event_recording(true);
     }
 
     /// The installed tracer, if any.
@@ -228,6 +233,9 @@ impl Network {
 
     /// Removes and returns the tracer, disabling tracing.
     pub fn take_tracer(&mut self) -> Option<Tracer> {
+        if self.blackbox.is_none() {
+            self.traffic.set_txn_event_recording(false);
+        }
         self.tracer.take()
     }
 
@@ -275,6 +283,7 @@ impl Network {
     /// run), so post-mortem bundles can read back the final moments.
     pub fn install_blackbox(&mut self, recorder: SharedRecorder) {
         self.blackbox = Some(recorder);
+        self.traffic.set_txn_event_recording(true);
     }
 
     /// The installed flight recorder handle, if any.
@@ -284,6 +293,9 @@ impl Network {
 
     /// Removes and returns the flight recorder, disabling recording.
     pub fn take_blackbox(&mut self) -> Option<SharedRecorder> {
+        if self.tracer.is_none() {
+            self.traffic.set_txn_event_recording(false);
+        }
         self.blackbox.take()
     }
 
@@ -301,6 +313,46 @@ impl Network {
                 r.push_event(event);
             }
         }
+    }
+
+    /// Forwards the workload's buffered transaction-lifecycle events into
+    /// the tracer/blackbox event stream. Only called when at least one sink
+    /// is installed; the workload buffers nothing otherwise.
+    fn drain_txn_events(&mut self) {
+        let events = self.traffic.drain_txn_events();
+        for ev in events {
+            let router = ev.node as u32;
+            let peer = ev.peer as u32;
+            let e = match ev.kind {
+                TxnEventKind::Issued => {
+                    Event::TxnIssued { cycle: ev.cycle, router, txn: ev.txn, peer }
+                }
+                TxnEventKind::Completed => {
+                    Event::TxnCompleted { cycle: ev.cycle, router, txn: ev.txn, peer }
+                }
+                TxnEventKind::TimedOut => {
+                    Event::TxnTimedOut { cycle: ev.cycle, router, txn: ev.txn, attempt: ev.attempt }
+                }
+                TxnEventKind::Retried => {
+                    Event::TxnRetried { cycle: ev.cycle, router, txn: ev.txn, attempt: ev.attempt }
+                }
+                TxnEventKind::Failed => Event::TxnFailed { cycle: ev.cycle, router, txn: ev.txn },
+                TxnEventKind::Shed => Event::TxnShed { cycle: ev.cycle, router, txn: ev.txn, peer },
+            };
+            self.trace(e);
+        }
+    }
+
+    /// Per-node transaction accounting for closed-loop workloads; `None`
+    /// for open-loop traffic.
+    pub fn txn_stats(&self) -> Option<&TxnStats> {
+        self.traffic.txn_stats()
+    }
+
+    /// Transaction ids missing from the workload's transaction table —
+    /// non-empty means the conservation invariant is broken.
+    pub fn txn_orphans(&self) -> Vec<u64> {
+        self.traffic.txn_orphans()
     }
 
     /// Opens a profiling span when a profiler is installed; otherwise a
@@ -729,6 +781,7 @@ impl Network {
             packet: f.packet_id,
             bits: u32::from(f.generation),
         });
+        self.traffic.on_dropped(self.now, f.packet_id);
     }
 
     /// Checks forward progress and arms the stall diagnostic when none was
@@ -1594,6 +1647,7 @@ impl Network {
         self.completed += 1;
         let src = flit.src as usize;
         self.outstanding[src] = self.outstanding[src].saturating_sub(1);
+        self.traffic.on_delivered(self.now, flit.packet_id);
         // Paper Section 5: router i's latency covers "each flit transmission
         // within the time step" — every router that transmitted the packet.
         // Credit the whole XY path so a misconfigured router feels the
@@ -1756,6 +1810,10 @@ impl Network {
                 self.next_flit_id += crate::flit::FLITS_PER_PACKET as u64;
                 self.stats.packets_injected += 1;
                 self.outstanding[node] += 1;
+                // Closed-loop bookkeeping: bind the packet id to the pending
+                // transaction role BEFORE the reachability check below, so a
+                // drop-at-injection still resolves to its transaction.
+                self.traffic.on_injected(now, node, packet_id, dest);
                 if let Some(att) = self.attribution.as_mut() {
                     att.on_inject(packet_id, now);
                 }
@@ -1884,6 +1942,9 @@ impl Network {
         self.span_enter("workload.inject");
         self.workload_phase();
         self.span_exit();
+        if self.tracer.is_some() || self.blackbox.is_some() {
+            self.drain_txn_events();
+        }
         self.now += 1;
         self.stats.cycles = self.now;
         if self.now.is_multiple_of(self.cfg.epoch_cycles) {
@@ -2440,6 +2501,17 @@ impl Network {
             injected_bit_flips: self.injector.injected_bits(),
             faulty_flit_traversals: self.injector.faulty_flits(),
             stall: self.stall.clone(),
+            txn: self.traffic.txn_stats().map(|s| TxnSummary {
+                issued: s.issued_total(),
+                completed: s.completed_total(),
+                failed: s.failed_total(),
+                shed: s.shed_total(),
+                in_flight: s.in_flight_total(),
+                timeouts: s.timeouts,
+                retries: s.retries,
+                violations: s.violations(),
+                orphans: self.traffic.txn_orphans(),
+            }),
         }
     }
 }
@@ -2802,5 +2874,137 @@ mod tests {
         net.now = 10_000_000;
         assert!(!net.watchdog_check());
         assert!(net.stall().is_none());
+    }
+
+    // ------------------------------------------------------------------
+    // Closed-loop request–reply integration
+    // ------------------------------------------------------------------
+
+    use noc_traffic::ReqReplySpec;
+
+    fn small_reqreply_cfg() -> SimConfig {
+        let mut cfg = quiet_config();
+        cfg.width = 4;
+        cfg.height = 4;
+        cfg
+    }
+
+    /// On a healthy mesh every transaction completes, the conservation
+    /// invariant holds, and the report carries the transaction summary.
+    #[test]
+    fn closed_loop_reqreply_completes_and_conserves() {
+        let spec = WorkloadSpec::reqreply(0.05, 4, ReqReplySpec::default());
+        let mut net = Network::new(small_reqreply_cfg(), spec, 11);
+        let done = net.run_cycles(500_000);
+        assert!(done, "closed-loop run must drain");
+        assert!(net.is_done());
+        let report = net.report();
+        let txn = report.txn.expect("closed-loop runs carry a txn summary");
+        assert_eq!(txn.issued, 16 * 4);
+        assert_eq!(txn.completed, txn.issued, "healthy network completes everything");
+        assert_eq!(txn.failed, 0);
+        assert_eq!(txn.shed, 0);
+        assert_eq!(txn.in_flight, 0);
+        assert_eq!(txn.violations, 0, "conservation must hold");
+        assert!(txn.orphans.is_empty());
+        // Requests + replies both traverse the network.
+        assert!(report.stats.packets_injected >= 2 * txn.issued);
+        // Open-loop runs carry no summary.
+        let (open, _) = run(quiet_config(), WorkloadSpec::uniform(0.02, 2));
+        assert!(open.txn.is_none());
+    }
+
+    /// Regression for the dependency-window leak: packets that die against a
+    /// dead router (dropped at injection or mid-flight) must decrement the
+    /// source's `outstanding` count, or window-gated sources wedge forever
+    /// and the run never drains. The transactions aimed at the dead node
+    /// must exhaust their retries and land in `failed` — conserved, not
+    /// leaked.
+    #[test]
+    fn dead_router_mesh_frees_the_dependency_window_and_conserves() {
+        let mut cfg = small_reqreply_cfg();
+        cfg.fault_aware_routing = true;
+        cfg.hard_faults = noc_fault::HardFaultScenario::dead_routers(4, 4, 2, 5, 0);
+        let rr = ReqReplySpec {
+            reply_timeout: 300,
+            max_retries: 2,
+            backoff_base: 16,
+            backoff_cap: 64,
+            ..ReqReplySpec::default()
+        };
+        let mut spec = WorkloadSpec::reqreply(0.1, 3, rr);
+        spec.window = 2; // tight window: any outstanding leak wedges the source
+        let mut net = Network::new(cfg, spec, 11);
+        let done = net.run_cycles(500_000);
+        assert!(done, "run must drain despite dead routers");
+        assert!(net.stall().is_none(), "no watchdog stall: drops free the window");
+        let report = net.report();
+        assert!(report.stats.packets_dropped > 0, "dead routers must cost packets");
+        let txn = report.txn.expect("txn summary");
+        assert!(txn.failed > 0, "transactions against dead nodes must fail");
+        assert!(txn.retries > 0, "failures only after bounded retries");
+        assert_eq!(txn.violations, 0, "every loss is accounted: no conservation violation");
+        assert!(txn.orphans.is_empty());
+        assert_eq!(txn.in_flight, 0);
+        assert_eq!(txn.issued, txn.completed + txn.failed + txn.shed);
+        for (node, &o) in net.outstanding.iter().enumerate() {
+            assert_eq!(o, 0, "node {node} leaked dependency-window slots");
+        }
+    }
+
+    /// Sources idle while a server works on their reply have nothing in
+    /// flight, so the stall watchdog must not trip even when the service
+    /// latency far exceeds the watchdog window (satellite of PR 8's five
+    /// watchdog cases).
+    #[test]
+    fn watchdog_tolerates_sources_awaiting_replies() {
+        let mut cfg = quiet_config();
+        cfg.width = 2;
+        cfg.height = 2;
+        cfg.stall_window = 50;
+        let rr = ReqReplySpec {
+            service_latency: 400, // 8× the watchdog window
+            reply_timeout: 2000,
+            ..ReqReplySpec::default()
+        };
+        let spec = WorkloadSpec::reqreply(1.0, 1, rr);
+        let mut net = Network::new(cfg, spec, 3);
+        let done = net.run_cycles(100_000);
+        assert!(done, "run must drain");
+        assert!(net.stall().is_none(), "awaiting-reply idle gaps must not trip the watchdog");
+        let txn = net.report().txn.expect("txn summary");
+        assert_eq!(txn.completed, txn.issued);
+        assert_eq!(txn.violations, 0);
+    }
+
+    /// The seeded chaos hook orphans a transaction: the conservation
+    /// auditor's counters break by exactly one and the orphan is named in
+    /// the report.
+    #[test]
+    fn chaos_orphan_surfaces_in_the_run_report() {
+        let rr = ReqReplySpec { chaos_orphan: Some(0), ..ReqReplySpec::default() };
+        let spec = WorkloadSpec::reqreply(0.05, 2, rr);
+        let mut net = Network::new(small_reqreply_cfg(), spec, 11);
+        net.run_cycles(500_000);
+        let txn = net.report().txn.expect("txn summary");
+        assert_eq!(txn.violations, 1, "exactly the orphaned transaction is unaccounted");
+        assert_eq!(txn.orphans, vec![0], "the orphan is named");
+    }
+
+    /// With a tracer installed the transaction lifecycle shows up in the
+    /// event stream; without one the workload buffers nothing.
+    #[test]
+    fn tracer_carries_txn_lifecycle_events() {
+        use noc_telemetry::{EventKind, TraceFilter};
+        let spec = WorkloadSpec::reqreply(0.05, 2, ReqReplySpec::default());
+        let mut net = Network::new(small_reqreply_cfg(), spec, 11);
+        net.install_tracer(Tracer::new(1 << 16, TraceFilter::all()));
+        let done = net.run_cycles(500_000);
+        assert!(done);
+        let tracer = net.take_tracer().expect("tracer installed");
+        let issued = tracer.count_of(EventKind::TxnIssued);
+        let completed = tracer.count_of(EventKind::TxnCompleted);
+        assert_eq!(issued as u64, net.report().txn.expect("txn").issued);
+        assert_eq!(completed, issued);
     }
 }

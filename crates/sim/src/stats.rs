@@ -78,6 +78,33 @@ impl NetworkStats {
     }
 }
 
+/// Transaction-layer summary of a closed-loop (request–reply) run: the
+/// conservation auditor's view, aggregated across nodes. `violations` is
+/// the summed per-node conservation error `|issued − (completed + failed +
+/// shed + in_flight)|`, and `orphans` names every transaction id that
+/// vanished without terminal accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TxnSummary {
+    /// Transactions issued (shed candidates included).
+    pub issued: u64,
+    /// Transactions whose full reply was delivered.
+    pub completed: u64,
+    /// Transactions that exhausted their retry budget.
+    pub failed: u64,
+    /// Transactions shed by admission control before injection.
+    pub shed: u64,
+    /// Transactions still open at the end of the simulated interval.
+    pub in_flight: u64,
+    /// Attempt timeouts (several per transaction when it retries).
+    pub timeouts: u64,
+    /// Retry attempts issued.
+    pub retries: u64,
+    /// Summed per-node conservation error; zero iff the invariant holds.
+    pub violations: u64,
+    /// Transaction ids missing from the transaction table.
+    pub orphans: Vec<u64>,
+}
+
 /// Structured diagnostic produced by the stall watchdog when the network
 /// makes zero forward progress (no deliveries, no drops) over a full
 /// watchdog window while packets are in flight.
@@ -151,6 +178,8 @@ pub struct RunReport {
     /// Stall-watchdog diagnostic, set when the run was aborted for lack of
     /// forward progress.
     pub stall: Option<StallReport>,
+    /// Transaction-layer summary, set only for closed-loop workloads.
+    pub txn: Option<TxnSummary>,
 }
 
 impl RunReport {

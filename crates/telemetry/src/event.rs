@@ -189,6 +189,72 @@ pub enum Event {
         /// Packets in flight at the stall.
         state: u64,
     },
+    /// A closed-loop client admitted a new transaction and injected its
+    /// request.
+    TxnIssued {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Client node that owns the transaction.
+        router: u32,
+        /// Transaction id.
+        txn: u64,
+        /// Server endpoint node.
+        peer: u32,
+    },
+    /// The full reply was delivered back to the client.
+    TxnCompleted {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Client node that owns the transaction.
+        router: u32,
+        /// Transaction id.
+        txn: u64,
+        /// Server endpoint node.
+        peer: u32,
+    },
+    /// A transaction attempt expired (reply deadline passed or the request
+    /// was dropped in the fabric).
+    TxnTimedOut {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Client node that owns the transaction.
+        router: u32,
+        /// Transaction id.
+        txn: u64,
+        /// Attempt number that timed out (1-based).
+        attempt: u32,
+    },
+    /// A backed-off retry attempt was injected.
+    TxnRetried {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Client node that owns the transaction.
+        router: u32,
+        /// Transaction id.
+        txn: u64,
+        /// New attempt number (1-based).
+        attempt: u32,
+    },
+    /// A transaction exhausted its retry budget and terminated failed.
+    TxnFailed {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Client node that owns the transaction.
+        router: u32,
+        /// Transaction id.
+        txn: u64,
+    },
+    /// Admission control shed a transaction before it touched the fabric.
+    TxnShed {
+        /// Simulation cycle.
+        cycle: u64,
+        /// Client node that owns the transaction.
+        router: u32,
+        /// Transaction id.
+        txn: u64,
+        /// Server the request would have targeted.
+        peer: u32,
+    },
 }
 
 /// Discriminant of [`Event`], used for filtering.
@@ -223,11 +289,23 @@ pub enum EventKind {
     PacketDropped = 12,
     /// [`Event::WatchdogStall`].
     WatchdogStall = 13,
+    /// [`Event::TxnIssued`].
+    TxnIssued = 14,
+    /// [`Event::TxnCompleted`].
+    TxnCompleted = 15,
+    /// [`Event::TxnTimedOut`].
+    TxnTimedOut = 16,
+    /// [`Event::TxnRetried`].
+    TxnRetried = 17,
+    /// [`Event::TxnFailed`].
+    TxnFailed = 18,
+    /// [`Event::TxnShed`].
+    TxnShed = 19,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::PacketInjected,
         EventKind::HopTraversed,
         EventKind::Retransmission,
@@ -242,6 +320,12 @@ impl EventKind {
         EventKind::Rerouted,
         EventKind::PacketDropped,
         EventKind::WatchdogStall,
+        EventKind::TxnIssued,
+        EventKind::TxnCompleted,
+        EventKind::TxnTimedOut,
+        EventKind::TxnRetried,
+        EventKind::TxnFailed,
+        EventKind::TxnShed,
     ];
 
     /// Canonical name used in the JSONL/CSV `kind` field.
@@ -261,6 +345,12 @@ impl EventKind {
             EventKind::Rerouted => "Rerouted",
             EventKind::PacketDropped => "PacketDropped",
             EventKind::WatchdogStall => "WatchdogStall",
+            EventKind::TxnIssued => "TxnIssued",
+            EventKind::TxnCompleted => "TxnCompleted",
+            EventKind::TxnTimedOut => "TxnTimedOut",
+            EventKind::TxnRetried => "TxnRetried",
+            EventKind::TxnFailed => "TxnFailed",
+            EventKind::TxnShed => "TxnShed",
         }
     }
 
@@ -282,6 +372,12 @@ impl EventKind {
             "rerouted" | "reroute" => EventKind::Rerouted,
             "packetdropped" | "drop" | "dropped" => EventKind::PacketDropped,
             "watchdogstall" | "stall" | "watchdog" => EventKind::WatchdogStall,
+            "txnissued" | "txn" => EventKind::TxnIssued,
+            "txncompleted" | "txndone" => EventKind::TxnCompleted,
+            "txntimedout" | "txntimeout" => EventKind::TxnTimedOut,
+            "txnretried" | "txnretry" => EventKind::TxnRetried,
+            "txnfailed" | "txnfail" => EventKind::TxnFailed,
+            "txnshed" | "shed" => EventKind::TxnShed,
             _ => return None,
         })
     }
@@ -305,6 +401,12 @@ impl Event {
             Event::Rerouted { .. } => EventKind::Rerouted,
             Event::PacketDropped { .. } => EventKind::PacketDropped,
             Event::WatchdogStall { .. } => EventKind::WatchdogStall,
+            Event::TxnIssued { .. } => EventKind::TxnIssued,
+            Event::TxnCompleted { .. } => EventKind::TxnCompleted,
+            Event::TxnTimedOut { .. } => EventKind::TxnTimedOut,
+            Event::TxnRetried { .. } => EventKind::TxnRetried,
+            Event::TxnFailed { .. } => EventKind::TxnFailed,
+            Event::TxnShed { .. } => EventKind::TxnShed,
         }
     }
 
@@ -324,7 +426,13 @@ impl Event {
             | Event::RouterRepaired { cycle, .. }
             | Event::Rerouted { cycle, .. }
             | Event::PacketDropped { cycle, .. }
-            | Event::WatchdogStall { cycle, .. } => cycle,
+            | Event::WatchdogStall { cycle, .. }
+            | Event::TxnIssued { cycle, .. }
+            | Event::TxnCompleted { cycle, .. }
+            | Event::TxnTimedOut { cycle, .. }
+            | Event::TxnRetried { cycle, .. }
+            | Event::TxnFailed { cycle, .. }
+            | Event::TxnShed { cycle, .. } => cycle,
         }
     }
 
@@ -344,7 +452,13 @@ impl Event {
             | Event::RouterRepaired { router, .. }
             | Event::Rerouted { router, .. }
             | Event::PacketDropped { router, .. }
-            | Event::WatchdogStall { router, .. } => router,
+            | Event::WatchdogStall { router, .. }
+            | Event::TxnIssued { router, .. }
+            | Event::TxnCompleted { router, .. }
+            | Event::TxnTimedOut { router, .. }
+            | Event::TxnRetried { router, .. }
+            | Event::TxnFailed { router, .. }
+            | Event::TxnShed { router, .. } => router,
         }
     }
 
@@ -388,6 +502,17 @@ impl Event {
             }
             Event::WatchdogStall { state, .. } => {
                 let _ = write!(out, ",\"in_flight\":{state}");
+            }
+            Event::TxnIssued { txn, peer, .. }
+            | Event::TxnCompleted { txn, peer, .. }
+            | Event::TxnShed { txn, peer, .. } => {
+                let _ = write!(out, ",\"txn\":{txn},\"peer\":{peer}");
+            }
+            Event::TxnTimedOut { txn, attempt, .. } | Event::TxnRetried { txn, attempt, .. } => {
+                let _ = write!(out, ",\"txn\":{txn},\"attempt\":{attempt}");
+            }
+            Event::TxnFailed { txn, .. } => {
+                let _ = write!(out, ",\"txn\":{txn}");
             }
         }
         out.push('}');
@@ -435,6 +560,19 @@ impl Event {
             }
             Event::WatchdogStall { state, .. } => {
                 let _ = write!(out, ",,,,,,,{state},,");
+            }
+            // Transaction events reuse the packet column for the txn id and
+            // flit_or_dest for the peer endpoint / bits for the attempt.
+            Event::TxnIssued { txn, peer, .. }
+            | Event::TxnCompleted { txn, peer, .. }
+            | Event::TxnShed { txn, peer, .. } => {
+                let _ = write!(out, ",{txn},{peer},,,,,,,");
+            }
+            Event::TxnTimedOut { txn, attempt, .. } | Event::TxnRetried { txn, attempt, .. } => {
+                let _ = write!(out, ",{txn},,{attempt},,,,,,");
+            }
+            Event::TxnFailed { txn, .. } => {
+                let _ = write!(out, ",{txn},,,,,,,,");
             }
         }
     }
@@ -496,6 +634,14 @@ mod tests {
                 Event::PacketDropped { cycle: 1, router: 2, packet: 3, bits: 4 }
             }
             EventKind::WatchdogStall => Event::WatchdogStall { cycle: 1, router: 0, state: 9 },
+            EventKind::TxnIssued => Event::TxnIssued { cycle: 1, router: 2, txn: 3, peer: 4 },
+            EventKind::TxnCompleted => Event::TxnCompleted { cycle: 1, router: 2, txn: 3, peer: 4 },
+            EventKind::TxnTimedOut => {
+                Event::TxnTimedOut { cycle: 1, router: 2, txn: 3, attempt: 1 }
+            }
+            EventKind::TxnRetried => Event::TxnRetried { cycle: 1, router: 2, txn: 3, attempt: 2 },
+            EventKind::TxnFailed => Event::TxnFailed { cycle: 1, router: 2, txn: 3 },
+            EventKind::TxnShed => Event::TxnShed { cycle: 1, router: 2, txn: 3, peer: 4 },
         }
     }
 

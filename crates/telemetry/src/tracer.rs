@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceFilter {
     routers: Vec<u32>,
-    kind_mask: Option<u16>,
+    kind_mask: Option<u32>,
 }
 
 impl TraceFilter {

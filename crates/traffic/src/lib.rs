@@ -30,6 +30,7 @@ mod parsec;
 mod pattern;
 mod process;
 mod replay;
+mod reqreply;
 mod trace;
 mod workload;
 
@@ -37,5 +38,6 @@ pub use parsec::ParsecBenchmark;
 pub use pattern::{default_mc_nodes, SpatialPattern};
 pub use process::{InjectionProcess, ProcessState};
 pub use replay::TraceReplay;
+pub use reqreply::{ReqReplySpec, ReqReplyWorkload};
 pub use trace::{capture_trace, read_trace, write_trace, TraceRecord};
-pub use workload::{Phase, TrafficGen, Workload, WorkloadSpec};
+pub use workload::{Phase, TrafficGen, TxnEvent, TxnEventKind, TxnStats, Workload, WorkloadSpec};

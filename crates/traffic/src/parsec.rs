@@ -212,6 +212,7 @@ impl ParsecBenchmark {
             phases,
             packets_per_node,
             window: 12,
+            reqreply: None,
         }
     }
 }

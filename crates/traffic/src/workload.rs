@@ -11,9 +11,128 @@
 
 use crate::pattern::{default_mc_nodes, SpatialPattern};
 use crate::process::{InjectionProcess, ProcessState};
+use crate::reqreply::ReqReplySpec;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Per-node transaction accounting of a closed-loop workload, kept such
+/// that `issued = completed + failed + shed + in_flight` holds at every
+/// node after every cycle — the conservation invariant the auditor checks
+/// each control step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TxnStats {
+    /// Transactions issued per client node (shed candidates included).
+    pub issued: Vec<u64>,
+    /// Transactions whose full reply was delivered, per client node.
+    pub completed: Vec<u64>,
+    /// Transactions that exhausted their retry budget, per client node.
+    pub failed: Vec<u64>,
+    /// Transactions shed by admission control, per client node.
+    pub shed: Vec<u64>,
+    /// Open (awaiting reply or backing off) transactions per client node.
+    pub in_flight: Vec<u64>,
+    /// Attempt timeouts across all nodes (several per transaction when it
+    /// retries).
+    pub timeouts: u64,
+    /// Retry attempts issued across all nodes.
+    pub retries: u64,
+}
+
+impl TxnStats {
+    /// Zeroed accounting for `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        TxnStats {
+            issued: vec![0; n],
+            completed: vec![0; n],
+            failed: vec![0; n],
+            shed: vec![0; n],
+            in_flight: vec![0; n],
+            timeouts: 0,
+            retries: 0,
+        }
+    }
+
+    /// Total transactions issued across all nodes.
+    #[must_use]
+    pub fn issued_total(&self) -> u64 {
+        self.issued.iter().sum()
+    }
+
+    /// Total transactions completed across all nodes.
+    #[must_use]
+    pub fn completed_total(&self) -> u64 {
+        self.completed.iter().sum()
+    }
+
+    /// Total transactions failed across all nodes.
+    #[must_use]
+    pub fn failed_total(&self) -> u64 {
+        self.failed.iter().sum()
+    }
+
+    /// Total transactions shed across all nodes.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Total open transactions across all nodes.
+    #[must_use]
+    pub fn in_flight_total(&self) -> u64 {
+        self.in_flight.iter().sum()
+    }
+
+    /// Sum over nodes of the absolute conservation error
+    /// `|issued − (completed + failed + shed + in_flight)|`. Zero iff the
+    /// invariant holds at every node.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        (0..self.issued.len())
+            .map(|n| {
+                let accounted =
+                    self.completed[n] + self.failed[n] + self.shed[n] + self.in_flight[n];
+                self.issued[n].abs_diff(accounted)
+            })
+            .sum()
+    }
+}
+
+/// Lifecycle stage a [`TxnEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnEventKind {
+    /// A client admitted a new transaction and injected its request.
+    Issued,
+    /// The full reply was delivered to the client.
+    Completed,
+    /// An attempt expired (deadline passed or its request was dropped).
+    TimedOut,
+    /// A backed-off retry attempt was injected.
+    Retried,
+    /// The retry budget was exhausted; the transaction terminated failed.
+    Failed,
+    /// Admission control shed the transaction before injection.
+    Shed,
+}
+
+/// One transaction lifecycle event, drained from a closed-loop workload by
+/// the simulator and forwarded into the telemetry event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnEvent {
+    /// Cycle the event occurred.
+    pub cycle: u64,
+    /// Client node that owns the transaction.
+    pub node: usize,
+    /// Transaction id (globally unique within a run).
+    pub txn: u64,
+    /// The other endpoint (the server).
+    pub peer: usize,
+    /// Attempt number the event concerns (0 for shed).
+    pub attempt: u32,
+    /// What happened.
+    pub kind: TxnEventKind,
+}
 
 /// A packet source the simulator polls once per node per cycle.
 ///
@@ -37,6 +156,39 @@ pub trait Workload: std::fmt::Debug {
 
     /// Human-readable workload name.
     fn name(&self) -> &str;
+
+    /// Notifies the workload that the packet it just offered via
+    /// [`poll`](Self::poll) was injected as `packet_id`. Closed-loop
+    /// workloads bind protocol roles to packet ids here; open-loop
+    /// workloads ignore it.
+    fn on_injected(&mut self, _cycle: u64, _node: usize, _packet_id: u64, _dest: usize) {}
+
+    /// Notifies the workload that `packet_id` was finally delivered.
+    fn on_delivered(&mut self, _cycle: u64, _packet_id: u64) {}
+
+    /// Notifies the workload that `packet_id` was dropped (retransmission
+    /// ladder exhausted or route lost to a hard fault).
+    fn on_dropped(&mut self, _cycle: u64, _packet_id: u64) {}
+
+    /// Transaction accounting, when this is a closed-loop workload.
+    fn txn_stats(&self) -> Option<&TxnStats> {
+        None
+    }
+
+    /// Transaction ids that vanished without terminal accounting (the
+    /// conservation auditor names these in post-mortem bundles).
+    fn txn_orphans(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Enables or disables buffering of [`TxnEvent`]s for the telemetry
+    /// stream. Off by default so unobserved runs allocate nothing.
+    fn set_txn_event_recording(&mut self, _on: bool) {}
+
+    /// Takes the transaction events buffered since the last drain.
+    fn drain_txn_events(&mut self) -> Vec<TxnEvent> {
+        Vec::new()
+    }
 }
 
 /// A phase of execution with a rate multiplier (applications alternate
@@ -71,7 +223,12 @@ pub struct WorkloadSpec {
     pub packets_per_node: u64,
     /// Maximum outstanding (injected but undelivered) packets per node;
     /// the dependency throttle that couples latency to execution time.
+    /// For closed-loop workloads this caps *open transactions* instead.
     pub window: usize,
+    /// Closed-loop request–reply protocol parameters; `None` keeps the
+    /// classic open-loop injection. When set, `packets_per_node` is the
+    /// per-node request budget.
+    pub reqreply: Option<ReqReplySpec>,
 }
 
 impl WorkloadSpec {
@@ -87,6 +244,18 @@ impl WorkloadSpec {
             phases: Vec::new(),
             packets_per_node,
             window: 16,
+            reqreply: None,
+        }
+    }
+
+    /// A closed-loop variant of [`uniform`](Self::uniform): `rate` shapes
+    /// request admission and `packets_per_node` is the per-node request
+    /// budget.
+    pub fn reqreply(rate: f64, packets_per_node: u64, rr: ReqReplySpec) -> Self {
+        WorkloadSpec {
+            name: format!("reqreply-{rate}"),
+            reqreply: Some(rr),
+            ..WorkloadSpec::uniform(rate, packets_per_node)
         }
     }
 

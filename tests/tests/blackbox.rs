@@ -147,6 +147,7 @@ fn campaign_reports_identical_with_recorder_on_and_off() {
         flapping: 0,
         fault_aware_routing: true,
         max_cycles: 60_000,
+        reqreply: None,
     };
     let chaos = ChaosOptions::default();
     let plain = run_campaign_runner(&cfg, &RunnerConfig::serial(), &chaos).unwrap();

@@ -15,6 +15,7 @@ fn small_campaign(fault_aware: bool) -> CampaignConfig {
         flapping: 1,
         fault_aware_routing: fault_aware,
         max_cycles: 200_000,
+        reqreply: None,
     }
 }
 

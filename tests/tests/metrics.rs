@@ -122,6 +122,7 @@ fn tiny_spec() -> BenchSpec {
         seeds: 2,
         ppn: 4,
         master_seed: 21,
+        reqreply: None,
     }
 }
 

@@ -22,6 +22,7 @@ fn tiny_campaign() -> CampaignConfig {
         flapping: 0,
         fault_aware_routing: true,
         max_cycles: 60_000,
+        reqreply: None,
     }
 }
 

@@ -26,6 +26,7 @@ fn tiny_spec(name: &str) -> JobSpec {
         ppn: 1,
         seed: 11,
         max_cycles: 50_000,
+        reqreply: None,
     }
 }
 
