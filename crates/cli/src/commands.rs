@@ -3,20 +3,20 @@
 use crate::args::Args;
 use intellinoc::{
     classify_timeout, compare as compare_outcomes, compare_bench, intellinoc_rl_config,
-    pretrain_intellinoc, record_bench_profiled, render_inspect_report,
-    run_campaign_runner_profiled, run_chaos_harness, run_experiment, run_experiment_instrumented,
-    run_experiment_profiled, run_load_sweep_profiled, run_units, BackoffPolicy, BenchBaseline,
-    BenchSpec, BlackboxConfig, CampaignConfig, ChaosHarnessConfig, ChaosKill, ChaosOptions, Daemon,
-    Design, ExperimentConfig, ExperimentOutcome, FleetObserver, FleetProgress, GateOptions,
-    MetricsOptions, RewardKind, RunnerConfig, RunnerReport, ServeConfig, TelemetryArtifacts,
-    TelemetryOptions, UnitCtx, UnitVerdict,
+    pretrain_intellinoc, record_bench_instrumented, render_inspect_report,
+    run_campaign_runner_instrumented, run_chaos_harness, run_experiment,
+    run_experiment_instrumented, run_experiment_profiled, run_load_sweep_instrumented, run_units,
+    BackoffPolicy, BenchBaseline, BenchSpec, BlackboxConfig, CampaignConfig, ChaosHarnessConfig,
+    ChaosKill, ChaosOptions, Daemon, Design, ExperimentConfig, ExperimentOutcome, FleetObserver,
+    FleetProgress, GateOptions, MetricsOptions, RewardKind, RunnerConfig, RunnerReport,
+    ServeConfig, TelemetryArtifacts, TelemetryOptions, UnitCtx, UnitVerdict,
 };
 use noc_power::AreaModel;
 use noc_sim::{
     bundle_file_name, parse_bundle, parse_rules, render_exposition, render_report,
     runner_events_jsonl, shared_recorder, AlertEdge, BundleCause, BundleHead, EventKind,
-    MetricsHub, MetricsRegistry, MetricsServer, Network, Profiler, RunnerEvent, SharedRecorder,
-    TraceFilter, DEFAULT_BLACKBOX_CAPACITY,
+    JourneyLog, MetricsHub, MetricsRegistry, MetricsServer, Network, Profiler, RunnerEvent,
+    SharedRecorder, TraceFilter, DEFAULT_BLACKBOX_CAPACITY,
 };
 use noc_traffic::{
     capture_trace, read_trace, write_trace, ParsecBenchmark, ReqReplySpec, TraceReplay,
@@ -154,6 +154,33 @@ pub fn runner_config_from(args: &Args) -> Result<(RunnerConfig, ChaosOptions), S
         timeout_units: args.get("force-timeout").map(str::to_owned),
     };
     Ok((cfg, chaos))
+}
+
+/// Journey-tracing sampling period from the command line: `--journeys-every
+/// N` explicitly, else 1 (trace every packet) when any journey artifact
+/// sink is requested, else 0 (off).
+fn journeys_every_from(args: &Args) -> Result<u64, String> {
+    let every = args.get_or("journeys-every", 0u64)?;
+    if every > 0 {
+        return Ok(every);
+    }
+    let implied = ["journeys-out", "perfetto-out", "journey-report-out", "journey-csv-out"]
+        .iter()
+        .any(|k| args.get(k).is_some());
+    Ok(u64::from(implied))
+}
+
+/// The journey sink for grid commands: `--journeys-dir DIR` turns per-unit
+/// journey tracing on (sampling 1-in-`--journeys-every` packets, default
+/// every packet) and collects one `journeys-<key>.jsonl` per unit in DIR.
+fn journeys_dir_from(args: &Args) -> Result<Option<(PathBuf, u64)>, String> {
+    let Some(dir) = args.get("journeys-dir") else { return Ok(None) };
+    let every = args.get_or("journeys-every", 1u64)?;
+    if every == 0 {
+        return Err("--journeys-every 0 disables tracing; drop --journeys-dir instead".into());
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    Ok(Some((PathBuf::from(dir), every)))
 }
 
 /// Whether the command line asks for span profiling, and the fleet-wide
@@ -382,6 +409,7 @@ pub fn telemetry_from(args: &Args) -> Result<TelemetryOptions, String> {
             || args.get("flame-out").is_some(),
         attribution: args.has_flag("attribution"),
         decisions: args.has_flag("decisions"),
+        journeys_every: journeys_every_from(args)?,
         metrics: MetricsOptions {
             hub: None,
             file: args.get("metrics-out").map(str::to_owned),
@@ -484,6 +512,37 @@ fn emit_telemetry(args: &Args, artifacts: &TelemetryArtifacts) -> Result<(), Str
         if let Some(path) = args.get("flame-out") {
             std::fs::write(path, tree.flamegraph()).map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("profile: flamegraph ({} stacks) written to {path}", tree.len());
+        }
+    }
+    if let Some(log) = &artifacts.journeys {
+        eprintln!(
+            "journeys: {} packet journeys, {} transactions traced (1 in {})",
+            log.packets.len(),
+            log.txns.len(),
+            log.every
+        );
+        if let Some(path) = args.get("journeys-out") {
+            std::fs::write(path, log.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("journeys: journey log written to {path}");
+        }
+        if let Some(path) = args.get("perfetto-out") {
+            std::fs::write(path, log.perfetto_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("journeys: Perfetto trace written to {path}");
+        }
+        if let Some(path) = args.get("journey-csv-out") {
+            std::fs::write(path, log.tail_contribution_csv())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("journeys: tail-contribution CSV written to {path}");
+        }
+        let k = args.get_or("journeys-top", 5usize)?;
+        match args.get("journey-report-out") {
+            Some(path) => {
+                std::fs::write(path, log.tail_report(k))
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                eprintln!("journeys: tail report written to {path}");
+            }
+            None => print!("{}", log.tail_report(k)),
         }
     }
     Ok(())
@@ -680,7 +739,8 @@ pub fn sweep(args: &Args) -> CmdResult {
     let (mut rcfg, chaos) = runner_config_from(args)?;
     let server = attach_fleet_observer(args, "sweep", &mut rcfg)?;
     let sink = prof_sink_from(args);
-    let report = run_load_sweep_profiled(
+    let jsink = journeys_dir_from(args)?;
+    let report = run_load_sweep_instrumented(
         design,
         &rates,
         ppn,
@@ -689,7 +749,11 @@ pub fn sweep(args: &Args) -> CmdResult {
         &chaos,
         reqreply.as_ref(),
         sink.as_ref(),
+        jsink.as_ref().map(|(d, e)| (d.as_path(), *e)),
     )?;
+    if let Some((dir, _)) = &jsink {
+        eprintln!("sweep: journey logs collected in {}", dir.display());
+    }
     println!(
         "{:>8} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>4}",
         "rate", "exec_cyc", "avg_lat", "p99_lat", "deliv%", "power_mW", "status", "try"
@@ -794,8 +858,18 @@ pub fn campaign(args: &Args) -> CmdResult {
     let (mut rcfg, chaos) = runner_config_from(args)?;
     let server = attach_fleet_observer(args, "campaign", &mut rcfg)?;
     let sink = prof_sink_from(args);
+    let jsink = journeys_dir_from(args)?;
 
-    let report = run_campaign_runner_profiled(&cfg, &rcfg, &chaos, sink.as_ref())?;
+    let report = run_campaign_runner_instrumented(
+        &cfg,
+        &rcfg,
+        &chaos,
+        sink.as_ref(),
+        jsink.as_ref().map(|(d, e)| (d.as_path(), *e)),
+    )?;
+    if let Some((dir, _)) = &jsink {
+        eprintln!("campaign: journey logs collected in {}", dir.display());
+    }
     if args.has_flag("json") {
         let s = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
         println!("{s}");
@@ -931,7 +1005,18 @@ fn bench_record_cmd(args: &Args) -> CmdResult {
         spec.rates.len(),
         spec.seeds
     );
-    let baseline = record_bench_profiled(&name, &spec, &rcfg, &chaos, sink.as_ref())?;
+    let jsink = journeys_dir_from(args)?;
+    let baseline = record_bench_instrumented(
+        &name,
+        &spec,
+        &rcfg,
+        &chaos,
+        sink.as_ref(),
+        jsink.as_ref().map(|(d, e)| (d.as_path(), *e)),
+    )?;
+    if let Some((dir, _)) = &jsink {
+        eprintln!("bench record: journey logs collected in {}", dir.display());
+    }
     if let Some(prof) = emit_fleet_profile(args, "bench", sink)? {
         match args.get("profile-out") {
             Some(path) => {
@@ -978,7 +1063,8 @@ fn bench_compare_cmd(args: &Args) -> CmdResult {
         baseline.name,
         baseline.spec.keys().len()
     );
-    let fresh = record_bench_profiled(&baseline.name, &baseline.spec, &rcfg, &chaos, None)?;
+    let fresh =
+        record_bench_instrumented(&baseline.name, &baseline.spec, &rcfg, &chaos, None, None)?;
     if let Some(out) = args.get("fresh-out") {
         std::fs::write(out, fresh.to_json()?).map_err(|e| format!("writing {out}: {e}"))?;
         eprintln!("bench compare: fresh recording written to {out}");
@@ -1099,6 +1185,38 @@ pub fn postmortem(args: &Args) -> CmdResult {
             eprintln!("postmortem: report written to {out}");
         }
         None => print!("{report}"),
+    }
+    Ok(CmdOutcome::Done)
+}
+
+/// `intellinoc journeys <journeys.jsonl>` — analyze a recorded journey log:
+/// render the deterministic tail-latency critical-path report (stdout or
+/// `--out`), and export the per-(router, cause) tail-contribution CSV and
+/// the Perfetto trace-event JSON on request. Byte-identical across renders
+/// of the same log.
+pub fn journeys(args: &Args) -> CmdResult {
+    let path = args.positional.first().ok_or(
+        "usage: intellinoc journeys <journeys.jsonl> [--out report.md] \
+         [--csv-out contrib.csv] [--perfetto-out trace.json] [--top N]",
+    )?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let log = JourneyLog::from_jsonl(&text)?;
+    let report = log.tail_report(args.get_or("top", 5usize)?);
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, &report).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("journeys: tail report written to {out}");
+        }
+        None => print!("{report}"),
+    }
+    if let Some(out) = args.get("csv-out") {
+        std::fs::write(out, log.tail_contribution_csv())
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("journeys: tail-contribution CSV written to {out}");
+    }
+    if let Some(out) = args.get("perfetto-out") {
+        std::fs::write(out, log.perfetto_json()).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("journeys: Perfetto trace written to {out}");
     }
     Ok(CmdOutcome::Done)
 }

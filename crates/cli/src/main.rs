@@ -19,6 +19,8 @@
 //!                     [--alert-rules "noc_serve_queue_depth>=8:for=3"]
 //! intellinoc serve    --chaos 25 [--chaos-seed S] [--state-dir DIR]
 //! intellinoc postmortem <bundle.jsonl> [--out report.md]
+//! intellinoc journeys <journeys.jsonl> [--out report.md] [--csv-out contrib.csv]
+//!                     [--perfetto-out trace.json] [--top N]
 //! intellinoc area
 //! intellinoc list
 //! ```
@@ -42,6 +44,7 @@ fn main() {
         Some("profile") => commands::profile(&args),
         Some("serve") => commands::serve(&args),
         Some("postmortem") => commands::postmortem(&args),
+        Some("journeys") => commands::journeys(&args),
         Some("area") => commands::area(),
         Some("list") => commands::list(),
         Some(other) => {
@@ -122,8 +125,22 @@ fn usage() {
     eprintln!("                      [--chaos-seed S] [--chaos-jobs J]");
     eprintln!("  postmortem  render a flight-recorder bundle as deterministic markdown");
     eprintln!("           <bundle.jsonl> [--out report.md]");
+    eprintln!("  journeys analyze a recorded journey log: tail-latency critical path,");
+    eprintln!("           per-(router, cause) contributions, Perfetto export");
+    eprintln!("           <journeys.jsonl> [--out report.md] [--csv-out contrib.csv]");
+    eprintln!("           [--perfetto-out trace.json] [--top N]");
     eprintln!("  area     Table 2 per-router area comparison");
     eprintln!("  list     known designs and benchmarks");
+    eprintln!();
+    eprintln!("JOURNEY TRACING (per-packet hop spans; DESIGN.md \u{a7}18):");
+    eprintln!("  run/inspect: --journeys-every N (trace 1-in-N packets; any sink implies 1)");
+    eprintln!("               --journeys-out F.jsonl  --perfetto-out F.json");
+    eprintln!("               --journey-report-out F.md (default: stdout)");
+    eprintln!("               --journey-csv-out F.csv  --journeys-top K (slowest-K, default 5)");
+    eprintln!("  campaign/sweep/bench record: --journeys-dir DIR [--journeys-every N]");
+    eprintln!("               one journeys-<key>.jsonl per unit; analyze with `journeys`");
+    eprintln!("  serve: jobs submitted with \"journeys_every\": N expose their logs at");
+    eprintln!("               GET /api/jobs/<id>/journeys");
     eprintln!();
     eprintln!("CLOSED-LOOP OPTIONS (run, sweep, campaign, bench — request-reply protocol):");
     eprintln!("  --workload reqreply   destinations reply; sources gate on completions and");

@@ -213,6 +213,7 @@ fn serve_survives_kill_nine_and_resumes_to_reference_report() {
         seed: 7,
         max_cycles: 50_000,
         reqreply: None,
+        journeys_every: 0,
     };
 
     let child = spawn_serve(&state, &port_file, false);

@@ -147,6 +147,10 @@ pub struct BenchRunMetrics {
     /// Retired-flit MTTF proxy: extrapolated network MTTF in hours
     /// (0 when no router aged during the run).
     pub mttf_hours: f64,
+    /// Median transaction completion time (cycles; 0 on open-loop runs).
+    pub txn_p50_latency: f64,
+    /// p99 transaction completion time (cycles; 0 on open-loop runs).
+    pub txn_p99_latency: f64,
     /// Execution time in simulated cycles.
     pub exec_cycles: u64,
 }
@@ -186,7 +190,7 @@ impl MetricStats {
 }
 
 /// Aggregated metrics of one (design, rate) cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BenchCell {
     /// Design figure label.
     pub design: String,
@@ -200,18 +204,54 @@ pub struct BenchCell {
     pub energy_per_flit_pj: MetricStats,
     /// Retired-flit MTTF proxy (hours; 0 = no aging observed).
     pub mttf_hours: MetricStats,
+    /// Median transaction completion time (cycles; all-zero on open-loop
+    /// grids, where the gate trivially passes).
+    pub txn_p50_latency: MetricStats,
+    /// p99 transaction completion time — the closed-loop tail the journey
+    /// tail report explains (cycles; all-zero on open-loop grids).
+    pub txn_p99_latency: MetricStats,
     /// Simulated cycles per wall-clock second (machine-dependent; gated
     /// only behind `--gate-throughput`).
     pub cycles_per_sec: MetricStats,
 }
 
+// Hand-rolled so baselines recorded before the transaction-completion
+// columns existed (no `txn_*` keys in their JSON) still parse; the missing
+// stats default to all-zero, which the gate treats as "no change".
+impl Deserialize for BenchCell {
+    fn deserialize_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let opt_stats = |name: &str| -> Result<MetricStats, serde::Error> {
+            match content.get(name) {
+                Some(v) => MetricStats::deserialize_content(v)
+                    .map_err(|e| serde::Error::msg(format!("field `{name}`: {e}"))),
+                None => Ok(MetricStats { mean: 0.0, stddev: 0.0, ci95: 0.0, n: 0 }),
+            }
+        };
+        Ok(BenchCell {
+            design: bench_field(content, "design")?,
+            rate: bench_field(content, "rate")?,
+            avg_latency: bench_field(content, "avg_latency")?,
+            p99_latency: bench_field(content, "p99_latency")?,
+            energy_per_flit_pj: bench_field(content, "energy_per_flit_pj")?,
+            mttf_hours: bench_field(content, "mttf_hours")?,
+            txn_p50_latency: opt_stats("txn_p50_latency")?,
+            txn_p99_latency: opt_stats("txn_p99_latency")?,
+            cycles_per_sec: bench_field(content, "cycles_per_sec")?,
+        })
+    }
+}
+
 /// The gated metrics: `(field name, higher is worse, always gated)`.
 /// Throughput is the one opt-in: wall-clock speed is machine-dependent.
+/// The transaction-completion columns are all-zero on open-loop grids,
+/// which the gate reads as "no change" — so they gate unconditionally.
 pub const GATED_METRICS: &[(&str, bool, bool)] = &[
     ("avg_latency", true, true),
     ("p99_latency", true, true),
     ("energy_per_flit_pj", true, true),
     ("mttf_hours", false, true),
+    ("txn_p50_latency", true, true),
+    ("txn_p99_latency", true, true),
     ("cycles_per_sec", false, false),
 ];
 
@@ -234,6 +274,8 @@ impl BenchCell {
             "p99_latency" => &self.p99_latency,
             "energy_per_flit_pj" => &self.energy_per_flit_pj,
             "mttf_hours" => &self.mttf_hours,
+            "txn_p50_latency" => &self.txn_p50_latency,
+            "txn_p99_latency" => &self.txn_p99_latency,
             "cycles_per_sec" => &self.cycles_per_sec,
             _ => panic!("unknown bench metric `{name}`"),
         }
@@ -314,6 +356,25 @@ pub fn record_bench_profiled(
     chaos: &ChaosOptions,
     prof: crate::experiment::ProfSink<'_>,
 ) -> Result<BenchBaseline, String> {
+    record_bench_instrumented(name, spec, rcfg, chaos, prof, None)
+}
+
+/// [`record_bench_profiled`] with an optional journey sink: when `journeys`
+/// is `Some((dir, every))`, every cell additionally traces 1-in-`every`
+/// packet journeys and writes `journeys-<key>.jsonl` into `dir`. Tracing
+/// never moves the recorded cycle-domain metrics.
+///
+/// # Errors
+///
+/// Same as [`record_bench`].
+pub fn record_bench_instrumented(
+    name: &str,
+    spec: &BenchSpec,
+    rcfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+    prof: crate::experiment::ProfSink<'_>,
+    journeys: crate::campaign::JourneySink<'_>,
+) -> Result<BenchBaseline, String> {
     if spec.designs.is_empty() || spec.rates.is_empty() || spec.seeds == 0 {
         return Err("bench grid is empty (need ≥1 design, ≥1 rate, ≥1 seed)".to_owned());
     }
@@ -330,7 +391,24 @@ pub fn record_bench_profiled(
             .with_deadline(ctx.deadline_cycles);
         cfg.telemetry.blackbox = ctx.recorder.clone();
         let budget = cfg.max_cycles;
-        let o = crate::experiment::run_experiment_profiled(cfg, prof);
+        let o = match journeys {
+            None => crate::experiment::run_experiment_profiled(cfg, prof),
+            Some((dir, every)) => {
+                cfg.telemetry.journeys_every = every;
+                cfg.telemetry.profile = prof.is_some();
+                let (o, _, artifacts) = crate::experiment::run_experiment_instrumented(cfg);
+                if let (Some(sink), Some(p)) = (prof, artifacts.profiler) {
+                    sink.lock().expect("profiler sink lock").merge(&p);
+                }
+                if let Some(log) = artifacts.journeys {
+                    let path = dir.join(noc_sim::journey_file_name(ctx.key));
+                    if let Err(e) = std::fs::write(&path, log.to_jsonl()) {
+                        eprintln!("journeys: cannot write {}: {e}", path.display());
+                    }
+                }
+                o
+            }
+        };
         let r = &o.report;
         let flits = (r.stats.packets_delivered * FLITS_PER_PACKET as u64).max(1);
         let m = BenchRunMetrics {
@@ -338,6 +416,8 @@ pub fn record_bench_profiled(
             p99_latency: r.stats.latency_percentile(0.99),
             energy_per_flit_pj: r.power.total_energy_pj() / flits as f64,
             mttf_hours: r.mttf_hours.unwrap_or(0.0),
+            txn_p50_latency: r.txn.as_ref().map_or(0.0, |t| t.p50_completion as f64),
+            txn_p99_latency: r.txn.as_ref().map_or(0.0, |t| t.p99_completion as f64),
             exec_cycles: r.exec_cycles,
         };
         match classify_timeout(r, budget) {
@@ -373,6 +453,8 @@ pub fn record_bench_profiled(
                 p99_latency: MetricStats::from_samples(&pick(&|m| m.p99_latency)),
                 energy_per_flit_pj: MetricStats::from_samples(&pick(&|m| m.energy_per_flit_pj)),
                 mttf_hours: MetricStats::from_samples(&pick(&|m| m.mttf_hours)),
+                txn_p50_latency: MetricStats::from_samples(&pick(&|m| m.txn_p50_latency)),
+                txn_p99_latency: MetricStats::from_samples(&pick(&|m| m.txn_p99_latency)),
                 cycles_per_sec: MetricStats::from_samples(&throughput),
             }
         })
@@ -731,15 +813,55 @@ mod tests {
     }
 
     #[test]
+    fn legacy_baseline_without_txn_columns_parses_as_all_zero() {
+        let base =
+            record_bench("tiny", &tiny_spec(), &RunnerConfig::serial(), &ChaosOptions::default())
+                .unwrap();
+        let json = base.to_json().unwrap();
+        // Strip the txn stat objects the way a pre-txn-column baseline
+        // would lack them (pretty JSON: key plus its 6-line object).
+        let legacy: String = {
+            let mut out = String::new();
+            let mut skip = 0usize;
+            for line in json.lines() {
+                if skip > 0 {
+                    skip -= 1;
+                    continue;
+                }
+                if line.contains("\"txn_p50_latency\"") || line.contains("\"txn_p99_latency\"") {
+                    skip = 5;
+                    continue;
+                }
+                out.push_str(line);
+                out.push('\n');
+            }
+            out
+        };
+        assert_ne!(legacy, json, "recorded baselines must carry the txn columns");
+        let back = BenchBaseline::from_json(&legacy).unwrap();
+        assert_eq!(back.cells[0].txn_p50_latency.n, 0);
+        assert_eq!(back.cells[0].txn_p99_latency.mean, 0.0);
+        // All-zero vs open-loop all-zero: the gate passes trivially.
+        let cmp = compare_bench(&back, &base, &GateOptions::default()).unwrap();
+        assert!(!cmp.has_regressions(), "{}", cmp.table());
+    }
+
+    #[test]
     fn closed_loop_bench_records_and_self_compares_clean() {
         let mut spec = tiny_spec();
         spec.reqreply = Some(ReqReplySpec { reply_timeout: 500, ..ReqReplySpec::default() });
         let rcfg = RunnerConfig::serial();
         let chaos = ChaosOptions::default();
         let base = record_bench("cl", &spec, &rcfg, &chaos).unwrap();
+        assert!(
+            base.cells[0].txn_p50_latency.mean > 0.0
+                && base.cells[0].txn_p99_latency.mean >= base.cells[0].txn_p50_latency.mean,
+            "closed-loop grids must carry transaction completion tails"
+        );
         let fresh = record_bench("cl", &spec, &rcfg, &chaos).unwrap();
         let cmp = compare_bench(&base, &fresh, &GateOptions::default()).unwrap();
         assert!(!cmp.has_regressions(), "{}", cmp.table());
+        assert!(cmp.rows.iter().any(|r| r.metric == "txn_p99_latency"));
         let back = BenchBaseline::from_json(&base.to_json().unwrap()).unwrap();
         assert_eq!(back.spec.reqreply, spec.reqreply);
     }

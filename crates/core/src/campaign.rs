@@ -15,14 +15,23 @@
 //! producing merged reports byte-identical to a serial run.
 
 use crate::designs::Design;
-use crate::experiment::{run_experiment_profiled, ExperimentConfig, ProfSink};
+use crate::experiment::{
+    run_experiment_instrumented, run_experiment_profiled, ExperimentConfig, ProfSink,
+};
 use crate::runner::{
     classify_timeout, run_units, ChaosOptions, RunnerConfig, RunnerReport, UnitCtx, UnitVerdict,
 };
-use noc_sim::HardFaultScenario;
+use noc_sim::{journey_file_name, HardFaultScenario};
 use noc_traffic::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::path::Path;
+
+/// Per-cell journey-tracing request: write each cell's journey log as
+/// `journeys-<sanitized key>.jsonl` under the directory, sampling one in
+/// `every` packets. Sampling is keyed by the cell's derived seed, so the
+/// files are byte-identical across serial, parallel, and resumed runs.
+pub type JourneySink<'a> = Option<(&'a Path, u64)>;
 
 /// Campaign parameters: the workload, the scenario family, and the routing
 /// policy under test.
@@ -214,6 +223,7 @@ fn run_campaign_cell(
     design: Design,
     ctx: &UnitCtx,
     prof: ProfSink<'_>,
+    journeys: JourneySink<'_>,
 ) -> UnitVerdict<CampaignRow> {
     let workload = match &cfg.reqreply {
         Some(rr) => WorkloadSpec::reqreply(cfg.rate, cfg.ppn, rr.clone()),
@@ -229,7 +239,24 @@ fn run_campaign_cell(
     // The engine's flight recorder rides along so a dying cell leaves a
     // post-mortem bundle; recording never changes cycle-domain behavior.
     ecfg.telemetry.blackbox = ctx.recorder.clone();
-    let o = run_experiment_profiled(ecfg, prof);
+    let o = match journeys {
+        None => run_experiment_profiled(ecfg, prof),
+        Some((dir, every)) => {
+            ecfg.telemetry.journeys_every = every;
+            ecfg.telemetry.profile = prof.is_some();
+            let (o, _, artifacts) = run_experiment_instrumented(ecfg);
+            if let (Some(sink), Some(p)) = (prof, artifacts.profiler) {
+                sink.lock().expect("profiler sink lock").merge(&p);
+            }
+            if let Some(log) = artifacts.journeys {
+                let path = dir.join(journey_file_name(ctx.key));
+                if let Err(e) = std::fs::write(&path, log.to_jsonl()) {
+                    eprintln!("journeys: cannot write {}: {e}", path.display());
+                }
+            }
+            o
+        }
+    };
     let s = &o.report.stats;
     let row = CampaignRow {
         design: design.label().to_owned(),
@@ -381,6 +408,24 @@ pub fn run_campaign_runner_profiled(
     chaos: &ChaosOptions,
     prof: ProfSink<'_>,
 ) -> Result<CampaignRunReport, String> {
+    run_campaign_runner_instrumented(cfg, rcfg, chaos, prof, None)
+}
+
+/// [`run_campaign_runner_profiled`] plus an optional per-cell journey
+/// sink. Journey tracing never perturbs cycle-domain state, so the report
+/// is byte-identical with or without it; only the extra `journeys-*.jsonl`
+/// files differ.
+///
+/// # Errors
+///
+/// Propagates engine-level errors (journal mismatch or I/O).
+pub fn run_campaign_runner_instrumented(
+    cfg: &CampaignConfig,
+    rcfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+    prof: ProfSink<'_>,
+    journeys: JourneySink<'_>,
+) -> Result<CampaignRunReport, String> {
     let scenarios = campaign_scenarios(cfg);
     let units = campaign_unit_keys(cfg);
     let keys: Vec<String> = units.iter().map(|(k, _, _)| k.clone()).collect();
@@ -390,7 +435,7 @@ pub fn run_campaign_runner_profiled(
             .find(|(k, _, _)| k == ctx.key)
             .expect("runner only executes supplied keys");
         let (name, scenario) = &scenarios[*si];
-        run_campaign_cell(cfg, name, scenario, *design, ctx, prof)
+        run_campaign_cell(cfg, name, scenario, *design, ctx, prof, journeys)
     })?;
     Ok(CampaignRunReport { config: cfg.clone(), runner })
 }

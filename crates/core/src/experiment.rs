@@ -10,9 +10,9 @@ use noc_rl::{QLearningConfig, QTable};
 use noc_sim::{
     declare_network_metrics, declare_runtime_metrics, export_alert_metrics, export_network_metrics,
     export_prof_metrics, export_runtime_metrics, render_exposition, AlertEngine, AlertEvent,
-    AlertRule, AttributionArtifacts, DecisionLog, HardFaultScenario, MetricsHub, MetricsRegistry,
-    Network, Profiler, RouterObservation, RunReport, RunTimeline, SharedRecorder, SimConfig,
-    TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
+    AlertRule, AttributionArtifacts, DecisionLog, HardFaultScenario, JourneyLog, MetricsHub,
+    MetricsRegistry, Network, Profiler, RouterObservation, RunReport, RunTimeline, SharedRecorder,
+    SimConfig, TimelineSample, TraceFilter, Tracer, DEFAULT_TRACE_CAPACITY,
 };
 use noc_traffic::{ParsecBenchmark, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -85,6 +85,11 @@ pub struct TelemetryOptions {
     /// Alert rules evaluated against the metrics registry each metrics
     /// interval (forces a registry on even without exposition sinks).
     pub alert_rules: Vec<AlertRule>,
+    /// Journey tracing sampling period: every `n`-th packet (by seeded
+    /// hash, so the sample is deterministic per seed and independent of
+    /// execution interleaving) gets a hop-level journey. `0` disables
+    /// tracing; `1` traces every packet.
+    pub journeys_every: u64,
 }
 
 impl TelemetryOptions {
@@ -98,6 +103,7 @@ impl TelemetryOptions {
             || self.metrics.enabled()
             || self.blackbox.is_some()
             || !self.alert_rules.is_empty()
+            || self.journeys_every > 0
     }
 }
 
@@ -168,6 +174,8 @@ pub struct TelemetryArtifacts {
     pub exposition: Option<String>,
     /// Alert state transitions, in evaluation order (alert rules were on).
     pub alerts: Vec<AlertEvent>,
+    /// Sampled per-packet journeys (journey tracing was on).
+    pub journeys: Option<JourneyLog>,
 }
 
 impl ExperimentConfig {
@@ -427,6 +435,9 @@ pub fn run_experiment_instrumented(
     if let Some(bb) = &blackbox {
         net.install_blackbox(bb.clone());
     }
+    if cfg.telemetry.journeys_every > 0 {
+        net.install_journeys(cfg.seed, cfg.telemetry.journeys_every);
+    }
     let profile = cfg.telemetry.profile;
     let mut timeline = if cfg.telemetry.timeline { Some(RunTimeline::new()) } else { None };
     let mut base = StepBase::default();
@@ -584,6 +595,7 @@ pub fn run_experiment_instrumented(
         decisions,
         exposition: metrics_reg.as_ref().map(render_exposition),
         alerts: alert_events,
+        journeys: net.take_journeys(),
     };
     (
         ExperimentOutcome {

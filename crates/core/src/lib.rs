@@ -52,13 +52,14 @@ mod serve;
 mod sweeps;
 
 pub use bench::{
-    compare_bench, record_bench, record_bench_profiled, BenchBaseline, BenchCell, BenchComparison,
-    BenchRunMetrics, BenchSpec, CompareRow, GateOptions, GateVerdict, MetricStats,
-    BENCH_FORMAT_VERSION, GATED_METRICS, REL_EPSILON,
+    compare_bench, record_bench, record_bench_instrumented, record_bench_profiled, BenchBaseline,
+    BenchCell, BenchComparison, BenchRunMetrics, BenchSpec, CompareRow, GateOptions, GateVerdict,
+    MetricStats, BENCH_FORMAT_VERSION, GATED_METRICS, REL_EPSILON,
 };
 pub use campaign::{
     campaign_scenarios, campaign_unit_keys, run_campaign, run_campaign_runner,
-    run_campaign_runner_profiled, CampaignConfig, CampaignReport, CampaignRow, CampaignRunReport,
+    run_campaign_runner_instrumented, run_campaign_runner_profiled, CampaignConfig, CampaignReport,
+    CampaignRow, CampaignRunReport, JourneySink,
 };
 pub use controller::{cpd_decide, intellinoc_rl_config, ControlPolicy, RewardKind, RlControl};
 pub use designs::Design;
@@ -85,5 +86,6 @@ pub use serve::{
 };
 pub use sweeps::{
     epsilon_sweep, error_rate_sweep, gamma_sweep, load_sweep_keys, mesh_scaling, run_load_sweep,
-    run_load_sweep_profiled, time_step_sweep, HyperPoint, LoadPoint, ScalePoint, SweepPoint,
+    run_load_sweep_instrumented, run_load_sweep_profiled, time_step_sweep, HyperPoint, LoadPoint,
+    ScalePoint, SweepPoint,
 };

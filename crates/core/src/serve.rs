@@ -38,7 +38,7 @@
 //! crash path the WAL exists for.
 
 use crate::designs::Design;
-use crate::experiment::{run_experiment, ExperimentConfig};
+use crate::experiment::{run_experiment_instrumented, ExperimentConfig};
 use crate::runner::{
     classify_timeout, run_units, BlackboxConfig, ChaosOptions, RunStatus, RunnerConfig,
     RunnerReport, UnitCtx, UnitVerdict,
@@ -210,6 +210,10 @@ pub struct JobSpec {
     /// Closed-loop request–reply protocol for every cell (`None` or JSON
     /// `null` keeps the open-loop uniform workload).
     pub reqreply: Option<noc_traffic::ReqReplySpec>,
+    /// Journey-tracing sampling period: every `n`-th packet per unit gets a
+    /// hop-level journey log, fetchable at `/api/jobs/<id>/journeys`
+    /// (0 = tracing off).
+    pub journeys_every: u64,
 }
 
 /// Required-field extraction for the hand-rolled [`JobSpec`] parser.
@@ -237,6 +241,12 @@ impl Deserialize for JobSpec {
                 Some(v) => Option::<noc_traffic::ReqReplySpec>::deserialize_content(v)
                     .map_err(|e| serde::Error::msg(format!("field `reqreply`: {e}")))?,
                 None => None,
+            },
+            // Absent on pre-journey submissions and WAL records: off.
+            journeys_every: match content.get("journeys_every") {
+                Some(v) => u64::deserialize_content(v)
+                    .map_err(|e| serde::Error::msg(format!("field `journeys_every`: {e}")))?,
+                None => 0,
             },
         })
     }
@@ -319,9 +329,13 @@ fn run_spec_units(
     spec: &JobSpec,
     rcfg: &RunnerConfig,
     chaos: Option<&Arc<ChaosKill>>,
+    journeys: Option<&Path>,
 ) -> Result<RunnerReport<ServePoint>, String> {
     let units = job_units(spec)?;
     let keys: Vec<String> = units.iter().map(|u| u.key.clone()).collect();
+    if let Some(dir) = journeys {
+        fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
     run_units(spec.seed, &keys, rcfg, &ChaosOptions::default(), |ctx: &UnitCtx| {
         if let Some(k) = chaos {
             k.trip(ChaosPoint::MidUnit);
@@ -337,11 +351,18 @@ fn run_spec_units(
         // Feed the runner's flight recorder (if armed) so a unit that
         // stalls or times out leaves a post-mortem ring behind.
         cfg.telemetry.blackbox = ctx.recorder.clone();
+        cfg.telemetry.journeys_every = if journeys.is_some() { spec.journeys_every } else { 0 };
         if spec.max_cycles > 0 {
             cfg.max_cycles = spec.max_cycles;
         }
         let budget = cfg.max_cycles;
-        let o = run_experiment(cfg);
+        let (o, _, artifacts) = run_experiment_instrumented(cfg);
+        if let (Some(dir), Some(log)) = (journeys, artifacts.journeys) {
+            let path = dir.join(noc_sim::journey_file_name(ctx.key));
+            if let Err(e) = fs::write(&path, log.to_jsonl()) {
+                eprintln!("journeys: cannot write {}: {e}", path.display());
+            }
+        }
         let r = &o.report;
         let point = ServePoint {
             exec_cycles: r.exec_cycles,
@@ -387,7 +408,7 @@ pub fn serve_report_csv(report: &RunnerReport<ServePoint>) -> String {
 ///
 /// Propagates spec validation and engine errors.
 pub fn reference_report_csv(spec: &JobSpec) -> Result<String, String> {
-    let report = run_spec_units(spec, &RunnerConfig::serial(), None)?;
+    let report = run_spec_units(spec, &RunnerConfig::serial(), None, None)?;
     Ok(serve_report_csv(&report))
 }
 
@@ -682,6 +703,12 @@ fn postmortem_dir(state_dir: &Path, id: &str) -> PathBuf {
     state_dir.join("postmortems").join(id)
 }
 
+/// Per-job journey-log directory (one `journeys-*.jsonl` per unit),
+/// namespaced by job id like the post-mortem bundles.
+fn journeys_dir(state_dir: &Path, id: &str) -> PathBuf {
+    state_dir.join("journeys").join(id)
+}
+
 /// Counts terminal (non-skipped) unit records in a job journal,
 /// tolerating a torn trailing line. Returns 0 for a missing journal.
 fn journal_done_count(path: &Path) -> usize {
@@ -907,7 +934,8 @@ fn execute_job(shared: &Shared, id: &str) {
             }),
             ..RunnerConfig::default()
         };
-        match run_spec_units(&spec, &rcfg, shared.cfg.chaos.as_ref()) {
+        let jdir = (spec.journeys_every > 0).then(|| journeys_dir(&shared.cfg.state_dir, id));
+        match run_spec_units(&spec, &rcfg, shared.cfg.chaos.as_ref(), jdir.as_deref()) {
             Err(e) => {
                 finalize_job(shared, id, JobState::Failed, Some(e));
                 return;
@@ -1196,13 +1224,14 @@ fn handle(shared: &Arc<Shared>, req: &HttpRequest) -> HttpResponse {
         ("GET", ["api", "jobs", id]) => get_job(shared, id),
         ("GET", ["api", "jobs", id, "report"]) => get_report(shared, id),
         ("GET", ["api", "jobs", id, "postmortem"]) => get_postmortem(shared, id),
+        ("GET", ["api", "jobs", id, "journeys"]) => get_journeys(shared, id),
         ("POST", ["api", "jobs", id, "cancel"]) => cancel_job(shared, id),
         ("POST", ["api", "jobs", id, "pause"]) => set_paused(shared, id, true),
         ("POST", ["api", "jobs", id, "resume"]) => set_paused(shared, id, false),
         ("POST", ["api", "drain"]) => drain_request(shared, req),
         (_, ["healthz" | "metrics"] | ["api", "health"]) => method_not_allowed("GET"),
         (_, ["api", "jobs"]) => method_not_allowed("GET, POST"),
-        (_, ["api", "jobs", _]) | (_, ["api", "jobs", _, "report" | "postmortem"]) => {
+        (_, ["api", "jobs", _]) | (_, ["api", "jobs", _, "report" | "postmortem" | "journeys"]) => {
             method_not_allowed("GET")
         }
         (_, ["api", "jobs", _, "cancel" | "pause" | "resume"]) | (_, ["api", "drain"]) => {
@@ -1255,6 +1284,40 @@ fn get_postmortem(shared: &Arc<Shared>, id: &str) -> HttpResponse {
             .with_header("X-Postmortem-Bundles", &bundles.len().to_string()),
         Err(e) => error_body(500, &format!("read bundle: {e}")),
     }
+}
+
+/// `GET /api/jobs/<id>/journeys`: every journey log the job's units wrote,
+/// concatenated in unit-key order (each log is self-delimiting: a header
+/// line then its packet/transaction lines), ready for `intellinoc
+/// journeys`. `X-Journey-Logs` counts the per-unit logs.
+fn get_journeys(shared: &Arc<Shared>, id: &str) -> HttpResponse {
+    {
+        let core = lock_core(shared);
+        if !core.jobs.contains_key(id) {
+            return error_body(404, &format!("no such job: {id}"));
+        }
+    }
+    let dir = journeys_dir(&shared.cfg.state_dir, id);
+    let mut logs: Vec<PathBuf> = fs::read_dir(&dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+                .collect()
+        })
+        .unwrap_or_default();
+    logs.sort();
+    if logs.is_empty() {
+        return error_body(404, &format!("no journey logs for job {id} (journeys_every off?)"));
+    }
+    let mut body = String::new();
+    for path in &logs {
+        match fs::read_to_string(path) {
+            Ok(text) => body.push_str(&text),
+            Err(e) => return error_body(500, &format!("read journey log: {e}")),
+        }
+    }
+    HttpResponse::text(200, body).with_header("X-Journey-Logs", &logs.len().to_string())
 }
 
 fn submit(shared: &Arc<Shared>, req: &HttpRequest) -> HttpResponse {
@@ -1860,6 +1923,7 @@ impl ChaosHarnessConfig {
                 seed: 7,
                 max_cycles: 50_000,
                 reqreply: None,
+                journeys_every: 0,
             },
         }
     }
@@ -2157,6 +2221,7 @@ mod tests {
             seed: 11,
             max_cycles: 50_000,
             reqreply: None,
+            journeys_every: 0,
         }
     }
 
@@ -2168,6 +2233,7 @@ mod tests {
             r#"{"name":"old","designs":["secded"],"rates":[0.01],"ppn":2,"seed":1,"max_cycles":0}"#;
         let spec: JobSpec = serde_json::from_str(legacy).unwrap();
         assert!(spec.reqreply.is_none());
+        assert_eq!(spec.journeys_every, 0, "pre-journey submissions parse with tracing off");
 
         // Partial reqreply objects take the spec defaults field by field.
         let closed = r#"{"name":"new","designs":["secded"],"rates":[0.01],"ppn":2,"seed":1,"max_cycles":0,"reqreply":{"reply_timeout":500}}"#;
@@ -2367,6 +2433,56 @@ mod tests {
     }
 
     #[test]
+    fn journeys_endpoint_serves_logs_and_404s_when_tracing_is_off() {
+        let dir = tmp_dir("journeys");
+        let daemon =
+            Daemon::start(ServeConfig { state_dir: dir.clone(), ..ServeConfig::default() })
+                .unwrap();
+        let addr = daemon.local_addr().to_string();
+
+        let submit = |spec: JobSpec| {
+            let body = serde_json::to_string(&SubmitRequest {
+                tenant: "alice".to_owned(),
+                priority: 0,
+                paused: false,
+                spec,
+            })
+            .unwrap();
+            let (code, resp) = http_request(&addr, "POST", "/api/jobs", Some(&body)).unwrap();
+            assert_eq!(code, 202, "{resp}");
+            let sub: SubmitResponse = serde_json::from_str(&resp).unwrap();
+            sub.id
+        };
+
+        // A traced job serves one JSONL log per unit, with the count in
+        // the X-Journey-Logs header.
+        let mut spec = tiny_spec("traced");
+        spec.journeys_every = 1;
+        let id = submit(spec);
+        let done = wait_job_done(&addr, &id);
+        assert_eq!(done.state, "done", "{done:?}");
+        let (code, headers, body) =
+            http_request_full(&addr, "GET", &format!("/api/jobs/{id}/journeys"), None).unwrap();
+        assert_eq!(code, 200, "{body}");
+        let logs = headers.iter().find(|(n, _)| n == "x-journey-logs").map(|(_, v)| v.as_str());
+        assert_eq!(logs, Some("1"), "one unit, one log");
+        assert!(body.contains("\"kind\":\"journey-log\""), "{body}");
+        assert!(body.contains("\"spans\":"), "{body}");
+
+        // Tracing off: the job finishes but holds no journey logs.
+        let id = submit(tiny_spec("untraced"));
+        wait_job_done(&addr, &id);
+        let (code, body) =
+            http_request(&addr, "GET", &format!("/api/jobs/{id}/journeys"), None).unwrap();
+        assert_eq!(code, 404, "{body}");
+        let (code, _) = http_request(&addr, "GET", "/api/jobs/j-999999/journeys", None).unwrap();
+        assert_eq!(code, 404, "unknown jobs 404");
+
+        assert!(daemon.shutdown(Duration::from_secs(10)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn cancel_pause_resume_and_drain_reject_invalid_transitions() {
         let dir = tmp_dir("lifecycle");
         let daemon =
@@ -2437,6 +2553,7 @@ mod tests {
             ("POST", "/api/jobs/j-000001", "GET"),
             ("POST", "/api/jobs/j-000001/report", "GET"),
             ("POST", "/api/jobs/j-000001/postmortem", "GET"),
+            ("POST", "/api/jobs/j-000001/journeys", "GET"),
             ("GET", "/api/jobs/j-000001/cancel", "POST"),
             ("GET", "/api/drain", "POST"),
         ] {
@@ -2494,6 +2611,7 @@ mod tests {
             seed: 5,
             max_cycles: 50_000,
             reqreply: None,
+            journeys_every: 0,
         };
         let reference = reference_report_csv(&spec).unwrap();
 

@@ -2,15 +2,18 @@
 //! and the scaling study. Each sweep returns plain data so callers (figure
 //! binaries, tests, the CLI) can print or assert on it.
 
+use crate::campaign::JourneySink;
 use crate::controller::{intellinoc_rl_config, RewardKind};
 use crate::designs::Design;
 use crate::experiment::{
-    pretrain_intellinoc, run_experiment, run_experiment_profiled, ExperimentConfig, ProfSink,
+    pretrain_intellinoc, run_experiment, run_experiment_instrumented, run_experiment_profiled,
+    ExperimentConfig, ProfSink,
 };
 use crate::runner::{
     classify_timeout, run_units, ChaosOptions, RunnerConfig, RunnerReport, UnitCtx, UnitVerdict,
 };
 use noc_rl::QLearningConfig;
+use noc_sim::journey_file_name;
 use noc_traffic::{ParsecBenchmark, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -207,6 +210,29 @@ pub fn run_load_sweep_profiled(
     reqreply: Option<&noc_traffic::ReqReplySpec>,
     prof: ProfSink<'_>,
 ) -> Result<RunnerReport<LoadPoint>, String> {
+    run_load_sweep_instrumented(design, rates, ppn, master_seed, rcfg, chaos, reqreply, prof, None)
+}
+
+/// [`run_load_sweep_profiled`] plus an optional per-point journey sink
+/// (one `journeys-<sanitized key>.jsonl` per point under the directory).
+/// Journey tracing never perturbs cycle-domain state, so the report is
+/// byte-identical with or without it.
+///
+/// # Errors
+///
+/// Same as [`run_load_sweep`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_load_sweep_instrumented(
+    design: Design,
+    rates: &[f64],
+    ppn: u64,
+    master_seed: u64,
+    rcfg: &RunnerConfig,
+    chaos: &ChaosOptions,
+    reqreply: Option<&noc_traffic::ReqReplySpec>,
+    prof: ProfSink<'_>,
+    journeys: JourneySink<'_>,
+) -> Result<RunnerReport<LoadPoint>, String> {
     let keys = load_sweep_keys(design, rates);
     run_units(master_seed, &keys, rcfg, chaos, |ctx: &UnitCtx| {
         let idx = keys.iter().position(|k| k == ctx.key).expect("key from supplied list");
@@ -220,7 +246,24 @@ pub fn run_load_sweep_profiled(
             .with_deadline(ctx.deadline_cycles);
         cfg.telemetry.blackbox = ctx.recorder.clone();
         let budget = cfg.max_cycles;
-        let o = run_experiment_profiled(cfg, prof);
+        let o = match journeys {
+            None => run_experiment_profiled(cfg, prof),
+            Some((dir, every)) => {
+                cfg.telemetry.journeys_every = every;
+                cfg.telemetry.profile = prof.is_some();
+                let (o, _, artifacts) = run_experiment_instrumented(cfg);
+                if let (Some(sink), Some(p)) = (prof, artifacts.profiler) {
+                    sink.lock().expect("profiler sink lock").merge(&p);
+                }
+                if let Some(log) = artifacts.journeys {
+                    let path = dir.join(journey_file_name(ctx.key));
+                    if let Err(e) = std::fs::write(&path, log.to_jsonl()) {
+                        eprintln!("journeys: cannot write {}: {e}", path.display());
+                    }
+                }
+                o
+            }
+        };
         let r = &o.report;
         let point = LoadPoint {
             rate,

@@ -31,6 +31,7 @@ mod channel;
 mod config;
 mod flit;
 mod health;
+mod journey;
 mod latency;
 mod metrics_export;
 mod network;
@@ -58,14 +59,16 @@ pub use noc_fault::{HardFault, HardFaultKind, HardFaultScenario, HardFaultTarget
 // Telemetry surface, re-exported so simulator users can install tracers and
 // profilers without depending on `noc-telemetry` directly.
 pub use noc_telemetry::{
-    bundle_file_name, export_alert_metrics, export_prof_metrics, link_stats_csv, parse_bundle,
-    parse_exposition, parse_rules, render_exposition, render_report, runner_events_jsonl,
-    shared_recorder, AlertCmp, AlertEdge, AlertEngine, AlertEvent, AlertRule, AttributionArtifacts,
-    BundleCause, BundleHead, ConvergenceSample, DecisionLog, DecisionRecord, Event, EventKind,
-    FlightRecorder, GateEdge, HeatGrid, HttpHandler, HttpRequest, HttpResponse, HttpServer,
-    LatencyBreakdown, LatencyComponents, LinkStat, MetricsHub, MetricsRegistry, MetricsServer,
-    PacketLatency, PairBreakdown, ParsedBundle, PhaseCounters, Profiler, RecorderCounters,
-    RetxScope, RunRow, RunTimeline, RunnerEvent, Sample, SectionStats, SharedRecorder, SpanStats,
-    SpanTree, TimelineSample, TraceFilter, Tracer, BLACKBOX_FORMAT_VERSION,
-    DEFAULT_BLACKBOX_CAPACITY, DEFAULT_TRACE_CAPACITY, MAX_SPAN_DEPTH,
+    bundle_file_name, export_alert_metrics, export_prof_metrics, journey_file_name,
+    journey_sampled, link_stats_csv, parse_bundle, parse_exposition, parse_rules, percentile,
+    render_exposition, render_report, runner_events_jsonl, shared_recorder, AlertCmp, AlertEdge,
+    AlertEngine, AlertEvent, AlertRule, AttributionArtifacts, BundleCause, BundleHead,
+    ConvergenceSample, DecisionLog, DecisionRecord, Event, EventKind, FlightRecorder, GateEdge,
+    HeatGrid, HopSpan, HttpHandler, HttpRequest, HttpResponse, HttpServer, JourneyCause,
+    JourneyLoc, JourneyLog, LatencyBreakdown, LatencyComponents, LinkStat, MetricsHub,
+    MetricsRegistry, MetricsServer, PacketJourney, PacketLatency, PairBreakdown, ParsedBundle,
+    PhaseCounters, Profiler, RecorderCounters, RetxScope, RunRow, RunTimeline, RunnerEvent, Sample,
+    SectionStats, SharedRecorder, SpanStats, SpanTree, TailContribution, TimelineSample,
+    TraceFilter, Tracer, TxnJourney, TxnLeg, TxnLegKind, TxnOutcome, BLACKBOX_FORMAT_VERSION,
+    DEFAULT_BLACKBOX_CAPACITY, DEFAULT_TRACE_CAPACITY, JOURNEY_FORMAT_VERSION, MAX_SPAN_DEPTH,
 };

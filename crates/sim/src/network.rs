@@ -27,6 +27,7 @@ use crate::channel::Channel;
 use crate::config::{RouterDirective, SimConfig};
 use crate::flit::{make_packet, Cycle, Flit, NO_VC};
 use crate::health::HealthRouter;
+use crate::journey::JourneyTracker;
 use crate::router::{GateState, InputVc, Router};
 use crate::stats::{NetworkStats, RouterObservation, RunReport, StallReport, TxnSummary};
 use crate::topology::{Mesh, Port, DIRS, PORTS};
@@ -34,7 +35,7 @@ use noc_ecc::{DecodeStatus, EccScheme, EccSuite};
 use noc_fault::{network_mttf, AgingState, FaultInjector, HardFaultTarget, ThermalGrid};
 use noc_power::{EnergyLedger, RouterLeakageSpec, CLOCK_PERIOD_NS};
 use noc_telemetry::{
-    AttributionArtifacts, Event, GateEdge, Profiler, RetxScope, SharedRecorder, Tracer,
+    AttributionArtifacts, Event, GateEdge, JourneyLog, Profiler, RetxScope, SharedRecorder, Tracer,
 };
 use noc_traffic::{ReqReplyWorkload, TrafficGen, TxnEventKind, TxnStats, Workload, WorkloadSpec};
 use std::collections::HashMap;
@@ -116,6 +117,9 @@ pub struct Network {
     /// `None` means recording is disabled and every feed site is a single
     /// branch.
     blackbox: Option<SharedRecorder>,
+    /// Sampled per-packet journey tracing (`noc-journey`); `None` means
+    /// tracing is disabled and every hook site is a single branch.
+    journey: Option<JourneyTracker>,
 }
 
 impl std::fmt::Debug for Network {
@@ -195,6 +199,7 @@ impl Network {
             tracer: None,
             profiler: None,
             attribution: None,
+            journey: None,
             cfg,
         }
     }
@@ -233,7 +238,7 @@ impl Network {
 
     /// Removes and returns the tracer, disabling tracing.
     pub fn take_tracer(&mut self) -> Option<Tracer> {
-        if self.blackbox.is_none() {
+        if self.blackbox.is_none() && self.journey.is_none() {
             self.traffic.set_txn_event_recording(false);
         }
         self.tracer.take()
@@ -293,10 +298,45 @@ impl Network {
 
     /// Removes and returns the flight recorder, disabling recording.
     pub fn take_blackbox(&mut self) -> Option<SharedRecorder> {
-        if self.tracer.is_none() {
+        if self.tracer.is_none() && self.journey.is_none() {
             self.traffic.set_txn_event_recording(false);
         }
         self.blackbox.take()
+    }
+
+    /// Installs `noc-journey` sampled per-packet journey tracing: one in
+    /// `every` packets (and, for closed-loop workloads, one in `every`
+    /// transactions) is selected by a pure hash of `(seed, id)` and its
+    /// full hop-span timeline recorded. Journey tracing reads simulator
+    /// state but never perturbs it, so cycle-domain results are identical
+    /// with tracing on or off.
+    pub fn install_journeys(&mut self, seed: u64, every: u64) {
+        let n = self.mesh.nodes();
+        let mut link_dest = vec![u16::MAX; n * DIRS];
+        for r in 0..n {
+            for dir in Port::DIRECTIONS {
+                if let Some(d) = self.mesh.neighbor(r, dir) {
+                    link_dest[r * DIRS + dir.index()] = d as u16;
+                }
+            }
+        }
+        self.journey =
+            Some(JourneyTracker::new(self.traffic.name().to_owned(), seed, every, link_dest));
+        self.traffic.set_txn_event_recording(true);
+    }
+
+    /// Whether journey tracing is currently installed.
+    pub fn journeys_enabled(&self) -> bool {
+        self.journey.is_some()
+    }
+
+    /// Removes the journey tracker and closes its log at the current
+    /// cycle, disabling further journey tracing.
+    pub fn take_journeys(&mut self) -> Option<JourneyLog> {
+        if self.tracer.is_none() && self.blackbox.is_none() {
+            self.traffic.set_txn_event_recording(false);
+        }
+        self.journey.take().map(|j| j.finish(self.now))
     }
 
     /// Records `event` when tracing is enabled; otherwise a single branch.
@@ -321,6 +361,9 @@ impl Network {
     fn drain_txn_events(&mut self) {
         let events = self.traffic.drain_txn_events();
         for ev in events {
+            if let Some(j) = self.journey.as_mut() {
+                j.on_txn_event(&ev);
+            }
             let router = ev.node as u32;
             let peer = ev.peer as u32;
             let e = match ev.kind {
@@ -759,6 +802,9 @@ impl Network {
             if let Some(att) = self.attribution.as_mut() {
                 att.on_e2e_retx(f.packet_id, self.now);
             }
+            if let Some(j) = self.journey.as_mut() {
+                j.on_e2e_retx(f.packet_id, self.now);
+            }
         } else {
             self.account_drop(&f);
         }
@@ -771,6 +817,9 @@ impl Network {
         }
         if let Some(att) = self.attribution.as_mut() {
             att.on_drop(f.packet_id);
+        }
+        if let Some(j) = self.journey.as_mut() {
+            j.on_drop(f.packet_id);
         }
         let src = f.src as usize;
         self.stats.packets_dropped += 1;
@@ -924,6 +973,9 @@ impl Network {
                 if let Some(att) = self.attribution.as_mut() {
                     att.on_link_flit(ci, &flit, cost, false);
                 }
+                if let Some(j) = self.journey.as_mut() {
+                    j.on_link_flit(ci, &flit, cost, false, now);
+                }
                 self.channels[ci].as_mut().expect("channel exists").push(flit, now);
             } else {
                 self.eject(r, flit);
@@ -1011,6 +1063,9 @@ impl Network {
                 let cost = self.channels[out_ci].as_ref().expect("checked").latency() + 1;
                 if let Some(att) = self.attribution.as_mut() {
                     att.on_link_flit(out_ci, &flit, cost, true);
+                }
+                if let Some(j) = self.journey.as_mut() {
+                    j.on_link_flit(out_ci, &flit, cost, true, now);
                 }
                 // The bypass mux/latch adds one cycle on top of the link.
                 self.channels[out_ci].as_mut().expect("checked").push_delayed(flit, now, 1);
@@ -1100,6 +1155,9 @@ impl Network {
                             packet: head.packet_id,
                             bits: k,
                         });
+                        if let Some(j) = self.journey.as_mut() {
+                            j.on_ecc_corrected(head.packet_id, r as u16, now);
+                        }
                     } else {
                         extra_flips = k as u16;
                     }
@@ -1118,6 +1176,9 @@ impl Network {
                     );
                     if let Some(att) = self.attribution.as_mut() {
                         att.on_hop_retx(ci, &head, self.cfg.retx_latency as u64);
+                    }
+                    if let Some(j) = self.journey.as_mut() {
+                        j.on_hop_retx(ci, &head, self.cfg.retx_latency as u64, now);
                     }
                     self.stats.hop_retx_events += 1;
                     self.stats.retransmitted_flits += 1;
@@ -1313,6 +1374,9 @@ impl Network {
                                         packet: head.packet_id,
                                         bits: k,
                                     });
+                                    if let Some(j) = self.journey.as_mut() {
+                                        j.on_ecc_corrected(head.packet_id, v as u16, now);
+                                    }
                                 } else {
                                     extra_flips = k as u16;
                                 }
@@ -1336,6 +1400,9 @@ impl Network {
                                 );
                                 if let Some(att) = self.attribution.as_mut() {
                                     att.on_hop_retx(ci, &head, self.cfg.retx_latency as u64);
+                                }
+                                if let Some(j) = self.journey.as_mut() {
+                                    j.on_hop_retx(ci, &head, self.cfg.retx_latency as u64, now);
                                 }
                                 self.stats.hop_retx_events += 1;
                                 self.stats.retransmitted_flits += 1;
@@ -1388,6 +1455,9 @@ impl Network {
                             from: xy.index() as u8,
                             to: route.index() as u8,
                         });
+                        if let Some(j) = self.journey.as_mut() {
+                            j.on_reroute(flit.packet_id, v as u16, now);
+                        }
                     }
                 }
                 let ready = now + if flit.is_head() { self.cfg.pipeline_latency as u64 } else { 1 };
@@ -1418,6 +1488,14 @@ impl Network {
                             if let Some(att) = self.attribution.as_mut() {
                                 att.on_pipeline(flit.packet_id, self.cfg.pipeline_latency as u64);
                             }
+                            if let Some(j) = self.journey.as_mut() {
+                                j.on_pipeline(
+                                    flit.packet_id,
+                                    v as u16,
+                                    self.cfg.pipeline_latency as u64,
+                                    now,
+                                );
+                            }
                         }
                         let router = &mut self.routers[v];
                         router.counters.buffer_writes += 1;
@@ -1442,6 +1520,9 @@ impl Network {
                                 .latency();
                             if let Some(att) = self.attribution.as_mut() {
                                 att.on_link_flit(out_ci, &flit, cost, false);
+                            }
+                            if let Some(j) = self.journey.as_mut() {
+                                j.on_link_flit(out_ci, &flit, cost, false, now);
                             }
                             self.channels[out_ci]
                                 .as_mut()
@@ -1494,6 +1575,9 @@ impl Network {
                     if let Some(att) = self.attribution.as_mut() {
                         att.on_link_flit(out_ci, &flit, cost, false);
                     }
+                    if let Some(j) = self.journey.as_mut() {
+                        j.on_link_flit(out_ci, &flit, cost, false, now);
+                    }
                     self.channels[out_ci]
                         .as_mut()
                         .expect("route stays on the mesh")
@@ -1525,12 +1609,18 @@ impl Network {
                         from: xy.index() as u8,
                         to: route.index() as u8,
                     });
+                    if let Some(j) = self.journey.as_mut() {
+                        j.on_reroute(flit.packet_id, r as u16, now);
+                    }
                 }
             }
             let ready = now + if flit.is_head() { self.cfg.pipeline_latency as u64 } else { 1 };
             if flit.is_head() {
                 if let Some(att) = self.attribution.as_mut() {
                     att.on_pipeline(flit.packet_id, self.cfg.pipeline_latency as u64);
+                }
+                if let Some(j) = self.journey.as_mut() {
+                    j.on_pipeline(flit.packet_id, r as u16, self.cfg.pipeline_latency as u64, now);
                 }
             }
             let router = &mut self.routers[r];
@@ -1558,6 +1648,9 @@ impl Network {
         if flit.is_head() {
             if let Some(att) = self.attribution.as_mut() {
                 att.on_head_eject(flit.packet_id, self.now);
+            }
+            if let Some(j) = self.journey.as_mut() {
+                j.on_head_eject(flit.packet_id, self.now);
             }
         }
         // A flit ejected straight off the bypass still carries undecoded
@@ -1629,12 +1722,30 @@ impl Network {
             if let Some(att) = self.attribution.as_mut() {
                 att.on_e2e_retx(flit.packet_id, self.now);
             }
+            if let Some(j) = self.journey.as_mut() {
+                j.on_e2e_retx(flit.packet_id, self.now);
+            }
             return;
         }
         // Final delivery.
         let latency = self.now + 1 - flit.injected_at;
         if let Some(att) = self.attribution.as_mut() {
             att.on_complete(flit.packet_id, flit.src, flit.dest, self.now, latency);
+        }
+        let bb_installed = self.blackbox.is_some();
+        if let Some(j) = self.journey.as_mut() {
+            if let Some(journey) = j.on_complete(flit.packet_id, self.now, latency) {
+                // Feed the blackbox's slowest-journeys ring so post-mortem
+                // bundles can name the worst recent journeys.
+                if bb_installed {
+                    let line = journey.to_jsonl_line();
+                    if let Some(bb) = self.blackbox.as_ref() {
+                        if let Ok(mut rec) = bb.lock() {
+                            rec.push_journey(latency, line);
+                        }
+                    }
+                }
+            }
         }
         self.stats.packets_delivered += 1;
         self.stats.latency_sum += latency;
@@ -1817,6 +1928,15 @@ impl Network {
                 if let Some(att) = self.attribution.as_mut() {
                     att.on_inject(packet_id, now);
                 }
+                if let Some(j) = self.journey.as_mut() {
+                    j.on_inject(
+                        packet_id,
+                        node as u16,
+                        dest as u16,
+                        now,
+                        self.traffic.packet_txn(packet_id),
+                    );
+                }
                 self.trace(Event::PacketInjected {
                     cycle: now,
                     router: node as u32,
@@ -1942,7 +2062,7 @@ impl Network {
         self.span_enter("workload.inject");
         self.workload_phase();
         self.span_exit();
-        if self.tracer.is_some() || self.blackbox.is_some() {
+        if self.tracer.is_some() || self.blackbox.is_some() || self.journey.is_some() {
             self.drain_txn_events();
         }
         self.now += 1;
@@ -2501,16 +2621,22 @@ impl Network {
             injected_bit_flips: self.injector.injected_bits(),
             faulty_flit_traversals: self.injector.faulty_flits(),
             stall: self.stall.clone(),
-            txn: self.traffic.txn_stats().map(|s| TxnSummary {
-                issued: s.issued_total(),
-                completed: s.completed_total(),
-                failed: s.failed_total(),
-                shed: s.shed_total(),
-                in_flight: s.in_flight_total(),
-                timeouts: s.timeouts,
-                retries: s.retries,
-                violations: s.violations(),
-                orphans: self.traffic.txn_orphans(),
+            txn: self.traffic.txn_stats().map(|s| {
+                let mut lat = s.completion_latencies.clone();
+                lat.sort_unstable();
+                TxnSummary {
+                    issued: s.issued_total(),
+                    completed: s.completed_total(),
+                    failed: s.failed_total(),
+                    shed: s.shed_total(),
+                    in_flight: s.in_flight_total(),
+                    timeouts: s.timeouts,
+                    retries: s.retries,
+                    p50_completion: noc_telemetry::percentile(&lat, 0.50),
+                    p99_completion: noc_telemetry::percentile(&lat, 0.99),
+                    violations: s.violations(),
+                    orphans: self.traffic.txn_orphans(),
+                }
             }),
         }
     }

@@ -99,6 +99,13 @@ pub struct TxnSummary {
     pub timeouts: u64,
     /// Retry attempts issued.
     pub retries: u64,
+    /// Median transaction completion time (first issue → reply delivered,
+    /// cycles; 0 when nothing completed). Nearest-rank percentile.
+    pub p50_completion: u64,
+    /// 99th-percentile transaction completion time (cycles; 0 when nothing
+    /// completed). Nearest-rank percentile — the closed-loop tail the
+    /// journey tail report explains.
+    pub p99_completion: u64,
     /// Summed per-node conservation error; zero iff the invariant holds.
     pub violations: u64,
     /// Transaction ids missing from the transaction table.

@@ -129,13 +129,20 @@ pub struct RecorderCounters {
     pub convergence_recorded: u64,
     /// Convergence samples evicted to make room.
     pub convergence_dropped: u64,
+    /// Journey records offered to the slowest-journeys ring.
+    pub journeys_recorded: u64,
+    /// Journey records evicted (they were faster than everything kept).
+    pub journeys_dropped: u64,
 }
 
 impl RecorderCounters {
     /// Total records evicted across all rings.
     #[must_use]
     pub fn dropped_total(&self) -> u64 {
-        self.timeline_dropped + self.events_dropped + self.convergence_dropped
+        self.timeline_dropped
+            + self.events_dropped
+            + self.convergence_dropped
+            + self.journeys_dropped
     }
 }
 
@@ -150,6 +157,9 @@ pub struct FlightRecorder {
     spans: Option<String>,
     /// Span paths open at the latest snapshot, outermost first.
     open_spans: Vec<String>,
+    /// Slowest sampled journeys seen so far: `(latency, jsonl line)`,
+    /// bounded at `capacity`, kept sorted slowest-first.
+    journeys: Vec<(u64, String)>,
     counters: RecorderCounters,
 }
 
@@ -167,6 +177,7 @@ impl FlightRecorder {
             convergence: VecDeque::with_capacity(capacity.min(1024)),
             spans: None,
             open_spans: Vec::new(),
+            journeys: Vec::new(),
             counters: RecorderCounters::default(),
         }
     }
@@ -214,6 +225,34 @@ impl FlightRecorder {
         self.open_spans = open;
     }
 
+    /// Offers a finished journey (`line` is its JSONL record) to the
+    /// slowest-journeys ring: the `capacity` slowest sampled journeys are
+    /// kept, everything faster is evicted. Ties break on the record text
+    /// so the retained set is execution-order independent.
+    pub fn push_journey(&mut self, latency: u64, line: String) {
+        self.counters.journeys_recorded += 1;
+        let entry = (latency, line);
+        let at = self
+            .journeys
+            .binary_search_by(|probe| entry.cmp(probe))
+            .unwrap_or_else(|insert_at| insert_at);
+        if at >= self.capacity {
+            self.counters.journeys_dropped += 1;
+            return;
+        }
+        self.journeys.insert(at, entry);
+        if self.journeys.len() > self.capacity {
+            self.journeys.pop();
+            self.counters.journeys_dropped += 1;
+        }
+    }
+
+    /// The retained slowest journeys, slowest first.
+    #[must_use]
+    pub fn journeys(&self) -> &[(u64, String)] {
+        &self.journeys
+    }
+
     /// Ring accounting.
     #[must_use]
     pub fn counters(&self) -> RecorderCounters {
@@ -247,6 +286,7 @@ impl FlightRecorder {
         self.counters.timeline_recorded == 0
             && self.counters.events_recorded == 0
             && self.counters.convergence_recorded == 0
+            && self.counters.journeys_recorded == 0
             && self.spans.is_none()
     }
 
@@ -273,13 +313,16 @@ impl FlightRecorder {
             out,
             "{{\"record\":\"counters\",\"timeline_recorded\":{},\"timeline_dropped\":{},\
              \"events_recorded\":{},\"events_dropped\":{},\
-             \"convergence_recorded\":{},\"convergence_dropped\":{}}}",
+             \"convergence_recorded\":{},\"convergence_dropped\":{},\
+             \"journeys_recorded\":{},\"journeys_dropped\":{}}}",
             c.timeline_recorded,
             c.timeline_dropped,
             c.events_recorded,
             c.events_dropped,
             c.convergence_recorded,
             c.convergence_dropped,
+            c.journeys_recorded,
+            c.journeys_dropped,
         );
         for s in &self.timeline {
             let data = serde_json::to_string(s).expect("timeline samples serialize");
@@ -312,6 +355,10 @@ impl FlightRecorder {
                 open.join(","),
                 json_str(table),
             );
+        }
+        for (latency, line) in &self.journeys {
+            let _ =
+                writeln!(out, "{{\"record\":\"journey\",\"latency\":{latency},\"data\":{line}}}");
         }
         for (kind, payload) in extras {
             let _ = writeln!(out, "{{\"record\":{},\"data\":{payload}}}", json_str(kind));
@@ -377,6 +424,9 @@ pub struct ParsedBundle {
     pub spans_table: Option<String>,
     /// Span paths open at the snapshot.
     pub open_spans: Vec<String>,
+    /// Slowest retained packet journeys, slowest first: `(latency,
+    /// journey JSONL line)`.
+    pub journeys: Vec<(u64, String)>,
     /// Extra records: `(kind, raw JSON payload)` — e.g. the stall or
     /// timeout report.
     pub extras: Vec<(String, String)>,
@@ -424,6 +474,7 @@ pub fn parse_bundle(text: &str) -> Result<ParsedBundle, String> {
                 convergence: Vec::new(),
                 spans_table: None,
                 open_spans: Vec::new(),
+                journeys: Vec::new(),
                 extras: Vec::new(),
             });
             continue;
@@ -434,6 +485,10 @@ pub fn parse_bundle(text: &str) -> Result<ParsedBundle, String> {
         let err = |e: serde::Error| format!("bundle line {lineno}: {e}");
         match record.as_str() {
             "counters" => {
+                // The journey counters arrived in a later tool revision than
+                // the bundle format; parse them leniently so older bundles
+                // (which simply lack the keys) still load.
+                let opt = |k: &str| v.get(k).and_then(serde::Content::as_u64).unwrap_or(0);
                 b.counters = RecorderCounters {
                     timeline_recorded: serde::field(&v, "timeline_recorded").map_err(err)?,
                     timeline_dropped: serde::field(&v, "timeline_dropped").map_err(err)?,
@@ -441,6 +496,8 @@ pub fn parse_bundle(text: &str) -> Result<ParsedBundle, String> {
                     events_dropped: serde::field(&v, "events_dropped").map_err(err)?,
                     convergence_recorded: serde::field(&v, "convergence_recorded").map_err(err)?,
                     convergence_dropped: serde::field(&v, "convergence_dropped").map_err(err)?,
+                    journeys_recorded: opt("journeys_recorded"),
+                    journeys_dropped: opt("journeys_dropped"),
                 };
             }
             "timeline" => b.timeline.push(serde::field(&v, "data").map_err(err)?),
@@ -449,6 +506,16 @@ pub fn parse_bundle(text: &str) -> Result<ParsedBundle, String> {
             "spans" => {
                 b.spans_table = Some(serde::field(&v, "table").map_err(err)?);
                 b.open_spans = serde::field(&v, "open").map_err(err)?;
+            }
+            "journey" => {
+                let latency: u64 = serde::field(&v, "latency").map_err(err)?;
+                let data = v
+                    .get("data")
+                    .ok_or_else(|| format!("bundle line {lineno}: `journey` without data"))?;
+                b.journeys.push((
+                    latency,
+                    serde_json::to_string(data).map_err(|e| format!("line {lineno}: {e}"))?,
+                ));
             }
             other => {
                 let data = v
@@ -510,6 +577,28 @@ pub fn render_report(b: &ParsedBundle) -> String {
         b.convergence.len(),
         c.convergence_dropped
     );
+    let _ = writeln!(
+        out,
+        "| journeys | {} | {} | {} |",
+        c.journeys_recorded,
+        b.journeys.len(),
+        c.journeys_dropped
+    );
+    out.push('\n');
+    if c.dropped_total() == 0 {
+        out.push_str("No ring evicted anything: the bundle holds every record offered.\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "Rings evicted {} records before the dump (timeline {}, events {}, \
+             convergence {}, journeys {}); the tables below show only what was retained.",
+            c.dropped_total(),
+            c.timeline_dropped,
+            c.events_dropped,
+            c.convergence_dropped,
+            c.journeys_dropped,
+        );
+    }
     out.push('\n');
 
     if !b.timeline.is_empty() {
@@ -592,6 +681,18 @@ pub fn render_report(b: &ParsedBundle) -> String {
             }
             out.push_str("```\n\n");
         }
+    }
+
+    if !b.journeys.is_empty() {
+        let shown = REPORT_TAIL.min(b.journeys.len());
+        let _ = writeln!(out, "## Slowest packet journeys ({shown} retained, slowest first)");
+        out.push('\n');
+        out.push_str("```jsonl\n");
+        for (_, line) in b.journeys.iter().take(REPORT_TAIL) {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("```\n\n");
     }
 
     for (kind, payload) in &b.extras {

@@ -39,6 +39,7 @@ mod blackbox;
 mod event;
 mod exposition;
 mod inspect;
+mod journey;
 mod metrics;
 mod prof;
 mod profiler;
@@ -63,6 +64,11 @@ pub use exposition::{
 pub use inspect::{
     link_stats_csv, AttributionArtifacts, ConvergenceSample, DecisionLog, DecisionRecord, HeatGrid,
     LatencyBreakdown, LatencyComponents, LinkStat, PacketLatency, PairBreakdown,
+};
+pub use journey::{
+    journey_file_name, journey_sampled, percentile, HopSpan, JourneyCause, JourneyLoc, JourneyLog,
+    PacketJourney, TailContribution, TxnJourney, TxnLeg, TxnLegKind, TxnOutcome, JOURNEY_CAUSES,
+    JOURNEY_FORMAT_VERSION,
 };
 pub use metrics::{
     is_valid_label_name, is_valid_metric_name, LabelSet, MetricFamily, MetricKind, MetricsRegistry,

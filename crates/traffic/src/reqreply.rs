@@ -152,6 +152,10 @@ struct Txn {
     client: usize,
     server: usize,
     state: TxnState,
+    /// Cycle the transaction was first issued (attempt 1); retries keep it,
+    /// so completion time measures the whole transaction, not the last
+    /// attempt.
+    first_issued_at: u64,
     /// 1-based attempt number (attempt 1 is the first issue).
     attempt: u32,
     /// Deadline of the current attempt (while `AwaitingReply`).
@@ -500,6 +504,7 @@ impl Workload for ReqReplyWorkload {
                         client: node,
                         server,
                         state: TxnState::Shed,
+                        first_issued_at: cycle,
                         attempt: 0,
                         deadline: 0,
                         retry_at: 0,
@@ -517,6 +522,7 @@ impl Workload for ReqReplyWorkload {
                 client: node,
                 server,
                 state: TxnState::AwaitingReply,
+                first_issued_at: cycle,
                 attempt: 1,
                 deadline: cycle.saturating_add(self.rr.reply_timeout),
                 retry_at: 0,
@@ -599,9 +605,11 @@ impl Workload for ReqReplyWorkload {
                     return;
                 }
                 t.state = TxnState::Completed;
+                let completion = cycle.saturating_sub(t.first_issued_at);
                 self.remove_open(client, txn);
                 self.stats.completed[client] += 1;
                 self.stats.in_flight[client] -= 1;
+                self.stats.completion_latencies.push(completion);
                 self.push_recent(client, false);
                 self.event(cycle, client, txn, server, attempt, TxnEventKind::Completed);
             }
@@ -631,6 +639,13 @@ impl Workload for ReqReplyWorkload {
 
     fn txn_stats(&self) -> Option<&TxnStats> {
         Some(&self.stats)
+    }
+
+    fn packet_txn(&self, packet_id: u64) -> Option<(u64, u32, bool)> {
+        self.pkt_roles.get(&packet_id).map(|role| match *role {
+            PktRole::Request { txn, attempt } => (txn, attempt, false),
+            PktRole::Reply { txn, attempt } => (txn, attempt, true),
+        })
     }
 
     fn txn_orphans(&self) -> Vec<u64> {

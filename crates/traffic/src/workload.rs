@@ -37,6 +37,10 @@ pub struct TxnStats {
     pub timeouts: u64,
     /// Retry attempts issued across all nodes.
     pub retries: u64,
+    /// Completion time (first issue → reply delivered, in cycles) of every
+    /// completed transaction, in completion order. Source of the p50/p99
+    /// transaction-completion percentiles in reports and bench gates.
+    pub completion_latencies: Vec<u64>,
 }
 
 impl TxnStats {
@@ -51,6 +55,7 @@ impl TxnStats {
             in_flight: vec![0; n],
             timeouts: 0,
             retries: 0,
+            completion_latencies: Vec::new(),
         }
     }
 
@@ -172,6 +177,13 @@ pub trait Workload: std::fmt::Debug {
 
     /// Transaction accounting, when this is a closed-loop workload.
     fn txn_stats(&self) -> Option<&TxnStats> {
+        None
+    }
+
+    /// The transaction role bound to an in-flight packet, when this is a
+    /// closed-loop workload: `(txn id, attempt, is_reply)`. Open-loop
+    /// workloads have no transactions and return `None`.
+    fn packet_txn(&self, _packet_id: u64) -> Option<(u64, u32, bool)> {
         None
     }
 

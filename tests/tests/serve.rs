@@ -27,6 +27,7 @@ fn tiny_spec(name: &str) -> JobSpec {
         seed: 11,
         max_cycles: 50_000,
         reqreply: None,
+        journeys_every: 0,
     }
 }
 
